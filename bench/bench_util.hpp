@@ -1,0 +1,37 @@
+#pragma once
+// Shared helpers for the figure-reproduction harnesses.
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+namespace cal::bench {
+
+/// Tracks reproduction checks; the harness exits non-zero if any fails,
+/// so `for b in build/bench/*; do $b; done` doubles as a regression run.
+class Checker {
+ public:
+  void expect(bool condition, const std::string& what) {
+    if (condition) {
+      std::cout << "[shape OK]   " << what << "\n";
+    } else {
+      std::cout << "[shape FAIL] " << what << "\n";
+      ++failures_;
+    }
+  }
+
+  int exit_code() const noexcept { return failures_ == 0 ? 0 : 1; }
+  std::size_t failures() const noexcept { return failures_; }
+
+ private:
+  std::size_t failures_ = 0;
+};
+
+inline std::string kb(double bytes) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.0fK", bytes / 1024.0);
+  return buf;
+}
+
+}  // namespace cal::bench

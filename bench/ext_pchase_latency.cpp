@@ -1,0 +1,73 @@
+// Extension bench: PChase-style latency staircase for all four machines
+// of Fig. 5.  Each row is the mean pointer-chase load-to-use latency for
+// a buffer size; the steps land at the cache capacities, giving an
+// independent confirmation of the hierarchy the bandwidth benches see.
+
+#include <iostream>
+#include <map>
+
+#include "bench_util.hpp"
+#include "benchlib/opaque/pchase_like.hpp"
+#include "io/table_fmt.hpp"
+
+using namespace cal;
+
+int main() {
+  io::print_banner(std::cout,
+                   "Extension: pointer-chase latency staircase (all "
+                   "machines)");
+
+  const std::vector<std::size_t> sizes = {
+      4 * 1024,        16 * 1024,       64 * 1024,      256 * 1024,
+      1024 * 1024,     4 * 1024 * 1024, 16 * 1024 * 1024};
+
+  std::map<std::string, std::vector<benchlib::PchaseRow>> results;
+  for (const auto& machine : sim::machines::all()) {
+    benchlib::PchaseOptions options;
+    options.sizes_bytes = sizes;
+    options.accesses_per_run = 8192;
+    options.repetitions = 3;
+    results[machine.name] = benchlib::run_pchase(machine, options);
+  }
+
+  io::TextTable table({"size", "opteron (ns)", "pentium4 (ns)",
+                       "i7-2600 (ns)", "arm-snowball (ns)"});
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    table.add_row({bench::kb(static_cast<double>(sizes[i])),
+                   io::TextTable::num(results["opteron"][i].mean_latency_ns, 1),
+                   io::TextTable::num(results["pentium4"][i].mean_latency_ns, 1),
+                   io::TextTable::num(results["i7-2600"][i].mean_latency_ns, 1),
+                   io::TextTable::num(
+                       results["arm-snowball"][i].mean_latency_ns, 1)});
+  }
+  table.print(std::cout);
+  std::cout << '\n';
+  for (const auto& [name, rows] : results) {
+    std::vector<double> xs, ys;
+    for (const auto& row : rows) {
+      xs.push_back(static_cast<double>(row.size_bytes) / 1024.0);
+      ys.push_back(row.mean_latency_ns);
+    }
+    io::print_series(std::cout, name, xs, ys);
+  }
+
+  bench::Checker check;
+  for (const auto& machine : sim::machines::all()) {
+    const auto& rows = results[machine.name];
+    check.expect(rows.front().mean_latency_ns < rows.back().mean_latency_ns,
+                 machine.name + ": latency grows from L1 to memory");
+    // The staircase is monotone non-decreasing.
+    bool monotone = true;
+    for (std::size_t i = 1; i < rows.size(); ++i) {
+      if (rows[i].mean_latency_ns < rows[i - 1].mean_latency_ns * 0.98) {
+        monotone = false;
+      }
+    }
+    check.expect(monotone, machine.name + ": staircase is monotone");
+  }
+  // The i7 (fastest clock, deepest hierarchy) has the lowest L1 latency.
+  check.expect(results["i7-2600"].front().mean_latency_ns <
+                   results["arm-snowball"].front().mean_latency_ns,
+               "the 3.4GHz i7 beats the 1GHz ARM on L1 latency");
+  return check.exit_code();
+}

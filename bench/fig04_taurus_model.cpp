@@ -1,0 +1,123 @@
+// Reproduces Fig. 4: network modeling of the Grid'5000 Taurus cluster
+// (OpenMPI/TCP/10GbE): send overhead, receive overhead, and
+// latency/bandwidth from ping-pong, with randomized log-uniform message
+// sizes, supervised piecewise regression, and the per-regime variability
+// bands (high o_r variance for medium sizes, milder o_s band).
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "benchlib/whitebox/net_calibration.hpp"
+#include "io/table_fmt.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/group.hpp"
+
+using namespace cal;
+
+namespace {
+
+/// Relative spread (coefficient of variation) of an op's measurements in
+/// a size range.
+double cv_in_range(const RawTable& table, const std::string& op, double lo,
+                   double hi) {
+  const RawTable rows = table.filter("op", Value(op));
+  std::vector<double> rel;
+  const auto sizes = rows.factor_column_real("size_bytes");
+  const auto times = rows.metric_column("time_us");
+  // Normalize by the local linear trend so only noise remains.
+  std::vector<double> xs, ys;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    if (sizes[i] >= lo && sizes[i] < hi) {
+      xs.push_back(sizes[i]);
+      ys.push_back(times[i]);
+    }
+  }
+  if (xs.size() < 8) return 0.0;
+  const auto fit = stats::linear_fit(xs, ys);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    rel.push_back(ys[i] / fit.predict(xs[i]));
+  }
+  return stats::coeff_variation(rel);
+}
+
+}  // namespace
+
+int main() {
+  io::print_banner(std::cout,
+                   "Fig. 4: Piecewise network model of the Taurus cluster "
+                   "(send overhead / recv overhead / latency+bandwidth)");
+
+  sim::net::NetworkSimConfig config;
+  config.link = sim::net::links::taurus_openmpi_tcp();
+  config.enable_noise = true;
+  const sim::net::NetworkSim network(config);
+
+  benchlib::NetCalibrationOptions options;
+  options.min_size = 64.0;
+  options.max_size = 1024.0 * 1024;
+  options.samples_per_op = 1500;
+  options.seed = 2017;
+  const CampaignResult campaign =
+      benchlib::run_net_calibration(network, options);
+
+  // Stage 3: supervised piecewise regression; the analyst supplies the
+  // protocol-change breakpoints after inspecting the raw plot.
+  const std::vector<double> breakpoints = {32.0 * 1024, 64.0 * 1024};
+  const benchlib::NetModel model =
+      benchlib::analyze_net_calibration(campaign.table, breakpoints);
+
+  io::TextTable table({"regime", "o_s (us)", "o_s/B (ns)", "o_r (us)",
+                       "o_r/B (ns)", "L (us)", "bandwidth (MB/s)"});
+  const char* regimes[] = {"eager (<32K)", "detached (32-64K)",
+                           "rendezvous (>=64K)"};
+  for (std::size_t s = 0; s < model.segments.size(); ++s) {
+    const auto& seg = model.segments[s];
+    table.add_row({regimes[s], io::TextTable::num(seg.o_s_us, 2),
+                   io::TextTable::num(seg.o_s_per_byte * 1000, 3),
+                   io::TextTable::num(seg.o_r_us, 2),
+                   io::TextTable::num(seg.o_r_per_byte * 1000, 3),
+                   io::TextTable::num(seg.latency_us, 2),
+                   io::TextTable::num(seg.bandwidth_mbps, 0)});
+  }
+  table.print(std::cout);
+
+  // Variability bands (the colored regions of Fig. 4).
+  std::cout << "\nPer-regime measurement variability (CV of detrended "
+               "times):\n";
+  io::TextTable bands({"op", "eager", "detached (medium)", "rendezvous"});
+  const double inf = 8.0 * 1024 * 1024;
+  for (const char* op : {"send", "recv", "pingpong"}) {
+    bands.add_row(
+        {op, io::TextTable::num(cv_in_range(campaign.table, op, 64, 32768), 3),
+         io::TextTable::num(cv_in_range(campaign.table, op, 32768, 65536), 3),
+         io::TextTable::num(cv_in_range(campaign.table, op, 65536, inf), 3)});
+  }
+  bands.print(std::cout);
+  std::cout << '\n';
+
+  bench::Checker check;
+  const auto& truth = network.link();
+  check.expect(model.segments.size() == 3, "three protocol regimes modeled");
+  check.expect(model.segments[2].bandwidth_mbps >
+                       0.6 / truth.segments[2].gap_per_byte_us &&
+                   model.segments[2].bandwidth_mbps <
+                       1.4 / truth.segments[2].gap_per_byte_us,
+               "rendezvous bandwidth recovered within 40% of ground truth");
+  check.expect(model.segments[0].o_s_us < model.segments[2].o_s_us,
+               "software overheads grow across protocol switches");
+  const double recv_medium = cv_in_range(campaign.table, "recv", 32768, 65536);
+  const double recv_small = cv_in_range(campaign.table, "recv", 64, 32768);
+  const double send_medium = cv_in_range(campaign.table, "send", 32768, 65536);
+  check.expect(recv_medium > 2.0 * recv_small,
+               "recv overhead has a much higher variability band at medium "
+               "sizes (the blue region)");
+  check.expect(send_medium > recv_small && send_medium < recv_medium,
+               "send overhead band (yellow) is elevated but milder than "
+               "the recv band");
+  check.expect(
+      model.pingpong_fit.total_rss <
+          benchlib::analyze_net_calibration(campaign.table, {})
+              .pingpong_fit.total_rss,
+      "piecewise model fits ping-pong better than a single line");
+  return check.exit_code();
+}

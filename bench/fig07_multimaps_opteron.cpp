@@ -1,0 +1,93 @@
+// Reproduces Fig. 7: MultiMAPS output on the Opteron -- memory bandwidth
+// as a function of buffer size for strides 2, 4 and 8.  Expected shape:
+// three plateaus (L1 / L2 / memory) with drops when the working set
+// exceeds 64 KB (L1) and 1 MB (L2); strides have no impact inside L1 and
+// roughly halve bandwidth per doubling beyond it.
+
+#include <cmath>
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "benchlib/opaque/multimaps_like.hpp"
+#include "io/table_fmt.hpp"
+
+using namespace cal;
+
+int main() {
+  io::print_banner(std::cout,
+                   "Fig. 7: MultiMAPS on the Opteron -- bandwidth vs buffer "
+                   "size for strides 2/4/8");
+
+  sim::mem::MemSystemConfig config;
+  config.machine = sim::machines::opteron();
+  config.enable_noise = false;  // the original plot is the idealized one
+  config.pool_pages = 4096;     // 16 MB of physical pages
+  sim::mem::MemSystem system(config);
+
+  benchlib::MultiMapsOptions options;
+  for (double s = 14.0; s <= 22.0; s += 0.5) {  // 16 KB .. 4 MB, log grid
+    options.sizes_bytes.push_back(static_cast<std::size_t>(
+        std::llround(std::pow(2.0, s) / 1024.0) * 1024));
+  }
+  options.strides = {2, 4, 8};
+  options.nloops = 400;
+  options.kernel = {4, 1};  // the int kernel of the original benchmark
+  const auto rows = benchlib::run_multimaps(system, options);
+
+  std::map<std::size_t, std::vector<double>> by_stride_bw;
+  std::map<std::size_t, std::vector<double>> by_stride_size;
+  for (const auto& row : rows) {
+    by_stride_bw[row.stride].push_back(row.mean_bandwidth_mbps);
+    by_stride_size[row.stride].push_back(static_cast<double>(row.size_bytes));
+  }
+
+  io::TextTable table({"size", "stride 2 (MB/s)", "stride 4 (MB/s)",
+                       "stride 8 (MB/s)"});
+  for (std::size_t i = 0; i < by_stride_size[2].size(); ++i) {
+    table.add_row({bench::kb(by_stride_size[2][i]),
+                   io::TextTable::num(by_stride_bw[2][i], 0),
+                   io::TextTable::num(by_stride_bw[4][i], 0),
+                   io::TextTable::num(by_stride_bw[8][i], 0)});
+  }
+  table.print(std::cout);
+  std::cout << '\n';
+  for (const std::size_t stride : {2, 4, 8}) {
+    io::print_series(std::cout, "stride_" + std::to_string(stride),
+                     by_stride_size[stride], by_stride_bw[stride]);
+  }
+
+  auto bw_at = [&](std::size_t stride, double size) {
+    const auto& sizes = by_stride_size[stride];
+    const auto& bws = by_stride_bw[stride];
+    double best = bws[0], best_d = 1e300;
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      const double d = std::abs(std::log(sizes[i] / size));
+      if (d < best_d) {
+        best_d = d;
+        best = bws[i];
+      }
+    }
+    return best;
+  };
+
+  bench::Checker check;
+  // Plateau structure for stride 2.
+  const double l1 = bw_at(2, 32 * 1024);
+  const double l2 = bw_at(2, 512 * 1024);
+  const double mem = bw_at(2, 4 * 1024 * 1024);
+  check.expect(l1 > 1.2 * l2, "bandwidth drops when exceeding 64KB L1");
+  check.expect(l2 > 1.5 * mem, "bandwidth drops again when exceeding 1MB L2");
+  // Stride effects (paper: none inside L1, ~2x per doubling beyond).
+  check.expect(std::abs(bw_at(2, 32 * 1024) / bw_at(8, 32 * 1024) - 1.0) < 0.1,
+               "strides have no impact while all accesses hit L1");
+  check.expect(bw_at(2, 512 * 1024) / bw_at(4, 512 * 1024) > 1.25,
+               "stride 2 -> 4 costs ~a factor in the L2 plateau");
+  check.expect(bw_at(4, 512 * 1024) / bw_at(8, 512 * 1024) > 1.25,
+               "stride 4 -> 8 costs another factor in the L2 plateau");
+  // Plateau flatness inside L1.
+  check.expect(std::abs(bw_at(2, 16 * 1024) / bw_at(2, 48 * 1024) - 1.0) < 0.1,
+               "the L1 plateau is flat");
+  return check.exit_code();
+}

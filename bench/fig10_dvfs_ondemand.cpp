@@ -1,0 +1,143 @@
+// Reproduces Fig. 10: memory bandwidth as a function of buffer size for
+// four workloads (nloops values) on the i7-2600 under the `ondemand`
+// governor.  nloops "should not have any influence on the final
+// bandwidth" -- but the smallest workload runs entirely at the low
+// frequency, the largest at the high frequency, and intermediate ones
+// flip between modes depending on how the measurement aligns with the
+// governor's sampling grid.
+
+#include <algorithm>
+#include <iostream>
+#include <map>
+
+#include "bench_util.hpp"
+#include "benchlib/whitebox/mem_calibration.hpp"
+#include "io/table_fmt.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/group.hpp"
+#include "stats/modes.hpp"
+
+using namespace cal;
+
+int main() {
+  io::print_banner(std::cout,
+                   "Fig. 10: bandwidth vs buffer size for four nloops "
+                   "workloads under the ondemand governor (i7-2600)");
+
+  sim::mem::MemSystemConfig config;
+  config.machine = sim::machines::core_i7_2600();
+  config.governor = sim::cpu::GovernorKind::kOndemand;
+  config.enable_noise = false;  // isolate the DVFS effect
+  sim::mem::MemSystem system(config);
+
+  benchlib::MemPlanOptions plan;
+  plan.size_levels = {20 * 1024, 40 * 1024, 60 * 1024, 80 * 1024};
+  plan.nloops = {8, 256, 2048, 16384};
+  plan.replications = 42;
+  plan.seed = 10;
+  benchlib::MemCampaignOptions campaign_options;
+  campaign_options.inter_run_gap_s = 0.015;  // benchmark-harness dead time
+  const CampaignResult campaign = benchlib::run_mem_campaign(
+      system, benchlib::make_mem_plan(plan), campaign_options);
+
+  // Per (nloops) facet: sizes have legitimately different bandwidths
+  // (cache levels), so mode structure is evaluated per size and the
+  // facet is called mixed if any size flips between frequency modes.
+  io::TextTable table({"nloops", "median BW (MB/s)", "mean freq (GHz)",
+                       "sizes with 2 modes", "bimodal?"});
+  std::map<std::int64_t, double> facet_median;
+  std::map<std::int64_t, bool> facet_bimodal;
+  for (const std::int64_t nloops : plan.nloops) {
+    const RawTable rows = campaign.table.filter("nloops", Value(nloops));
+    const auto bw = rows.metric_column("bandwidth_mbps");
+    const auto freq = rows.metric_column("avg_freq_ghz");
+    std::size_t bimodal_sizes = 0;
+    for (const auto& group :
+         stats::group_metric(rows, {"size_bytes"}, "bandwidth_mbps")) {
+      if (group.samples.size() >= 2 &&
+          stats::split_modes(group.samples).bimodal) {
+        ++bimodal_sizes;
+      }
+    }
+    facet_median[nloops] = stats::median(bw);
+    facet_bimodal[nloops] = bimodal_sizes > 0;
+    table.add_row({std::to_string(nloops),
+                   io::TextTable::num(stats::median(bw), 0),
+                   io::TextTable::num(stats::mean(freq), 2),
+                   std::to_string(bimodal_sizes),
+                   facet_bimodal[nloops] ? "yes" : "no"});
+  }
+  table.print(std::cout);
+  std::cout << '\n';
+
+  for (const std::int64_t nloops : plan.nloops) {
+    const RawTable rows = campaign.table.filter("nloops", Value(nloops));
+    io::print_series(std::cout, "nloops_" + std::to_string(nloops),
+                     rows.factor_column_real("size_bytes"),
+                     rows.metric_column("bandwidth_mbps"));
+  }
+
+  bench::Checker check;
+  const double ratio = facet_median[16384] / facet_median[8];
+  check.expect(ratio > 1.5,
+               "the largest workload is much faster than the smallest "
+               "(nloops should not matter, yet it does)");
+  // "Clean" facets: per-size spread is tight and the realized frequency
+  // sits at the corresponding end of the DVFS range.
+  auto facet_spread = [&](std::int64_t nloops) {
+    double worst = 1.0;
+    const RawTable rows = campaign.table.filter("nloops", Value(nloops));
+    for (const auto& group :
+         stats::group_metric(rows, {"size_bytes"}, "bandwidth_mbps")) {
+      const double q10 = stats::quantile(group.samples, 0.10);
+      const double q90 = stats::quantile(group.samples, 0.90);
+      worst = std::max(worst, q90 / q10);
+    }
+    return worst;
+  };
+  auto facet_freq = [&](std::int64_t nloops) {
+    return stats::mean(campaign.table.filter("nloops", Value(nloops))
+                           .metric_column("avg_freq_ghz"));
+  };
+  check.expect(facet_spread(8) < 1.2 && facet_freq(8) < 1.8,
+               "the smallest workload sits cleanly in the low-frequency "
+               "mode");
+  check.expect(facet_spread(16384) < 1.25 && facet_freq(16384) > 3.0,
+               "the largest workload sits cleanly in the high-frequency "
+               "mode");
+  bool intermediate_mixed = false;
+  for (const std::int64_t nloops : {256, 2048}) {
+    if (facet_bimodal[nloops] ||
+        (facet_median[nloops] > 1.1 * facet_median[8] &&
+         facet_median[nloops] < 0.95 * facet_median[16384])) {
+      intermediate_mixed = true;
+    }
+  }
+  check.expect(intermediate_mixed,
+               "intermediate workloads land between the modes / flip "
+               "between them");
+
+  // Control: the performance governor removes the whole effect.  Compare
+  // the long workloads (where the cold pass is already negligible) at
+  // matching sizes.
+  sim::mem::MemSystemConfig fixed_config = config;
+  fixed_config.governor = sim::cpu::GovernorKind::kPerformance;
+  sim::mem::MemSystem fixed_system(fixed_config);
+  const CampaignResult fixed = benchlib::run_mem_campaign(
+      fixed_system, benchlib::make_mem_plan(plan), campaign_options);
+  double worst_ratio = 1.0;
+  for (const std::int64_t size : plan.size_levels) {
+    const RawTable at_size = fixed.table.filter("size_bytes", Value(size));
+    std::vector<double> medians;
+    for (const std::int64_t nloops : {256, 2048, 16384}) {
+      medians.push_back(
+          stats::median(at_size.filter("nloops", Value(nloops))
+                            .metric_column("bandwidth_mbps")));
+    }
+    worst_ratio = std::max(
+        worst_ratio, stats::max_value(medians) / stats::min_value(medians));
+  }
+  check.expect(worst_ratio < 1.1,
+               "under the performance governor nloops is irrelevant");
+  return check.exit_code();
+}

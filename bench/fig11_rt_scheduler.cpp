@@ -1,0 +1,135 @@
+// Reproduces Fig. 11: real-time scheduling priority on the ARM Snowball.
+// Left panel: bandwidth vs buffer size shows two modes (the lower ~5x
+// slower, in ~20-25% of measurements, at every size).  Right panel: the
+// same data plotted against measurement sequence shows the low mode is a
+// single contiguous window of time -- an external daemon co-scheduled on
+// the pinned core, not a property of any buffer size.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "benchlib/whitebox/mem_calibration.hpp"
+#include "io/table_fmt.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/group.hpp"
+#include "stats/modes.hpp"
+
+using namespace cal;
+
+namespace {
+
+CampaignResult run_campaign(sim::os::SchedPolicy policy) {
+  sim::mem::MemSystemConfig config;
+  config.machine = sim::machines::arm_snowball();
+  config.policy = policy;
+  config.daemon_present = true;
+  // The daemon occupies ~45% of wall-clock time; because contended
+  // measurements run ~5x longer, that works out to the paper's 20-25%
+  // of *measurements* falling into the low mode.
+  config.daemon.window_fraction = 0.45;
+  config.horizon_s = 1.3;
+  config.system_seed = 11;
+  sim::mem::MemSystem system(config);
+
+  benchlib::MemPlanOptions plan;
+  plan.size_levels = {2 * 1024,  6 * 1024,  10 * 1024, 14 * 1024,
+                      18 * 1024, 22 * 1024, 26 * 1024, 30 * 1024};
+  plan.replications = 42;
+  plan.nloops = {120};
+  plan.seed = 3;
+  benchlib::MemCampaignOptions campaign_options;
+  campaign_options.inter_run_gap_s = 0.002;
+  return benchlib::run_mem_campaign(system, benchlib::make_mem_plan(plan),
+                                    campaign_options);
+}
+
+}  // namespace
+
+int main() {
+  io::print_banner(std::cout,
+                   "Fig. 11: real-time scheduling on the ARM Snowball -- "
+                   "two bandwidth modes and their temporal signature");
+
+  const CampaignResult fifo = run_campaign(sim::os::SchedPolicy::kFifo);
+
+  // Different sizes have legitimately different bandwidth levels (cache
+  // structure, page-color luck), so the pooled mode analysis runs on
+  // per-size normalized values: bw / median(bw at that size).  The
+  // contention modes (1.0 vs ~0.2) survive normalization; size structure
+  // does not.
+  const auto normalize = [](const RawTable& table) {
+    std::vector<double> normalized;
+    for (const auto& group :
+         stats::group_metric(table, {"size_bytes"}, "bandwidth_mbps")) {
+      const double med = stats::median(group.samples);
+      for (const double v : group.samples) {
+        normalized.push_back(med > 0 ? v / med : v);
+      }
+    }
+    return normalized;
+  };
+  const auto bw = normalize(fifo.table);
+  const auto split = stats::split_modes(bw);
+
+  std::cout << "\nLeft panel (bandwidth by size, FIFO policy):\n";
+  io::TextTable left({"size", "n", "high-mode share", "median high",
+                      "median low"});
+  for (const auto& diag : benchlib::diagnose_by_size(fifo.table)) {
+    const auto& modes = diag.modes;
+    left.add_row({bench::kb(static_cast<double>(diag.size_bytes)),
+                  std::to_string(diag.summary.n),
+                  io::TextTable::num(1.0 - modes.low_fraction(), 2),
+                  io::TextTable::num(modes.high_center, 0),
+                  io::TextTable::num(modes.low_center, 0)});
+  }
+  left.print(std::cout);
+
+  std::cout << "\nOverall mode split (size-normalized): low="
+            << io::TextTable::num(split.low_center, 2) << " ("
+            << io::TextTable::num(100 * split.low_fraction(), 1)
+            << "% of runs), high=" << io::TextTable::num(split.high_center, 2)
+            << ", ratio="
+            << io::TextTable::num(split.high_center / split.low_center, 2)
+            << "\n";
+
+  // Right panel: bandwidth against execution sequence.
+  std::vector<double> seq_x, seq_y;
+  for (const auto& rec : fifo.table.records()) {
+    seq_x.push_back(static_cast<double>(rec.sequence));
+    seq_y.push_back(
+        rec.metrics[fifo.table.metric_index("bandwidth_mbps")]);
+  }
+  std::cout << '\n';
+  io::print_series(std::cout, "bandwidth_vs_sequence", seq_x, seq_y);
+
+  const auto temporal = benchlib::diagnose_temporal(fifo.table);
+  std::cout << "Temporal diagnosis: flagged "
+            << io::TextTable::num(100 * temporal.fraction, 1)
+            << "% of measurements, clustering score "
+            << io::TextTable::num(temporal.clustering_score, 1) << "\n\n";
+
+  bench::Checker check;
+  check.expect(split.bimodal, "two modes of execution under FIFO");
+  check.expect(split.high_center / split.low_center > 3.0,
+               "low mode several times slower (paper: ~5x)");
+  check.expect(split.low_fraction() > 0.08 && split.low_fraction() < 0.45,
+               "low mode in roughly 20-25% of measurements");
+  check.expect(temporal.temporally_clustered,
+               "the low mode is one contiguous period of time (right "
+               "panel's lesson)");
+  // Every size is affected roughly equally (randomized order).
+  std::size_t affected_sizes = 0;
+  const auto diags = benchlib::diagnose_by_size(fifo.table);
+  for (const auto& diag : diags) {
+    if (diag.modes.low_count > 0) ++affected_sizes;
+  }
+  check.expect(affected_sizes >= diags.size() - 1,
+               "the second mode appears across (almost) all buffer sizes");
+
+  // Control: the default CFS policy shows a single mode.
+  const CampaignResult other = run_campaign(sim::os::SchedPolicy::kOther);
+  const auto other_split = stats::split_modes(normalize(other.table));
+  check.expect(!other_split.bimodal,
+               "with the default scheduling policy there is one mode");
+  return check.exit_code();
+}

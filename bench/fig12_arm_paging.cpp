@@ -1,0 +1,143 @@
+// Reproduces Fig. 12: four consecutive experiments on the ARM Snowball
+// with identical source and inputs.  Within each experiment the 42
+// repetitions per size are extremely stable (malloc reuses the same
+// physical pages), yet the size at which performance drops moves from
+// experiment to experiment: the random physical pages drawn at process
+// start either do or do not overload one of the two L1 page colors of the
+// 4-way cache.
+
+#include <iostream>
+#include <set>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "benchlib/whitebox/mem_calibration.hpp"
+#include "io/table_fmt.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/group.hpp"
+
+using namespace cal;
+
+namespace {
+
+struct Experiment {
+  std::vector<std::int64_t> sizes;
+  std::vector<stats::GroupSummary> summaries;
+  double cliff_kb = -1.0;  ///< first size whose median drops below 70% of
+                           ///< the small-size reference
+  double max_cv = 0.0;     ///< worst within-size coefficient of variation
+};
+
+Experiment run_experiment(std::uint64_t system_seed) {
+  sim::mem::MemSystemConfig config;
+  config.machine = sim::machines::arm_snowball();
+  config.system_seed = system_seed;  // a fresh process/boot
+  sim::mem::MemSystem system(config);
+
+  benchlib::MemPlanOptions plan;
+  for (std::int64_t kb = 2; kb <= 50; kb += 2) {
+    plan.size_levels.push_back(kb * 1024);
+  }
+  plan.replications = 42;
+  plan.nloops = {60};
+  plan.seed = 1234;  // same experiment plan every time, as in the paper
+  const CampaignResult campaign =
+      benchlib::run_mem_campaign(system, benchlib::make_mem_plan(plan));
+
+  Experiment experiment;
+  experiment.sizes = plan.size_levels;
+  experiment.summaries = stats::summarize_groups(
+      campaign.table, {"size_bytes"}, "bandwidth_mbps");
+  const double reference = experiment.summaries.front().median;
+  for (const auto& summary : experiment.summaries) {
+    const double cv = summary.mean > 0 ? summary.sd / summary.mean : 0.0;
+    experiment.max_cv = std::max(experiment.max_cv, cv);
+    if (experiment.cliff_kb < 0 && summary.median < 0.7 * reference) {
+      experiment.cliff_kb =
+          summary.key.front().as_real() / 1024.0;
+    }
+  }
+  return experiment;
+}
+
+}  // namespace
+
+int main() {
+  io::print_banner(std::cout,
+                   "Fig. 12: four identical experiments on the ARM "
+                   "Snowball -- the performance cliff moves");
+
+  std::vector<Experiment> experiments;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    experiments.push_back(run_experiment(seed));
+  }
+
+  io::TextTable table({"size", "exp 1 median", "exp 2 median", "exp 3 median",
+                       "exp 4 median"});
+  for (std::size_t i = 0; i < experiments[0].summaries.size(); ++i) {
+    table.add_row(
+        {bench::kb(experiments[0].summaries[i].key.front().as_real()),
+         io::TextTable::num(experiments[0].summaries[i].median, 0),
+         io::TextTable::num(experiments[1].summaries[i].median, 0),
+         io::TextTable::num(experiments[2].summaries[i].median, 0),
+         io::TextTable::num(experiments[3].summaries[i].median, 0)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nPer-experiment first cliff (KB): ";
+  std::set<double> cliffs;
+  for (const auto& experiment : experiments) {
+    std::cout << experiment.cliff_kb << "  ";
+    cliffs.insert(experiment.cliff_kb);
+  }
+  std::cout << "\n\n";
+  for (std::size_t e = 0; e < experiments.size(); ++e) {
+    std::vector<double> xs, ys;
+    for (const auto& summary : experiments[e].summaries) {
+      xs.push_back(summary.key.front().as_real() / 1024.0);
+      ys.push_back(summary.median);
+    }
+    io::print_series(std::cout, "experiment_" + std::to_string(e + 1), xs,
+                     ys);
+  }
+
+  bench::Checker check;
+  check.expect(cliffs.size() >= 2,
+               "the drop position differs between experiments");
+  for (std::size_t e = 0; e < experiments.size(); ++e) {
+    check.expect(experiments[e].max_cv < 0.10,
+                 "experiment " + std::to_string(e + 1) +
+                     ": little within-run variability (boxplots are tight)");
+  }
+  // Small sizes agree everywhere (at most 4 pages never overload a
+  // color); large sizes are uniformly degraded in every run (capacity);
+  // the middle (50%-100% of L1) is the unpredictable region.
+  const double l1_kb = 32.0;
+  bool small_agree = true, large_slow_everywhere = true;
+  const auto median_at = [&](std::size_t e, std::size_t i) {
+    return experiments[e].summaries[i].median;
+  };
+  for (std::size_t i = 0; i < experiments[0].summaries.size(); ++i) {
+    const double size_kb =
+        experiments[0].summaries[i].key.front().as_real() / 1024.0;
+    double lo = 1e300, hi = 0.0;
+    for (std::size_t e = 0; e < 4; ++e) {
+      lo = std::min(lo, median_at(e, i));
+      hi = std::max(hi, median_at(e, i));
+    }
+    if (size_kb <= 0.5 * l1_kb - 2 && hi / lo > 1.15) small_agree = false;
+    if (size_kb > 1.5 * l1_kb) {
+      for (std::size_t e = 0; e < 4; ++e) {
+        if (median_at(e, i) > 0.8 * experiments[e].summaries.front().median) {
+          large_slow_everywhere = false;
+        }
+      }
+    }
+  }
+  check.expect(small_agree,
+               "sizes below 50% of L1 behave identically in all runs");
+  check.expect(large_slow_everywhere,
+               "sizes far above L1 have dropped in every run (the cliff "
+               "has universally happened by 1.5x L1)");
+  return check.exit_code();
+}

@@ -1,0 +1,79 @@
+// network_campaign: full LogGP-family calibration of a simulated cluster
+// link, following Section V-A of the paper -- randomized log-uniform
+// message sizes (Eq. 1), the three calibration operations, raw records,
+// and a supervised piecewise fit producing per-regime parameters.
+
+#include <iostream>
+#include <sstream>
+
+#include "benchlib/whitebox/net_calibration.hpp"
+#include "io/table_fmt.hpp"
+#include "stats/breakpoint.hpp"
+
+using namespace cal;
+
+int main(int argc, char** argv) {
+  const std::string link_name = argc > 1 ? argv[1] : "taurus";
+
+  sim::net::NetworkSimConfig config;
+  if (link_name == "myrinet") {
+    config.link = sim::net::links::myrinet_gm();
+  } else if (link_name == "openmpi-myrinet") {
+    config.link = sim::net::links::openmpi_over_myrinet();
+  } else {
+    config.link = sim::net::links::taurus_openmpi_tcp();
+  }
+  const sim::net::NetworkSim network(config);
+  std::cout << "Calibrating link: " << network.link().name << "\n\n";
+
+  // Stages 1+2: randomized campaign with raw output.
+  benchlib::NetCalibrationOptions options;
+  options.min_size = 64.0;
+  options.max_size = 1024.0 * 1024;
+  options.samples_per_op = 1000;
+  const CampaignResult campaign =
+      benchlib::run_net_calibration(network, options);
+  campaign.write_dir("network_campaign_results");
+  std::cout << "Campaign: " << campaign.table.size()
+            << " raw measurements written to network_campaign_results/.\n\n";
+
+  // Stage 3a: let the offline DP segmentation propose breakpoints from
+  // the ping-pong data; the analyst reviews them before fitting.
+  const RawTable pp = campaign.table.filter("op", Value("pingpong"));
+  const auto proposal = stats::segmented_least_squares(
+      pp.factor_column_real("size_bytes"), pp.metric_column("time_us"));
+  std::cout << "Proposed breakpoints (offline segmented fit): ";
+  for (const double b : proposal.breakpoints) {
+    std::cout << io::TextTable::num(b / 1024.0, 1) << "K ";
+  }
+  std::cout << "\nGround-truth protocol changes:              ";
+  for (const double b : network.link().true_breakpoints()) {
+    std::cout << io::TextTable::num(b / 1024.0, 1) << "K ";
+  }
+  std::cout << "\n\n";
+
+  // Stage 3b: supervised piecewise fit with the reviewed breakpoints.
+  const benchlib::NetModel model = benchlib::analyze_net_calibration(
+      campaign.table, network.link().true_breakpoints());
+
+  io::TextTable table({"regime (bytes)", "o_s(s) us", "o_r(s) us", "L us",
+                       "G ns/B", "bandwidth MB/s"});
+  for (const auto& seg : model.segments) {
+    std::ostringstream range;
+    range << io::TextTable::num(seg.lo, 0) << " - "
+          << (seg.hi > 1e18 ? "inf" : io::TextTable::num(seg.hi, 0));
+    std::ostringstream os_fn, or_fn;
+    os_fn << io::TextTable::num(seg.o_s_us, 2) << " + "
+          << io::TextTable::num(seg.o_s_per_byte * 1000, 3) << "*s/1000";
+    or_fn << io::TextTable::num(seg.o_r_us, 2) << " + "
+          << io::TextTable::num(seg.o_r_per_byte * 1000, 3) << "*s/1000";
+    table.add_row({range.str(), os_fn.str(), or_fn.str(),
+                   io::TextTable::num(seg.latency_us, 2),
+                   io::TextTable::num(seg.gap_per_byte_us * 1000, 3),
+                   io::TextTable::num(seg.bandwidth_mbps, 0)});
+  }
+  table.print(std::cout);
+  std::cout << "\nThese parameters instantiate any LogP-family model "
+               "(LogP/LogGP/PLogP) for simulation.\n";
+  return 0;
+}

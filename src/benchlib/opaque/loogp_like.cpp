@@ -1,0 +1,30 @@
+#include "benchlib/opaque/loogp_like.hpp"
+
+#include "stats/descriptive.hpp"
+
+namespace cal::benchlib {
+
+LoogpResult run_loogp(const sim::net::NetworkSim& network,
+                      const LoogpOptions& options) {
+  Rng rng(options.seed);
+  double now = options.start_time_s;
+  LoogpResult result;
+
+  for (double size = options.start_size; size <= options.max_size;
+       size += options.increment) {
+    stats::Welford acc;
+    for (std::size_t rep = 0; rep < options.repetitions; ++rep) {
+      const double us = network.measure_us(options.op, size, now, rng);
+      acc.add(us);
+      now += us * 1e-6;
+    }
+    result.sizes.push_back(size);
+    result.times_us.push_back(acc.mean());
+  }
+
+  result.breakpoints =
+      stats::loogp_breakpoints(result.sizes, result.times_us, options.detector);
+  return result;
+}
+
+}  // namespace cal::benchlib

@@ -1,0 +1,39 @@
+#pragma once
+// LoOgGP-style benchmark: linear sweep + offline neighborhood-maximum
+// breakpoint detection with analyst mediation.
+//
+// LoOgGP is closest to the white-box methodology (it analyzes offline,
+// after outlier removal), but its detection is sensitive to the
+// neighborhood extent and the sweep's step size -- the paper quotes the
+// original authors admitting as much.  Our tests sweep both knobs to
+// demonstrate the sensitivity.
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/net/network_sim.hpp"
+#include "stats/breakpoint.hpp"
+
+namespace cal::benchlib {
+
+struct LoogpOptions {
+  double start_size = 256.0;
+  double increment = 1024.0;
+  double max_size = 96.0 * 1024;
+  std::size_t repetitions = 3;
+  sim::net::NetOp op = sim::net::NetOp::kSendOverhead;
+  stats::LoOgGPOptions detector;
+  std::uint64_t seed = 17;
+  double start_time_s = 0.0;
+};
+
+struct LoogpResult {
+  std::vector<double> sizes;
+  std::vector<double> times_us;
+  std::vector<double> breakpoints;  ///< candidates for the analyst
+};
+
+LoogpResult run_loogp(const sim::net::NetworkSim& network,
+                      const LoogpOptions& options = {});
+
+}  // namespace cal::benchlib

@@ -1,0 +1,39 @@
+#include "benchlib/opaque/multimaps_like.hpp"
+
+#include <stdexcept>
+
+#include "stats/descriptive.hpp"
+
+namespace cal::benchlib {
+
+std::vector<MultiMapsRow> run_multimaps(sim::mem::MemSystem& system,
+                                        const MultiMapsOptions& options) {
+  if (options.sizes_bytes.empty() || options.strides.empty()) {
+    throw std::invalid_argument("run_multimaps: empty sweep");
+  }
+  Rng rng(options.seed);
+  double now = options.start_time_s;
+  std::vector<MultiMapsRow> rows;
+
+  // Nested ascending sweep -- the sequential order opaque tools use.
+  for (const std::size_t stride : options.strides) {
+    for (const std::size_t size : options.sizes_bytes) {
+      stats::Welford acc;
+      for (std::size_t rep = 0; rep < options.repetitions; ++rep) {
+        sim::mem::MeasurementRequest request;
+        request.size_bytes = size;
+        request.stride_elems = stride;
+        request.kernel = options.kernel;
+        request.nloops = options.nloops;
+        Rng run_rng = rng.split();
+        const auto result = system.measure(request, now, run_rng);
+        acc.add(result.bandwidth_mbps);
+        now += result.elapsed_s;
+      }
+      rows.push_back({size, stride, acc.mean()});
+    }
+  }
+  return rows;
+}
+
+}  // namespace cal::benchlib

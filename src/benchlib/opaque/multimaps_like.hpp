@@ -1,0 +1,46 @@
+#pragma once
+// MultiMAPS-style opaque memory benchmark (Fig. 6 pseudo-code).
+//
+//   MultiMAPS(size, stride, nloops) {
+//     allocate buffer[size];
+//     timer_start();
+//     for rep in (1..nloops)
+//       for i in (0..size/stride)
+//         access buffer[stride*i];
+//     timer_stop();
+//     bandwidth = accessed_bytes / elapsed;
+//     deallocate buffer;
+//   }
+//
+// Sizes and strides are swept in nested ascending loops; per
+// configuration only the aggregated bandwidth survives.  This is the
+// benchmark whose output the paper failed to reproduce on modern
+// machines until all seven pitfalls were understood.
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/mem/stride_bench.hpp"
+
+namespace cal::benchlib {
+
+struct MultiMapsOptions {
+  std::vector<std::size_t> sizes_bytes;
+  std::vector<std::size_t> strides;   ///< in elements
+  sim::mem::KernelConfig kernel;      ///< {element_bytes, unroll}
+  std::size_t nloops = 100;
+  std::size_t repetitions = 1;        ///< per configuration, averaged
+  std::uint64_t seed = 23;
+  double start_time_s = 0.0;
+};
+
+struct MultiMapsRow {
+  std::size_t size_bytes = 0;
+  std::size_t stride = 0;
+  double mean_bandwidth_mbps = 0.0;  ///< the only thing reported
+};
+
+std::vector<MultiMapsRow> run_multimaps(sim::mem::MemSystem& system,
+                                        const MultiMapsOptions& options);
+
+}  // namespace cal::benchlib

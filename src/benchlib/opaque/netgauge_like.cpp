@@ -1,0 +1,33 @@
+#include "benchlib/opaque/netgauge_like.hpp"
+
+#include "stats/descriptive.hpp"
+
+namespace cal::benchlib {
+
+NetgaugeResult run_netgauge(const sim::net::NetworkSim& network,
+                            const NetgaugeOptions& options) {
+  Rng rng(options.seed);
+  double now = options.start_time_s;
+  stats::NetGaugeDetector detector(options.detector);
+  NetgaugeResult result;
+
+  for (double size = options.start_size; size <= options.max_size;
+       size += options.increment) {
+    stats::Welford acc;
+    for (std::size_t rep = 0; rep < options.repetitions; ++rep) {
+      const double us = network.measure_us(options.op, size, now, rng);
+      acc.add(us);
+      now += us * 1e-6;
+    }
+    const double mean_us = acc.mean();
+    result.sizes.push_back(size);
+    result.times_us.push_back(mean_us);
+    detector.add(size, mean_us);  // online: analysis inside the sweep
+  }
+
+  result.breakpoints = detector.breakpoints();
+  result.segments = detector.segment_fits();
+  return result;
+}
+
+}  // namespace cal::benchlib

@@ -1,0 +1,41 @@
+#pragma once
+// NetGauge-style opaque benchmark: linear size sweep with *online*
+// breakpoint detection (Section III).
+//
+// The sweep measures sizes in a fixed increment, ascending, and feeds
+// each aggregated point to the online least-squares drift detector as it
+// goes.  Because detection happens during the sweep, a temporal
+// perturbation that straddles a stretch of consecutive sizes is
+// indistinguishable from a protocol change -- pitfall P1 -- and the fixed
+// start/increment bias the result -- pitfall P2.
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/net/network_sim.hpp"
+#include "stats/breakpoint.hpp"
+
+namespace cal::benchlib {
+
+struct NetgaugeOptions {
+  double start_size = 256.0;
+  double increment = 1024.0;
+  double max_size = 96.0 * 1024;
+  std::size_t repetitions = 3;   ///< per size; the mean is fed online
+  sim::net::NetOp op = sim::net::NetOp::kPingPong;
+  stats::NetGaugeDetector::Options detector;
+  std::uint64_t seed = 11;
+  double start_time_s = 0.0;
+};
+
+struct NetgaugeResult {
+  std::vector<double> sizes;
+  std::vector<double> times_us;           ///< per-size means (all that is kept)
+  std::vector<double> breakpoints;        ///< detected online
+  std::vector<stats::LinearFit> segments; ///< per detected segment
+};
+
+NetgaugeResult run_netgauge(const sim::net::NetworkSim& network,
+                            const NetgaugeOptions& options = {});
+
+}  // namespace cal::benchlib

@@ -1,0 +1,93 @@
+#include "benchlib/opaque/pchase_like.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/mem/hierarchy.hpp"
+#include "sim/mem/latency_model.hpp"
+#include "sim/mem/page_allocator.hpp"
+#include "stats/descriptive.hpp"
+
+namespace cal::benchlib {
+
+double pchase_latency_ns(const sim::MachineSpec& machine,
+                         std::size_t size_bytes, std::size_t accesses,
+                         Rng& rng) {
+  const std::size_t line = machine.l1().line_bytes;
+  if (size_bytes < 2 * line) {
+    throw std::invalid_argument("pchase: buffer smaller than two lines");
+  }
+
+  sim::mem::Hierarchy hierarchy(machine);
+  // Contiguous backing (the chase randomizes within the buffer itself,
+  // so physical page luck matters much less than for strided scans).
+  const std::size_t pages =
+      (size_bytes + machine.page_bytes - 1) / machine.page_bytes;
+  std::vector<std::uint32_t> frames(pages);
+  for (std::size_t i = 0; i < pages; ++i) {
+    frames[i] = static_cast<std::uint32_t>(i);
+  }
+  const sim::mem::Buffer buffer(std::move(frames), machine.page_bytes,
+                                size_bytes);
+
+  // Random cyclic permutation over the lines (Sattolo's algorithm): the
+  // chase visits every line exactly once per cycle, in an order the
+  // prefetcher cannot guess.
+  const std::size_t lines = size_bytes / line;
+  std::vector<std::size_t> next(lines);
+  for (std::size_t i = 0; i < lines; ++i) next[i] = i;
+  for (std::size_t i = lines - 1; i > 0; --i) {
+    const auto j = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+    std::swap(next[i], next[j]);
+  }
+
+  // Warm-up cycle (compulsory misses), then the measured chase.
+  std::size_t at = 0;
+  for (std::size_t i = 0; i < lines; ++i) {
+    hierarchy.access(buffer.translate(at * line));
+    at = next[at];
+  }
+  double cycles = 0.0;
+  at = 0;
+  for (std::size_t i = 0; i < accesses; ++i) {
+    const std::size_t level = hierarchy.access(buffer.translate(at * line));
+    cycles += sim::mem::latency_cycles_for_level(machine, level);
+    at = next[at];
+  }
+  const double per_access_cycles = cycles / static_cast<double>(accesses);
+  return per_access_cycles / machine.freq.max_ghz;  // cycles/GHz == ns
+}
+
+std::vector<PchaseRow> run_pchase(const sim::MachineSpec& machine,
+                                  const PchaseOptions& options) {
+  if (options.sizes_bytes.empty()) {
+    throw std::invalid_argument("run_pchase: no sizes");
+  }
+  Rng rng(options.seed);
+  std::vector<PchaseRow> rows;
+  for (const std::size_t size : options.sizes_bytes) {
+    std::vector<double> samples;
+    for (std::size_t rep = 0; rep < options.repetitions; ++rep) {
+      Rng run_rng = rng.split();
+      samples.push_back(pchase_latency_ns(machine, size,
+                                          options.accesses_per_run, run_rng));
+    }
+    rows.push_back({size, stats::mean(samples), stats::min_value(samples)});
+  }
+  return rows;
+}
+
+MeasureFn pchase_measure_fn(const sim::MachineSpec& machine,
+                            std::size_t accesses_per_run) {
+  return [machine, accesses_per_run](const PlannedRun& run,
+                                     MeasureContext& ctx) {
+    const auto size = static_cast<std::size_t>(run.values[0].as_int());
+    const double ns =
+        pchase_latency_ns(machine, size, accesses_per_run, *ctx.rng);
+    return MeasureResult{
+        {ns}, ns * 1e-9 * static_cast<double>(accesses_per_run)};
+  };
+}
+
+}  // namespace cal::benchlib

@@ -1,0 +1,54 @@
+#pragma once
+// PChase-style memory latency benchmark (Section II-C of the paper cites
+// PChase as the richer memory-characterization tool: latency and
+// bandwidth on multi-socket multi-core systems).
+//
+// The benchmark builds a random cyclic permutation over the cache lines
+// of a buffer and walks it: every load depends on the previous one, so
+// the measured time per access is the load-to-use latency of whatever
+// level the line hits in.  Plotted against buffer size this yields the
+// classic latency staircase (L1 / L2 / L3 / memory steps).
+//
+// Like the other tools under benchlib/opaque, the reference runner sweeps
+// sizes in ascending order and reports means only; the white-box variant
+// is simply running the same kernel under a Plan via `pchase_measure_fn`.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "sim/machine.hpp"
+#include "sim/mem/stride_bench.hpp"
+
+namespace cal::benchlib {
+
+struct PchaseOptions {
+  std::vector<std::size_t> sizes_bytes;
+  std::size_t accesses_per_run = 1 << 14;  ///< chase steps measured
+  std::size_t repetitions = 3;
+  std::uint64_t seed = 29;
+  double start_time_s = 0.0;
+};
+
+struct PchaseRow {
+  std::size_t size_bytes = 0;
+  double mean_latency_ns = 0.0;
+  double min_latency_ns = 0.0;
+};
+
+/// One pointer-chase measurement against a MemSystem-compatible machine.
+/// Returns the average load-to-use latency in nanoseconds.
+double pchase_latency_ns(const sim::MachineSpec& machine,
+                         std::size_t size_bytes, std::size_t accesses,
+                         Rng& rng);
+
+/// The opaque sweep: ascending sizes, aggregated output only.
+std::vector<PchaseRow> run_pchase(const sim::MachineSpec& machine,
+                                  const PchaseOptions& options);
+
+/// White-box integration: a MeasureFn over plans with a single
+/// "size_bytes" factor, reporting metric "latency_ns".
+MeasureFn pchase_measure_fn(const sim::MachineSpec& machine,
+                            std::size_t accesses_per_run = 1 << 14);
+
+}  // namespace cal::benchlib

@@ -1,0 +1,33 @@
+#include "benchlib/opaque/plogp_like.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "stats/descriptive.hpp"
+
+namespace cal::benchlib {
+
+PlogpResult run_plogp(const sim::net::NetworkSim& network,
+                      const PlogpOptions& options) {
+  Rng rng(options.seed);
+  double now = options.start_time_s;
+  PlogpResult result;
+
+  stats::PLogPProber prober(options.prober);
+  const auto sampler = [&](double size) {
+    std::vector<double> samples;
+    samples.reserve(options.samples_per_point);
+    for (std::size_t i = 0; i < options.samples_per_point; ++i) {
+      const double us = network.measure_us(options.op, size, now, rng);
+      samples.push_back(us);
+      now += us * 1e-6;
+      ++result.total_measurements;
+    }
+    return stats::median(samples);
+  };
+
+  result.probe = prober.probe(sampler, options.min_size, options.max_size);
+  return result;
+}
+
+}  // namespace cal::benchlib

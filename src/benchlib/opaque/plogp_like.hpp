@@ -1,0 +1,35 @@
+#pragma once
+// PLogP-style opaque benchmark: the adaptive doubling/halving prober.
+//
+// PLogP entangles experiment design with measurement even more tightly
+// than NetGauge: *which* sizes get measured depends on the measurements
+// themselves (extrapolation misses trigger bisection).  A perturbed
+// measurement therefore not only corrupts one point -- it redirects the
+// whole sampling schedule (pitfall P1).
+
+#include <cstdint>
+
+#include "sim/net/network_sim.hpp"
+#include "stats/breakpoint.hpp"
+
+namespace cal::benchlib {
+
+struct PlogpOptions {
+  double min_size = 1.0;
+  double max_size = 256.0 * 1024;
+  std::size_t samples_per_point = 3;  ///< median of this many measurements
+  sim::net::NetOp op = sim::net::NetOp::kPingPong;
+  stats::PLogPProber::Options prober;
+  std::uint64_t seed = 13;
+  double start_time_s = 0.0;
+};
+
+struct PlogpResult {
+  stats::PLogPProber::Result probe;  ///< sampled points + breakpoints
+  std::size_t total_measurements = 0;
+};
+
+PlogpResult run_plogp(const sim::net::NetworkSim& network,
+                      const PlogpOptions& options = {});
+
+}  // namespace cal::benchlib

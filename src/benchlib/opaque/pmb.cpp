@@ -1,0 +1,35 @@
+#include "benchlib/opaque/pmb.hpp"
+
+#include "stats/descriptive.hpp"
+
+namespace cal::benchlib {
+
+std::vector<PmbRow> run_pmb(const sim::net::NetworkSim& network,
+                            const PmbOptions& options) {
+  Rng rng(options.seed);
+  double now = options.start_time_s;
+  std::vector<PmbRow> rows;
+
+  for (std::size_t p = options.min_power; p <= options.max_power; ++p) {
+    const double size = static_cast<double>(1ULL << p);
+    stats::Welford acc;
+    for (std::size_t rep = 0; rep < options.repetitions; ++rep) {
+      const double us = network.measure_us(sim::net::NetOp::kPingPong, size,
+                                           now, rng);
+      acc.add(us);
+      now += us * 1e-6;
+    }
+    PmbRow row;
+    row.size_bytes = size;
+    row.repetitions = acc.count();
+    row.mean_us = acc.mean();
+    row.sd_us = acc.stddev();
+    // PMB reports throughput from half the round trip.
+    const double one_way_us = row.mean_us / 2.0;
+    row.mbytes_per_s = one_way_us > 0.0 ? size / one_way_us : 0.0;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace cal::benchlib

@@ -1,0 +1,38 @@
+#pragma once
+// PMB-style opaque network benchmark (Pallas MPI Benchmarks).
+//
+// Faithful to the structure the paper criticizes (Fig. 2 pseudo-code):
+// message sizes in powers of two, N back-to-back repetitions per size in
+// ascending size order, and *only* mean/sd summaries reported -- raw
+// measurements are discarded as they stream by.  Power-of-two sampling is
+// pitfall P2: it lands exactly on special-cased sizes (1024 B) and can
+// never reveal that their behaviour is unrepresentative of neighbours.
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/net/network_sim.hpp"
+
+namespace cal::benchlib {
+
+struct PmbOptions {
+  std::size_t min_power = 0;    ///< smallest size = 2^min_power (>= 1 byte)
+  std::size_t max_power = 16;   ///< largest size = 2^max_power
+  std::size_t repetitions = 30;
+  std::uint64_t seed = 7;
+  double start_time_s = 0.0;
+};
+
+struct PmbRow {
+  double size_bytes = 0.0;
+  std::size_t repetitions = 0;
+  double mean_us = 0.0;
+  double sd_us = 0.0;
+  double mbytes_per_s = 0.0;  ///< size / (mean one-way), decimal MB/s
+};
+
+/// Runs the ping-pong sweep; returns one aggregated row per size.
+std::vector<PmbRow> run_pmb(const sim::net::NetworkSim& network,
+                            const PmbOptions& options = {});
+
+}  // namespace cal::benchlib

@@ -1,0 +1,131 @@
+#include "benchlib/whitebox/mem_calibration.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace cal::benchlib {
+
+Plan make_mem_plan(const MemPlanOptions& options) {
+  auto to_values = [](const std::vector<std::int64_t>& levels) {
+    std::vector<Value> values;
+    values.reserve(levels.size());
+    for (const auto level : levels) values.push_back(Value(level));
+    return values;
+  };
+
+  DesignBuilder builder(options.seed);
+  if (!options.size_levels.empty()) {
+    builder.add(Factor::levels("size_bytes", to_values(options.size_levels),
+                               FactorCategory::kExperimentPlan));
+  } else {
+    builder.add(Factor::log_uniform_int("size_bytes", options.min_size,
+                                        options.max_size,
+                                        FactorCategory::kExperimentPlan));
+    builder.samples_per_cell(options.sampled_sizes);
+  }
+  builder.add(Factor::levels("stride", to_values(options.strides),
+                             FactorCategory::kKernel));
+  builder.add(Factor::levels("elem_bytes", to_values(options.elem_bytes),
+                             FactorCategory::kCompilation));
+  builder.add(Factor::levels("unroll", to_values(options.unrolls),
+                             FactorCategory::kCompilation));
+  builder.add(Factor::levels("nloops", to_values(options.nloops),
+                             FactorCategory::kExperimentPlan));
+  builder.replications(options.replications);
+  builder.randomize(options.randomize);
+  return builder.build();
+}
+
+MeasureFn mem_measure_fn(sim::mem::MemSystem& system) {
+  return [&system](const PlannedRun& run, MeasureContext& ctx) {
+    // Factor order is fixed by make_mem_plan; look up defensively anyway
+    // by requiring the canonical widths.
+    if (run.values.size() < 5) {
+      throw std::runtime_error("mem_measure_fn: plan is missing factors");
+    }
+    sim::mem::MeasurementRequest request;
+    request.size_bytes = static_cast<std::size_t>(run.values[0].as_int());
+    request.stride_elems = static_cast<std::size_t>(run.values[1].as_int());
+    request.kernel.element_bytes =
+        static_cast<std::size_t>(run.values[2].as_int());
+    request.kernel.unroll = static_cast<std::size_t>(run.values[3].as_int());
+    request.nloops = static_cast<std::size_t>(run.values[4].as_int());
+
+    const auto out = system.measure(request, ctx.now_s, *ctx.rng);
+    return MeasureResult{
+        {out.bandwidth_mbps, out.elapsed_s, out.avg_freq_ghz, out.l1_hit_rate},
+        out.elapsed_s};
+  };
+}
+
+CampaignResult run_mem_campaign(sim::mem::MemSystem& system, Plan plan,
+                                const MemCampaignOptions& options) {
+  Engine::Options engine_options;
+  engine_options.seed = options.engine_seed;
+  engine_options.inter_run_gap_s = options.inter_run_gap_s;
+  Engine engine({"bandwidth_mbps", "elapsed_s", "avg_freq_ghz", "l1_hit_rate"},
+                engine_options);
+
+  Metadata md = Metadata::capture_build();
+  md.set("benchmark", "whitebox_mem_calibration");
+  const auto& config = system.config();
+  md.set("machine", config.machine.name);
+  md.set("processor", config.machine.processor);
+  md.set("governor", sim::cpu::to_string(config.governor));
+  md.set("sched_policy", sim::os::to_string(config.policy));
+  md.set("alloc_technique", sim::mem::to_string(config.alloc));
+  md.set("system_seed", static_cast<std::uint64_t>(config.system_seed));
+
+  return Campaign(std::move(plan), std::move(engine), std::move(md))
+      .run(mem_measure_fn(system));
+}
+
+std::vector<SizeDiagnostics> diagnose_by_size(const RawTable& table) {
+  std::vector<SizeDiagnostics> out;
+  const auto summaries =
+      stats::summarize_groups(table, {"size_bytes"}, "bandwidth_mbps");
+  const auto groups =
+      stats::group_metric(table, {"size_bytes"}, "bandwidth_mbps");
+  for (std::size_t i = 0; i < summaries.size(); ++i) {
+    SizeDiagnostics diag;
+    diag.size_bytes = summaries[i].key.front().as_int();
+    diag.summary = summaries[i];
+    diag.modes = groups[i].samples.size() >= 2
+                     ? stats::split_modes(groups[i].samples)
+                     : stats::ModeSplit{};
+    out.push_back(std::move(diag));
+  }
+  return out;
+}
+
+stats::OutlierDiagnosis diagnose_temporal(const RawTable& table) {
+  // Different factor combinations have legitimately different bandwidth
+  // levels; normalize each measurement by its cell's median so only
+  // *within-cell* anomalies (the temporal ones) stand out, then order by
+  // execution sequence.
+  const std::size_t bw = table.metric_index("bandwidth_mbps");
+  std::map<std::size_t, std::vector<double>> by_cell;
+  for (const auto& rec : table.records()) {
+    by_cell[rec.cell_index].push_back(rec.metrics[bw]);
+  }
+  std::map<std::size_t, double> cell_median;
+  for (const auto& [cell, samples] : by_cell) {
+    cell_median[cell] = stats::median(samples);
+  }
+
+  std::vector<std::pair<std::size_t, double>> seq;
+  seq.reserve(table.size());
+  for (const auto& rec : table.records()) {
+    const double med = cell_median[rec.cell_index];
+    seq.emplace_back(rec.sequence,
+                     med > 0.0 ? rec.metrics[bw] / med : rec.metrics[bw]);
+  }
+  std::sort(seq.begin(), seq.end());
+  std::vector<double> ordered;
+  ordered.reserve(seq.size());
+  for (const auto& [_, value] : seq) ordered.push_back(value);
+  return stats::diagnose_outliers(ordered);
+}
+
+}  // namespace cal::benchlib

@@ -1,0 +1,77 @@
+#pragma once
+// White-box memory calibration (Section V-B of the paper).
+//
+// The factor set follows Fig. 13's cause-and-effect diagram: experiment
+// plan (size, stride, cycles/nloops, repetitions, sequence order),
+// compilation (element type, loop unrolling), memory allocation
+// (technique), operating system (governor, scheduling policy) and
+// architecture (which simulated machine) -- all declared a priori,
+// crossed, randomized and replicated.  The helpers here wire a Plan whose
+// factors use the canonical names below to a MemSystem, and provide the
+// stage-3 per-group diagnostics (boxplots, mode splits, temporal
+// clustering) used throughout the figure reproductions.
+//
+// Canonical factor names understood by mem_measure_fn():
+//   size_bytes, stride, elem_bytes, unroll, nloops
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "sim/mem/stride_bench.hpp"
+#include "stats/group.hpp"
+#include "stats/modes.hpp"
+#include "stats/outlier.hpp"
+
+namespace cal::benchlib {
+
+struct MemPlanOptions {
+  /// Explicit size levels (bytes); if empty, `sampled_sizes` random
+  /// log-uniform sizes in [min_size, max_size] are drawn per cell.
+  std::vector<std::int64_t> size_levels;
+  std::int64_t min_size = 1024;
+  std::int64_t max_size = 100 * 1024;
+  std::size_t sampled_sizes = 50;
+
+  std::vector<std::int64_t> strides = {1};
+  std::vector<std::int64_t> elem_bytes = {4};
+  std::vector<std::int64_t> unrolls = {1};
+  std::vector<std::int64_t> nloops = {100};
+
+  std::size_t replications = 42;  ///< the paper's repetition count
+  bool randomize = true;
+  std::uint64_t seed = 37;
+};
+
+/// Builds the factorial, randomized plan.
+Plan make_mem_plan(const MemPlanOptions& options);
+
+/// Measurement function mapping the canonical factors onto MemSystem.
+MeasureFn mem_measure_fn(sim::mem::MemSystem& system);
+
+struct MemCampaignOptions {
+  double inter_run_gap_s = 200e-6;
+  std::uint64_t engine_seed = 41;
+};
+
+/// Runs a plan against a system and returns the raw bundle
+/// (metrics: bandwidth_mbps, elapsed_s, avg_freq_ghz, l1_hit_rate).
+CampaignResult run_mem_campaign(sim::mem::MemSystem& system, Plan plan,
+                                const MemCampaignOptions& options = {});
+
+/// Stage-3 convenience: per-size bandwidth summary with the diagnostics
+/// an opaque tool cannot produce.
+struct SizeDiagnostics {
+  std::int64_t size_bytes = 0;
+  stats::GroupSummary summary;
+  stats::ModeSplit modes;
+};
+
+std::vector<SizeDiagnostics> diagnose_by_size(const RawTable& table);
+
+/// Whole-campaign temporal diagnosis of the bandwidth metric, ordered by
+/// execution sequence (detects Fig. 11-style perturbation windows).
+stats::OutlierDiagnosis diagnose_temporal(const RawTable& table);
+
+}  // namespace cal::benchlib

@@ -1,0 +1,62 @@
+#pragma once
+// White-box network calibration (Section V-A of the paper).
+//
+// Stage 1: a design with the operation factor (blocking receive,
+// asynchronous send, ping-pong) crossed with message sizes drawn from the
+// log-uniform distribution of Eq. (1), fully randomized in order.
+// Stage 2: the engine replays the design against the network simulator
+// and keeps every raw observation.
+// Stage 3: supervised piecewise regression with analyst breakpoints per
+// operation, from which all LogP-family parameters are derived:
+//     o_s(s), o_r(s)  from the overhead operations,
+//     L and G         from the ping-pong intercept/slope.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "sim/net/network_sim.hpp"
+#include "stats/piecewise.hpp"
+
+namespace cal::benchlib {
+
+struct NetCalibrationOptions {
+  double min_size = 1.0;
+  double max_size = 256.0 * 1024;
+  std::size_t samples_per_op = 400;  ///< random sizes per operation
+  std::uint64_t seed = 31;
+  double inter_run_gap_s = 100e-6;
+};
+
+/// Runs the calibration campaign; the returned bundle holds the plan, the
+/// raw table (factors: "op", "size_bytes"; metric: "time_us") and
+/// capture metadata.
+CampaignResult run_net_calibration(const sim::net::NetworkSim& network,
+                                   const NetCalibrationOptions& options = {});
+
+/// LogGP-style parameters for one size regime.
+struct SegmentParams {
+  double lo = 0.0, hi = 0.0;          ///< size range, bytes
+  double o_s_us = 0.0;                ///< send overhead at segment midpoint
+  double o_s_per_byte = 0.0;
+  double o_r_us = 0.0;
+  double o_r_per_byte = 0.0;
+  double latency_us = 0.0;            ///< L
+  double gap_per_byte_us = 0.0;       ///< G
+  double bandwidth_mbps = 0.0;        ///< 1/G
+};
+
+struct NetModel {
+  stats::PiecewiseFit send_fit;
+  stats::PiecewiseFit recv_fit;
+  stats::PiecewiseFit pingpong_fit;
+  std::vector<SegmentParams> segments;
+};
+
+/// Stage-3 analysis with analyst-provided breakpoints (the supervised
+/// procedure the paper advocates).
+NetModel analyze_net_calibration(const RawTable& table,
+                                 const std::vector<double>& breakpoints);
+
+}  // namespace cal::benchlib

@@ -1,0 +1,59 @@
+#include "core/campaign.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+namespace cal {
+
+void CampaignResult::write_dir(const std::string& dir) const {
+  std::filesystem::create_directories(dir);
+  {
+    std::ofstream out(dir + "/plan.csv");
+    if (!out) throw std::runtime_error("Campaign: cannot write plan.csv");
+    plan.write_csv(out);
+  }
+  {
+    std::ofstream out(dir + "/results.csv");
+    if (!out) throw std::runtime_error("Campaign: cannot write results.csv");
+    table.write_csv(out);
+  }
+  {
+    std::ofstream out(dir + "/metadata.txt");
+    if (!out) throw std::runtime_error("Campaign: cannot write metadata.txt");
+    metadata.write(out);
+  }
+}
+
+CampaignResult CampaignResult::read_dir(const std::string& dir) {
+  std::ifstream plan_in(dir + "/plan.csv");
+  if (!plan_in) throw std::runtime_error("Campaign: cannot read plan.csv");
+  Plan plan = Plan::read_csv(plan_in);
+
+  std::ifstream results_in(dir + "/results.csv");
+  if (!results_in) {
+    throw std::runtime_error("Campaign: cannot read results.csv");
+  }
+  RawTable table = RawTable::read_csv(results_in, plan.factors().size());
+
+  std::ifstream md_in(dir + "/metadata.txt");
+  if (!md_in) throw std::runtime_error("Campaign: cannot read metadata.txt");
+  Metadata md = Metadata::read(md_in);
+
+  return CampaignResult{std::move(plan), std::move(table), std::move(md)};
+}
+
+Campaign::Campaign(Plan plan, Engine engine, Metadata metadata)
+    : plan_(std::move(plan)),
+      engine_(std::move(engine)),
+      metadata_(std::move(metadata)) {}
+
+CampaignResult Campaign::run(const MeasureFn& measure) const {
+  RawTable table = engine_.run(plan_, measure);
+  Metadata md = metadata_;
+  md.set("plan_runs", static_cast<std::int64_t>(plan_.size()));
+  md.set("plan_seed", static_cast<std::uint64_t>(plan_.seed()));
+  return CampaignResult{plan_, std::move(table), std::move(md)};
+}
+
+}  // namespace cal

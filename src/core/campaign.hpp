@@ -1,0 +1,48 @@
+#pragma once
+// Campaign: the user-facing composition of the three methodology stages.
+//
+// A Campaign owns a plan (stage 1), runs it through an Engine against a
+// measurement function (stage 2), captures metadata, and can persist the
+// whole bundle -- plan.csv, results.csv, metadata.txt -- to a directory so
+// the analysis (stage 3) can happen offline, later, by someone else.
+
+#include <string>
+
+#include "core/design.hpp"
+#include "core/engine.hpp"
+#include "core/metadata.hpp"
+#include "core/record.hpp"
+
+namespace cal {
+
+/// Everything a finished campaign produced.
+struct CampaignResult {
+  Plan plan;
+  RawTable table;
+  Metadata metadata;
+
+  /// Writes plan.csv, results.csv and metadata.txt under `dir`
+  /// (created if missing).
+  void write_dir(const std::string& dir) const;
+
+  /// Reads a bundle back.
+  static CampaignResult read_dir(const std::string& dir);
+};
+
+class Campaign {
+ public:
+  Campaign(Plan plan, Engine engine, Metadata metadata);
+
+  /// Runs the campaign in white-box mode.
+  CampaignResult run(const MeasureFn& measure) const;
+
+  const Plan& plan() const noexcept { return plan_; }
+  const Metadata& metadata() const noexcept { return metadata_; }
+
+ private:
+  Plan plan_;
+  Engine engine_;
+  Metadata metadata_;
+};
+
+}  // namespace cal

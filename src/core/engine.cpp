@@ -1,0 +1,122 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cal {
+
+Engine::Engine(std::vector<std::string> metric_names, Options options)
+    : metric_names_(std::move(metric_names)), options_(options) {
+  if (metric_names_.empty()) {
+    throw std::invalid_argument("Engine: no metric names");
+  }
+}
+
+RawTable Engine::run(const Plan& plan, const MeasureFn& measure) const {
+  std::vector<std::string> factor_names;
+  factor_names.reserve(plan.factors().size());
+  for (const auto& f : plan.factors()) factor_names.push_back(f.name());
+
+  RawTable table(std::move(factor_names), metric_names_);
+  Rng engine_rng(options_.seed);
+  double now = options_.start_time_s;
+
+  for (const auto& planned : plan.runs()) {
+    Rng run_rng = engine_rng.split();
+    MeasureContext ctx{now, planned.run_index, &run_rng};
+    MeasureResult result = measure(planned, ctx);
+    if (result.metrics.size() != metric_names_.size()) {
+      throw std::runtime_error("Engine: measurement width mismatch");
+    }
+    RawRecord rec;
+    rec.sequence = planned.run_index;
+    rec.cell_index = planned.cell_index;
+    rec.replicate = planned.replicate;
+    rec.timestamp_s = now;
+    rec.factors = planned.values;
+    rec.metrics = std::move(result.metrics);
+    table.append(std::move(rec));
+    now += result.elapsed_s + options_.inter_run_gap_s;
+  }
+  return table;
+}
+
+OpaqueSummary Engine::run_opaque(const Plan& plan,
+                                 const MeasureFn& measure) const {
+  // Sequential sweep: sort by cell index, replicates back-to-back --
+  // exactly the order of the pseudo-code in the paper's Fig. 2.
+  std::vector<PlannedRun> order = plan.runs();
+  std::stable_sort(order.begin(), order.end(),
+                   [](const PlannedRun& a, const PlannedRun& b) {
+                     return a.cell_index < b.cell_index;
+                   });
+
+  OpaqueSummary summary;
+  for (const auto& f : plan.factors()) {
+    summary.factor_names.push_back(f.name());
+  }
+  summary.metric_names = metric_names_;
+
+  Rng engine_rng(options_.seed);
+  double now = options_.start_time_s;
+
+  // Online Welford accumulators per cell.
+  struct Acc {
+    std::vector<Value> factors;
+    std::size_t n = 0;
+    std::vector<double> mean;
+    std::vector<double> m2;
+  };
+  std::vector<Acc> accs;
+
+  std::size_t sequence = 0;
+  for (const auto& planned : order) {
+    Rng run_rng = engine_rng.split();
+    MeasureContext ctx{now, sequence, &run_rng};
+    MeasureResult result = measure(planned, ctx);
+    if (result.metrics.size() != metric_names_.size()) {
+      throw std::runtime_error("Engine: measurement width mismatch");
+    }
+    now += result.elapsed_s + options_.inter_run_gap_s;
+    ++sequence;
+
+    Acc* acc = nullptr;
+    for (auto& a : accs) {
+      if (a.factors == planned.values) {
+        acc = &a;
+        break;
+      }
+    }
+    if (acc == nullptr) {
+      accs.push_back(Acc{planned.values, 0,
+                         std::vector<double>(metric_names_.size(), 0.0),
+                         std::vector<double>(metric_names_.size(), 0.0)});
+      acc = &accs.back();
+    }
+    acc->n += 1;
+    for (std::size_t m = 0; m < result.metrics.size(); ++m) {
+      const double x = result.metrics[m];
+      const double delta = x - acc->mean[m];
+      acc->mean[m] += delta / static_cast<double>(acc->n);
+      acc->m2[m] += delta * (x - acc->mean[m]);
+    }
+  }
+
+  for (const auto& acc : accs) {
+    OpaqueCellSummary cell;
+    cell.factors = acc.factors;
+    cell.n = acc.n;
+    cell.mean = acc.mean;
+    cell.sd.resize(acc.m2.size());
+    for (std::size_t m = 0; m < acc.m2.size(); ++m) {
+      cell.sd[m] =
+          acc.n > 1 ? std::sqrt(acc.m2[m] / static_cast<double>(acc.n - 1))
+                    : 0.0;
+    }
+    summary.cells.push_back(std::move(cell));
+  }
+  return summary;
+}
+
+}  // namespace cal

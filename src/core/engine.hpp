@@ -1,0 +1,89 @@
+#pragma once
+// Measurement engine (stage 2 of the methodology).
+//
+// The engine is deliberately dumb: it reads the plan, executes each run in
+// the prescribed order, stamps every result with its sequence index and
+// simulated wall-clock time, and appends it to a RawTable.  All
+// intelligence lives before (design) or after (analysis) this stage.
+//
+// A second entry point, run_opaque(), emulates how the benchmarks
+// criticized by the paper behave: it ignores the plan's randomized order
+// (sorting runs by cell, i.e. a sequential parameter sweep) and keeps only
+// online mean/standard-deviation summaries per cell.  It exists so the
+// ablation studies can quantify exactly what that style of tool loses.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/design.hpp"
+#include "core/record.hpp"
+#include "core/rng.hpp"
+
+namespace cal {
+
+/// Context handed to the measurement function for one run.
+struct MeasureContext {
+  double now_s = 0.0;        ///< simulated wall-clock time at run start
+  std::size_t sequence = 0;  ///< execution order index
+  Rng* rng = nullptr;        ///< per-run random stream (never null)
+};
+
+/// Result of one measurement.
+struct MeasureResult {
+  std::vector<double> metrics;  ///< aligned to Engine metric names
+  double elapsed_s = 0.0;       ///< simulated duration; advances the clock
+};
+
+using MeasureFn =
+    std::function<MeasureResult(const PlannedRun&, MeasureContext&)>;
+
+/// Per-cell summary produced by the opaque execution mode.
+struct OpaqueCellSummary {
+  std::vector<Value> factors;
+  std::size_t n = 0;
+  std::vector<double> mean;  ///< per metric
+  std::vector<double> sd;    ///< per metric (sample sd, n-1)
+};
+
+struct OpaqueSummary {
+  std::vector<std::string> factor_names;
+  std::vector<std::string> metric_names;
+  std::vector<OpaqueCellSummary> cells;
+};
+
+class Engine {
+ public:
+  struct Options {
+    /// Simulated dead time between consecutive measurements (loop
+    /// overhead, logging, ...).  Keeps timestamps strictly increasing.
+    double inter_run_gap_s = 50e-6;
+    /// Seed for the engine's own stream; each run receives a split of it.
+    std::uint64_t seed = 42;
+    /// Initial simulated wall-clock value.
+    double start_time_s = 0.0;
+  };
+
+  explicit Engine(std::vector<std::string> metric_names)
+      : Engine(std::move(metric_names), Options{}) {}
+  Engine(std::vector<std::string> metric_names, Options options);
+
+  const std::vector<std::string>& metric_names() const noexcept {
+    return metric_names_;
+  }
+
+  /// White-box mode: executes the plan in plan order, returns every raw
+  /// record.
+  RawTable run(const Plan& plan, const MeasureFn& measure) const;
+
+  /// Opaque mode: sorts runs by cell index (sequential sweep), aggregates
+  /// online, and throws the raw data away.  Returned summaries are all an
+  /// opaque tool would have reported.
+  OpaqueSummary run_opaque(const Plan& plan, const MeasureFn& measure) const;
+
+ private:
+  std::vector<std::string> metric_names_;
+  Options options_;
+};
+
+}  // namespace cal

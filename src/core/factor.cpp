@@ -1,0 +1,84 @@
+#include "core/factor.hpp"
+
+#include <stdexcept>
+
+namespace cal {
+
+std::string to_string(FactorCategory category) {
+  switch (category) {
+    case FactorCategory::kExperimentPlan: return "experiment_plan";
+    case FactorCategory::kOperatingSystem: return "operating_system";
+    case FactorCategory::kMemoryAllocation: return "memory_allocation";
+    case FactorCategory::kArchitecture: return "architecture";
+    case FactorCategory::kCompilation: return "compilation";
+    case FactorCategory::kKernel: return "kernel";
+    case FactorCategory::kOther: return "other";
+  }
+  return "other";
+}
+
+FactorCategory factor_category_from_string(const std::string& text) {
+  if (text == "experiment_plan") return FactorCategory::kExperimentPlan;
+  if (text == "operating_system") return FactorCategory::kOperatingSystem;
+  if (text == "memory_allocation") return FactorCategory::kMemoryAllocation;
+  if (text == "architecture") return FactorCategory::kArchitecture;
+  if (text == "compilation") return FactorCategory::kCompilation;
+  if (text == "kernel") return FactorCategory::kKernel;
+  return FactorCategory::kOther;
+}
+
+Factor Factor::levels(std::string name, std::vector<Value> levels,
+                      FactorCategory category) {
+  if (levels.empty()) {
+    throw std::invalid_argument("Factor '" + name + "': no levels given");
+  }
+  Factor f(std::move(name), FactorKind::kLevels, category);
+  f.levels_ = std::move(levels);
+  return f;
+}
+
+Factor Factor::log_uniform_int(std::string name, std::int64_t a,
+                               std::int64_t b, FactorCategory category) {
+  if (a <= 0 || b < a) {
+    throw std::invalid_argument("Factor '" + name +
+                                "': log-uniform range requires 0 < a <= b");
+  }
+  Factor f(std::move(name), FactorKind::kLogUniformInt, category);
+  f.lo_ = static_cast<double>(a);
+  f.hi_ = static_cast<double>(b);
+  return f;
+}
+
+Factor Factor::log_uniform_real(std::string name, double a, double b,
+                                FactorCategory category) {
+  if (a <= 0.0 || b < a) {
+    throw std::invalid_argument("Factor '" + name +
+                                "': log-uniform range requires 0 < a <= b");
+  }
+  Factor f(std::move(name), FactorKind::kLogUniformReal, category);
+  f.lo_ = a;
+  f.hi_ = b;
+  return f;
+}
+
+std::size_t Factor::cell_count() const noexcept {
+  return kind_ == FactorKind::kLevels ? levels_.size() : 1;
+}
+
+Value Factor::value_for_cell(std::size_t cell, Rng& rng) const {
+  switch (kind_) {
+    case FactorKind::kLevels:
+      if (cell >= levels_.size()) {
+        throw std::out_of_range("Factor '" + name_ + "': cell out of range");
+      }
+      return levels_[cell];
+    case FactorKind::kLogUniformInt:
+      return Value(rng.log_uniform_int(static_cast<std::int64_t>(lo_),
+                                       static_cast<std::int64_t>(hi_)));
+    case FactorKind::kLogUniformReal:
+      return Value(rng.log_uniform(lo_, hi_));
+  }
+  throw std::logic_error("Factor: unknown kind");
+}
+
+}  // namespace cal

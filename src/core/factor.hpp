@@ -1,0 +1,92 @@
+#pragma once
+// Experimental factors (stage 1 of the methodology).
+//
+// The paper's Figure 13 groups the factors that govern a memory benchmark
+// into categories (experiment plan, operating system, memory allocation,
+// architecture, compilation, kernel).  A Factor names one such knob and
+// describes how its values are produced:
+//
+//  * fixed levels   -- an explicit list (e.g. stride in {1,2,4,8}), crossed
+//                      full-factorially with every other fixed factor;
+//  * sampled values -- drawn per-run from a distribution, most importantly
+//                      the log-uniform size distribution of Eq. (1), which
+//                      avoids the power-of-two bias pitfall (P2).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/value.hpp"
+
+namespace cal {
+
+/// Fig. 13 cause-and-effect grouping; carried as documentation metadata in
+/// serialized plans so an analyst can see which knobs were controlled.
+enum class FactorCategory {
+  kExperimentPlan,   // sequence order, repetitions, cycles/size/stride
+  kOperatingSystem,  // scheduling priority, CPU frequency, pinning, dedication
+  kMemoryAllocation, // element type, allocation technique
+  kArchitecture,     // machine selection (Intel, ARM, ...)
+  kCompilation,      // optimization, loop unrolling
+  kKernel,           // kernel shape parameters
+  kOther,
+};
+
+std::string to_string(FactorCategory category);
+FactorCategory factor_category_from_string(const std::string& text);
+
+enum class FactorKind {
+  kLevels,         // explicit levels, crossed factorially
+  kLogUniformInt,  // per-run sample: Eq. (1), rounded to integer
+  kLogUniformReal, // per-run sample: Eq. (1)
+};
+
+/// One experimental factor.
+class Factor {
+ public:
+  /// Fixed-levels factor.  Requires at least one level.
+  static Factor levels(std::string name, std::vector<Value> levels,
+                       FactorCategory category = FactorCategory::kOther);
+
+  /// Sampled integer factor: each run draws 10^Unif(log10 a, log10 b),
+  /// rounded.  Requires 0 < a <= b.
+  static Factor log_uniform_int(std::string name, std::int64_t a,
+                                std::int64_t b,
+                                FactorCategory category = FactorCategory::kOther);
+
+  /// Sampled real factor over [a, b], log-uniform.  Requires 0 < a <= b.
+  static Factor log_uniform_real(std::string name, double a, double b,
+                                 FactorCategory category = FactorCategory::kOther);
+
+  const std::string& name() const noexcept { return name_; }
+  FactorKind kind() const noexcept { return kind_; }
+  FactorCategory category() const noexcept { return category_; }
+
+  /// Levels of a kLevels factor (empty for sampled factors).
+  const std::vector<Value>& level_values() const noexcept { return levels_; }
+
+  /// Number of distinct design cells this factor contributes
+  /// (1 for sampled factors: sampling happens per run, not per cell).
+  std::size_t cell_count() const noexcept;
+
+  /// Draws a value for a sampled factor; returns the level for index
+  /// `cell` for a fixed-levels factor (cell < cell_count()).
+  Value value_for_cell(std::size_t cell, Rng& rng) const;
+
+  double sample_lo() const noexcept { return lo_; }
+  double sample_hi() const noexcept { return hi_; }
+
+ private:
+  Factor(std::string name, FactorKind kind, FactorCategory category)
+      : name_(std::move(name)), kind_(kind), category_(category) {}
+
+  std::string name_;
+  FactorKind kind_;
+  FactorCategory category_;
+  std::vector<Value> levels_;
+  double lo_ = 0.0;
+  double hi_ = 0.0;
+};
+
+}  // namespace cal

@@ -1,0 +1,47 @@
+#pragma once
+// Environment capture.
+//
+// The methodology requires that every campaign records "a lot of meta-data
+// about the measurements and the environment (machine information,
+// operating system and compiler versions, compilation command, benchmark
+// parameters...)".  Metadata is an ordered key/value store with a text
+// round-trip; capture_build() fills in what the compiler can tell us, and
+// simulated campaigns add the full simulated-machine spec so two campaigns
+// with "similar inputs and completely different outputs" can be compared.
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cal {
+
+class Metadata {
+ public:
+  /// Sets (or overwrites) a key.
+  void set(const std::string& key, const std::string& value);
+  void set(const std::string& key, double value);
+  void set(const std::string& key, std::int64_t value);
+  void set(const std::string& key, std::uint64_t value);
+
+  std::optional<std::string> get(const std::string& key) const;
+  bool contains(const std::string& key) const;
+
+  const std::vector<std::pair<std::string, std::string>>& entries()
+      const noexcept {
+    return entries_;
+  }
+
+  /// "key: value" lines.
+  void write(std::ostream& out) const;
+  static Metadata read(std::istream& in);
+
+  /// Compiler id/version, C++ standard, build type, library version.
+  static Metadata capture_build();
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+}  // namespace cal

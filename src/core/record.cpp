@@ -1,0 +1,130 @@
+#include "core/record.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+
+#include "io/csv.hpp"
+
+namespace cal {
+
+RawTable::RawTable(std::vector<std::string> factor_names,
+                   std::vector<std::string> metric_names)
+    : factor_names_(std::move(factor_names)),
+      metric_names_(std::move(metric_names)) {}
+
+void RawTable::append(RawRecord record) {
+  if (record.factors.size() != factor_names_.size() ||
+      record.metrics.size() != metric_names_.size()) {
+    throw std::invalid_argument("RawTable: record width mismatch");
+  }
+  records_.push_back(std::move(record));
+}
+
+std::size_t RawTable::factor_index(const std::string& name) const {
+  for (std::size_t i = 0; i < factor_names_.size(); ++i) {
+    if (factor_names_[i] == name) return i;
+  }
+  throw std::out_of_range("RawTable: unknown factor '" + name + "'");
+}
+
+std::size_t RawTable::metric_index(const std::string& name) const {
+  for (std::size_t i = 0; i < metric_names_.size(); ++i) {
+    if (metric_names_[i] == name) return i;
+  }
+  throw std::out_of_range("RawTable: unknown metric '" + name + "'");
+}
+
+std::vector<double> RawTable::factor_column_real(
+    const std::string& name) const {
+  const std::size_t idx = factor_index(name);
+  std::vector<double> out;
+  out.reserve(records_.size());
+  for (const auto& r : records_) out.push_back(r.factors[idx].as_real());
+  return out;
+}
+
+std::vector<double> RawTable::metric_column(const std::string& name) const {
+  const std::size_t idx = metric_index(name);
+  std::vector<double> out;
+  out.reserve(records_.size());
+  for (const auto& r : records_) out.push_back(r.metrics[idx]);
+  return out;
+}
+
+RawTable RawTable::filter(const std::string& factor, const Value& value) const {
+  const std::size_t idx = factor_index(factor);
+  RawTable out(factor_names_, metric_names_);
+  for (const auto& r : records_) {
+    if (r.factors[idx] == value) out.append(r);
+  }
+  return out;
+}
+
+std::vector<Value> RawTable::distinct(const std::string& factor) const {
+  const std::size_t idx = factor_index(factor);
+  std::vector<Value> values;
+  for (const auto& r : records_) {
+    const auto& v = r.factors[idx];
+    if (std::find(values.begin(), values.end(), v) == values.end()) {
+      values.push_back(v);
+    }
+  }
+  std::sort(values.begin(), values.end());
+  return values;
+}
+
+void RawTable::write_csv(std::ostream& out) const {
+  std::vector<std::string> header = {"sequence", "cell", "replicate",
+                                     "timestamp_s"};
+  header.insert(header.end(), factor_names_.begin(), factor_names_.end());
+  header.insert(header.end(), metric_names_.begin(), metric_names_.end());
+  io::write_csv_row(out, header);
+  for (const auto& r : records_) {
+    std::vector<std::string> row = {std::to_string(r.sequence),
+                                    std::to_string(r.cell_index),
+                                    std::to_string(r.replicate),
+                                    Value(r.timestamp_s).to_string()};
+    for (const auto& v : r.factors) row.push_back(v.to_string());
+    for (const auto m : r.metrics) row.push_back(Value(m).to_string());
+    io::write_csv_row(out, row);
+  }
+}
+
+RawTable RawTable::read_csv(std::istream& in, std::size_t n_factors) {
+  const auto rows = io::read_csv(in);
+  if (rows.empty()) throw std::runtime_error("RawTable: empty CSV");
+  const auto& header = rows.front();
+  constexpr std::size_t kBookkeeping = 4;
+  if (header.size() < kBookkeeping + n_factors) {
+    throw std::runtime_error("RawTable: header too narrow");
+  }
+  std::vector<std::string> factor_names(
+      header.begin() + kBookkeeping,
+      header.begin() + kBookkeeping + static_cast<std::ptrdiff_t>(n_factors));
+  std::vector<std::string> metric_names(
+      header.begin() + kBookkeeping + static_cast<std::ptrdiff_t>(n_factors),
+      header.end());
+  RawTable table(std::move(factor_names), std::move(metric_names));
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    if (row.size() != header.size()) {
+      throw std::runtime_error("RawTable: ragged CSV row");
+    }
+    RawRecord rec;
+    rec.sequence = static_cast<std::size_t>(std::stoull(row[0]));
+    rec.cell_index = static_cast<std::size_t>(std::stoull(row[1]));
+    rec.replicate = static_cast<std::size_t>(std::stoull(row[2]));
+    rec.timestamp_s = std::stod(row[3]);
+    for (std::size_t c = 0; c < n_factors; ++c) {
+      rec.factors.push_back(Value::parse(row[kBookkeeping + c]));
+    }
+    for (std::size_t c = kBookkeeping + n_factors; c < row.size(); ++c) {
+      rec.metrics.push_back(std::stod(row[c]));
+    }
+    table.append(std::move(rec));
+  }
+  return table;
+}
+
+}  // namespace cal

@@ -1,0 +1,84 @@
+#pragma once
+// Raw measurement records (stage 2 output).
+//
+// The engine appends one RawRecord per executed run: the factor values,
+// every measured metric, the execution sequence index, and the simulated
+// wall-clock timestamp at which the measurement started.  Nothing is
+// aggregated on the fly -- "we avoid doing any on-the-fly aggregation and
+// keep all information, delaying the analysis" (paper, Section V).  The
+// sequence index and timestamp are what make temporal diagnostics like
+// Fig. 11 (right) possible at all.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/value.hpp"
+
+namespace cal {
+
+struct RawRecord {
+  std::size_t sequence = 0;      ///< execution order (0-based)
+  std::size_t cell_index = 0;    ///< factorial cell of the plan
+  std::size_t replicate = 0;     ///< replicate within the cell
+  double timestamp_s = 0.0;      ///< simulated wall-clock start time
+  std::vector<Value> factors;    ///< factor values, plan factor order
+  std::vector<double> metrics;   ///< measured values, table metric order
+};
+
+/// Columnar-with-row-records table of raw measurements.
+class RawTable {
+ public:
+  RawTable(std::vector<std::string> factor_names,
+           std::vector<std::string> metric_names);
+
+  const std::vector<std::string>& factor_names() const noexcept {
+    return factor_names_;
+  }
+  const std::vector<std::string>& metric_names() const noexcept {
+    return metric_names_;
+  }
+  const std::vector<RawRecord>& records() const noexcept { return records_; }
+
+  std::size_t size() const noexcept { return records_.size(); }
+  bool empty() const noexcept { return records_.empty(); }
+
+  /// Appends a record; widths must match the declared column names.
+  void append(RawRecord record);
+
+  std::size_t factor_index(const std::string& name) const;
+  std::size_t metric_index(const std::string& name) const;
+
+  /// Column extraction for analysis: factor as real values.
+  std::vector<double> factor_column_real(const std::string& name) const;
+
+  /// Column extraction: metric values.
+  std::vector<double> metric_column(const std::string& name) const;
+
+  /// Rows where `factor == value` (Value equality).
+  RawTable filter(const std::string& factor, const Value& value) const;
+
+  /// Rows selected by a predicate over records.
+  template <typename Pred>
+  RawTable filter_records(Pred&& pred) const {
+    RawTable out(factor_names_, metric_names_);
+    for (const auto& r : records_) {
+      if (pred(r)) out.append(r);
+    }
+    return out;
+  }
+
+  /// Distinct values of a factor, sorted (Value ordering).
+  std::vector<Value> distinct(const std::string& factor) const;
+
+  void write_csv(std::ostream& out) const;
+  static RawTable read_csv(std::istream& in, std::size_t n_factors);
+
+ private:
+  std::vector<std::string> factor_names_;
+  std::vector<std::string> metric_names_;
+  std::vector<RawRecord> records_;
+};
+
+}  // namespace cal

@@ -1,0 +1,96 @@
+#pragma once
+// Deterministic random number generation for experiment design.
+//
+// Every source of randomness in Calipers -- design randomization, sampled
+// factor values, simulator noise -- flows through cal::Rng so that a single
+// seed makes an entire experimental campaign exactly reproducible.  This is
+// the reproducibility requirement of Stanisic et al. (RepPar'17), Section V.
+//
+// The generator is xoshiro256** seeded via SplitMix64; it is fast, has
+// 256 bits of state, and passes BigCrush.  We do not use std::mt19937
+// because its distributions are not portable across standard libraries,
+// which would make "same seed, same design" hold only per-platform.
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace cal {
+
+/// Deterministic, portable pseudo-random generator (xoshiro256**).
+class Rng {
+ public:
+  /// Seeds the full 256-bit state from a single 64-bit seed via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform real in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform real in [lo, hi).  Requires lo <= hi.
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in the inclusive range [lo, hi].  Unbiased
+  /// (rejection sampling on the top of the range).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Log-uniform real: 10^X with X ~ Unif(log10(a), log10(b)).
+  /// This is Equation (1) of the paper, used to draw message sizes so
+  /// that every decade of the size axis is sampled equally densely.
+  /// Requires 0 < a <= b.
+  double log_uniform(double a, double b) noexcept;
+
+  /// Log-uniform integer in [a, b]: rounds the real draw and clamps.
+  std::int64_t log_uniform_int(std::int64_t a, std::int64_t b) noexcept;
+
+  /// Standard normal via Box-Muller (deterministic, no cached spare).
+  double normal() noexcept;
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double sd) noexcept;
+
+  /// Log-normal multiplicative noise: exp(normal(0, sigma)).
+  /// Multiplying a duration by this models heavier-than-Gaussian right
+  /// tails typical of timing measurements.
+  double lognormal_factor(double sigma) noexcept;
+
+  /// Bernoulli trial.
+  bool bernoulli(double p) noexcept;
+
+  /// Exponential with the given rate (lambda > 0).
+  double exponential(double rate) noexcept;
+
+  /// Fisher-Yates shuffle of an index span.
+  template <typename T>
+  void shuffle(std::span<T> values) noexcept {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      const auto j =
+          static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(values[i - 1], values[j]);
+    }
+  }
+
+  template <typename T>
+  void shuffle(std::vector<T>& values) noexcept {
+    shuffle(std::span<T>(values));
+  }
+
+  /// Picks a uniformly random element index for a container of size n > 0.
+  std::size_t pick_index(std::size_t n) noexcept;
+
+  /// Derives an independent child generator.  Used to give each
+  /// measurement (or each simulator component) its own stream so that
+  /// adding noise to one component does not perturb the draws of another.
+  Rng split() noexcept;
+
+  /// A randomly permuted identity vector [0, n).
+  std::vector<std::size_t> permutation(std::size_t n);
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace cal

@@ -1,0 +1,94 @@
+#include "core/value.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace cal {
+
+ValueKind Value::kind() const noexcept {
+  switch (data_.index()) {
+    case 0: return ValueKind::kInt;
+    case 1: return ValueKind::kReal;
+    default: return ValueKind::kString;
+  }
+}
+
+std::int64_t Value::as_int() const {
+  if (const auto* i = std::get_if<std::int64_t>(&data_)) return *i;
+  if (const auto* r = std::get_if<double>(&data_)) {
+    return static_cast<std::int64_t>(*r);
+  }
+  throw std::runtime_error("Value: string '" + std::get<std::string>(data_) +
+                           "' used as integer");
+}
+
+double Value::as_real() const {
+  if (const auto* i = std::get_if<std::int64_t>(&data_)) {
+    return static_cast<double>(*i);
+  }
+  if (const auto* r = std::get_if<double>(&data_)) return *r;
+  throw std::runtime_error("Value: string '" + std::get<std::string>(data_) +
+                           "' used as real");
+}
+
+const std::string& Value::as_string() const {
+  if (const auto* s = std::get_if<std::string>(&data_)) return *s;
+  throw std::runtime_error("Value: numeric value used as string");
+}
+
+std::string Value::to_string() const {
+  switch (kind()) {
+    case ValueKind::kInt:
+      return std::to_string(std::get<std::int64_t>(data_));
+    case ValueKind::kReal: {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.17g", std::get<double>(data_));
+      return buf;
+    }
+    case ValueKind::kString:
+      return std::get<std::string>(data_);
+  }
+  return {};
+}
+
+Value Value::parse(const std::string& text) {
+  if (text.empty()) return Value(std::string{});
+  // Integer?
+  {
+    std::int64_t v = 0;
+    const auto [ptr, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), v);
+    if (ec == std::errc{} && ptr == text.data() + text.size()) return Value(v);
+  }
+  // Real?
+  {
+    double v = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), v);
+    if (ec == std::errc{} && ptr == text.data() + text.size()) return Value(v);
+  }
+  return Value(text);
+}
+
+bool operator==(const Value& a, const Value& b) {
+  if (a.kind() != b.kind()) {
+    // Allow int/real cross-comparison for convenience in tests and joins.
+    if (a.kind() != ValueKind::kString && b.kind() != ValueKind::kString) {
+      return a.as_real() == b.as_real();
+    }
+    return false;
+  }
+  return a.data_ == b.data_;
+}
+
+bool operator<(const Value& a, const Value& b) {
+  const bool a_num = a.kind() != ValueKind::kString;
+  const bool b_num = b.kind() != ValueKind::kString;
+  if (a_num && b_num) return a.as_real() < b.as_real();
+  if (a_num != b_num) return a_num;  // numbers sort before strings
+  return a.as_string() < b.as_string();
+}
+
+}  // namespace cal

@@ -1,0 +1,36 @@
+#pragma once
+// Minimal, dependency-free CSV reader/writer.
+//
+// Plans and raw results cross the stage boundaries of the methodology as
+// CSV text files -- the same interchange the paper used between its design
+// scripts, C measurement engine, and R analysis.  The dialect is RFC-4180:
+// comma separated, double-quote quoting, quotes escaped by doubling.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cal::io {
+
+/// Quotes a cell if it contains a comma, quote, or newline.
+std::string csv_escape(const std::string& cell);
+
+/// Writes one CSV row (adds the trailing newline).
+void write_csv_row(std::ostream& out, const std::vector<std::string>& cells);
+
+/// Parses one logical CSV line into cells.  Assumes the line contains no
+/// embedded newlines (our writers never produce them).
+std::vector<std::string> parse_csv_line(const std::string& line);
+
+/// Reads a whole CSV document (vector of rows).  Skips blank lines and
+/// lines starting with '#' (used for metadata comments in plan files).
+std::vector<std::vector<std::string>> read_csv(std::istream& in);
+
+/// Convenience: reads a CSV file from disk.  Throws on open failure.
+std::vector<std::vector<std::string>> read_csv_file(const std::string& path);
+
+/// Convenience: writes rows to a CSV file.  Throws on open failure.
+void write_csv_file(const std::string& path,
+                    const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace cal::io

@@ -1,0 +1,69 @@
+#include "io/table_fmt.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+namespace cal::io {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size()) {
+    throw std::invalid_argument("TextTable: row width mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+void TextTable::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "" : "  ");
+      out << row[c];
+      for (std::size_t pad = row[c].size(); pad < widths[c]; ++pad) out << ' ';
+    }
+    out << '\n';
+  };
+  print_row(header_);
+  std::size_t total = 0;
+  for (const auto w : widths) total += w + 2;
+  for (std::size_t i = 0; i + 2 < total; ++i) out << '-';
+  out << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+void print_series(std::ostream& out, const std::string& name,
+                  const std::vector<double>& x, const std::vector<double>& y) {
+  out << "# series: " << name << '\n';
+  const std::size_t n = std::min(x.size(), y.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    out << TextTable::num(x[i], 6) << ' ' << TextTable::num(y[i], 6) << '\n';
+  }
+  out << '\n';
+}
+
+void print_banner(std::ostream& out, const std::string& title) {
+  out << '\n'
+      << "==============================================================\n"
+      << title << '\n'
+      << "==============================================================\n";
+}
+
+}  // namespace cal::io

@@ -1,0 +1,44 @@
+#pragma once
+// Text formatting helpers for the figure/table reproduction harnesses.
+//
+// Every bench binary prints (a) aligned human-readable tables matching the
+// rows the paper reports and (b) gnuplot-ready "# series" blocks so the
+// figures can be re-plotted from the captured stdout.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cal::io {
+
+/// Column-aligned text table with a header row.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 3);
+
+  /// Renders with column alignment and a rule under the header.
+  void print(std::ostream& out) const;
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a named x/y series in gnuplot-with-comments form:
+///   # series: <name>
+///   x0 y0
+///   ...
+void print_series(std::ostream& out, const std::string& name,
+                  const std::vector<double>& x, const std::vector<double>& y);
+
+/// Section banner used by the bench harnesses.
+void print_banner(std::ostream& out, const std::string& title);
+
+}  // namespace cal::io

@@ -1,0 +1,70 @@
+#include "sim/cpu/core.hpp"
+
+#include <stdexcept>
+
+namespace cal::sim::cpu {
+
+SimCore::SimCore(const FreqSpec& freq, std::unique_ptr<Governor> governor,
+                 double tick_phase_s)
+    : freq_(freq), governor_(std::move(governor)) {
+  if (!governor_) throw std::invalid_argument("SimCore: null governor");
+  freq_ghz_ = governor_->initial_freq_ghz(freq_);
+  period_s_ = governor_->period_s();
+  next_tick_s_ = period_s_ > 0.0 ? tick_phase_s + period_s_ : 0.0;
+}
+
+void SimCore::tick(double busy_in_window_s) {
+  const double busy_fraction =
+      period_s_ > 0.0 ? busy_in_window_s / period_s_ : 0.0;
+  freq_ghz_ = governor_->on_tick(busy_fraction, freq_ghz_, freq_);
+  next_tick_s_ += period_s_;
+  busy_accum_s_ = 0.0;
+}
+
+void SimCore::sync_to(double now_s) {
+  if (now_s < now_s_) return;  // engine time never goes backwards
+  if (period_s_ > 0.0) {
+    while (next_tick_s_ <= now_s) {
+      // The window closes during the idle gap; only the busy time already
+      // accumulated counts.
+      tick(busy_accum_s_);
+    }
+  }
+  now_s_ = now_s;
+}
+
+double SimCore::run(double cycles) {
+  if (cycles < 0.0) throw std::invalid_argument("SimCore: negative cycles");
+  // Elapsed time is accumulated locally rather than differencing the
+  // clock, so the result is bit-identical regardless of how far the
+  // clock has advanced (no catastrophic cancellation at large now_s_).
+  double elapsed = 0.0;
+  while (cycles > 0.0) {
+    const double hz = freq_ghz_ * 1e9;
+    if (period_s_ <= 0.0) {
+      const double dt = cycles / hz;
+      elapsed += dt;
+      now_s_ += dt;
+      cycles = 0.0;
+      break;
+    }
+    const double to_tick_s = next_tick_s_ - now_s_;
+    const double cycles_to_tick = to_tick_s * hz;
+    if (cycles <= cycles_to_tick) {
+      const double dt = cycles / hz;
+      elapsed += dt;
+      now_s_ += dt;
+      busy_accum_s_ += dt;
+      cycles = 0.0;
+    } else {
+      elapsed += to_tick_s;
+      now_s_ = next_tick_s_;
+      busy_accum_s_ += to_tick_s;
+      cycles -= cycles_to_tick;
+      tick(busy_accum_s_);
+    }
+  }
+  return elapsed;
+}
+
+}  // namespace cal::sim::cpu

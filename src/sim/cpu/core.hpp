@@ -1,0 +1,48 @@
+#pragma once
+// SimCore: integrates cycles into wall-clock time under a DVFS governor.
+//
+// The core keeps its own clock, synchronized to the engine's simulated
+// time before each measurement.  Idle gaps between measurements matter:
+// they are what lets the ondemand governor drop the frequency back down,
+// so short kernels keep re-measuring a cold (slow) core -- the Fig. 10
+// low-bandwidth regime.
+
+#include <memory>
+
+#include "sim/cpu/governor.hpp"
+#include "sim/machine.hpp"
+
+namespace cal::sim::cpu {
+
+class SimCore {
+ public:
+  SimCore(const FreqSpec& freq, std::unique_ptr<Governor> governor,
+          double tick_phase_s = 0.0);
+
+  /// Advances the core clock through an idle period ending at `now_s`
+  /// (engine time).  Governor ticks inside the gap see a mostly-idle
+  /// window and lower the frequency.
+  void sync_to(double now_s);
+
+  /// Runs `cycles` of busy work starting at the current core time;
+  /// returns elapsed seconds.  Governor ticks fire inside long runs,
+  /// ramping the frequency mid-measurement.
+  double run(double cycles);
+
+  double now() const noexcept { return now_s_; }
+  double current_freq_ghz() const noexcept { return freq_ghz_; }
+  const Governor& governor() const noexcept { return *governor_; }
+
+ private:
+  void tick(double busy_in_window_s);
+
+  FreqSpec freq_;
+  std::unique_ptr<Governor> governor_;
+  double now_s_ = 0.0;
+  double freq_ghz_ = 0.0;
+  double period_s_ = 0.0;    ///< 0 = no ticks
+  double next_tick_s_ = 0.0;
+  double busy_accum_s_ = 0.0;  ///< busy time inside the current window
+};
+
+}  // namespace cal::sim::cpu

@@ -1,0 +1,26 @@
+#include "sim/cpu/governor.hpp"
+
+namespace cal::sim::cpu {
+
+std::unique_ptr<Governor> make_governor(GovernorKind kind) {
+  switch (kind) {
+    case GovernorKind::kPerformance:
+      return std::make_unique<PerformanceGovernor>();
+    case GovernorKind::kPowersave:
+      return std::make_unique<PowersaveGovernor>();
+    case GovernorKind::kOndemand:
+      return std::make_unique<OndemandGovernor>();
+  }
+  return std::make_unique<PerformanceGovernor>();
+}
+
+const char* to_string(GovernorKind kind) {
+  switch (kind) {
+    case GovernorKind::kPerformance: return "performance";
+    case GovernorKind::kPowersave: return "powersave";
+    case GovernorKind::kOndemand: return "ondemand";
+  }
+  return "performance";
+}
+
+}  // namespace cal::sim::cpu

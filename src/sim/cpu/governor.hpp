@@ -1,0 +1,100 @@
+#pragma once
+// DVFS governor simulation (pitfall P5, Fig. 10).
+//
+// The `ondemand` Linux governor samples core utilization on a fixed period
+// and jumps to the maximum frequency when the sampled window was busy,
+// dropping back when it was idle.  Whether a measurement runs fast, slow,
+// or partly both therefore depends on how its duration and start phase
+// line up with the sampling grid -- which is exactly why the paper's
+// nloops parameter (which "should not have any influence") changes the
+// measured bandwidth regime.
+//
+// Governors are passive policy objects driven by SimCore, which reports
+// per-window busy fractions at each sampling tick.
+
+#include <memory>
+
+#include "sim/machine.hpp"
+
+namespace cal::sim::cpu {
+
+class Governor {
+ public:
+  virtual ~Governor() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Frequency before any tick has fired.
+  virtual double initial_freq_ghz(const FreqSpec& freq) const = 0;
+
+  /// Sampling period; 0 means the governor never changes its mind.
+  virtual double period_s() const = 0;
+
+  /// Called at each sampling tick with the fraction of the elapsed window
+  /// the core spent busy; returns the frequency for the next window.
+  virtual double on_tick(double busy_fraction, double current_ghz,
+                         const FreqSpec& freq) = 0;
+};
+
+/// Always max frequency (the "fix" requiring root that the paper notes is
+/// often unavailable on production platforms).
+class PerformanceGovernor final : public Governor {
+ public:
+  const char* name() const override { return "performance"; }
+  double initial_freq_ghz(const FreqSpec& freq) const override {
+    return freq.max_ghz;
+  }
+  double period_s() const override { return 0.0; }
+  double on_tick(double, double, const FreqSpec& freq) override {
+    return freq.max_ghz;
+  }
+};
+
+/// Always min frequency.
+class PowersaveGovernor final : public Governor {
+ public:
+  const char* name() const override { return "powersave"; }
+  double initial_freq_ghz(const FreqSpec& freq) const override {
+    return freq.min_ghz;
+  }
+  double period_s() const override { return 0.0; }
+  double on_tick(double, double, const FreqSpec& freq) override {
+    return freq.min_ghz;
+  }
+};
+
+/// The ondemand policy: jump to max when the sampled window was busier
+/// than `up_threshold`, otherwise drop back to min -- the classic Linux
+/// ondemand behaviour (it jumps up aggressively and scales down as soon
+/// as a window is not busy; there is no hold band).
+class OndemandGovernor final : public Governor {
+ public:
+  struct Options {
+    double period_s = 0.010;  ///< 10 ms sampling, the kernel default era
+    double up_threshold = 0.80;
+  };
+
+  OndemandGovernor() : OndemandGovernor(Options{}) {}
+  explicit OndemandGovernor(Options options) : options_(options) {}
+
+  const char* name() const override { return "ondemand"; }
+  double initial_freq_ghz(const FreqSpec& freq) const override {
+    return freq.min_ghz;
+  }
+  double period_s() const override { return options_.period_s; }
+  double on_tick(double busy_fraction, double /*current_ghz*/,
+                 const FreqSpec& freq) override {
+    return busy_fraction >= options_.up_threshold ? freq.max_ghz
+                                                  : freq.min_ghz;
+  }
+
+ private:
+  Options options_;
+};
+
+enum class GovernorKind { kPerformance, kPowersave, kOndemand };
+
+std::unique_ptr<Governor> make_governor(GovernorKind kind);
+const char* to_string(GovernorKind kind);
+
+}  // namespace cal::sim::cpu

@@ -1,0 +1,62 @@
+#include "sim/mem/cache.hpp"
+
+#include <stdexcept>
+
+namespace cal::sim::mem {
+
+Cache::Cache(const CacheLevelSpec& spec)
+    : spec_(spec), sets_(spec.sets()), ways_(spec.ways) {
+  if (sets_ == 0 || ways_ == 0) {
+    throw std::invalid_argument("Cache: geometry yields zero sets/ways");
+  }
+  if (spec_.size_bytes % (spec_.line_bytes * spec_.ways) != 0) {
+    throw std::invalid_argument(
+        "Cache: size must be a multiple of line_bytes * ways");
+  }
+  tags_.assign(sets_ * ways_, kInvalidTag);
+  stamp_.assign(sets_ * ways_, 0);
+}
+
+bool Cache::access(std::uint64_t paddr) noexcept {
+  const std::uint64_t line = paddr / spec_.line_bytes;
+  const std::size_t set = static_cast<std::size_t>(line % sets_);
+  const std::uint64_t tag = line / sets_;
+  const std::size_t base = set * ways_;
+  ++clock_;
+
+  std::size_t victim = 0;
+  std::uint64_t victim_stamp = ~0ULL;
+  for (std::size_t w = 0; w < ways_; ++w) {
+    const std::size_t slot = base + w;
+    if (tags_[slot] == tag) {
+      stamp_[slot] = clock_;
+      ++hits_;
+      return true;
+    }
+    if (tags_[slot] == kInvalidTag) {
+      // Prefer an empty way; stamp 0 guarantees it wins the LRU scan
+      // below only if no earlier empty way was seen, so pick it directly.
+      victim = w;
+      victim_stamp = 0;
+      // Keep scanning: the tag might still be present in a later way.
+      continue;
+    }
+    if (stamp_[slot] < victim_stamp) {
+      victim = w;
+      victim_stamp = stamp_[slot];
+    }
+  }
+
+  ++misses_;
+  const std::size_t slot = base + victim;
+  tags_[slot] = tag;
+  stamp_[slot] = clock_;
+  return false;
+}
+
+void Cache::flush() noexcept {
+  tags_.assign(tags_.size(), kInvalidTag);
+  stamp_.assign(stamp_.size(), 0);
+}
+
+}  // namespace cal::sim::mem

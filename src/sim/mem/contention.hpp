@@ -1,0 +1,51 @@
+#pragma once
+// Multi-core memory contention model.
+//
+// The paper's memory study retreated to "solely L1 cache READ bandwidth,
+// for a single-threaded program" after hitting the seven pitfalls; the
+// stated original aim was "studying all levels of the memory hierarchy
+// with parallel execution".  This module implements that intended
+// extension: K cores each run the strided kernel on private buffers;
+// private cache levels behave as in the single-threaded model while the
+// shared memory interface has finite line bandwidth, so per-thread
+// bandwidth degrades once aggregate demand saturates it (the PChase-style
+// "interference between CPUs and cores" of Section II-C).
+
+#include <cstddef>
+
+#include "sim/machine.hpp"
+#include "sim/mem/kernel_model.hpp"
+
+namespace cal::sim::mem {
+
+struct ParallelConfig {
+  std::size_t threads = 1;        ///< capped at machine.cores
+  std::size_t size_bytes = 1024;  ///< per-thread private buffer
+  std::size_t stride_elems = 1;
+  KernelConfig kernel;
+  std::size_t nloops = 100;
+};
+
+struct ParallelResult {
+  double per_thread_mbps = 0.0;
+  double aggregate_mbps = 0.0;
+  /// Aggregate demanded memory-line bandwidth over the capacity; > 1
+  /// means the memory interface is saturated and threads stall extra.
+  double memory_pressure = 0.0;
+  double contention_factor = 1.0;  ///< inflation of shared-level stalls
+};
+
+/// Analytic-plus-simulated parallel bandwidth: the per-thread access
+/// stream is simulated exactly (cold + steady pass, as in MemSystem);
+/// contention scales the stalls of the shared memory level by the excess
+/// demand.  Deterministic.
+ParallelResult measure_parallel(const MachineSpec& machine,
+                                const ParallelConfig& config);
+
+/// Thread count at which the workload's aggregate bandwidth saturates
+/// (first K where adding a thread gains < 5%); machine.cores if it never
+/// does within the core count.
+std::size_t saturation_threads(const MachineSpec& machine,
+                               ParallelConfig config);
+
+}  // namespace cal::sim::mem

@@ -1,0 +1,85 @@
+#include "sim/mem/hierarchy.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cal::sim::mem {
+
+Hierarchy::Hierarchy(const MachineSpec& machine) {
+  if (machine.caches.empty()) {
+    throw std::invalid_argument("Hierarchy: machine has no caches");
+  }
+  caches_.reserve(machine.caches.size());
+  for (const auto& level : machine.caches) {
+    caches_.emplace_back(level);
+    stall_.push_back(level.miss_stall_cycles);
+  }
+  // stall_[i] is charged when an access *hits* at level i; an L1 hit is
+  // free here (its cost lives in the issue model), a hit at L2 costs the
+  // L1 miss stall, and so on.  Shift accordingly: stall for hitting level
+  // i equals the miss stall of level i-1... except the spec already
+  // stores "stall when missing here" per level, so hitting level i costs
+  // caches[i-1].miss_stall_cycles and memory costs the last level's
+  // miss stall plus the memory stall.
+  std::vector<double> hit_stall(caches_.size() + 1, 0.0);
+  hit_stall[0] = 0.0;
+  for (std::size_t i = 1; i < caches_.size(); ++i) {
+    hit_stall[i] = machine.caches[i - 1].miss_stall_cycles;
+  }
+  // Throughput-domain memory stall: streaming cores overlap misses
+  // (memory-level parallelism), so the exposed stall per line is the
+  // serial latency divided by the MLP depth.  Serial pointer chases use
+  // sim/mem/latency_model.hpp, which pays the undivided latency.
+  hit_stall[caches_.size()] =
+      machine.memory_stall_cycles / std::max(machine.memory_mlp, 1.0);
+  stall_ = std::move(hit_stall);
+}
+
+std::size_t Hierarchy::access(std::uint64_t paddr) noexcept {
+  for (std::size_t i = 0; i < caches_.size(); ++i) {
+    if (caches_[i].access(paddr)) {
+      // Fill upward so inclusive levels stay warm: levels above `i`
+      // already installed the line inside their access() miss path.
+      return i;
+    }
+  }
+  return caches_.size();
+}
+
+double Hierarchy::stall_for_level(std::size_t level) const noexcept {
+  return level < stall_.size() ? stall_[level] : stall_.back();
+}
+
+PassCost Hierarchy::stream_pass(const Buffer& buffer, std::size_t stride_bytes,
+                                std::size_t count) noexcept {
+  PassCost cost;
+  cost.hits_by_level.assign(caches_.size() + 1, 0);
+  double stall = 0.0;
+  std::size_t offset = 0;
+  const std::size_t size = buffer.size();
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t level = access(buffer.translate(offset));
+    ++cost.hits_by_level[level];
+    stall += stall_[level];
+    offset += stride_bytes;
+    if (offset >= size) offset -= size;  // cyclic, like the nloops loop
+  }
+  cost.accesses = count;
+  cost.stall_cycles = static_cast<std::uint64_t>(stall);
+  return cost;
+}
+
+Hierarchy::SteadyCost Hierarchy::steady_state_cost(const Buffer& buffer,
+                                                   std::size_t stride_bytes,
+                                                   std::size_t count) noexcept {
+  SteadyCost out;
+  out.cold = stream_pass(buffer, stride_bytes, count);
+  out.steady = stream_pass(buffer, stride_bytes, count);
+  return out;
+}
+
+void Hierarchy::flush() noexcept {
+  for (auto& cache : caches_) cache.flush();
+}
+
+}  // namespace cal::sim::mem

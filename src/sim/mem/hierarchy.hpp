@@ -1,0 +1,64 @@
+#pragma once
+// Multi-level memory hierarchy simulation.
+//
+// Drives the per-level Cache models with an access stream and charges the
+// per-level miss stalls from the machine spec.  stream_pass() simulates
+// one MultiMAPS-style strided pass over a buffer; steady_state_pass()
+// exploits that, for deterministic LRU caches and a cyclic access
+// pattern, the cost of every pass after the first is identical -- so a
+// measurement with nloops repetitions costs
+//     pass1 + (nloops - 1) * pass2
+// without simulating nloops * size accesses.  (The equality is asserted
+// by tests/sim_hierarchy_test.)
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/machine.hpp"
+#include "sim/mem/address_space.hpp"
+#include "sim/mem/cache.hpp"
+
+namespace cal::sim::mem {
+
+/// Result of simulating one pass.
+struct PassCost {
+  std::uint64_t accesses = 0;
+  std::uint64_t stall_cycles = 0;           ///< sum of per-miss stalls
+  std::vector<std::uint64_t> hits_by_level; ///< caches... then memory
+};
+
+class Hierarchy {
+ public:
+  explicit Hierarchy(const MachineSpec& machine);
+
+  /// Accesses one physical address; returns the level index where it hit
+  /// (0 = L1, caches().size() = main memory).
+  std::size_t access(std::uint64_t paddr) noexcept;
+
+  /// Stall cycles charged for a hit at `level`.
+  double stall_for_level(std::size_t level) const noexcept;
+
+  /// Simulates one pass: accesses buffer[0], buffer[stride_bytes], ...
+  /// for `count` accesses (the MultiMAPS loop reads size/stride elements).
+  PassCost stream_pass(const Buffer& buffer, std::size_t stride_bytes,
+                       std::size_t count) noexcept;
+
+  /// Cold + steady-state pass costs for the same stream.
+  struct SteadyCost {
+    PassCost cold;
+    PassCost steady;
+  };
+  SteadyCost steady_state_cost(const Buffer& buffer, std::size_t stride_bytes,
+                               std::size_t count) noexcept;
+
+  void flush() noexcept;
+
+  std::size_t level_count() const noexcept { return caches_.size(); }
+  const Cache& level(std::size_t i) const { return caches_.at(i); }
+
+ private:
+  std::vector<Cache> caches_;
+  std::vector<double> stall_;  ///< stall per level; last entry = memory
+};
+
+}  // namespace cal::sim::mem

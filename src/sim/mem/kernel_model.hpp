@@ -1,0 +1,42 @@
+#pragma once
+// Analytic core-issue model for the strided-read reduction kernel.
+//
+// Section IV-1 of the paper shows that the measured "memory bandwidth" of
+// the MultiMAPS kernel is usually *not* a memory number at all: with
+// 4-byte elements and no unrolling, the loop is bound by the reduction
+// dependency chain and loop overhead, so the L1 cliff is invisible.  Only
+// wide elements (compiler vectorization) plus unrolling (multiple
+// accumulators) approach the true load-port limit -- at which point the
+// cache cliffs appear, along with the unexplained Sandy Bridge collapse
+// for 256-bit loads with unrolling.
+//
+// Model: cycles per element =
+//     max( load_uops / loads_per_cycle,           -- issue limit
+//          add_latency / accumulators )           -- dependency chain
+//   + loop_overhead / unroll                      -- amortized branch
+// where load_uops = ceil(element_bytes / native_vector_bytes) and
+// accumulators = min(unroll, max_accumulators); the anomaly multiplies
+// the total by wide_unroll_anomaly_factor when element_bytes >= 32 and
+// unroll > 1.
+
+#include <cstddef>
+
+#include "sim/machine.hpp"
+
+namespace cal::sim::mem {
+
+/// Kernel shape: what the compiler/code produced.
+struct KernelConfig {
+  std::size_t element_bytes = 4;  ///< 4 int, 8 long long, 16, 32 (Fig. 9)
+  std::size_t unroll = 1;         ///< 1 = no unrolling
+};
+
+/// Issue cycles per element access for the kernel on this machine.
+double issue_cycles_per_access(const IssueSpec& issue,
+                               const KernelConfig& kernel);
+
+/// Peak (all-L1) bandwidth in MB/s for the kernel at frequency freq_ghz.
+double peak_l1_bandwidth_mbps(const IssueSpec& issue,
+                              const KernelConfig& kernel, double freq_ghz);
+
+}  // namespace cal::sim::mem

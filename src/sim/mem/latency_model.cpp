@@ -1,0 +1,25 @@
+#include "sim/mem/latency_model.hpp"
+
+namespace cal::sim::mem {
+
+double l1_load_to_use_cycles(const MachineSpec& machine) {
+  // The add-latency of the reduction chain is a good stand-in for the L1
+  // load-to-use latency on the machines of Fig. 5; at least 3 cycles.
+  return machine.issue.add_latency_cycles < 3.0
+             ? 3.0
+             : machine.issue.add_latency_cycles;
+}
+
+double latency_cycles_for_level(const MachineSpec& machine,
+                                std::size_t level) {
+  double cycles = l1_load_to_use_cycles(machine);
+  const std::size_t memory_level = machine.caches.size();
+  for (std::size_t l = 1; l <= level && l <= memory_level; ++l) {
+    cycles += l == memory_level
+                  ? machine.memory_stall_cycles  // full serial DRAM latency
+                  : machine.caches[l - 1].miss_stall_cycles;
+  }
+  return cycles;
+}
+
+}  // namespace cal::sim::mem

@@ -1,0 +1,29 @@
+#pragma once
+// Load-to-use latency model for pointer-chase benchmarks.
+//
+// Strided-read benchmarks (MultiMAPS) measure *throughput*: independent
+// loads overlap (memory-level parallelism) and only the exposed stall
+// shows.  Pointer chases (PChase, the other memory benchmark the paper
+// surveys in Section II-C) measure *latency*: each load's address depends
+// on the previous load's value, so every access pays the full serial
+// load-to-use latency of the level it hits in -- no MLP, no overlap.
+
+#include <cstdint>
+
+#include "sim/machine.hpp"
+
+namespace cal::sim::mem {
+
+/// Serial load-to-use latency (cycles) for a hit at `level`, where
+/// level 0 = L1 and level == machine.caches.size() = main memory.
+/// Computed as the L1 load-to-use latency plus the *undivided* cumulative
+/// miss penalties down to the hit level.
+double latency_cycles_for_level(const MachineSpec& machine,
+                                std::size_t level);
+
+/// Baseline L1 load-to-use latency (cycles).  Derived from the issue
+/// model: the reduction-add latency approximates the L1 load-to-use time
+/// on the Fig. 5 machines (at least 3 cycles).
+double l1_load_to_use_cycles(const MachineSpec& machine);
+
+}  // namespace cal::sim::mem

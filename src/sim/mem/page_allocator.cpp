@@ -1,0 +1,81 @@
+#include "sim/mem/page_allocator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cal::sim::mem {
+
+PageAllocator::PageAllocator(std::size_t total_pages, PagePolicy policy,
+                             Rng& rng, std::size_t color_count)
+    : total_pages_(total_pages), policy_(policy) {
+  if (total_pages == 0) {
+    throw std::invalid_argument("PageAllocator: zero pages");
+  }
+  if (color_count == 0) color_count = 1;
+
+  free_list_.reserve(total_pages);
+  switch (policy) {
+    case PagePolicy::kSequential:
+      // Pop from the back => grant ascending frame numbers.
+      for (std::size_t i = total_pages; i-- > 0;) {
+        free_list_.push_back(static_cast<std::uint32_t>(i));
+      }
+      break;
+    case PagePolicy::kRandomPool: {
+      for (std::size_t i = 0; i < total_pages; ++i) {
+        free_list_.push_back(static_cast<std::uint32_t>(i));
+      }
+      rng.shuffle(free_list_);
+      break;
+    }
+    case PagePolicy::kColored: {
+      // Round-robin colors so consecutive grants never collide in L1.
+      std::vector<std::vector<std::uint32_t>> by_color(color_count);
+      for (std::size_t i = 0; i < total_pages; ++i) {
+        by_color[i % color_count].push_back(static_cast<std::uint32_t>(i));
+      }
+      std::vector<std::uint32_t> order;
+      order.reserve(total_pages);
+      for (std::size_t i = 0; !by_color.empty();) {
+        bool any = false;
+        for (auto& bucket : by_color) {
+          if (i < bucket.size()) {
+            order.push_back(bucket[i]);
+            any = true;
+          }
+        }
+        if (!any) break;
+        ++i;
+      }
+      // Pop-from-back grants in `order` sequence.
+      free_list_.assign(order.rbegin(), order.rend());
+      break;
+    }
+  }
+}
+
+std::vector<std::uint32_t> PageAllocator::allocate(std::size_t n) {
+  if (n > free_list_.size()) {
+    throw std::runtime_error("PageAllocator: out of physical pages");
+  }
+  std::vector<std::uint32_t> frames;
+  frames.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    frames.push_back(free_list_.back());
+    free_list_.pop_back();
+  }
+  return frames;
+}
+
+void PageAllocator::release(const std::vector<std::uint32_t>& frames) {
+  if (free_list_.size() + frames.size() > total_pages_) {
+    throw std::runtime_error("PageAllocator: double free");
+  }
+  // Push in reverse so that an allocate() of the same count returns the
+  // frames in the same order they were granted before.
+  for (std::size_t i = frames.size(); i-- > 0;) {
+    free_list_.push_back(frames[i]);
+  }
+}
+
+}  // namespace cal::sim::mem

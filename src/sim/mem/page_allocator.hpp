@@ -1,0 +1,54 @@
+#pragma once
+// Physical page allocator.
+//
+// Models the OS behaviour behind pitfall P7 (Section IV-4): physical
+// 4 KB pages are granted in an order that is random per boot/process, and
+// malloc/free within one process reuses the same pages (the free list is
+// LIFO), so every repetition of a measurement inside one experiment run
+// sees the *same* physical mapping -- zero intra-run variability, but a
+// different mapping (and a different L1 conflict pattern) on the next run.
+//
+// Policies:
+//   kRandomPool  -- the ARM behaviour: the pool's grant order is a random
+//                   permutation drawn at construction (i.e. per process).
+//   kSequential  -- idealized contiguous allocation (x86-like behaviour
+//                   for these experiments: effectively no color conflicts).
+//   kColored     -- page-coloring: grants round-robin across cache colors,
+//                   the OS-side fix the paper mentions is absent on ARM.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.hpp"
+
+namespace cal::sim::mem {
+
+enum class PagePolicy { kRandomPool, kSequential, kColored };
+
+class PageAllocator {
+ public:
+  /// `color_count` is the number of L1 page colors (sets*line / page), used
+  /// by the kColored policy; pass 1 when coloring is irrelevant.
+  PageAllocator(std::size_t total_pages, PagePolicy policy, Rng& rng,
+                std::size_t color_count = 1);
+
+  /// Grants `n` physical page frame numbers.  Throws std::bad_alloc-like
+  /// runtime_error when the pool is exhausted.
+  std::vector<std::uint32_t> allocate(std::size_t n);
+
+  /// Returns pages to the allocator.  LIFO: an immediately following
+  /// allocate() of the same count returns the same frames (malloc reuse).
+  void release(const std::vector<std::uint32_t>& frames);
+
+  std::size_t free_pages() const noexcept { return free_list_.size(); }
+  std::size_t total_pages() const noexcept { return total_pages_; }
+  PagePolicy policy() const noexcept { return policy_; }
+
+ private:
+  std::size_t total_pages_;
+  PagePolicy policy_;
+  // Free frames; allocate pops from the back, release pushes to the back.
+  std::vector<std::uint32_t> free_list_;
+};
+
+}  // namespace cal::sim::mem

@@ -1,0 +1,23 @@
+#include "sim/net/host.hpp"
+
+namespace cal::sim::net {
+
+double Host::send_cpu_us(double size, const ProtocolSegment& segment) const {
+  double us = spec_.per_message_us + segment.send_overhead_us +
+              segment.send_overhead_per_byte * size;
+  if (segment.protocol != Protocol::kRendezvous) {
+    us += spec_.copy_us_per_byte * size;  // copy into the eager buffer
+  }
+  return us;
+}
+
+double Host::recv_cpu_us(double size, const ProtocolSegment& segment) const {
+  double us = spec_.per_message_us + segment.recv_overhead_us +
+              segment.recv_overhead_per_byte * size;
+  if (segment.protocol != Protocol::kRendezvous) {
+    us += spec_.copy_us_per_byte * size;  // unpack from the bounce buffer
+  }
+  return us;
+}
+
+}  // namespace cal::sim::net

@@ -1,0 +1,38 @@
+#pragma once
+// Endpoint software stack model.
+//
+// The software overhead (LogP's `o`) has a host component on top of the
+// transport segment's parameters: syscall/MPI bookkeeping per message and
+// a copy cost per byte for protocols that buffer.  Separating it from the
+// LinkSpec lets the same wire be paired with different MPI stacks, which
+// is exactly the OpenMPI-vs-GM comparison of Fig. 3.
+
+#include "sim/net/link.hpp"
+
+namespace cal::sim::net {
+
+struct HostSpec {
+  std::string name = "default-host";
+  double per_message_us = 0.4;     ///< fixed MPI bookkeeping per call
+  double copy_us_per_byte = 0.0002;///< memcpy cost for buffered protocols
+};
+
+class Host {
+ public:
+  explicit Host(HostSpec spec) : spec_(std::move(spec)) {}
+
+  /// CPU time consumed by the sender for a message of `size` bytes under
+  /// the segment's protocol.  Eager/detached protocols copy on send.
+  double send_cpu_us(double size, const ProtocolSegment& segment) const;
+
+  /// CPU time consumed by the receiver.  Eager/detached protocols copy on
+  /// receive (unpacking from the bounce buffer); rendez-vous does not.
+  double recv_cpu_us(double size, const ProtocolSegment& segment) const;
+
+  const HostSpec& spec() const noexcept { return spec_; }
+
+ private:
+  HostSpec spec_;
+};
+
+}  // namespace cal::sim::net

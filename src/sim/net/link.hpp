@@ -1,0 +1,82 @@
+#pragma once
+// Ground-truth network link model: piecewise LogGP with protocol segments.
+//
+// Real MPI transports switch synchronization protocol with message size
+// (eager -> detached -> rendez-vous), giving each parameter of the
+// LogP/LogGP family -- latency L, software overheads o_s/o_r, per-byte
+// gap G -- a piecewise-linear dependence on size.  The link spec *is* the
+// ground truth: its segment boundaries are the true protocol-change
+// breakpoints that the Section III detectors are trying to find, and its
+// per-size quirks (e.g. the special-cased 1024 B buffer path) are the
+// nonlinearity that power-of-two sweeps mismeasure (pitfall P2).
+//
+// Units: microseconds, bytes.
+
+#include <string>
+#include <vector>
+
+namespace cal::sim::net {
+
+enum class Protocol { kEager, kDetached, kRendezvous };
+
+const char* to_string(Protocol protocol);
+
+/// One protocol regime, valid for sizes in [min_size, next segment).
+struct ProtocolSegment {
+  double min_size = 0.0;  ///< inclusive lower bound, bytes
+  Protocol protocol = Protocol::kEager;
+  double latency_us = 0.0;            ///< L: wire latency
+  double send_overhead_us = 0.0;      ///< o_s fixed part
+  double send_overhead_per_byte = 0.0;
+  double recv_overhead_us = 0.0;      ///< o_r fixed part
+  double recv_overhead_per_byte = 0.0;
+  double gap_per_byte_us = 0.0;       ///< G: inverse bandwidth
+  double gap_us = 0.0;                ///< g: per-message gap
+  double noise_sigma = 0.03;          ///< lognormal sigma in this regime
+  double recv_noise_sigma = 0.0;      ///< extra sigma on o_r (Fig. 4's
+                                      ///< medium-size variability band)
+  double send_noise_sigma = 0.0;      ///< extra sigma on o_s
+};
+
+/// A localized size-specific behaviour (the 1024-byte special case).
+struct SizeQuirk {
+  double center_size = 0.0;  ///< affected size, bytes
+  double half_width = 0.0;   ///< sizes within +/- half_width are affected
+  double time_factor = 1.0;  ///< multiplies transfer time in the window
+};
+
+struct LinkSpec {
+  std::string name;
+  std::vector<ProtocolSegment> segments;  ///< ascending min_size; first at 0
+  std::vector<SizeQuirk> quirks;
+
+  const ProtocolSegment& segment_for(double size_bytes) const;
+
+  /// Combined quirk factor for this size (1.0 if none applies).
+  double quirk_factor(double size_bytes) const;
+
+  /// The true protocol-change positions (segment boundaries), ascending.
+  std::vector<double> true_breakpoints() const;
+};
+
+namespace links {
+
+/// Grid'5000 Taurus-like: OpenMPI 2.0.x over TCP / 10 GbE.  Three
+/// regimes (eager to 32 KB with an MTU sub-break at ~1420 B folded into a
+/// quirk, detached to 64 KB, rendez-vous beyond), high o_r variability in
+/// the detached regime (Fig. 4, blue band), moderate o_s variability
+/// (yellow band), and the 1024 B buffer-path quirk.
+LinkSpec taurus_openmpi_tcp();
+
+/// Myrinet/GM-like (the Fig. 3 testbed): low latency, one obvious
+/// rendez-vous break at 32 KB and a subtle slope change at 16 KB -- the
+/// break Hoefler et al.'s single-breakpoint analysis missed.
+LinkSpec myrinet_gm();
+
+/// OpenMPI-over-Myrinet (the second pair of curves in Fig. 3): same wire,
+/// higher software overheads.
+LinkSpec openmpi_over_myrinet();
+
+}  // namespace links
+
+}  // namespace cal::sim::net

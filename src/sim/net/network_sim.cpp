@@ -1,0 +1,78 @@
+#include "sim/net/network_sim.hpp"
+
+#include <stdexcept>
+
+namespace cal::sim::net {
+
+const char* to_string(NetOp op) {
+  switch (op) {
+    case NetOp::kSendOverhead: return "send";
+    case NetOp::kRecvOverhead: return "recv";
+    case NetOp::kPingPong: return "pingpong";
+  }
+  return "send";
+}
+
+NetworkSim::NetworkSim(NetworkSimConfig config)
+    : config_(std::move(config)),
+      sender_(config_.sender),
+      receiver_(config_.receiver) {
+  if (config_.link.segments.empty()) {
+    throw std::invalid_argument("NetworkSim: link has no segments");
+  }
+}
+
+double NetworkSim::perturbation_factor(double now_s) const {
+  double factor = 1.0;
+  for (const auto& p : config_.perturbations) {
+    if (now_s >= p.start_s && now_s < p.end_s) factor *= p.factor;
+  }
+  return factor;
+}
+
+double NetworkSim::one_way_us(double size_bytes) const {
+  const ProtocolSegment& seg = config_.link.segment_for(size_bytes);
+  double us = sender_.send_cpu_us(size_bytes, seg) + seg.latency_us +
+              seg.gap_per_byte_us * size_bytes + seg.gap_us +
+              receiver_.recv_cpu_us(size_bytes, seg);
+  if (seg.protocol == Protocol::kRendezvous) {
+    // Handshake: a zero-byte request/acknowledge round trip first.
+    const ProtocolSegment& ctl = config_.link.segment_for(0.0);
+    us += 2.0 * (ctl.latency_us + ctl.send_overhead_us + ctl.recv_overhead_us);
+  } else if (seg.protocol == Protocol::kDetached) {
+    // One-way notification before the payload moves.
+    const ProtocolSegment& ctl = config_.link.segment_for(0.0);
+    us += ctl.latency_us + ctl.send_overhead_us;
+  }
+  return us * config_.link.quirk_factor(size_bytes);
+}
+
+double NetworkSim::expected_us(NetOp op, double size_bytes) const {
+  const ProtocolSegment& seg = config_.link.segment_for(size_bytes);
+  switch (op) {
+    case NetOp::kSendOverhead:
+      return sender_.send_cpu_us(size_bytes, seg) *
+             config_.link.quirk_factor(size_bytes);
+    case NetOp::kRecvOverhead:
+      return receiver_.recv_cpu_us(size_bytes, seg) *
+             config_.link.quirk_factor(size_bytes);
+    case NetOp::kPingPong:
+      return 2.0 * one_way_us(size_bytes);
+  }
+  throw std::logic_error("NetworkSim: unknown op");
+}
+
+double NetworkSim::measure_us(NetOp op, double size_bytes, double now_s,
+                              Rng& rng) const {
+  const ProtocolSegment& seg = config_.link.segment_for(size_bytes);
+  double us = expected_us(op, size_bytes);
+  if (config_.enable_noise) {
+    double sigma = seg.noise_sigma;
+    if (op == NetOp::kRecvOverhead) sigma += seg.recv_noise_sigma;
+    if (op == NetOp::kSendOverhead) sigma += seg.send_noise_sigma;
+    us *= rng.lognormal_factor(sigma);
+  }
+  return us * perturbation_factor(now_s);
+}
+
+}  // namespace cal::sim::net

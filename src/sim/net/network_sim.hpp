@@ -1,0 +1,67 @@
+#pragma once
+// Two-endpoint network simulator exposing the paper's three calibration
+// operations (Section V-A):
+//
+//   * asynchronous send  -- measures the send software overhead o_s,
+//   * blocking receive of a pre-arrived message -- measures o_r,
+//   * ping-pong          -- measures round-trip time, from which latency
+//                           and bandwidth are derived.
+//
+// Temporal perturbation windows (pitfall P1) can be injected: inside a
+// window, measured times are multiplied by a factor, modeling OS noise,
+// a network collapse, or another user's burst on a shared system.
+
+#include <optional>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "sim/net/host.hpp"
+#include "sim/net/link.hpp"
+
+namespace cal::sim::net {
+
+enum class NetOp { kSendOverhead, kRecvOverhead, kPingPong };
+
+const char* to_string(NetOp op);
+
+/// A temporal perturbation: between start and end, times are inflated.
+struct Perturbation {
+  double start_s = 0.0;
+  double end_s = 0.0;
+  double factor = 3.0;
+};
+
+struct NetworkSimConfig {
+  LinkSpec link;
+  HostSpec sender;
+  HostSpec receiver;
+  std::vector<Perturbation> perturbations;
+  bool enable_noise = true;
+};
+
+class NetworkSim {
+ public:
+  explicit NetworkSim(NetworkSimConfig config);
+
+  /// Time reported for `op` on a message of `size_bytes`, measured at
+  /// simulated time `now_s`, in microseconds.
+  double measure_us(NetOp op, double size_bytes, double now_s, Rng& rng) const;
+
+  /// Noise-free model value (the ground truth a perfect calibration
+  /// would recover).
+  double expected_us(NetOp op, double size_bytes) const;
+
+  /// One-way transfer time (o_s + L + G*s + o_r plus protocol extras).
+  double one_way_us(double size_bytes) const;
+
+  const LinkSpec& link() const noexcept { return config_.link; }
+
+ private:
+  double perturbation_factor(double now_s) const;
+
+  NetworkSimConfig config_;
+  Host sender_;
+  Host receiver_;
+};
+
+}  // namespace cal::sim::net

@@ -1,0 +1,37 @@
+#include "sim/os/scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cal::sim::os {
+
+const char* to_string(SchedPolicy policy) {
+  switch (policy) {
+    case SchedPolicy::kOther: return "other";
+    case SchedPolicy::kFifo: return "fifo";
+  }
+  return "other";
+}
+
+Scheduler::Scheduler(SchedPolicy policy, const DaemonSpec& daemon,
+                     double horizon_s, Rng& rng)
+    : policy_(policy), daemon_(daemon), has_daemon_(true) {
+  if (horizon_s <= 0.0) {
+    throw std::invalid_argument("Scheduler: horizon must be positive");
+  }
+  const double window = std::clamp(daemon.window_fraction, 0.0, 1.0) * horizon_s;
+  const double latest_start = std::max(horizon_s - window, 0.0);
+  window_start_s_ = rng.uniform(0.0, latest_start);
+  window_end_s_ = window_start_s_ + window;
+}
+
+double Scheduler::slowdown_at(double now_s) const noexcept {
+  if (!has_daemon_) return 1.0;
+  if (now_s < window_start_s_ || now_s >= window_end_s_) return 1.0;
+  return policy_ == SchedPolicy::kFifo ? daemon_.fifo_slowdown
+                                       : daemon_.other_slowdown;
+}
+
+Scheduler Scheduler::dedicated() { return Scheduler(); }
+
+}  // namespace cal::sim::os

@@ -1,0 +1,61 @@
+#pragma once
+// Operating-system scheduler interference model (pitfall P6, Fig. 11).
+//
+// The paper's ARM experiment: running the benchmark under the real-time
+// scheduling policy let an external daemon, once runnable at an equal or
+// higher RT priority, occupy the pinned core for one contiguous window of
+// wall-clock time -- producing a second bandwidth mode ~5x lower in
+// 20-25% of measurements, invisible as such to mean/variance summaries
+// and misattributed to specific buffer sizes by sequential-order sweeps.
+//
+// The scheduler exposes a slowdown factor as a function of simulated
+// time.  Under kOther (CFS), the daemon preempts only negligibly; under
+// kFifo, the contention window applies its full slowdown.
+
+#include "core/rng.hpp"
+
+namespace cal::sim::os {
+
+enum class SchedPolicy { kOther, kFifo };
+
+const char* to_string(SchedPolicy policy);
+
+/// Background daemon contention description.
+struct DaemonSpec {
+  /// Fraction of the experiment horizon the daemon stays runnable.
+  double window_fraction = 0.22;
+  /// Slowdown of the measured thread while contended under kFifo.
+  double fifo_slowdown = 5.0;
+  /// Residual slowdown under kOther (CFS quickly migrates/preempts it).
+  double other_slowdown = 1.02;
+};
+
+class Scheduler {
+ public:
+  /// `horizon_s`: expected duration of the experiment campaign; the
+  /// daemon's single contention window is placed uniformly inside it
+  /// using `rng`.
+  Scheduler(SchedPolicy policy, const DaemonSpec& daemon, double horizon_s,
+            Rng& rng);
+
+  /// Multiplicative slowdown applied to work running at time `now_s`.
+  double slowdown_at(double now_s) const noexcept;
+
+  SchedPolicy policy() const noexcept { return policy_; }
+  double window_start_s() const noexcept { return window_start_s_; }
+  double window_end_s() const noexcept { return window_end_s_; }
+
+  /// A scheduler with no daemon at all (dedicated machine).
+  static Scheduler dedicated();
+
+ private:
+  Scheduler() = default;
+
+  SchedPolicy policy_ = SchedPolicy::kOther;
+  DaemonSpec daemon_;
+  double window_start_s_ = 0.0;
+  double window_end_s_ = 0.0;
+  bool has_daemon_ = false;
+};
+
+}  // namespace cal::sim::os

@@ -1,0 +1,421 @@
+#include "stats/breakpoint.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "stats/descriptive.hpp"
+
+namespace cal::stats {
+
+// ---------------------------------------------------------------------------
+// NetGaugeDetector
+// ---------------------------------------------------------------------------
+
+NetGaugeDetector::NetGaugeDetector(Options options) : options_(options) {
+  if (options_.factor <= 1.0) {
+    throw std::invalid_argument("NetGaugeDetector: factor must be > 1");
+  }
+}
+
+LinearFit NetGaugeDetector::accepted_fit() const {
+  const std::size_t n = accepted_end_ - segment_start_;
+  return linear_fit(std::span(xs_.data() + segment_start_, n),
+                    std::span(ys_.data() + segment_start_, n));
+}
+
+void NetGaugeDetector::add(double x, double y) {
+  if (!xs_.empty() && x < xs_.back()) {
+    throw std::invalid_argument("NetGaugeDetector: x must be non-decreasing");
+  }
+  xs_.push_back(x);
+  ys_.push_back(y);
+  const std::size_t i = xs_.size() - 1;
+
+  if (!tentative_) {
+    // Grow the segment until it can support a fit.
+    if (i - segment_start_ < options_.min_segment) {
+      accepted_end_ = i + 1;
+      return;
+    }
+    const LinearFit fit = accepted_fit();
+    const double rms = std::sqrt(
+        fit.rss / static_cast<double>(std::max<std::size_t>(fit.n - 2, 1)));
+    const double predicted = fit.predict(x);
+    const double scale =
+        std::max(rms, options_.rel_floor * std::abs(predicted) + 1e-12);
+    if (std::abs(y - predicted) > options_.factor * scale) {
+      // Suspected protocol change at this point; freeze the fit and wait
+      // for confirmation before committing (the five-measurement rule).
+      tentative_ = true;
+      tentative_index_ = i;
+      tentative_count_ = 0;
+    } else {
+      accepted_end_ = i + 1;
+    }
+    return;
+  }
+
+  // Confirmation phase: compare against the frozen pre-break fit.
+  const LinearFit frozen = accepted_fit();
+  const double rms = std::sqrt(
+      frozen.rss /
+      static_cast<double>(std::max<std::size_t>(frozen.n - 2, 1)));
+  const double predicted = frozen.predict(x);
+  const double scale =
+      std::max(rms, options_.rel_floor * std::abs(predicted) + 1e-12);
+  if (std::abs(y - predicted) > options_.factor * scale) {
+    ++tentative_count_;
+    if (tentative_count_ >= options_.confirm_points) {
+      breaks_.push_back(xs_[tentative_index_]);
+      segment_start_ = tentative_index_;
+      accepted_end_ = xs_.size();
+      tentative_ = false;
+    }
+  } else {
+    // The deviation vanished: an anomalous measurement, not a protocol
+    // change.  Accept the skipped points into the segment.
+    tentative_ = false;
+    accepted_end_ = xs_.size();
+  }
+}
+
+std::vector<LinearFit> NetGaugeDetector::segment_fits() const {
+  std::vector<LinearFit> fits;
+  std::vector<std::size_t> starts;
+  starts.push_back(0);
+  for (const double b : breaks_) {
+    for (std::size_t i = 0; i < xs_.size(); ++i) {
+      if (xs_[i] == b) {
+        starts.push_back(i);
+        break;
+      }
+    }
+  }
+  starts.push_back(xs_.size());
+  for (std::size_t s = 0; s + 1 < starts.size(); ++s) {
+    const std::size_t lo = starts[s];
+    const std::size_t n = starts[s + 1] - lo;
+    if (n >= 2) {
+      fits.push_back(linear_fit(std::span(xs_.data() + lo, n),
+                                std::span(ys_.data() + lo, n)));
+    }
+  }
+  return fits;
+}
+
+// ---------------------------------------------------------------------------
+// PLogPProber
+// ---------------------------------------------------------------------------
+
+PLogPProber::PLogPProber(Options options) : options_(options) {
+  if (options_.tolerance <= 0.0) {
+    throw std::invalid_argument("PLogPProber: tolerance must be > 0");
+  }
+}
+
+PLogPProber::Result PLogPProber::probe(const Sampler& sample, double x_min,
+                                       double x_max) {
+  if (x_min <= 0.0 || x_max < x_min) {
+    throw std::invalid_argument("PLogPProber: bad range");
+  }
+  Result result;
+  auto take = [&](double x) {
+    const double y = sample(x);
+    result.xs.push_back(x);
+    result.ys.push_back(y);
+    return y;
+  };
+
+  double prev_x = x_min;
+  double prev_y = take(prev_x);
+  double cur_x = std::min(2.0 * x_min, x_max);
+  double cur_y = take(cur_x);
+
+  while (cur_x < x_max) {
+    double next_x = std::min(2.0 * cur_x, x_max);
+    double next_y = take(next_x);
+
+    // Extrapolate the line through the previous two measurements.
+    const double slope = (cur_y - prev_y) / (cur_x - prev_x);
+    const double expected = cur_y + slope * (next_x - cur_x);
+    const double deviation =
+        std::abs(next_y - expected) / std::max(std::abs(expected), 1e-30);
+
+    if (deviation > options_.tolerance) {
+      // Localize the change by interval halving.
+      double lo_x = cur_x, lo_y = cur_y;
+      double hi_x = next_x;
+      for (std::size_t attempt = 0;
+           attempt < options_.max_attempts && (hi_x - lo_x) > 1.0; ++attempt) {
+        const double mid_x = 0.5 * (lo_x + hi_x);
+        const double mid_y = take(mid_x);
+        const double mid_expected = lo_y + slope * (mid_x - lo_x);
+        const double mid_dev = std::abs(mid_y - mid_expected) /
+                               std::max(std::abs(mid_expected), 1e-30);
+        if (mid_dev > options_.tolerance) {
+          hi_x = mid_x;
+        } else {
+          lo_x = mid_x;
+          lo_y = mid_y;
+        }
+      }
+      result.breakpoints.push_back(0.5 * (lo_x + hi_x));
+    }
+
+    prev_x = cur_x;
+    prev_y = cur_y;
+    cur_x = next_x;
+    cur_y = next_y;
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// LoOgGP offline neighborhood detector
+// ---------------------------------------------------------------------------
+
+std::vector<double> loogp_breakpoints(std::span<const double> xs,
+                                      std::span<const double> ys,
+                                      LoOgGPOptions options) {
+  if (xs.size() != ys.size()) {
+    throw std::invalid_argument("loogp_breakpoints: size mismatch");
+  }
+  if (xs.size() < 2 * options.neighborhood + 1) return {};
+
+  // Sort by x (offline analysis).
+  std::vector<std::size_t> order(xs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
+  std::vector<double> sx(xs.size()), sy(xs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    sx[i] = xs[order[i]];
+    sy[i] = ys[order[i]];
+  }
+
+  // Detrend with a global OLS line, then compute residuals.
+  const LinearFit trend = linear_fit(sx, sy);
+  std::vector<double> resid(sx.size());
+  for (std::size_t i = 0; i < sx.size(); ++i) {
+    resid[i] = sy[i] - trend.predict(sx[i]);
+  }
+
+  // Outlier handling: IQR fences on residuals identify the bulk of the
+  // noise; the robust scale is estimated from that bulk so that large
+  // bumps (the protocol-change candidates themselves) do not inflate it.
+  const BoxplotSummary box = boxplot(resid);
+  std::vector<double> bulk;
+  for (const double r : resid) {
+    if (r >= box.lower_fence && r <= box.upper_fence) bulk.push_back(r);
+  }
+  if (bulk.size() < 3) return {};
+  const double scale = std::max(mad(bulk) * 1.4826, 1e-30);
+  const double med = median(bulk);
+
+  std::vector<double> breaks;
+  const std::size_t k = options.neighborhood;
+  for (std::size_t i = 0; i < resid.size(); ++i) {
+    const double z = (resid[i] - med) / scale;
+    if (z < options.z_min) continue;
+    bool is_max = true;
+    const std::size_t lo = i >= k ? i - k : 0;
+    const std::size_t hi = std::min(i + k, resid.size() - 1);
+    for (std::size_t j = lo; j <= hi; ++j) {
+      if (j != i && resid[j] >= resid[i]) {
+        is_max = false;
+        break;
+      }
+    }
+    if (is_max) breaks.push_back(sx[i]);
+  }
+  return breaks;
+}
+
+// ---------------------------------------------------------------------------
+// Offline segmented least squares (DP)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Precomputed prefix sums enabling O(1) RSS of the OLS fit over [i, j].
+class RssOracle {
+ public:
+  RssOracle(std::span<const double> xs, std::span<const double> ys)
+      : n_(xs.size()),
+        px_(n_ + 1, 0.0),
+        py_(n_ + 1, 0.0),
+        pxx_(n_ + 1, 0.0),
+        pxy_(n_ + 1, 0.0),
+        pyy_(n_ + 1, 0.0) {
+    for (std::size_t i = 0; i < n_; ++i) {
+      px_[i + 1] = px_[i] + xs[i];
+      py_[i + 1] = py_[i] + ys[i];
+      pxx_[i + 1] = pxx_[i] + xs[i] * xs[i];
+      pxy_[i + 1] = pxy_[i] + xs[i] * ys[i];
+      pyy_[i + 1] = pyy_[i] + ys[i] * ys[i];
+    }
+  }
+
+  /// RSS of the best line over points [i, j] inclusive.
+  double rss(std::size_t i, std::size_t j) const {
+    const auto n = static_cast<double>(j - i + 1);
+    const double sx = px_[j + 1] - px_[i];
+    const double sy = py_[j + 1] - py_[i];
+    const double sxx = pxx_[j + 1] - pxx_[i];
+    const double sxy = pxy_[j + 1] - pxy_[i];
+    const double syy = pyy_[j + 1] - pyy_[i];
+    const double cxx = sxx - sx * sx / n;
+    const double cxy = sxy - sx * sy / n;
+    const double cyy = syy - sy * sy / n;
+    if (cxx <= 0.0) return std::max(cyy, 0.0);
+    const double r = cyy - cxy * cxy / cxx;
+    return std::max(r, 0.0);
+  }
+
+ private:
+  std::size_t n_;
+  std::vector<double> px_, py_, pxx_, pxy_, pyy_;
+};
+
+}  // namespace
+
+SegmentedFit segmented_least_squares(std::span<const double> xs,
+                                     std::span<const double> ys,
+                                     SegmentedOptions options) {
+  if (xs.size() != ys.size()) {
+    throw std::invalid_argument("segmented_least_squares: size mismatch");
+  }
+  const std::size_t n = xs.size();
+  const std::size_t min_pts = std::max<std::size_t>(options.min_points_per_segment, 2);
+  if (n < min_pts) {
+    throw std::invalid_argument("segmented_least_squares: too few points");
+  }
+
+  // Sort by x.
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
+  std::vector<double> sx(n), sy(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sx[i] = xs[order[i]];
+    sy[i] = ys[order[i]];
+  }
+
+  const RssOracle oracle(sx, sy);
+  const std::size_t max_k =
+      std::min(options.max_segments, n / min_pts == 0 ? 1 : n / min_pts);
+
+  // dp[k][j]: best cost covering points [0, j] with k+1 segments.
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<std::vector<double>> dp(max_k, std::vector<double>(n, inf));
+  std::vector<std::vector<std::size_t>> parent(
+      max_k, std::vector<std::size_t>(n, 0));
+
+  for (std::size_t j = min_pts - 1; j < n; ++j) dp[0][j] = oracle.rss(0, j);
+  for (std::size_t k = 1; k < max_k; ++k) {
+    for (std::size_t j = (k + 1) * min_pts - 1; j < n; ++j) {
+      for (std::size_t i = k * min_pts; j + 1 >= i + min_pts; ++i) {
+        if (dp[k - 1][i - 1] == inf) continue;
+        const double cost = dp[k - 1][i - 1] + oracle.rss(i, j);
+        if (cost < dp[k][j]) {
+          dp[k][j] = cost;
+          parent[k][j] = i;
+        }
+      }
+    }
+  }
+
+  // Select the number of segments by BIC unless pinned.
+  std::size_t best_k = 0;  // 0-based: best_k+1 segments
+  if (options.exact_segments > 0) {
+    best_k = std::min(options.exact_segments, max_k) - 1;
+  } else {
+    double best_bic = inf;
+    const double dn = static_cast<double>(n);
+    for (std::size_t k = 0; k < max_k; ++k) {
+      if (dp[k][n - 1] == inf) continue;
+      const double rss = std::max(dp[k][n - 1], 1e-30);
+      const auto params = static_cast<double>(3 * (k + 1));  // slope+icept+break
+      const double bic = dn * std::log(rss / dn) + params * std::log(dn);
+      if (bic < best_bic - 1e-12) {
+        best_bic = bic;
+        best_k = k;
+      }
+    }
+  }
+
+  // Backtrack segment starts.
+  std::vector<std::size_t> starts;
+  {
+    std::size_t j = n - 1;
+    for (std::size_t k = best_k; k > 0; --k) {
+      const std::size_t i = parent[k][j];
+      starts.push_back(i);
+      j = i - 1;
+    }
+    starts.push_back(0);
+    std::reverse(starts.begin(), starts.end());
+  }
+
+  SegmentedFit out;
+  out.chosen_segments = best_k + 1;
+  out.total_rss = dp[best_k][n - 1];
+  for (std::size_t s = 0; s < starts.size(); ++s) {
+    const std::size_t lo = starts[s];
+    const std::size_t hi = (s + 1 < starts.size()) ? starts[s + 1] : n;
+    out.segments.push_back(linear_fit(std::span(sx.data() + lo, hi - lo),
+                                      std::span(sy.data() + lo, hi - lo)));
+    if (s > 0) {
+      // Breakpoint between the last x of the previous segment and the
+      // first x of this one.
+      out.breakpoints.push_back(0.5 * (sx[lo - 1] + sx[lo]));
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Scoring
+// ---------------------------------------------------------------------------
+
+BreakpointScore score_breakpoints(std::span<const double> detected,
+                                  std::span<const double> truth,
+                                  double rel_tolerance, double abs_floor) {
+  BreakpointScore score;
+  std::vector<bool> truth_used(truth.size(), false);
+  for (const double d : detected) {
+    bool matched = false;
+    for (std::size_t t = 0; t < truth.size(); ++t) {
+      if (truth_used[t]) continue;
+      const double tol = std::max(rel_tolerance * truth[t], abs_floor);
+      if (std::abs(d - truth[t]) <= tol) {
+        truth_used[t] = true;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) {
+      ++score.true_positives;
+    } else {
+      ++score.false_positives;
+    }
+  }
+  for (const bool used : truth_used) {
+    if (!used) ++score.false_negatives;
+  }
+  const auto tp = static_cast<double>(score.true_positives);
+  const auto fp = static_cast<double>(score.false_positives);
+  const auto fn = static_cast<double>(score.false_negatives);
+  score.precision = (tp + fp) > 0 ? tp / (tp + fp) : 0.0;
+  score.recall = (tp + fn) > 0 ? tp / (tp + fn) : 0.0;
+  score.f1 = (score.precision + score.recall) > 0
+                 ? 2 * score.precision * score.recall /
+                       (score.precision + score.recall)
+                 : 0.0;
+  return score;
+}
+
+}  // namespace cal::stats

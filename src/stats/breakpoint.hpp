@@ -1,0 +1,167 @@
+#pragma once
+// Breakpoint (protocol-change) detectors.
+//
+// The paper surveys how NetGauge, PLogP and LoOgGP detect piecewise-model
+// breakpoints while measuring, and demonstrates that all of them can be
+// misled by temporal perturbations (P1), biased size grids (P2) and
+// preconceived breakpoint counts (P3).  We implement faithful versions of
+// the three heuristics plus an offline dynamic-programming segmented
+// least-squares detector that sees all raw data at once -- the style of
+// analysis the white-box methodology makes possible.  The ablation bench
+// `ablation_breakpoint_detectors` scores all four against the simulator's
+// ground-truth protocol boundaries.
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "stats/regression.hpp"
+
+namespace cal::stats {
+
+// ---------------------------------------------------------------------------
+// NetGauge-style online detector.
+//
+// Fed points in measurement order (x ascending, as NetGauge sweeps sizes
+// linearly).  Maintains an OLS fit over the current segment; when a new
+// measurement's deviation from the fit exceeds `factor` times the fit's
+// residual scale (the least-squares deviation criterion the paper
+// describes), it notes a tentative break and waits for `confirm_points`
+// further deviating measurements before committing it -- the "five new
+// measurements" rule that is supposed to keep anomalous measurements from
+// misleading the detection (and, per pitfall P1, fails to when the
+// anomaly is a sustained perturbation window).
+// ---------------------------------------------------------------------------
+class NetGaugeDetector {
+ public:
+  struct Options {
+    double factor = 4.0;            ///< deviation multiple triggering suspicion
+    std::size_t confirm_points = 5; ///< points needed to confirm a change
+    std::size_t min_segment = 6;    ///< points before a segment can break
+    double rel_floor = 0.01;        ///< residual floor: fraction of |y_hat|
+  };
+
+  NetGaugeDetector() : NetGaugeDetector(Options{}) {}
+  explicit NetGaugeDetector(Options options);
+
+  /// Feeds the next measurement (x must be non-decreasing).
+  void add(double x, double y);
+
+  /// Breakpoints committed so far (x positions).
+  const std::vector<double>& breakpoints() const noexcept { return breaks_; }
+
+  /// Per-segment fits over the data seen so far (closing the open segment).
+  std::vector<LinearFit> segment_fits() const;
+
+ private:
+  /// OLS fit over the accepted points of the current segment.
+  LinearFit accepted_fit() const;
+
+  Options options_;
+  std::vector<double> xs_, ys_;
+  std::size_t segment_start_ = 0;
+  std::size_t accepted_end_ = 0;   ///< exclusive end of accepted points
+  std::size_t tentative_index_ = 0;
+  std::size_t tentative_count_ = 0;
+  bool tentative_ = false;
+  std::vector<double> breaks_;
+};
+
+// ---------------------------------------------------------------------------
+// PLogP-style adaptive sampler.
+//
+// Doubles the message size; at each new point, linearly extrapolates the
+// previous two measurements and, if the new measurement deviates by more
+// than `tolerance`, bisects the interval (halving, up to `max_attempts`)
+// to localize the change.  The detector *drives* measurement, so it takes
+// a sampling callback -- exactly the entanglement of design and
+// measurement the paper criticizes.
+// ---------------------------------------------------------------------------
+class PLogPProber {
+ public:
+  struct Options {
+    double tolerance = 0.25;       ///< relative deviation from extrapolation
+    std::size_t max_attempts = 6;  ///< bisection depth per suspected change
+  };
+
+  using Sampler = std::function<double(double x)>;
+
+  PLogPProber() : PLogPProber(Options{}) {}
+  explicit PLogPProber(Options options);
+
+  /// Probes sizes from x_min, doubling up to x_max.  Returns all sampled
+  /// points in probing order.
+  struct Result {
+    std::vector<double> xs, ys;       ///< in probing order
+    std::vector<double> breakpoints;  ///< localized protocol changes
+  };
+  Result probe(const Sampler& sample, double x_min, double x_max);
+
+ private:
+  Options options_;
+};
+
+// ---------------------------------------------------------------------------
+// LoOgGP-style offline neighborhood detector.
+//
+// Offline, with analyst mediation: removes outliers (IQR fences on
+// detrended residuals), then flags any measurement whose residual is the
+// maximum within a +/- `neighborhood` window and exceeds `z_min` robust
+// z-scores.  The paper notes the outcome is sensitive to the neighborhood
+// extent and the sweep's step size -- our tests demonstrate both.
+// ---------------------------------------------------------------------------
+struct LoOgGPOptions {
+  std::size_t neighborhood = 5;  ///< half-width, in points
+  double z_min = 3.0;            ///< robust z threshold on residuals
+};
+
+std::vector<double> loogp_breakpoints(std::span<const double> xs,
+                                      std::span<const double> ys,
+                                      LoOgGPOptions options = {});
+
+// ---------------------------------------------------------------------------
+// Offline segmented least squares (dynamic programming).
+//
+// Sees the full raw dataset; finds the segmentation minimizing
+//     sum of per-segment RSS  +  penalty * (#segments)
+// with O(n^2 K) DP, then selects the number of segments by a BIC-style
+// criterion unless `exact_segments` pins it.  This is the "neutral look
+// regarding the number of breakpoints" of Fig. 4.
+// ---------------------------------------------------------------------------
+struct SegmentedOptions {
+  std::size_t max_segments = 5;
+  std::size_t min_points_per_segment = 3;
+  std::size_t exact_segments = 0;  ///< 0 = choose by BIC
+};
+
+struct SegmentedFit {
+  std::vector<double> breakpoints;  ///< interior break x positions
+  std::vector<LinearFit> segments;
+  double total_rss = 0.0;
+  std::size_t chosen_segments = 1;
+};
+
+SegmentedFit segmented_least_squares(std::span<const double> xs,
+                                     std::span<const double> ys,
+                                     SegmentedOptions options = {});
+
+// ---------------------------------------------------------------------------
+// Scoring against ground truth.
+// ---------------------------------------------------------------------------
+struct BreakpointScore {
+  std::size_t true_positives = 0;
+  std::size_t false_positives = 0;
+  std::size_t false_negatives = 0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+/// Matches detected against true breakpoints greedily; a detection within
+/// `rel_tolerance * true_x` (or abs_floor) counts as a hit.
+BreakpointScore score_breakpoints(std::span<const double> detected,
+                                  std::span<const double> truth,
+                                  double rel_tolerance = 0.25,
+                                  double abs_floor = 8.0);
+
+}  // namespace cal::stats

@@ -1,0 +1,103 @@
+#include "stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cal::stats {
+namespace {
+
+std::vector<double> sorted_copy(std::span<const double> xs) {
+  std::vector<double> s(xs.begin(), xs.end());
+  std::sort(s.begin(), s.end());
+  return s;
+}
+
+}  // namespace
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double ss = 0.0;
+  for (const double x : xs) ss += (x - m) * (x - m);
+  return ss / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double coeff_variation(std::span<const double> xs) {
+  const double m = mean(xs);
+  if (m == 0.0) return 0.0;
+  return stddev(xs) / std::abs(m);
+}
+
+double min_value(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("min_value: empty input");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_value(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("max_value: empty input");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double quantile(std::span<const double> xs, double q) {
+  if (xs.empty()) throw std::invalid_argument("quantile: empty input");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile: q not in [0,1]");
+  const auto s = sorted_copy(xs);
+  if (s.size() == 1) return s.front();
+  const double h = q * static_cast<double>(s.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(h));
+  const auto hi = std::min(lo + 1, s.size() - 1);
+  const double frac = h - static_cast<double>(lo);
+  return s[lo] + frac * (s[hi] - s[lo]);
+}
+
+double median(std::span<const double> xs) { return quantile(xs, 0.5); }
+
+double mad(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("mad: empty input");
+  const double med = median(xs);
+  std::vector<double> dev(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) dev[i] = std::abs(xs[i] - med);
+  return median(dev);
+}
+
+BoxplotSummary boxplot(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("boxplot: empty input");
+  BoxplotSummary b;
+  b.q1 = quantile(xs, 0.25);
+  b.median = quantile(xs, 0.5);
+  b.q3 = quantile(xs, 0.75);
+  b.iqr = b.q3 - b.q1;
+  b.lower_fence = b.q1 - 1.5 * b.iqr;
+  b.upper_fence = b.q3 + 1.5 * b.iqr;
+  b.minimum = min_value(xs);
+  b.maximum = max_value(xs);
+  for (const double x : xs) {
+    if (x < b.lower_fence || x > b.upper_fence) b.outliers.push_back(x);
+  }
+  return b;
+}
+
+void Welford::add(double x) noexcept {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Welford::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double Welford::stddev() const noexcept { return std::sqrt(variance()); }
+
+}  // namespace cal::stats

@@ -1,0 +1,63 @@
+#pragma once
+// Descriptive statistics for the offline analysis stage.
+//
+// Beyond the mean/sd pair (all that opaque tools keep), the analysis stage
+// needs order statistics (median, quantiles, five-number boxplot summaries
+// as in the paper's Fig. 12), robust dispersion (MAD), and streaming
+// accumulation (Welford) for the opaque-engine emulation.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace cal::stats {
+
+double mean(std::span<const double> xs);
+
+/// Sample variance (n-1 denominator); 0 for n < 2.
+double variance(std::span<const double> xs);
+double stddev(std::span<const double> xs);
+
+/// Coefficient of variation sd/|mean|; 0 if mean == 0.
+double coeff_variation(std::span<const double> xs);
+
+double min_value(std::span<const double> xs);
+double max_value(std::span<const double> xs);
+
+/// Quantile with linear interpolation between order statistics
+/// (R type-7, the default of quantile() in the paper's R scripts).
+/// q in [0, 1]; requires non-empty input.
+double quantile(std::span<const double> xs, double q);
+
+double median(std::span<const double> xs);
+
+/// Median absolute deviation (unscaled).
+double mad(std::span<const double> xs);
+
+/// Five-number summary + fences, the boxplot geometry of Fig. 12.
+struct BoxplotSummary {
+  double minimum = 0, q1 = 0, median = 0, q3 = 0, maximum = 0;
+  double iqr = 0;
+  double lower_fence = 0, upper_fence = 0;  ///< q1/q3 -/+ 1.5*iqr
+  std::vector<double> outliers;             ///< points beyond the fences
+};
+
+BoxplotSummary boxplot(std::span<const double> xs);
+
+/// Streaming mean/variance accumulator (Welford).  Numerically stable;
+/// this is what a well-implemented opaque benchmark would use online.
+class Welford {
+ public:
+  void add(double x) noexcept;
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return mean_; }
+  double variance() const noexcept;  ///< sample variance (n-1)
+  double stddev() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace cal::stats

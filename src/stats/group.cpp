@@ -1,0 +1,69 @@
+#include "stats/group.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace cal::stats {
+
+std::vector<Group> group_metric(const RawTable& table,
+                                const std::vector<std::string>& factors,
+                                const std::string& metric) {
+  std::vector<std::size_t> f_idx;
+  f_idx.reserve(factors.size());
+  for (const auto& f : factors) f_idx.push_back(table.factor_index(f));
+  const std::size_t m_idx = table.metric_index(metric);
+
+  std::map<std::vector<Value>, Group> groups;
+  for (const auto& rec : table.records()) {
+    std::vector<Value> key;
+    key.reserve(f_idx.size());
+    for (const std::size_t i : f_idx) key.push_back(rec.factors[i]);
+    auto [it, inserted] = groups.try_emplace(key);
+    if (inserted) it->second.key = key;
+    it->second.samples.push_back(rec.metrics[m_idx]);
+    it->second.sequence.push_back(rec.sequence);
+  }
+
+  std::vector<Group> out;
+  out.reserve(groups.size());
+  for (auto& [key, group] : groups) {
+    // Order samples by sequence so temporal diagnostics can use them.
+    std::vector<std::size_t> order(group.samples.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return group.sequence[a] < group.sequence[b];
+    });
+    Group sorted;
+    sorted.key = group.key;
+    sorted.samples.reserve(order.size());
+    sorted.sequence.reserve(order.size());
+    for (const std::size_t i : order) {
+      sorted.samples.push_back(group.samples[i]);
+      sorted.sequence.push_back(group.sequence[i]);
+    }
+    out.push_back(std::move(sorted));
+  }
+  return out;
+}
+
+std::vector<GroupSummary> summarize_groups(
+    const RawTable& table, const std::vector<std::string>& factors,
+    const std::string& metric) {
+  std::vector<GroupSummary> out;
+  for (const auto& group : group_metric(table, factors, metric)) {
+    GroupSummary s;
+    s.key = group.key;
+    s.n = group.samples.size();
+    s.mean = mean(group.samples);
+    s.sd = stddev(group.samples);
+    s.median = median(group.samples);
+    s.q1 = quantile(group.samples, 0.25);
+    s.q3 = quantile(group.samples, 0.75);
+    s.min = min_value(group.samples);
+    s.max = max_value(group.samples);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace cal::stats

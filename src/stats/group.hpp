@@ -1,0 +1,46 @@
+#pragma once
+// Group-by aggregation over raw tables.
+//
+// The analysis stage routinely needs "bandwidth by (size, stride)" or
+// "time by message size" views.  group_metric() buckets records by the
+// values of one or more factors and returns per-group samples, preserving
+// sequence order inside each group so temporal diagnostics stay possible.
+
+#include <string>
+#include <vector>
+
+#include "core/record.hpp"
+#include "stats/descriptive.hpp"
+
+namespace cal::stats {
+
+struct Group {
+  std::vector<Value> key;          ///< values of the grouping factors
+  std::vector<double> samples;     ///< metric values, in sequence order
+  std::vector<std::size_t> sequence;  ///< engine sequence index per sample
+};
+
+/// Groups `metric` by the listed factors.  Groups are ordered by key
+/// (Value ordering, lexicographic across factors).
+std::vector<Group> group_metric(const RawTable& table,
+                                const std::vector<std::string>& factors,
+                                const std::string& metric);
+
+/// One aggregated row per group.
+struct GroupSummary {
+  std::vector<Value> key;
+  std::size_t n = 0;
+  double mean = 0.0;
+  double sd = 0.0;
+  double median = 0.0;
+  double q1 = 0.0;
+  double q3 = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+std::vector<GroupSummary> summarize_groups(
+    const RawTable& table, const std::vector<std::string>& factors,
+    const std::string& metric);
+
+}  // namespace cal::stats

@@ -1,0 +1,105 @@
+#include "stats/loess.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cal::stats {
+
+std::vector<double> loess(std::span<const double> xs,
+                          std::span<const double> ys,
+                          std::span<const double> query,
+                          LoessOptions options) {
+  if (xs.size() != ys.size()) {
+    throw std::invalid_argument("loess: size mismatch");
+  }
+  if (xs.size() < 3) throw std::invalid_argument("loess: need >= 3 points");
+  if (options.span <= 0.0 || options.span > 1.0) {
+    throw std::invalid_argument("loess: span must be in (0, 1]");
+  }
+
+  const std::size_t n = xs.size();
+  const std::size_t window = std::max<std::size_t>(
+      3, static_cast<std::size_t>(std::ceil(options.span * static_cast<double>(n))));
+
+  // Sort once by x.
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
+  std::vector<double> sx(n), sy(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sx[i] = xs[order[i]];
+    sy[i] = ys[order[i]];
+  }
+
+  std::vector<double> out;
+  out.reserve(query.size());
+  for (const double q : query) {
+    // Window: the `window` nearest points by x distance.
+    // Locate q and expand symmetrically.
+    const auto it = std::lower_bound(sx.begin(), sx.end(), q);
+    std::size_t lo = static_cast<std::size_t>(it - sx.begin());
+    std::size_t hi = lo;  // [lo, hi) grows to size `window`
+    while (hi - lo < window) {
+      const bool can_left = lo > 0;
+      const bool can_right = hi < n;
+      if (!can_left && !can_right) break;
+      if (!can_right ||
+          (can_left && q - sx[lo - 1] <= (hi < n ? sx[hi] - q : 1e300))) {
+        --lo;
+      } else {
+        ++hi;
+      }
+    }
+
+    const double bandwidth =
+        std::max({q - sx[lo], (hi > 0 ? sx[hi - 1] : q) - q, 1e-12});
+
+    // Weighted least squares with tricube weights.
+    double sw = 0, swx = 0, swy = 0, swxx = 0, swxy = 0;
+    for (std::size_t i = lo; i < hi; ++i) {
+      const double d = std::abs(sx[i] - q) / bandwidth;
+      if (d >= 1.0) continue;
+      const double t = 1.0 - d * d * d;
+      const double w = t * t * t;
+      sw += w;
+      swx += w * sx[i];
+      swy += w * sy[i];
+      swxx += w * sx[i] * sx[i];
+      swxy += w * sx[i] * sy[i];
+    }
+    if (sw <= 0.0) {
+      // All weights vanished (q far outside data): nearest neighbor.
+      out.push_back(lo < n ? sy[lo] : sy.back());
+      continue;
+    }
+    const double det = sw * swxx - swx * swx;
+    if (std::abs(det) < 1e-12 * std::max(1.0, swxx)) {
+      out.push_back(swy / sw);  // constant fit
+    } else {
+      const double slope = (sw * swxy - swx * swy) / det;
+      const double intercept = (swy - slope * swx) / sw;
+      out.push_back(intercept + slope * q);
+    }
+  }
+  return out;
+}
+
+LoessCurve loess_curve(std::span<const double> xs, std::span<const double> ys,
+                       std::size_t n_out, LoessOptions options) {
+  if (xs.empty()) throw std::invalid_argument("loess_curve: empty input");
+  const auto [mn, mx] = std::minmax_element(xs.begin(), xs.end());
+  LoessCurve curve;
+  curve.x.resize(n_out);
+  const double lo = *mn, hi = *mx;
+  for (std::size_t i = 0; i < n_out; ++i) {
+    curve.x[i] =
+        lo + (hi - lo) * static_cast<double>(i) /
+                 static_cast<double>(n_out > 1 ? n_out - 1 : 1);
+  }
+  curve.y = loess(xs, ys, curve.x, options);
+  return curve;
+}
+
+}  // namespace cal::stats

@@ -1,0 +1,34 @@
+#pragma once
+// LOESS: locally weighted linear regression.
+//
+// The smooth trend lines of the paper's Fig. 8 ("solid lines represent
+// smoothed local regressions indicating measurement trends") are LOESS
+// curves.  We implement the standard tricube-weighted local linear
+// smoother with a span fraction, evaluated at arbitrary query points.
+
+#include <span>
+#include <vector>
+
+namespace cal::stats {
+
+struct LoessOptions {
+  double span = 0.3;  ///< fraction of points in each local window (0, 1]
+};
+
+/// Smooths (xs, ys) and evaluates the fit at `query` points.
+/// Points need not be sorted.  Requires at least 3 points.
+std::vector<double> loess(std::span<const double> xs,
+                          std::span<const double> ys,
+                          std::span<const double> query,
+                          LoessOptions options = {});
+
+/// Convenience: evaluates at n_out evenly spaced x positions spanning the
+/// data; returns {query_x, smoothed_y}.
+struct LoessCurve {
+  std::vector<double> x;
+  std::vector<double> y;
+};
+LoessCurve loess_curve(std::span<const double> xs, std::span<const double> ys,
+                       std::size_t n_out = 64, LoessOptions options = {});
+
+}  // namespace cal::stats

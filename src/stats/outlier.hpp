@@ -1,0 +1,44 @@
+#pragma once
+// Outlier handling: filters (what opaque tools do silently) and
+// diagnostics (what the methodology does instead).
+//
+// The paper's complaint is not that outliers are detected, but that they
+// are *silently removed* before the analyst ever sees them -- hiding real
+// phenomena such as the bimodal scheduler modes of Fig. 11.  We provide
+// both behaviours so the ablation benches can show the difference.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace cal::stats {
+
+/// Indices of points outside the IQR fences (q1/q3 -/+ k*iqr).
+std::vector<std::size_t> iqr_outliers(std::span<const double> xs,
+                                      double k = 1.5);
+
+/// Indices of points with |z| > threshold (mean/sd based).
+std::vector<std::size_t> zscore_outliers(std::span<const double> xs,
+                                         double threshold = 3.0);
+
+/// Copy with the given indices removed (the opaque behaviour).
+std::vector<double> remove_indices(std::span<const double> xs,
+                                   std::span<const std::size_t> indices);
+
+/// Outlier diagnostic for the analyst: how many, how extreme, and whether
+/// they are temporally clustered (suggesting a perturbation window, as in
+/// Fig. 11 right) rather than i.i.d. noise.
+struct OutlierDiagnosis {
+  std::vector<std::size_t> indices;   ///< positions of flagged points
+  double fraction = 0.0;              ///< flagged / total
+  double max_abs_z = 0.0;             ///< most extreme robust z-score
+  bool temporally_clustered = false;  ///< flagged points adjacent in time
+  double clustering_score = 0.0;      ///< observed/expected adjacent pairs
+};
+
+/// Flags by robust z (median/MAD) and tests temporal clustering assuming
+/// xs is ordered by measurement sequence.
+OutlierDiagnosis diagnose_outliers(std::span<const double> xs,
+                                   double z_threshold = 3.5);
+
+}  // namespace cal::stats

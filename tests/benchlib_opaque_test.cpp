@@ -1,0 +1,168 @@
+// Tests for the opaque benchmark implementations.
+
+#include <gtest/gtest.h>
+
+#include "benchlib/opaque/loogp_like.hpp"
+#include "benchlib/opaque/multimaps_like.hpp"
+#include "benchlib/opaque/netgauge_like.hpp"
+#include "benchlib/opaque/plogp_like.hpp"
+#include "benchlib/opaque/pmb.hpp"
+
+namespace cal::benchlib {
+namespace {
+
+sim::net::NetworkSim quiet_network() {
+  sim::net::NetworkSimConfig config;
+  config.link = sim::net::links::taurus_openmpi_tcp();
+  config.enable_noise = false;
+  return sim::net::NetworkSim(config);
+}
+
+TEST(Pmb, OneRowPerPowerOfTwo) {
+  const auto network = quiet_network();
+  PmbOptions options;
+  options.min_power = 0;
+  options.max_power = 10;
+  options.repetitions = 5;
+  const auto rows = run_pmb(network, options);
+  ASSERT_EQ(rows.size(), 11u);
+  EXPECT_DOUBLE_EQ(rows.front().size_bytes, 1.0);
+  EXPECT_DOUBLE_EQ(rows.back().size_bytes, 1024.0);
+  for (const auto& row : rows) {
+    EXPECT_EQ(row.repetitions, 5u);
+    EXPECT_GT(row.mean_us, 0.0);
+    EXPECT_DOUBLE_EQ(row.sd_us, 0.0);  // noiseless network
+  }
+}
+
+TEST(Pmb, ThroughputGrowsWithSize) {
+  const auto network = quiet_network();
+  PmbOptions options;
+  options.max_power = 14;
+  const auto rows = run_pmb(network, options);
+  EXPECT_GT(rows.back().mbytes_per_s, rows.front().mbytes_per_s);
+}
+
+TEST(Pmb, MeasuresTheQuirkedSizeWithoutNoticing) {
+  // P2 made concrete: 2^10 = 1024 is exactly the quirked size.  Its mean
+  // time even exceeds that of the 2x larger message -- a blatant
+  // nonlinearity -- yet PMB reports it as plain truth with zero variance
+  // and no flag.
+  const auto network = quiet_network();
+  PmbOptions options;
+  options.min_power = 9;
+  options.max_power = 11;
+  const auto rows = run_pmb(network, options);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_GT(rows[1].mean_us, rows[2].mean_us);  // 1024 slower than 2048
+  EXPECT_DOUBLE_EQ(rows[1].sd_us, 0.0);         // nothing suspicious flagged
+}
+
+TEST(Netgauge, FindsTaurusBreaksOnCleanData) {
+  const auto network = quiet_network();
+  NetgaugeOptions options;
+  options.increment = 512.0;
+  options.max_size = 96.0 * 1024;
+  const auto result = run_netgauge(network, options);
+  EXPECT_FALSE(result.breakpoints.empty());
+  // At least the strong 32 KB eager->detached change is found.
+  bool near_32k = false;
+  for (const double b : result.breakpoints) {
+    if (std::abs(b - 32768.0) < 8192.0) near_32k = true;
+  }
+  EXPECT_TRUE(near_32k);
+  EXPECT_EQ(result.sizes.size(), result.times_us.size());
+}
+
+TEST(Netgauge, SegmentsCoverDetectedBreaks) {
+  const auto network = quiet_network();
+  NetgaugeOptions options;
+  options.increment = 1024.0;
+  const auto result = run_netgauge(network, options);
+  EXPECT_EQ(result.segments.size(), result.breakpoints.size() + 1);
+}
+
+TEST(Plogp, ProbesDoublingScheduleOnCleanLine) {
+  const auto network = quiet_network();
+  PlogpOptions options;
+  options.min_size = 64.0;
+  options.max_size = 16.0 * 1024;  // inside one protocol segment
+  const auto result = run_plogp(network, options);
+  EXPECT_GE(result.probe.xs.size(), 9u);
+  EXPECT_EQ(result.total_measurements,
+            result.probe.xs.size() * options.samples_per_point);
+}
+
+TEST(Plogp, BisectsAroundProtocolChange) {
+  const auto network = quiet_network();
+  PlogpOptions options;
+  options.min_size = 1024.0;
+  options.max_size = 256.0 * 1024;
+  const auto result = run_plogp(network, options);
+  EXPECT_FALSE(result.probe.breakpoints.empty());
+}
+
+TEST(Loogp, ReturnsCandidatesOnQuirkedLink) {
+  const auto network = quiet_network();
+  LoogpOptions options;
+  options.start_size = 256.0;
+  options.increment = 128.0;
+  options.max_size = 4.0 * 1024;  // sweep across the 1024 quirk
+  const auto result = run_loogp(network, options);
+  ASSERT_FALSE(result.sizes.empty());
+  // The 1024 B quirk shows up as a local maximum candidate.
+  bool near_quirk = false;
+  for (const double b : result.breakpoints) {
+    if (std::abs(b - 1024.0) <= 128.0) near_quirk = true;
+  }
+  EXPECT_TRUE(near_quirk);
+}
+
+TEST(MultiMaps, PlateausOnOpteron) {
+  sim::mem::MemSystemConfig config;
+  config.machine = sim::machines::opteron();
+  config.enable_noise = false;
+  sim::mem::MemSystem system(config);
+
+  MultiMapsOptions options;
+  options.sizes_bytes = {16 * 1024, 32 * 1024, 256 * 1024, 512 * 1024,
+                         4 * 1024 * 1024};
+  options.strides = {2};
+  options.nloops = 8;
+  const auto rows = run_multimaps(system, options);
+  ASSERT_EQ(rows.size(), 5u);
+  // L1-resident sizes beat L2-resident sizes beat memory-resident sizes.
+  EXPECT_GT(rows[0].mean_bandwidth_mbps, rows[2].mean_bandwidth_mbps);
+  EXPECT_GT(rows[2].mean_bandwidth_mbps, rows[4].mean_bandwidth_mbps);
+  // Plateau flatness: the two L1 sizes are within a few percent.
+  EXPECT_NEAR(rows[0].mean_bandwidth_mbps / rows[1].mean_bandwidth_mbps, 1.0,
+              0.1);
+}
+
+TEST(MultiMaps, SweepOrderIsSequential) {
+  sim::mem::MemSystemConfig config;
+  config.machine = sim::machines::opteron();
+  config.enable_noise = false;
+  sim::mem::MemSystem system(config);
+  MultiMapsOptions options;
+  options.sizes_bytes = {8 * 1024, 16 * 1024};
+  options.strides = {2, 4};
+  options.nloops = 2;
+  const auto rows = run_multimaps(system, options);
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0].stride, 2u);
+  EXPECT_EQ(rows[1].stride, 2u);
+  EXPECT_EQ(rows[2].stride, 4u);
+  EXPECT_LT(rows[0].size_bytes, rows[1].size_bytes);
+}
+
+TEST(MultiMaps, EmptySweepThrows) {
+  sim::mem::MemSystemConfig config;
+  config.machine = sim::machines::opteron();
+  sim::mem::MemSystem system(config);
+  EXPECT_THROW(run_multimaps(system, MultiMapsOptions{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cal::benchlib

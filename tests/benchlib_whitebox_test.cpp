@@ -1,0 +1,168 @@
+// Tests for the white-box calibrations: the paper's methodology applied
+// to the simulated platforms, checked against simulator ground truth.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "benchlib/whitebox/mem_calibration.hpp"
+#include "benchlib/whitebox/net_calibration.hpp"
+
+namespace cal::benchlib {
+namespace {
+
+sim::net::NetworkSim quiet_network() {
+  sim::net::NetworkSimConfig config;
+  config.link = sim::net::links::taurus_openmpi_tcp();
+  config.enable_noise = false;
+  return sim::net::NetworkSim(config);
+}
+
+TEST(NetCalibration, CampaignShapeIsCorrect) {
+  const auto network = quiet_network();
+  NetCalibrationOptions options;
+  options.samples_per_op = 50;
+  const CampaignResult result = run_net_calibration(network, options);
+  EXPECT_EQ(result.table.size(), 3u * 50u);
+  EXPECT_EQ(result.table.factor_names().size(), 2u);
+  EXPECT_EQ(result.table.metric_names().front(), "time_us");
+  EXPECT_EQ(result.metadata.get("size_distribution"),
+            "log_uniform (Eq. 1)");
+}
+
+TEST(NetCalibration, SizesAreLogUniformNotPowersOfTwo) {
+  const auto network = quiet_network();
+  NetCalibrationOptions options;
+  options.samples_per_op = 200;
+  const CampaignResult result = run_net_calibration(network, options);
+  const auto sizes = result.table.factor_column_real("size_bytes");
+  std::size_t on_power_of_two = 0;
+  for (const double s : sizes) {
+    const double l2 = std::log2(s);
+    if (std::abs(l2 - std::round(l2)) < 1e-6) ++on_power_of_two;
+  }
+  EXPECT_LT(on_power_of_two, sizes.size() / 20);
+}
+
+TEST(NetCalibration, RecoversGroundTruthParameters) {
+  const auto network = quiet_network();
+  NetCalibrationOptions options;
+  options.samples_per_op = 1200;
+  options.min_size = 128.0;  // avoid tiny-size rounding noise
+  const CampaignResult result = run_net_calibration(network, options);
+
+  // Analyst provides the true protocol breakpoints (supervised stage 3).
+  const NetModel model =
+      analyze_net_calibration(result.table, {32.0 * 1024, 64.0 * 1024});
+  ASSERT_EQ(model.segments.size(), 3u);
+
+  const auto& link = network.link();
+  for (std::size_t s = 0; s < 3; ++s) {
+    const auto& truth = link.segments[s];
+    const auto& fitted = model.segments[s];
+    // Send overhead slope includes the host copy cost for buffered
+    // protocols; check against the full ground-truth derivative.
+    const double host_copy =
+        truth.protocol == sim::net::Protocol::kRendezvous ? 0.0 : 0.0002;
+    EXPECT_NEAR(fitted.o_s_per_byte,
+                truth.send_overhead_per_byte + host_copy,
+                0.35 * (truth.send_overhead_per_byte + host_copy) + 1e-5)
+        << "segment " << s;
+  }
+  // Bandwidth of the rendez-vous segment ~ 1/G.
+  const double true_bw = 1.0 / link.segments[2].gap_per_byte_us;
+  EXPECT_NEAR(model.segments[2].bandwidth_mbps, true_bw, 0.35 * true_bw);
+}
+
+TEST(NetCalibration, PiecewiseFitsBeatSingleLine) {
+  const auto network = quiet_network();
+  NetCalibrationOptions options;
+  options.samples_per_op = 400;
+  const CampaignResult result = run_net_calibration(network, options);
+  const NetModel with_breaks =
+      analyze_net_calibration(result.table, {32.0 * 1024, 64.0 * 1024});
+  const NetModel without =
+      analyze_net_calibration(result.table, {});
+  EXPECT_LT(with_breaks.pingpong_fit.total_rss,
+            without.pingpong_fit.total_rss);
+}
+
+TEST(MemCalibration, PlanUsesCanonicalFactors) {
+  MemPlanOptions options;
+  options.size_levels = {1024, 2048};
+  options.strides = {1, 2};
+  options.replications = 3;
+  const Plan plan = make_mem_plan(options);
+  EXPECT_EQ(plan.factors()[0].name(), "size_bytes");
+  EXPECT_EQ(plan.factors()[1].name(), "stride");
+  EXPECT_EQ(plan.factors()[2].name(), "elem_bytes");
+  EXPECT_EQ(plan.factors()[3].name(), "unroll");
+  EXPECT_EQ(plan.factors()[4].name(), "nloops");
+  EXPECT_EQ(plan.size(), 2u * 2u * 3u);
+}
+
+TEST(MemCalibration, SampledSizesWhenNoLevels) {
+  MemPlanOptions options;
+  options.sampled_sizes = 20;
+  options.replications = 2;
+  const Plan plan = make_mem_plan(options);
+  EXPECT_EQ(plan.size(), 20u * 2u);
+}
+
+TEST(MemCalibration, CampaignProducesAllMetrics) {
+  sim::mem::MemSystemConfig config;
+  config.machine = sim::machines::core_i7_2600();
+  config.enable_noise = false;
+  sim::mem::MemSystem system(config);
+
+  MemPlanOptions options;
+  options.size_levels = {4 * 1024, 16 * 1024};
+  options.replications = 4;
+  options.nloops = {8};
+  const CampaignResult result =
+      run_mem_campaign(system, make_mem_plan(options));
+  EXPECT_EQ(result.table.size(), 8u);
+  EXPECT_EQ(result.table.metric_names().size(), 4u);
+  EXPECT_EQ(result.metadata.get("machine"), "i7-2600");
+  for (const auto& rec : result.table.records()) {
+    EXPECT_GT(rec.metrics[0], 0.0);  // bandwidth
+    EXPECT_GT(rec.metrics[1], 0.0);  // elapsed
+  }
+}
+
+TEST(MemCalibration, DiagnoseBySizeGroupsCorrectly) {
+  sim::mem::MemSystemConfig config;
+  config.machine = sim::machines::core_i7_2600();
+  config.enable_noise = false;
+  sim::mem::MemSystem system(config);
+  MemPlanOptions options;
+  options.size_levels = {4 * 1024, 64 * 1024};
+  options.replications = 6;
+  options.nloops = {8};
+  const CampaignResult result =
+      run_mem_campaign(system, make_mem_plan(options));
+  const auto diags = diagnose_by_size(result.table);
+  ASSERT_EQ(diags.size(), 2u);
+  EXPECT_EQ(diags[0].size_bytes, 4 * 1024);
+  EXPECT_EQ(diags[0].summary.n, 6u);
+  // L1-resident beats L2-resident for this machine/kernel.
+  EXPECT_GT(diags[0].summary.median, diags[1].summary.median);
+}
+
+TEST(MemCalibration, TemporalDiagnosisCleanByDefault) {
+  sim::mem::MemSystemConfig config;
+  config.machine = sim::machines::core_i7_2600();
+  config.enable_noise = false;
+  sim::mem::MemSystem system(config);
+  MemPlanOptions options;
+  options.size_levels = {8 * 1024};
+  options.replications = 40;
+  options.nloops = {8};
+  const CampaignResult result =
+      run_mem_campaign(system, make_mem_plan(options));
+  const auto diag = diagnose_temporal(result.table);
+  EXPECT_FALSE(diag.temporally_clustered);
+}
+
+}  // namespace
+}  // namespace cal::benchlib

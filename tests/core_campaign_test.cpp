@@ -1,0 +1,73 @@
+// Tests for Campaign: the three-stage bundle and its on-disk round trip.
+
+#include "core/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+namespace cal {
+namespace {
+
+class CampaignTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("calipers_test_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+};
+
+CampaignResult run_simple_campaign() {
+  Plan plan = DesignBuilder(3)
+                  .add(Factor::levels("size", {Value(8), Value(16)}))
+                  .replications(3)
+                  .build();
+  Engine engine({"time_us"});
+  Metadata md = Metadata::capture_build();
+  md.set("benchmark", "unit-test");
+  return Campaign(std::move(plan), std::move(engine), std::move(md))
+      .run([](const PlannedRun& run, MeasureContext&) {
+        const double t = run.values[0].as_real() * 2.0;
+        return MeasureResult{{t}, t * 1e-6};
+      });
+}
+
+TEST_F(CampaignTest, RunProducesRawRecords) {
+  const CampaignResult result = run_simple_campaign();
+  EXPECT_EQ(result.table.size(), 6u);
+  EXPECT_EQ(result.metadata.get("benchmark"), "unit-test");
+  EXPECT_TRUE(result.metadata.contains("plan_runs"));
+  EXPECT_TRUE(result.metadata.contains("plan_seed"));
+}
+
+TEST_F(CampaignTest, WriteAndReadDirRoundTrip) {
+  const CampaignResult result = run_simple_campaign();
+  result.write_dir(dir_.string());
+
+  EXPECT_TRUE(std::filesystem::exists(dir_ / "plan.csv"));
+  EXPECT_TRUE(std::filesystem::exists(dir_ / "results.csv"));
+  EXPECT_TRUE(std::filesystem::exists(dir_ / "metadata.txt"));
+
+  const CampaignResult back = CampaignResult::read_dir(dir_.string());
+  EXPECT_EQ(back.plan.size(), result.plan.size());
+  EXPECT_EQ(back.table.size(), result.table.size());
+  EXPECT_EQ(back.metadata.get("benchmark"), "unit-test");
+  for (std::size_t i = 0; i < result.table.size(); ++i) {
+    EXPECT_EQ(back.table.records()[i].factors,
+              result.table.records()[i].factors);
+    EXPECT_DOUBLE_EQ(back.table.records()[i].metrics[0],
+                     result.table.records()[i].metrics[0]);
+  }
+}
+
+TEST_F(CampaignTest, ReadMissingDirThrows) {
+  EXPECT_THROW(CampaignResult::read_dir((dir_ / "nope").string()),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cal

@@ -1,0 +1,189 @@
+// Tests for the experiment design stage: factorial completeness,
+// replication, randomization, serialization -- the properties the paper's
+// methodology depends on.
+
+#include "core/design.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace cal {
+namespace {
+
+Plan small_plan(std::uint64_t seed, bool randomize = true,
+                std::size_t reps = 3) {
+  return DesignBuilder(seed)
+      .add(Factor::levels("stride", {Value(1), Value(2), Value(4)}))
+      .add(Factor::levels("op", {Value("a"), Value("b")}))
+      .replications(reps)
+      .randomize(randomize)
+      .build();
+}
+
+TEST(Design, FullFactorialCellCount) {
+  const Plan plan = small_plan(1);
+  EXPECT_EQ(plan.size(), 3u * 2u * 3u);  // 3 strides x 2 ops x 3 reps
+}
+
+TEST(Design, EveryCombinationReplicatedExactly) {
+  const Plan plan = small_plan(2, true, 5);
+  std::map<std::pair<std::int64_t, std::string>, int> counts;
+  const std::size_t stride_idx = plan.factor_index("stride");
+  const std::size_t op_idx = plan.factor_index("op");
+  for (const auto& run : plan.runs()) {
+    counts[{run.values[stride_idx].as_int(),
+            run.values[op_idx].as_string()}]++;
+  }
+  EXPECT_EQ(counts.size(), 6u);
+  for (const auto& [key, count] : counts) EXPECT_EQ(count, 5);
+}
+
+TEST(Design, RunIndicesAreSequential) {
+  const Plan plan = small_plan(3);
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    EXPECT_EQ(plan.runs()[i].run_index, i);
+  }
+}
+
+TEST(Design, RandomizedOrderIsNotSorted) {
+  const Plan plan = small_plan(4, true, 10);
+  bool sorted = true;
+  for (std::size_t i = 1; i < plan.size(); ++i) {
+    if (plan.runs()[i].cell_index < plan.runs()[i - 1].cell_index) {
+      sorted = false;
+      break;
+    }
+  }
+  EXPECT_FALSE(sorted);
+}
+
+TEST(Design, UnrandomizedOrderIsSorted) {
+  const Plan plan = small_plan(5, /*randomize=*/false, 4);
+  for (std::size_t i = 1; i < plan.size(); ++i) {
+    EXPECT_LE(plan.runs()[i - 1].cell_index, plan.runs()[i].cell_index);
+  }
+}
+
+TEST(Design, SameSeedSamePlan) {
+  const Plan a = small_plan(42);
+  const Plan b = small_plan(42);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.runs()[i].cell_index, b.runs()[i].cell_index);
+    EXPECT_EQ(a.runs()[i].values, b.runs()[i].values);
+  }
+}
+
+TEST(Design, DifferentSeedDifferentOrder) {
+  const Plan a = small_plan(1, true, 10);
+  const Plan b = small_plan(2, true, 10);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a.runs()[i].cell_index != b.runs()[i].cell_index) {
+      any_diff = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Design, SampledFactorDrawsPerRun) {
+  const Plan plan =
+      DesignBuilder(7)
+          .add(Factor::levels("op", {Value("x"), Value("y")}))
+          .add(Factor::log_uniform_int("size", 1, 65536))
+          .samples_per_cell(100)
+          .build();
+  EXPECT_EQ(plan.size(), 2u * 100u);
+  const std::size_t size_idx = plan.factor_index("size");
+  std::set<std::int64_t> distinct;
+  for (const auto& run : plan.runs()) {
+    distinct.insert(run.values[size_idx].as_int());
+  }
+  EXPECT_GT(distinct.size(), 50u);  // sizes vary run to run
+}
+
+TEST(Design, DuplicateFactorNameThrows) {
+  DesignBuilder builder(1);
+  builder.add(Factor::levels("x", {Value(1)}));
+  EXPECT_THROW(builder.add(Factor::levels("x", {Value(2)})),
+               std::invalid_argument);
+}
+
+TEST(Design, NoFactorsThrows) {
+  EXPECT_THROW(DesignBuilder(1).build(), std::logic_error);
+}
+
+TEST(Design, ZeroReplicationsThrows) {
+  DesignBuilder builder(1);
+  EXPECT_THROW(builder.replications(0), std::invalid_argument);
+}
+
+TEST(Design, FactorIndexThrowsOnUnknown) {
+  const Plan plan = small_plan(1);
+  EXPECT_THROW(plan.factor_index("nope"), std::out_of_range);
+}
+
+TEST(Design, ValueAccessor) {
+  const Plan plan = small_plan(1, false, 1);
+  EXPECT_EQ(plan.value(0, "stride"), Value(1));
+  EXPECT_EQ(plan.value(0, "op"), Value("a"));
+}
+
+TEST(Design, CsvRoundTripPreservesRuns) {
+  const Plan plan = small_plan(11, true, 2);
+  std::stringstream ss;
+  plan.write_csv(ss);
+  const Plan back = Plan::read_csv(ss);
+  ASSERT_EQ(back.size(), plan.size());
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    EXPECT_EQ(back.runs()[i].run_index, plan.runs()[i].run_index);
+    EXPECT_EQ(back.runs()[i].cell_index, plan.runs()[i].cell_index);
+    EXPECT_EQ(back.runs()[i].replicate, plan.runs()[i].replicate);
+    EXPECT_EQ(back.runs()[i].values, plan.runs()[i].values);
+  }
+  EXPECT_EQ(back.factors().size(), plan.factors().size());
+}
+
+TEST(Design, ReadCsvRejectsGarbage) {
+  std::stringstream ss("not,a,plan\n1,2,3\n");
+  EXPECT_THROW(Plan::read_csv(ss), std::runtime_error);
+}
+
+// Property sweep: permutation invariant holds for many shapes.
+struct DesignShape {
+  std::size_t levels_a, levels_b, reps;
+};
+
+class DesignShapeTest : public ::testing::TestWithParam<DesignShape> {};
+
+TEST_P(DesignShapeTest, RandomizationIsAPermutationOfCells) {
+  const auto [la, lb, reps] = GetParam();
+  std::vector<Value> va, vb;
+  for (std::size_t i = 0; i < la; ++i) va.push_back(Value(i));
+  for (std::size_t i = 0; i < lb; ++i) vb.push_back(Value(i * 10));
+  const Plan plan = DesignBuilder(99)
+                        .add(Factor::levels("a", va))
+                        .add(Factor::levels("b", vb))
+                        .replications(reps)
+                        .build();
+  ASSERT_EQ(plan.size(), la * lb * reps);
+  std::map<std::size_t, std::size_t> cell_counts;
+  for (const auto& run : plan.runs()) cell_counts[run.cell_index]++;
+  EXPECT_EQ(cell_counts.size(), la * lb);
+  for (const auto& [cell, count] : cell_counts) EXPECT_EQ(count, reps);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, DesignShapeTest,
+                         ::testing::Values(DesignShape{2, 2, 1},
+                                           DesignShape{5, 3, 7},
+                                           DesignShape{1, 1, 42},
+                                           DesignShape{10, 1, 2},
+                                           DesignShape{4, 4, 4}));
+
+}  // namespace
+}  // namespace cal

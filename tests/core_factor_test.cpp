@@ -1,0 +1,77 @@
+// Tests for cal::Factor: levels, sampled factors, categories, validation.
+
+#include "core/factor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cal {
+namespace {
+
+TEST(Factor, LevelsBasics) {
+  const auto f = Factor::levels("stride", {Value(1), Value(2), Value(4)},
+                                FactorCategory::kKernel);
+  EXPECT_EQ(f.name(), "stride");
+  EXPECT_EQ(f.kind(), FactorKind::kLevels);
+  EXPECT_EQ(f.category(), FactorCategory::kKernel);
+  EXPECT_EQ(f.cell_count(), 3u);
+  Rng rng(1);
+  EXPECT_EQ(f.value_for_cell(0, rng), Value(1));
+  EXPECT_EQ(f.value_for_cell(2, rng), Value(4));
+}
+
+TEST(Factor, EmptyLevelsThrow) {
+  EXPECT_THROW(Factor::levels("x", {}), std::invalid_argument);
+}
+
+TEST(Factor, LevelOutOfRangeThrows) {
+  const auto f = Factor::levels("x", {Value(1)});
+  Rng rng(1);
+  EXPECT_THROW(f.value_for_cell(1, rng), std::out_of_range);
+}
+
+TEST(Factor, LogUniformIntSamples) {
+  const auto f = Factor::log_uniform_int("size", 16, 65536);
+  EXPECT_EQ(f.cell_count(), 1u);  // sampling happens per run, not per cell
+  Rng rng(2);
+  for (int i = 0; i < 500; ++i) {
+    const Value v = f.value_for_cell(0, rng);
+    ASSERT_TRUE(v.is_int());
+    EXPECT_GE(v.as_int(), 16);
+    EXPECT_LE(v.as_int(), 65536);
+  }
+}
+
+TEST(Factor, LogUniformRealSamples) {
+  const auto f = Factor::log_uniform_real("size", 1.0, 1e6);
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const Value v = f.value_for_cell(0, rng);
+    ASSERT_TRUE(v.is_real());
+    EXPECT_GE(v.as_real(), 1.0);
+    EXPECT_LE(v.as_real(), 1e6);
+  }
+}
+
+TEST(Factor, LogUniformValidation) {
+  EXPECT_THROW(Factor::log_uniform_int("x", 0, 10), std::invalid_argument);
+  EXPECT_THROW(Factor::log_uniform_int("x", 10, 5), std::invalid_argument);
+  EXPECT_THROW(Factor::log_uniform_real("x", -1.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(FactorCategory, RoundTripsThroughText) {
+  for (const auto category :
+       {FactorCategory::kExperimentPlan, FactorCategory::kOperatingSystem,
+        FactorCategory::kMemoryAllocation, FactorCategory::kArchitecture,
+        FactorCategory::kCompilation, FactorCategory::kKernel,
+        FactorCategory::kOther}) {
+    EXPECT_EQ(factor_category_from_string(to_string(category)), category);
+  }
+}
+
+TEST(FactorCategory, UnknownTextMapsToOther) {
+  EXPECT_EQ(factor_category_from_string("bogus"), FactorCategory::kOther);
+}
+
+}  // namespace
+}  // namespace cal

@@ -1,0 +1,61 @@
+// Tests for environment-capture metadata.
+
+#include "core/metadata.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace cal {
+namespace {
+
+TEST(Metadata, SetAndGet) {
+  Metadata md;
+  md.set("machine", "taurus");
+  md.set("runs", std::int64_t{100});
+  md.set("sigma", 0.25);
+  EXPECT_EQ(md.get("machine"), "taurus");
+  EXPECT_EQ(md.get("runs"), "100");
+  EXPECT_TRUE(md.contains("sigma"));
+  EXPECT_FALSE(md.contains("nope"));
+  EXPECT_EQ(md.get("nope"), std::nullopt);
+}
+
+TEST(Metadata, OverwriteKeepsPosition) {
+  Metadata md;
+  md.set("a", "1");
+  md.set("b", "2");
+  md.set("a", "3");
+  ASSERT_EQ(md.entries().size(), 2u);
+  EXPECT_EQ(md.entries()[0].first, "a");
+  EXPECT_EQ(md.entries()[0].second, "3");
+}
+
+TEST(Metadata, TextRoundTrip) {
+  Metadata md;
+  md.set("compiler", "gcc 12.2.0");
+  md.set("plan_seed", std::uint64_t{42});
+  std::stringstream ss;
+  md.write(ss);
+  const Metadata back = Metadata::read(ss);
+  EXPECT_EQ(back.get("compiler"), "gcc 12.2.0");
+  EXPECT_EQ(back.get("plan_seed"), "42");
+}
+
+TEST(Metadata, ReadSkipsCommentsAndBlanks) {
+  std::stringstream ss("# comment\n\nkey: value\nmalformed line\n");
+  const Metadata md = Metadata::read(ss);
+  EXPECT_EQ(md.get("key"), "value");
+  EXPECT_EQ(md.entries().size(), 1u);
+}
+
+TEST(Metadata, CaptureBuildHasRequiredKeys) {
+  const Metadata md = Metadata::capture_build();
+  EXPECT_TRUE(md.contains("compiler"));
+  EXPECT_TRUE(md.contains("cxx_standard"));
+  EXPECT_TRUE(md.contains("build_type"));
+  EXPECT_TRUE(md.contains("library"));
+}
+
+}  // namespace
+}  // namespace cal

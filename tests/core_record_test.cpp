@@ -1,0 +1,115 @@
+// Tests for RawTable: record bookkeeping, filtering, CSV round trip.
+
+#include "core/record.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace cal {
+namespace {
+
+RawTable sample_table() {
+  RawTable table({"size", "op"}, {"time_us", "bw"});
+  for (int i = 0; i < 6; ++i) {
+    RawRecord rec;
+    rec.sequence = static_cast<std::size_t>(i);
+    rec.cell_index = static_cast<std::size_t>(i % 3);
+    rec.replicate = static_cast<std::size_t>(i / 3);
+    rec.timestamp_s = 0.5 * i;
+    rec.factors = {Value(1 << (i % 3)), Value(i % 2 == 0 ? "send" : "recv")};
+    rec.metrics = {10.0 + i, 100.0 - i};
+    table.append(std::move(rec));
+  }
+  return table;
+}
+
+TEST(RawTable, AppendAndSize) {
+  const RawTable table = sample_table();
+  EXPECT_EQ(table.size(), 6u);
+  EXPECT_FALSE(table.empty());
+}
+
+TEST(RawTable, WidthMismatchThrows) {
+  RawTable table({"a"}, {"m"});
+  RawRecord rec;
+  rec.factors = {Value(1), Value(2)};
+  rec.metrics = {1.0};
+  EXPECT_THROW(table.append(rec), std::invalid_argument);
+}
+
+TEST(RawTable, ColumnExtraction) {
+  const RawTable table = sample_table();
+  const auto sizes = table.factor_column_real("size");
+  ASSERT_EQ(sizes.size(), 6u);
+  EXPECT_DOUBLE_EQ(sizes[0], 1.0);
+  EXPECT_DOUBLE_EQ(sizes[1], 2.0);
+  const auto times = table.metric_column("time_us");
+  EXPECT_DOUBLE_EQ(times[5], 15.0);
+}
+
+TEST(RawTable, UnknownColumnThrows) {
+  const RawTable table = sample_table();
+  EXPECT_THROW(table.factor_index("nope"), std::out_of_range);
+  EXPECT_THROW(table.metric_index("nope"), std::out_of_range);
+}
+
+TEST(RawTable, FilterByFactor) {
+  const RawTable table = sample_table();
+  const RawTable sends = table.filter("op", Value("send"));
+  EXPECT_EQ(sends.size(), 3u);
+  for (const auto& rec : sends.records()) {
+    EXPECT_EQ(rec.factors[1], Value("send"));
+  }
+}
+
+TEST(RawTable, FilterRecordsPredicate) {
+  const RawTable table = sample_table();
+  const RawTable late = table.filter_records(
+      [](const RawRecord& rec) { return rec.sequence >= 4; });
+  EXPECT_EQ(late.size(), 2u);
+}
+
+TEST(RawTable, DistinctSorted) {
+  const RawTable table = sample_table();
+  const auto sizes = table.distinct("size");
+  ASSERT_EQ(sizes.size(), 3u);
+  EXPECT_EQ(sizes[0], Value(1));
+  EXPECT_EQ(sizes[1], Value(2));
+  EXPECT_EQ(sizes[2], Value(4));
+}
+
+TEST(RawTable, CsvRoundTrip) {
+  const RawTable table = sample_table();
+  std::stringstream ss;
+  table.write_csv(ss);
+  const RawTable back = RawTable::read_csv(ss, 2);
+  ASSERT_EQ(back.size(), table.size());
+  EXPECT_EQ(back.factor_names(), table.factor_names());
+  EXPECT_EQ(back.metric_names(), table.metric_names());
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    const auto& a = table.records()[i];
+    const auto& b = back.records()[i];
+    EXPECT_EQ(a.sequence, b.sequence);
+    EXPECT_EQ(a.cell_index, b.cell_index);
+    EXPECT_EQ(a.replicate, b.replicate);
+    EXPECT_DOUBLE_EQ(a.timestamp_s, b.timestamp_s);
+    EXPECT_EQ(a.factors, b.factors);
+    for (std::size_t m = 0; m < a.metrics.size(); ++m) {
+      EXPECT_DOUBLE_EQ(a.metrics[m], b.metrics[m]);
+    }
+  }
+}
+
+TEST(RawTable, SequencePreservedThroughFilter) {
+  // Sequence indices must survive filtering: temporal diagnostics depend
+  // on them (Fig. 11, right panel).
+  const RawTable table = sample_table();
+  const RawTable sends = table.filter("op", Value("send"));
+  EXPECT_EQ(sends.records()[0].sequence, 0u);
+  EXPECT_EQ(sends.records()[1].sequence, 2u);
+  EXPECT_EQ(sends.records()[2].sequence, 4u);
+}
+
+}  // namespace
+}  // namespace cal

@@ -1,0 +1,239 @@
+// Tests for cal::Rng: determinism, distribution bounds and moments, the
+// paper's Eq. (1) log-uniform size distribution, shuffling invariants.
+
+#include "core/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+namespace cal {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ZeroSeedIsValid) {
+  Rng rng(0);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 32; ++i) seen.insert(rng.next_u64());
+  EXPECT_GT(seen.size(), 30u);  // not stuck at a fixed point
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(8);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversFullRange) {
+  Rng rng(10);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.uniform_int(0, 9);
+    ASSERT_GE(v, 0);
+    ASSERT_LE(v, 9);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, UniformIntSinglePoint) {
+  Rng rng(11);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(42, 42), 42);
+}
+
+TEST(Rng, UniformIntNegativeRange) {
+  Rng rng(12);
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.uniform_int(-5, -1);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, -1);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  const int n = 100000;
+  double sum = 0, sumsq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sumsq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalScaled) {
+  Rng rng(14);
+  const int n = 50000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, LognormalFactorMedianNearOne) {
+  Rng rng(15);
+  std::vector<double> xs;
+  for (int i = 0; i < 10001; ++i) xs.push_back(rng.lognormal_factor(0.5));
+  std::nth_element(xs.begin(), xs.begin() + 5000, xs.end());
+  EXPECT_NEAR(xs[5000], 1.0, 0.05);
+  for (const double x : xs) EXPECT_GT(x, 0.0);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(16);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.25) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.01);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(17);
+  const int n = 100000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(18);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  Rng rng(19);
+  const auto p = rng.permutation(50);
+  std::set<std::size_t> seen(p.begin(), p.end());
+  EXPECT_EQ(seen.size(), 50u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 49u);
+}
+
+TEST(Rng, SplitStreamsAreIndependentish) {
+  Rng parent(20);
+  Rng child1 = parent.split();
+  Rng child2 = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child1.next_u64() == child2.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, PickIndexInBounds) {
+  Rng rng(21);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.pick_index(7), 7u);
+}
+
+// --- Eq. (1) property sweep: 10^Unif(log10 a, log10 b) -------------------
+
+struct LogUniformCase {
+  double a, b;
+};
+
+class LogUniformTest : public ::testing::TestWithParam<LogUniformCase> {};
+
+TEST_P(LogUniformTest, WithinBounds) {
+  const auto [a, b] = GetParam();
+  Rng rng(100);
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.log_uniform(a, b);
+    EXPECT_GE(x, a * (1 - 1e-12));
+    EXPECT_LE(x, b * (1 + 1e-12));
+  }
+}
+
+TEST_P(LogUniformTest, LogIsUniform) {
+  // The defining property of Eq. (1): log10(x) should be uniform, so the
+  // mean of log10(x) should be the midpoint of [log10 a, log10 b].
+  const auto [a, b] = GetParam();
+  Rng rng(101);
+  const int n = 50000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) sum += std::log10(rng.log_uniform(a, b));
+  const double expected = 0.5 * (std::log10(a) + std::log10(b));
+  const double spread = std::log10(b) - std::log10(a);
+  EXPECT_NEAR(sum / n, expected, 0.02 * std::max(spread, 1e-9) + 1e-9);
+}
+
+TEST_P(LogUniformTest, EachDecadeEquallySampled) {
+  const auto [a, b] = GetParam();
+  if (std::log10(b / a) < 2.0) GTEST_SKIP() << "needs >= 2 decades";
+  Rng rng(102);
+  const double la = std::log10(a), lb = std::log10(b);
+  const int bins = 4;
+  std::vector<int> counts(bins, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    const double lx = std::log10(rng.log_uniform(a, b));
+    int bin = static_cast<int>((lx - la) / (lb - la) * bins);
+    bin = std::clamp(bin, 0, bins - 1);
+    ++counts[bin];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 1.0 / bins, 0.02);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ranges, LogUniformTest,
+    ::testing::Values(LogUniformCase{1.0, 10.0}, LogUniformCase{1.0, 65536.0},
+                      LogUniformCase{16.0, 4.0 * 1024 * 1024},
+                      LogUniformCase{0.5, 2.0}, LogUniformCase{3.0, 3.0}));
+
+TEST(Rng, LogUniformIntClamped) {
+  Rng rng(103);
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.log_uniform_int(1, 1024);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 1024);
+  }
+}
+
+}  // namespace
+}  // namespace cal

@@ -1,0 +1,113 @@
+// Tests for cal::Value: kinds, conversions, parsing, ordering.
+
+#include "core/value.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cal {
+namespace {
+
+TEST(Value, IntKind) {
+  const Value v(std::int64_t{42});
+  EXPECT_TRUE(v.is_int());
+  EXPECT_EQ(v.as_int(), 42);
+  EXPECT_DOUBLE_EQ(v.as_real(), 42.0);
+  EXPECT_EQ(v.to_string(), "42");
+}
+
+TEST(Value, RealKind) {
+  const Value v(2.5);
+  EXPECT_TRUE(v.is_real());
+  EXPECT_DOUBLE_EQ(v.as_real(), 2.5);
+  EXPECT_EQ(v.as_int(), 2);  // truncation
+}
+
+TEST(Value, StringKind) {
+  const Value v("pingpong");
+  EXPECT_TRUE(v.is_string());
+  EXPECT_EQ(v.as_string(), "pingpong");
+  EXPECT_EQ(v.to_string(), "pingpong");
+}
+
+TEST(Value, StringAsNumberThrows) {
+  const Value v("abc");
+  EXPECT_THROW(v.as_int(), std::runtime_error);
+  EXPECT_THROW(v.as_real(), std::runtime_error);
+}
+
+TEST(Value, NumberAsStringThrows) {
+  EXPECT_THROW(Value(1).as_string(), std::runtime_error);
+}
+
+TEST(Value, ParseInteger) {
+  const Value v = Value::parse("12345");
+  EXPECT_TRUE(v.is_int());
+  EXPECT_EQ(v.as_int(), 12345);
+}
+
+TEST(Value, ParseNegativeInteger) {
+  const Value v = Value::parse("-17");
+  EXPECT_TRUE(v.is_int());
+  EXPECT_EQ(v.as_int(), -17);
+}
+
+TEST(Value, ParseReal) {
+  const Value v = Value::parse("3.25");
+  EXPECT_TRUE(v.is_real());
+  EXPECT_DOUBLE_EQ(v.as_real(), 3.25);
+}
+
+TEST(Value, ParseScientific) {
+  const Value v = Value::parse("1e3");
+  EXPECT_TRUE(v.is_real());
+  EXPECT_DOUBLE_EQ(v.as_real(), 1000.0);
+}
+
+TEST(Value, ParseString) {
+  const Value v = Value::parse("eager");
+  EXPECT_TRUE(v.is_string());
+}
+
+TEST(Value, ParseEmptyIsString) {
+  EXPECT_TRUE(Value::parse("").is_string());
+}
+
+TEST(Value, RealRoundTripsThroughText) {
+  const double x = 0.1234567890123456789;
+  const Value v(x);
+  const Value back = Value::parse(v.to_string());
+  EXPECT_DOUBLE_EQ(back.as_real(), x);
+}
+
+TEST(Value, IntRoundTripsThroughText) {
+  const Value v(std::int64_t{9007199254740993LL});  // > 2^53
+  const Value back = Value::parse(v.to_string());
+  ASSERT_TRUE(back.is_int());
+  EXPECT_EQ(back.as_int(), 9007199254740993LL);
+}
+
+TEST(Value, EqualityWithinKind) {
+  EXPECT_EQ(Value(1), Value(1));
+  EXPECT_NE(Value(1), Value(2));
+  EXPECT_EQ(Value("a"), Value("a"));
+  EXPECT_NE(Value("a"), Value("b"));
+}
+
+TEST(Value, CrossNumericEquality) {
+  EXPECT_EQ(Value(1), Value(1.0));
+  EXPECT_NE(Value(1), Value(1.5));
+}
+
+TEST(Value, StringNeverEqualsNumber) {
+  EXPECT_NE(Value("1"), Value(1));
+}
+
+TEST(Value, OrderingNumbersBeforeStrings) {
+  EXPECT_LT(Value(5), Value(10));
+  EXPECT_LT(Value(2.5), Value(3));
+  EXPECT_LT(Value(1000000), Value("a"));
+  EXPECT_LT(Value("a"), Value("b"));
+}
+
+}  // namespace
+}  // namespace cal

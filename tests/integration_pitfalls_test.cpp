@@ -1,0 +1,339 @@
+// Integration tests: each of the paper's seven pitfalls, end to end.
+// Every test stages the pitfall on a simulated platform, shows that the
+// opaque approach misdiagnoses it, and that the white-box methodology
+// (randomization + raw records + offline diagnostics) catches it.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "benchlib/opaque/netgauge_like.hpp"
+#include "benchlib/opaque/pmb.hpp"
+#include "benchlib/whitebox/mem_calibration.hpp"
+#include "benchlib/whitebox/net_calibration.hpp"
+#include "stats/breakpoint.hpp"
+#include "stats/modes.hpp"
+
+namespace cal::benchlib {
+namespace {
+
+using sim::net::NetOp;
+
+// --- P1: temporal perturbations vs online detection ----------------------
+
+TEST(P1_TemporalPerturbation, OnlineDetectorReportsPhantomBreak) {
+  sim::net::NetworkSimConfig config;
+  config.link = sim::net::links::taurus_openmpi_tcp();
+  config.enable_noise = false;
+  // A perturbation window placed mid-sweep.  NetGauge sweeps sizes in
+  // ascending order, so the window covers one contiguous size range.
+  // (The sweep below lasts ~10 ms of simulated time.)
+  config.perturbations.push_back({0.003, 0.009, 2.5});
+  sim::net::NetworkSim network{config};
+
+  NetgaugeOptions options;
+  options.increment = 512.0;
+  options.max_size = 24.0 * 1024;  // stay inside one true segment
+  const auto result = run_netgauge(network, options);
+
+  // Ground truth: no protocol change below 32 KB.  Any detection is a
+  // phantom caused by the perturbation.
+  const auto truth = std::vector<double>{};
+  const auto score =
+      stats::score_breakpoints(result.breakpoints, truth);
+  EXPECT_GT(score.false_positives, 0u);
+}
+
+TEST(P1_TemporalPerturbation, RandomizedDesignSpreadsTheDamage) {
+  // With randomized order, the same perturbation hits random sizes; the
+  // per-size-bin medians stay clean and the offline fit finds no phantom
+  // protocol change.
+  sim::net::NetworkSimConfig config;
+  config.link = sim::net::links::taurus_openmpi_tcp();
+  config.enable_noise = false;
+  config.perturbations.push_back({0.05, 0.11, 2.5});
+  sim::net::NetworkSim network{config};
+
+  NetCalibrationOptions options;
+  options.samples_per_op = 500;
+  options.min_size = 64.0;
+  options.max_size = 24.0 * 1024;
+  const CampaignResult result = run_net_calibration(network, options);
+
+  // Stage-3 analyst: bin sizes logarithmically, take per-bin medians
+  // (robust to the ~20% perturbed measurements scattered uniformly by
+  // the randomization), then look for breaks.
+  const RawTable pp = result.table.filter("op", Value("pingpong"));
+  const auto xs = pp.factor_column_real("size_bytes");
+  const auto ys = pp.metric_column("time_us");
+  constexpr int kBins = 16;
+  const double lo = std::log(64.0), hi = std::log(24.0 * 1024);
+  std::vector<std::vector<double>> bins(kBins);
+  std::vector<std::vector<double>> bin_x(kBins);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    int b = static_cast<int>((std::log(xs[i]) - lo) / (hi - lo) * kBins);
+    b = std::clamp(b, 0, kBins - 1);
+    bins[b].push_back(ys[i]);
+    bin_x[b].push_back(xs[i]);
+  }
+  std::vector<double> med_x, med_y;
+  for (int b = 0; b < kBins; ++b) {
+    if (bins[b].size() < 3) continue;
+    med_x.push_back(stats::median(bin_x[b]));
+    med_y.push_back(stats::median(bins[b]));
+  }
+  const auto fit = stats::segmented_least_squares(med_x, med_y);
+  EXPECT_EQ(fit.chosen_segments, 1u);  // no phantom break survives
+}
+
+// --- P2: size-grid bias ---------------------------------------------------
+
+TEST(P2_SizeGridBias, PowerOfTwoGridAbsorbsTheQuirkSilently) {
+  sim::net::NetworkSimConfig config;
+  config.link = sim::net::links::taurus_openmpi_tcp();
+  config.enable_noise = false;
+  sim::net::NetworkSim network{config};
+
+  PmbOptions options;
+  options.min_power = 8;
+  options.max_power = 12;
+  const auto rows = run_pmb(network, options);
+  // 1024 is sampled and biased; but PMB gives no indication: sd == 0.
+  const auto& quirked = rows[2];
+  ASSERT_DOUBLE_EQ(quirked.size_bytes, 1024.0);
+  EXPECT_DOUBLE_EQ(quirked.sd_us, 0.0);
+}
+
+TEST(P2_SizeGridBias, LogUniformSamplingExposesTheQuirk) {
+  sim::net::NetworkSimConfig config;
+  config.link = sim::net::links::taurus_openmpi_tcp();
+  config.enable_noise = false;
+  sim::net::NetworkSim network{config};
+
+  // Sample densely around 1 KB with Eq. (1).
+  NetCalibrationOptions options;
+  options.min_size = 512.0;
+  options.max_size = 2048.0;
+  options.samples_per_op = 600;
+  const CampaignResult result = run_net_calibration(network, options);
+  const RawTable pp = result.table.filter("op", Value("pingpong"));
+
+  // Compare per-byte time inside vs outside the quirk window.
+  std::vector<double> in_quirk, out_quirk;
+  const auto sizes = pp.factor_column_real("size_bytes");
+  const auto times = pp.metric_column("time_us");
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    if (std::abs(sizes[i] - 1024.0) <= 16.0) {
+      in_quirk.push_back(times[i] / sizes[i]);
+    } else {
+      out_quirk.push_back(times[i] / sizes[i]);
+    }
+  }
+  ASSERT_GT(in_quirk.size(), 3u);  // log-uniform sampling hit the window
+  EXPECT_GT(stats::median(in_quirk), 1.3 * stats::median(out_quirk));
+}
+
+// --- P3: preconceived breakpoint counts -----------------------------------
+
+TEST(P3_PreconceivedBreaks, SingleBreakAssumptionMissesThe16KChange) {
+  sim::net::NetworkSimConfig config;
+  config.link = sim::net::links::myrinet_gm();
+  config.enable_noise = false;
+  sim::net::NetworkSim network{config};
+
+  // Dense clean sweep of the send overhead.
+  std::vector<double> xs, ys;
+  Rng rng(1);
+  for (double s = 1024; s <= 64.0 * 1024; s += 512) {
+    xs.push_back(s);
+    ys.push_back(network.measure_us(NetOp::kSendOverhead, s, 0.0, rng));
+  }
+
+  // Forcing two segments (one break, as in the original analysis of
+  // Fig. 3) finds only 32 KB; the neutral BIC choice finds both changes.
+  stats::SegmentedOptions pinned;
+  pinned.exact_segments = 2;
+  const auto forced = stats::segmented_least_squares(xs, ys, pinned);
+  const auto neutral = stats::segmented_least_squares(xs, ys);
+
+  const std::vector<double> truth = {16.0 * 1024, 32.0 * 1024};
+  const auto forced_score =
+      stats::score_breakpoints(forced.breakpoints, truth, 0.15, 2048.0);
+  const auto neutral_score =
+      stats::score_breakpoints(neutral.breakpoints, truth, 0.15, 2048.0);
+  EXPECT_EQ(forced_score.false_negatives, 1u);   // missed 16 KB
+  EXPECT_EQ(neutral_score.false_negatives, 0u);  // found both
+}
+
+// --- P5: DVFS ondemand governor -------------------------------------------
+
+TEST(P5_Dvfs, NloopsChangesRegimeUnderOndemand) {
+  sim::mem::MemSystemConfig config;
+  config.machine = sim::machines::core_i7_2600();
+  config.governor = sim::cpu::GovernorKind::kOndemand;
+  config.enable_noise = false;
+  sim::mem::MemSystem system(config);
+
+  MemPlanOptions plan_options;
+  plan_options.size_levels = {30 * 1024};
+  plan_options.nloops = {400, 60000};  // both long enough to amortize the
+                                       // cold pass: only DVFS can differ
+  plan_options.replications = 12;
+  plan_options.seed = 5;
+
+  MemCampaignOptions campaign_options;
+  campaign_options.inter_run_gap_s = 0.015;  // idle gap > governor period
+  const CampaignResult result =
+      run_mem_campaign(system, make_mem_plan(plan_options), campaign_options);
+
+  const auto groups =
+      stats::group_metric(result.table, {"nloops"}, "bandwidth_mbps");
+  ASSERT_EQ(groups.size(), 2u);
+  const double bw_small = stats::median(groups[0].samples);
+  const double bw_large = stats::median(groups[1].samples);
+  EXPECT_GT(bw_large / bw_small, 1.5);
+}
+
+TEST(P5_Dvfs, PerformanceGovernorRemovesTheEffect) {
+  sim::mem::MemSystemConfig config;
+  config.machine = sim::machines::core_i7_2600();
+  config.governor = sim::cpu::GovernorKind::kPerformance;
+  config.enable_noise = false;
+  sim::mem::MemSystem system(config);
+
+  MemPlanOptions plan_options;
+  plan_options.size_levels = {30 * 1024};
+  plan_options.nloops = {400, 60000};
+  plan_options.replications = 8;
+  const CampaignResult result =
+      run_mem_campaign(system, make_mem_plan(plan_options));
+  const auto groups =
+      stats::group_metric(result.table, {"nloops"}, "bandwidth_mbps");
+  const double ratio =
+      stats::median(groups[1].samples) / stats::median(groups[0].samples);
+  EXPECT_NEAR(ratio, 1.0, 0.05);
+}
+
+// --- P6: real-time scheduler ------------------------------------------------
+
+CampaignResult run_arm_fifo_campaign(bool randomize,
+                                     double window_fraction = 0.22) {
+  sim::mem::MemSystemConfig config;
+  config.machine = sim::machines::arm_snowball();
+  config.policy = sim::os::SchedPolicy::kFifo;
+  config.daemon_present = true;
+  config.daemon.window_fraction = window_fraction;
+  config.horizon_s = 0.7;   // matches the campaign duration roughly
+  config.system_seed = 3;
+  config.enable_noise = false;
+  sim::mem::MemSystem system(config);
+
+  MemPlanOptions plan_options;
+  plan_options.size_levels = {4 * 1024, 8 * 1024, 12 * 1024, 16 * 1024};
+  plan_options.replications = 30;
+  plan_options.nloops = {200};
+  plan_options.randomize = randomize;
+  plan_options.seed = 7;
+  MemCampaignOptions campaign_options;
+  campaign_options.inter_run_gap_s = 0.004;
+  return run_mem_campaign(system, make_mem_plan(plan_options),
+                          campaign_options);
+}
+
+TEST(P6_RtScheduler, BandwidthIsBimodalUnderFifo) {
+  const CampaignResult result = run_arm_fifo_campaign(true);
+  const auto bw = result.table.metric_column("bandwidth_mbps");
+  const auto split = stats::split_modes(bw);
+  EXPECT_TRUE(split.bimodal);
+  // The paper: low mode ~5x lower, in roughly 20-25% of measurements.
+  EXPECT_GT(split.high_center / split.low_center, 3.0);
+  EXPECT_GT(split.low_fraction(), 0.08);
+  EXPECT_LT(split.low_fraction(), 0.45);
+}
+
+TEST(P6_RtScheduler, LowModeIsOneContiguousTimeWindow) {
+  const CampaignResult result = run_arm_fifo_campaign(true);
+  const auto diag = diagnose_temporal(result.table);
+  EXPECT_TRUE(diag.temporally_clustered);
+}
+
+TEST(P6_RtScheduler, SequentialOrderMisattributesToSizes) {
+  // Without randomization the window hits consecutive plan cells: some
+  // sizes look substantially slower than others -- the wrong conclusion
+  // the paper warns about.  A wider daemon window makes the contamination
+  // of one size block decisive.
+  const CampaignResult result =
+      run_arm_fifo_campaign(false, /*window_fraction=*/0.5);
+  const auto groups =
+      stats::group_metric(result.table, {"size_bytes"}, "bandwidth_mbps");
+  std::vector<double> q1s;
+  for (const auto& group : groups) {
+    q1s.push_back(stats::quantile(group.samples, 0.25));
+  }
+  const double worst = *std::min_element(q1s.begin(), q1s.end());
+  const double best = *std::max_element(q1s.begin(), q1s.end());
+  EXPECT_GT(best / worst, 2.0);  // sizes appear to differ wildly
+}
+
+TEST(P6_RtScheduler, RandomizationKeepsSizesComparable) {
+  const CampaignResult result = run_arm_fifo_campaign(true);
+  const auto groups =
+      stats::group_metric(result.table, {"size_bytes"}, "bandwidth_mbps");
+  std::vector<double> medians;
+  for (const auto& group : groups) {
+    medians.push_back(stats::median(group.samples));
+  }
+  const double worst = *std::min_element(medians.begin(), medians.end());
+  const double best = *std::max_element(medians.begin(), medians.end());
+  EXPECT_LT(best / worst, 1.5);  // medians agree; modes are the story
+}
+
+// --- P7: ARM paging ---------------------------------------------------------
+
+TEST(P7_ArmPaging, CliffPositionMovesAcrossExperiments) {
+  // Four "consecutive experiments" (processes), identical inputs: the
+  // size at which bandwidth first drops differs across system seeds.
+  std::set<int> cliff_pages;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    sim::mem::MemSystemConfig config;
+    config.machine = sim::machines::arm_snowball();
+    config.system_seed = seed;
+    config.enable_noise = false;
+    sim::mem::MemSystem system(config);
+    Rng rng(1);
+    int cliff = -1;
+    double reference = -1.0;
+    for (int pages = 2; pages <= 9; ++pages) {
+      const auto out = system.measure(
+          {static_cast<std::size_t>(pages) * 4096, 1, {4, 1}, 10},
+          static_cast<double>(pages), rng);
+      if (pages == 2) {
+        reference = out.bandwidth_mbps;
+      } else if (cliff < 0 && out.bandwidth_mbps < 0.7 * reference) {
+        cliff = pages;
+      }
+    }
+    cliff_pages.insert(cliff);
+  }
+  EXPECT_GE(cliff_pages.size(), 2u);  // the cliff moved
+}
+
+TEST(P7_ArmPaging, X86SequentialPagingHasNoMovingCliff) {
+  std::set<long> bw_at_mid_l1;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    sim::mem::MemSystemConfig config;
+    config.machine = sim::machines::pentium4();
+    config.system_seed = seed;
+    config.enable_noise = false;
+    sim::mem::MemSystem system(config);
+    Rng rng(1);
+    const auto out = system.measure({12 * 1024, 1, {4, 1}, 10}, 0.0, rng);
+    bw_at_mid_l1.insert(std::lround(out.bandwidth_mbps));
+  }
+  EXPECT_EQ(bw_at_mid_l1.size(), 1u);
+}
+
+}  // namespace
+}  // namespace cal::benchlib

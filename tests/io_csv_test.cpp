@@ -1,0 +1,84 @@
+// Tests for the CSV reader/writer (RFC-4180 dialect).
+
+#include "io/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace cal::io {
+namespace {
+
+TEST(Csv, EscapePlainCellUnchanged) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+  EXPECT_EQ(csv_escape("123.5"), "123.5");
+}
+
+TEST(Csv, EscapeComma) { EXPECT_EQ(csv_escape("a,b"), "\"a,b\""); }
+
+TEST(Csv, EscapeQuote) { EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\""); }
+
+TEST(Csv, ParseSimpleLine) {
+  const auto cells = parse_csv_line("a,b,c");
+  ASSERT_EQ(cells.size(), 3u);
+  EXPECT_EQ(cells[0], "a");
+  EXPECT_EQ(cells[2], "c");
+}
+
+TEST(Csv, ParseQuotedCells) {
+  const auto cells = parse_csv_line("\"a,b\",c,\"say \"\"hi\"\"\"");
+  ASSERT_EQ(cells.size(), 3u);
+  EXPECT_EQ(cells[0], "a,b");
+  EXPECT_EQ(cells[1], "c");
+  EXPECT_EQ(cells[2], "say \"hi\"");
+}
+
+TEST(Csv, ParseEmptyCells) {
+  const auto cells = parse_csv_line("a,,c,");
+  ASSERT_EQ(cells.size(), 4u);
+  EXPECT_EQ(cells[1], "");
+  EXPECT_EQ(cells[3], "");
+}
+
+TEST(Csv, ParseToleratesCrlf) {
+  const auto cells = parse_csv_line("a,b\r");
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(cells[1], "b");
+}
+
+TEST(Csv, WriteRowRoundTrip) {
+  std::stringstream ss;
+  write_csv_row(ss, {"x", "a,b", "with \"quotes\""});
+  const auto cells = parse_csv_line(ss.str().substr(0, ss.str().size() - 1));
+  ASSERT_EQ(cells.size(), 3u);
+  EXPECT_EQ(cells[0], "x");
+  EXPECT_EQ(cells[1], "a,b");
+  EXPECT_EQ(cells[2], "with \"quotes\"");
+}
+
+TEST(Csv, ReadSkipsCommentsAndBlankLines) {
+  std::stringstream ss("# header comment\na,b\n\nc,d\n# trailing\n");
+  const auto rows = read_csv(ss);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0], "a");
+  EXPECT_EQ(rows[1][1], "d");
+}
+
+TEST(Csv, FileRoundTrip) {
+  const std::string path = "/tmp/calipers_csv_test.csv";
+  const std::vector<std::vector<std::string>> rows = {
+      {"h1", "h2"}, {"1", "two"}, {"3,5", "\"q\""}};
+  write_csv_file(path, rows);
+  const auto back = read_csv_file(path);
+  ASSERT_EQ(back.size(), 3u);
+  EXPECT_EQ(back[2][0], "3,5");
+  EXPECT_EQ(back[2][1], "\"q\"");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, ReadMissingFileThrows) {
+  EXPECT_THROW(read_csv_file("/nonexistent/path.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cal::io

@@ -1,0 +1,57 @@
+// Tests for the text-table / series formatting helpers.
+
+#include "io/table_fmt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace cal::io {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable table({"name", "value"});
+  table.add_row({"a", "1"});
+  table.add_row({"longer", "22"});
+  std::stringstream ss;
+  table.print(ss);
+  const std::string out = ss.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTable, RowWidthMismatchThrows) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TextTable, NumFormatsPrecision) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(2.0, 0), "2");
+}
+
+TEST(TextTable, RowCount) {
+  TextTable table({"a"});
+  EXPECT_EQ(table.row_count(), 0u);
+  table.add_row({"x"});
+  EXPECT_EQ(table.row_count(), 1u);
+}
+
+TEST(Series, PrintsNamedBlock) {
+  std::stringstream ss;
+  print_series(ss, "bandwidth", {1.0, 2.0}, {10.0, 20.0});
+  const std::string out = ss.str();
+  EXPECT_NE(out.find("# series: bandwidth"), std::string::npos);
+  EXPECT_NE(out.find("1.000000 10.000000"), std::string::npos);
+}
+
+TEST(Banner, ContainsTitle) {
+  std::stringstream ss;
+  print_banner(ss, "Figure 7");
+  EXPECT_NE(ss.str().find("Figure 7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cal::io

@@ -1,0 +1,134 @@
+// Tests for the set-associative cache model: hits, LRU eviction,
+// associativity conflicts, physical indexing.
+
+#include "sim/mem/cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cal::sim::mem {
+namespace {
+
+CacheLevelSpec tiny_spec(std::size_t size = 1024, std::size_t line = 64,
+                         std::size_t ways = 2) {
+  return {"L1", size, line, ways, 10.0};
+}
+
+TEST(Cache, FirstAccessMissesSecondHits) {
+  Cache cache(tiny_spec());
+  EXPECT_FALSE(cache.access(0));
+  EXPECT_TRUE(cache.access(0));
+  EXPECT_TRUE(cache.access(63));   // same line
+  EXPECT_FALSE(cache.access(64));  // next line
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(Cache, WorkingSetWithinCapacityAllHits) {
+  Cache cache(tiny_spec(1024, 64, 2));  // 16 lines capacity
+  for (std::uint64_t line = 0; line < 16; ++line) {
+    cache.access(line * 64);
+  }
+  cache.reset_counters();
+  for (int pass = 0; pass < 3; ++pass) {
+    for (std::uint64_t line = 0; line < 16; ++line) {
+      EXPECT_TRUE(cache.access(line * 64));
+    }
+  }
+  EXPECT_EQ(cache.misses(), 0u);
+}
+
+TEST(Cache, LruEvictsLeastRecent) {
+  // 2-way set: lines A, B map to set 0; touch A, B, then A again, then C.
+  // C evicts B (least recently used), so A must still hit.
+  Cache cache(tiny_spec(1024, 64, 2));  // 8 sets
+  const std::uint64_t a = 0;
+  const std::uint64_t b = 8 * 64;   // same set 0, different tag
+  const std::uint64_t c = 16 * 64;  // same set 0, third tag
+  cache.access(a);
+  cache.access(b);
+  cache.access(a);
+  cache.access(c);                 // evicts b
+  EXPECT_TRUE(cache.access(a));
+  EXPECT_FALSE(cache.access(b));   // was evicted
+}
+
+TEST(Cache, ConflictThrashingWithCyclicScan) {
+  // 3 lines in a 2-way set accessed cyclically: LRU worst case, every
+  // access misses in steady state.  This is the mechanism behind the ARM
+  // paging cliff (Fig. 12).
+  Cache cache(tiny_spec(1024, 64, 2));
+  const std::uint64_t lines[3] = {0, 8 * 64, 16 * 64};
+  for (int warm = 0; warm < 3; ++warm) {
+    for (const auto line : lines) cache.access(line);
+  }
+  cache.reset_counters();
+  for (int pass = 0; pass < 5; ++pass) {
+    for (const auto line : lines) cache.access(line);
+  }
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 15u);
+}
+
+TEST(Cache, FlushInvalidatesEverything) {
+  Cache cache(tiny_spec());
+  cache.access(0);
+  cache.access(64);
+  cache.flush();
+  cache.reset_counters();
+  EXPECT_FALSE(cache.access(0));
+  EXPECT_FALSE(cache.access(64));
+}
+
+TEST(Cache, PhysicalIndexingUsesSetBits) {
+  const auto spec = tiny_spec(1024, 64, 2);  // 8 sets
+  Cache cache(spec);
+  EXPECT_EQ(cache.set_of(0), 0u);
+  EXPECT_EQ(cache.set_of(64), 1u);
+  EXPECT_EQ(cache.set_of(7 * 64), 7u);
+  EXPECT_EQ(cache.set_of(8 * 64), 0u);  // wraps
+}
+
+TEST(Cache, GeometryValidation) {
+  EXPECT_THROW(Cache(CacheLevelSpec{"bad", 1000, 64, 3, 1.0}),
+               std::invalid_argument);
+}
+
+// Property sweep over geometries: capacity-sized working sets never miss
+// after warmup; 2x-capacity cyclic scans always miss (LRU + cyclic).
+struct Geometry {
+  std::size_t size, line, ways;
+};
+
+class CacheGeometryTest : public ::testing::TestWithParam<Geometry> {};
+
+TEST_P(CacheGeometryTest, CapacityWorkingSetAllHitsAfterWarmup) {
+  const auto [size, line, ways] = GetParam();
+  Cache cache(CacheLevelSpec{"L", size, line, ways, 1.0});
+  const std::size_t lines = size / line;
+  for (std::size_t i = 0; i < lines; ++i) cache.access(i * line);
+  cache.reset_counters();
+  for (std::size_t i = 0; i < lines; ++i) cache.access(i * line);
+  EXPECT_EQ(cache.misses(), 0u);
+}
+
+TEST_P(CacheGeometryTest, DoubleCapacityCyclicAlwaysMisses) {
+  const auto [size, line, ways] = GetParam();
+  Cache cache(CacheLevelSpec{"L", size, line, ways, 1.0});
+  const std::size_t lines = 2 * size / line;
+  for (int warm = 0; warm < 2; ++warm) {
+    for (std::size_t i = 0; i < lines; ++i) cache.access(i * line);
+  }
+  cache.reset_counters();
+  for (std::size_t i = 0; i < lines; ++i) cache.access(i * line);
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometryTest,
+    ::testing::Values(Geometry{1024, 64, 2}, Geometry{4096, 64, 4},
+                      Geometry{32 * 1024, 32, 4},   // ARM L1
+                      Geometry{16 * 1024, 64, 8},   // P4 L1
+                      Geometry{64 * 1024, 64, 2})); // Opteron L1
+
+}  // namespace
+}  // namespace cal::sim::mem

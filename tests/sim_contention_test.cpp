@@ -1,0 +1,196 @@
+// Tests for the multi-core contention model (the paper's intended
+// "parallel execution" study) and the pointer-chase latency model.
+
+#include <gtest/gtest.h>
+
+#include "benchlib/opaque/pchase_like.hpp"
+#include "sim/mem/contention.hpp"
+#include "sim/mem/latency_model.hpp"
+
+namespace cal::sim::mem {
+namespace {
+
+ParallelConfig l1_workload() {
+  ParallelConfig config;
+  config.size_bytes = 16 * 1024;  // L1-resident on the i7
+  config.kernel = {8, 8};
+  config.nloops = 500;
+  return config;
+}
+
+ParallelConfig memory_workload() {
+  ParallelConfig config;
+  config.size_bytes = 32 * 1024 * 1024;  // far beyond L3
+  config.kernel = {8, 8};
+  config.nloops = 4;
+  return config;
+}
+
+TEST(Contention, L1WorkloadScalesLinearly) {
+  const MachineSpec machine = machines::core_i7_2600();
+  ParallelConfig config = l1_workload();
+  config.threads = 1;
+  const double one = measure_parallel(machine, config).aggregate_mbps;
+  config.threads = 8;
+  const auto eight = measure_parallel(machine, config);
+  // Near-linear: the only contended traffic is the one-off cold pass
+  // (compulsory misses), amortized over nloops.
+  EXPECT_NEAR(eight.aggregate_mbps / one, 8.0, 0.25);
+  EXPECT_DOUBLE_EQ(eight.contention_factor, 1.0);  // steady state: no
+                                                   // memory traffic
+}
+
+TEST(Contention, MemoryWorkloadSaturates) {
+  const MachineSpec machine = machines::core_i7_2600();
+  ParallelConfig config = memory_workload();
+  config.threads = 1;
+  const auto one = measure_parallel(machine, config);
+  config.threads = 8;
+  const auto eight = measure_parallel(machine, config);
+  EXPECT_LT(eight.aggregate_mbps, 4.0 * one.aggregate_mbps);
+  EXPECT_GT(eight.memory_pressure, 1.0);
+  EXPECT_GT(eight.contention_factor, 1.0);
+  EXPECT_LT(eight.per_thread_mbps, one.per_thread_mbps);
+}
+
+TEST(Contention, AggregateNeverDecreases) {
+  const MachineSpec machine = machines::core_i7_2600();
+  for (const auto& base : {l1_workload(), memory_workload()}) {
+    double previous = 0.0;
+    for (std::size_t threads = 1; threads <= 8; ++threads) {
+      ParallelConfig config = base;
+      config.threads = threads;
+      const double aggregate =
+          measure_parallel(machine, config).aggregate_mbps;
+      EXPECT_GE(aggregate, previous * 0.999);
+      previous = aggregate;
+    }
+  }
+}
+
+TEST(Contention, PerThreadNeverIncreases) {
+  const MachineSpec machine = machines::core_i7_2600();
+  ParallelConfig config = memory_workload();
+  double previous = 1e300;
+  for (std::size_t threads = 1; threads <= 8; ++threads) {
+    config.threads = threads;
+    const double per_thread =
+        measure_parallel(machine, config).per_thread_mbps;
+    EXPECT_LE(per_thread, previous * 1.001);
+    previous = per_thread;
+  }
+}
+
+TEST(Contention, SaturationThreadsFindsTheKnee) {
+  const MachineSpec machine = machines::core_i7_2600();
+  EXPECT_EQ(saturation_threads(machine, l1_workload()), 8u);
+  EXPECT_LT(saturation_threads(machine, memory_workload()), 8u);
+}
+
+TEST(Contention, ThreadsCappedAtCoreCount) {
+  const MachineSpec machine = machines::opteron();  // 2 cores
+  ParallelConfig config = l1_workload();
+  config.size_bytes = 8 * 1024;
+  config.threads = 64;
+  const auto result = measure_parallel(machine, config);
+  ParallelConfig two = config;
+  two.threads = 2;
+  EXPECT_DOUBLE_EQ(result.aggregate_mbps,
+                   measure_parallel(machine, two).aggregate_mbps);
+}
+
+TEST(Contention, Validation) {
+  const MachineSpec machine = machines::opteron();
+  ParallelConfig config;
+  config.size_bytes = 4;
+  config.stride_elems = 8;
+  EXPECT_THROW(measure_parallel(machine, config), std::invalid_argument);
+  config = l1_workload();
+  config.nloops = 0;
+  EXPECT_THROW(measure_parallel(machine, config), std::invalid_argument);
+}
+
+TEST(LatencyModel, GrowsWithLevel) {
+  const MachineSpec machine = machines::core_i7_2600();
+  double previous = 0.0;
+  for (std::size_t level = 0; level <= machine.caches.size(); ++level) {
+    const double cycles = latency_cycles_for_level(machine, level);
+    EXPECT_GT(cycles, previous);
+    previous = cycles;
+  }
+}
+
+TEST(LatencyModel, SerialMemoryLatencyIgnoresMlp) {
+  // The throughput model divides the memory stall by the MLP depth; the
+  // serial chase must not.
+  MachineSpec machine = machines::core_i7_2600();
+  const double with_mlp =
+      latency_cycles_for_level(machine, machine.caches.size());
+  machine.memory_mlp = 1.0;
+  const double without =
+      latency_cycles_for_level(machine, machine.caches.size());
+  EXPECT_DOUBLE_EQ(with_mlp, without);
+}
+
+TEST(Pchase, LatencyStaircase) {
+  const MachineSpec machine = machines::core_i7_2600();
+  Rng rng(1);
+  const double in_l1 =
+      benchlib::pchase_latency_ns(machine, 16 * 1024, 4096, rng);
+  const double in_l2 =
+      benchlib::pchase_latency_ns(machine, 128 * 1024, 4096, rng);
+  const double in_l3 =
+      benchlib::pchase_latency_ns(machine, 4 * 1024 * 1024, 4096, rng);
+  const double in_mem =
+      benchlib::pchase_latency_ns(machine, 32 * 1024 * 1024, 4096, rng);
+  EXPECT_LT(in_l1, in_l2);
+  EXPECT_LT(in_l2, in_l3);
+  EXPECT_LT(in_l3, in_mem);
+  // L1 load-to-use at 3.4 GHz: around a nanosecond.
+  EXPECT_LT(in_l1, 2.0);
+  // Memory latency: tens of ns.
+  EXPECT_GT(in_mem, 20.0);
+}
+
+TEST(Pchase, RunSweepShape) {
+  benchlib::PchaseOptions options;
+  options.sizes_bytes = {8 * 1024, 128 * 1024, 8 * 1024 * 1024};
+  options.repetitions = 2;
+  const auto rows = benchlib::run_pchase(machines::opteron(), options);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_LT(rows[0].mean_latency_ns, rows[1].mean_latency_ns);
+  EXPECT_LT(rows[1].mean_latency_ns, rows[2].mean_latency_ns);
+  for (const auto& row : rows) {
+    EXPECT_LE(row.min_latency_ns, row.mean_latency_ns);
+  }
+}
+
+TEST(Pchase, Validation) {
+  Rng rng(2);
+  EXPECT_THROW(
+      benchlib::pchase_latency_ns(machines::opteron(), 64, 100, rng),
+      std::invalid_argument);
+  EXPECT_THROW(
+      benchlib::run_pchase(machines::opteron(), benchlib::PchaseOptions{}),
+      std::invalid_argument);
+}
+
+TEST(Pchase, MeasureFnIntegratesWithPlans) {
+  const Plan plan =
+      DesignBuilder(5)
+          .add(Factor::levels("size_bytes",
+                              {Value(8 * 1024), Value(512 * 1024)}))
+          .replications(2)
+          .build();
+  Engine engine({"latency_ns"});
+  const RawTable table = engine.run(
+      plan, benchlib::pchase_measure_fn(machines::core_i7_2600(), 2048));
+  EXPECT_EQ(table.size(), 4u);
+  const auto small = table.filter("size_bytes", Value(8 * 1024));
+  const auto large = table.filter("size_bytes", Value(512 * 1024));
+  EXPECT_LT(small.metric_column("latency_ns")[0],
+            large.metric_column("latency_ns")[0]);
+}
+
+}  // namespace
+}  // namespace cal::sim::mem

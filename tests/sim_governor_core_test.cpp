@@ -1,0 +1,123 @@
+// Tests for DVFS governors and the SimCore clock integration (Fig. 10
+// mechanics).
+
+#include "sim/cpu/core.hpp"
+#include "sim/cpu/governor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace cal::sim::cpu {
+namespace {
+
+const FreqSpec kRange{1.0, 4.0};
+
+TEST(Governors, PerformanceAlwaysMax) {
+  PerformanceGovernor gov;
+  EXPECT_DOUBLE_EQ(gov.initial_freq_ghz(kRange), 4.0);
+  EXPECT_DOUBLE_EQ(gov.on_tick(0.0, 4.0, kRange), 4.0);
+  EXPECT_DOUBLE_EQ(gov.period_s(), 0.0);
+}
+
+TEST(Governors, PowersaveAlwaysMin) {
+  PowersaveGovernor gov;
+  EXPECT_DOUBLE_EQ(gov.initial_freq_ghz(kRange), 1.0);
+  EXPECT_DOUBLE_EQ(gov.on_tick(1.0, 1.0, kRange), 1.0);
+}
+
+TEST(Governors, OndemandRampsUpWhenBusy) {
+  OndemandGovernor gov;
+  EXPECT_DOUBLE_EQ(gov.initial_freq_ghz(kRange), 1.0);
+  EXPECT_DOUBLE_EQ(gov.on_tick(1.0, 1.0, kRange), 4.0);
+}
+
+TEST(Governors, OndemandDropsWhenIdle) {
+  OndemandGovernor gov;
+  EXPECT_DOUBLE_EQ(gov.on_tick(0.05, 4.0, kRange), 1.0);
+}
+
+TEST(Governors, OndemandDropsBelowUpThreshold) {
+  // Classic ondemand has no hold band: any window under the up threshold
+  // scales back down immediately.
+  OndemandGovernor gov;
+  EXPECT_DOUBLE_EQ(gov.on_tick(0.5, 4.0, kRange), 1.0);
+  EXPECT_DOUBLE_EQ(gov.on_tick(0.79, 4.0, kRange), 1.0);
+  EXPECT_DOUBLE_EQ(gov.on_tick(0.81, 1.0, kRange), 4.0);
+}
+
+TEST(Governors, FactoryRoundTrip) {
+  for (const auto kind : {GovernorKind::kPerformance, GovernorKind::kPowersave,
+                          GovernorKind::kOndemand}) {
+    const auto gov = make_governor(kind);
+    EXPECT_STREQ(gov->name(), to_string(kind));
+  }
+}
+
+TEST(SimCore, FixedFrequencyTimeIsExact) {
+  SimCore core(FreqSpec{2.0, 2.0}, std::make_unique<PerformanceGovernor>());
+  const double elapsed = core.run(2e9);  // 2e9 cycles @ 2 GHz = 1 s
+  EXPECT_NEAR(elapsed, 1.0, 1e-12);
+  EXPECT_NEAR(core.now(), 1.0, 1e-12);
+}
+
+TEST(SimCore, OndemandStartsSlowThenRamps) {
+  SimCore core(kRange, std::make_unique<OndemandGovernor>());
+  // A run much longer than the 10 ms sampling period: the first window
+  // executes at 1 GHz, later windows at 4 GHz.
+  const double cycles = 0.4e9;  // 0.4 s at 1 GHz, 0.1 s at 4 GHz
+  const double elapsed = core.run(cycles);
+  EXPECT_LT(elapsed, 0.4);  // faster than all-min
+  EXPECT_GT(elapsed, 0.1);  // slower than all-max
+  EXPECT_DOUBLE_EQ(core.current_freq_ghz(), 4.0);  // ramped by the end
+}
+
+TEST(SimCore, ShortBurstsStaySlowWithIdleGaps) {
+  // The Fig. 10 low-nloops regime: sub-period bursts separated by long
+  // idle gaps never ramp the governor.
+  SimCore core(kRange, std::make_unique<OndemandGovernor>());
+  for (int i = 0; i < 20; ++i) {
+    core.sync_to(core.now() + 0.050);  // 50 ms idle
+    core.run(1e5);                     // 100 us at 1 GHz
+    EXPECT_DOUBLE_EQ(core.current_freq_ghz(), 1.0) << "burst " << i;
+  }
+}
+
+TEST(SimCore, FrequencyDropsBackAfterIdle) {
+  SimCore core(kRange, std::make_unique<OndemandGovernor>());
+  core.run(0.5e9);  // long busy run -> ramped to max
+  EXPECT_DOUBLE_EQ(core.current_freq_ghz(), 4.0);
+  core.sync_to(core.now() + 0.1);  // 100 ms idle: several idle ticks
+  EXPECT_DOUBLE_EQ(core.current_freq_ghz(), 1.0);
+}
+
+TEST(SimCore, TickPhaseShiftsRampPoint) {
+  // Two cores with different tick phases ramp at different times -- the
+  // source of the Fig. 10 intermediate-nloops variability.
+  SimCore early(kRange, std::make_unique<OndemandGovernor>(), 0.0);
+  SimCore late(kRange, std::make_unique<OndemandGovernor>(), 0.005);
+  const double cycles = 0.03e9;  // 30 ms at 1 GHz
+  const double t_early = early.run(cycles);
+  const double t_late = late.run(cycles);
+  EXPECT_NE(t_early, t_late);
+}
+
+TEST(SimCore, SyncBackwardsIsIgnored) {
+  SimCore core(kRange, std::make_unique<PerformanceGovernor>());
+  core.run(4e9);  // 1 s
+  const double t = core.now();
+  core.sync_to(t - 0.5);
+  EXPECT_DOUBLE_EQ(core.now(), t);
+}
+
+TEST(SimCore, NegativeCyclesThrow) {
+  SimCore core(kRange, std::make_unique<PerformanceGovernor>());
+  EXPECT_THROW(core.run(-1.0), std::invalid_argument);
+}
+
+TEST(SimCore, NullGovernorThrows) {
+  EXPECT_THROW(SimCore(kRange, nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cal::sim::cpu

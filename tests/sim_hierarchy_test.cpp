@@ -1,0 +1,129 @@
+// Tests for the multi-level hierarchy: fill behaviour, stall accounting,
+// and the steady-state equivalence that makes nloops simulation cheap.
+
+#include "sim/mem/hierarchy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/mem/page_allocator.hpp"
+
+namespace cal::sim::mem {
+namespace {
+
+MachineSpec tiny_machine() {
+  MachineSpec m;
+  m.name = "tiny";
+  m.freq = {1.0, 1.0};
+  m.caches = {
+      {"L1", 4 * 1024, 64, 2, 10.0},
+      {"L2", 32 * 1024, 64, 4, 40.0},
+  };
+  m.memory_stall_cycles = 100.0;
+  m.page_bytes = 4096;
+  return m;
+}
+
+Buffer contiguous_buffer(std::size_t size, std::size_t page = 4096) {
+  std::vector<std::uint32_t> frames;
+  for (std::size_t i = 0; i * page < size + page; ++i) {
+    frames.push_back(static_cast<std::uint32_t>(i));
+  }
+  return Buffer(frames, page, size);
+}
+
+TEST(Hierarchy, L1HitIsFree) {
+  Hierarchy h(tiny_machine());
+  h.access(0);  // install
+  EXPECT_EQ(h.access(0), 0u);
+  EXPECT_DOUBLE_EQ(h.stall_for_level(0), 0.0);
+}
+
+TEST(Hierarchy, MissCostsGrowWithLevel) {
+  Hierarchy h(tiny_machine());
+  EXPECT_LT(h.stall_for_level(0), h.stall_for_level(1));
+  EXPECT_LT(h.stall_for_level(1), h.stall_for_level(2));
+  EXPECT_DOUBLE_EQ(h.stall_for_level(1), 10.0);   // L1 miss -> L2 hit
+  EXPECT_DOUBLE_EQ(h.stall_for_level(2), 100.0);  // memory
+}
+
+TEST(Hierarchy, L2HitAfterL1Eviction) {
+  Hierarchy h(tiny_machine());
+  // Touch 3 lines mapping to the same L1 set (L1: 32 sets) but different
+  // L2 sets; the first line gets evicted from L1 but stays in L2.
+  const std::uint64_t stride = 32 * 64;  // same L1 set each time
+  h.access(0 * stride);
+  h.access(1 * stride);
+  h.access(2 * stride);  // evicts line 0 from 2-way L1
+  EXPECT_EQ(h.access(0 * stride), 1u);  // L2 hit
+}
+
+TEST(Hierarchy, StreamPassCountsAccesses) {
+  Hierarchy h(tiny_machine());
+  const Buffer buffer = contiguous_buffer(2048);
+  const PassCost cost = h.stream_pass(buffer, 64, 32);
+  EXPECT_EQ(cost.accesses, 32u);
+  std::uint64_t total = 0;
+  for (const auto c : cost.hits_by_level) total += c;
+  EXPECT_EQ(total, 32u);
+}
+
+TEST(Hierarchy, FittingBufferSteadyPassAllL1) {
+  Hierarchy h(tiny_machine());
+  const Buffer buffer = contiguous_buffer(2048);  // fits 4 KB L1
+  const auto cost = h.steady_state_cost(buffer, 64, 32);
+  EXPECT_GT(cost.cold.stall_cycles, 0u);      // compulsory misses
+  EXPECT_EQ(cost.steady.stall_cycles, 0u);    // all L1 in steady state
+  EXPECT_EQ(cost.steady.hits_by_level[0], 32u);
+}
+
+TEST(Hierarchy, OversizedBufferMissesInSteadyState) {
+  Hierarchy h(tiny_machine());
+  const Buffer buffer = contiguous_buffer(8 * 1024);  // 2x L1
+  const auto cost = h.steady_state_cost(buffer, 64, 128);
+  EXPECT_GT(cost.steady.stall_cycles, 0u);
+  EXPECT_EQ(cost.steady.hits_by_level[0], 0u);  // cyclic LRU thrash
+  EXPECT_EQ(cost.steady.hits_by_level[1], 128u);  // but L2 holds it
+}
+
+TEST(Hierarchy, FlushRestoresColdState) {
+  Hierarchy h(tiny_machine());
+  const Buffer buffer = contiguous_buffer(2048);
+  const auto first = h.steady_state_cost(buffer, 64, 32);
+  h.flush();
+  const auto second = h.steady_state_cost(buffer, 64, 32);
+  EXPECT_EQ(first.cold.stall_cycles, second.cold.stall_cycles);
+  EXPECT_EQ(first.steady.stall_cycles, second.steady.stall_cycles);
+}
+
+// The property the nloops shortcut relies on: pass 2 == pass 3 for
+// cyclic deterministic access streams.
+struct SteadyCase {
+  std::size_t buffer_size;
+  std::size_t stride;
+};
+
+class SteadyStateTest : public ::testing::TestWithParam<SteadyCase> {};
+
+TEST_P(SteadyStateTest, SecondPassEqualsThirdPass) {
+  const auto [size, stride] = GetParam();
+  Hierarchy h(tiny_machine());
+  const Buffer buffer = contiguous_buffer(size);
+  const std::size_t count = size / stride;
+  h.stream_pass(buffer, stride, count);                     // pass 1
+  const PassCost pass2 = h.stream_pass(buffer, stride, count);
+  const PassCost pass3 = h.stream_pass(buffer, stride, count);
+  EXPECT_EQ(pass2.stall_cycles, pass3.stall_cycles);
+  EXPECT_EQ(pass2.hits_by_level, pass3.hits_by_level);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Streams, SteadyStateTest,
+    ::testing::Values(SteadyCase{1024, 8}, SteadyCase{2048, 64},
+                      SteadyCase{4096, 8},          // exactly L1-sized
+                      SteadyCase{6144, 8},          // 1.5x L1
+                      SteadyCase{8192, 64},         // 2x L1
+                      SteadyCase{65536, 64},        // 2x L2
+                      SteadyCase{3000, 12}));       // non-power-of-two
+
+}  // namespace
+}  // namespace cal::sim::mem

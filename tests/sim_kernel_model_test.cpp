@@ -1,0 +1,93 @@
+// Tests for the kernel issue model: the Fig. 9 orderings.
+
+#include "sim/mem/kernel_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cal::sim::mem {
+namespace {
+
+IssueSpec snb() { return machines::core_i7_2600().issue; }
+
+TEST(KernelModel, UnrollingImprovesThroughput) {
+  const IssueSpec issue = snb();
+  const double plain = issue_cycles_per_access(issue, {4, 1});
+  const double unrolled = issue_cycles_per_access(issue, {4, 8});
+  EXPECT_LT(unrolled, plain);
+}
+
+TEST(KernelModel, WiderElementsRaiseBandwidth) {
+  // Fig. 9: "increasing element type from 4 B int to 8 B long long int
+  // essentially doubles the bandwidth" (same cycles, twice the bytes).
+  const IssueSpec issue = snb();
+  const double bw4 = peak_l1_bandwidth_mbps(issue, {4, 8}, 3.4);
+  const double bw8 = peak_l1_bandwidth_mbps(issue, {8, 8}, 3.4);
+  const double bw16 = peak_l1_bandwidth_mbps(issue, {16, 8}, 3.4);
+  EXPECT_NEAR(bw8 / bw4, 2.0, 0.05);
+  EXPECT_GT(bw16, bw8);
+}
+
+TEST(KernelModel, DependencyChainBindsWithoutUnroll) {
+  // Without unrolling the reduction chain dominates: widening elements
+  // gains bandwidth purely from bytes/access.
+  const IssueSpec issue = snb();
+  const double c4 = issue_cycles_per_access(issue, {4, 1});
+  const double c8 = issue_cycles_per_access(issue, {8, 1});
+  EXPECT_DOUBLE_EQ(c4, c8);  // same cycles; chain-bound either way
+  EXPECT_GE(c4, issue.add_latency_cycles);
+}
+
+TEST(KernelModel, WideUnrollAnomalyTriggers) {
+  // The Fig. 9 surprise: 256-bit elements + unrolling collapse.
+  const IssueSpec issue = snb();
+  const double bw_16_unrolled = peak_l1_bandwidth_mbps(issue, {16, 8}, 3.4);
+  const double bw_32_unrolled = peak_l1_bandwidth_mbps(issue, {32, 8}, 3.4);
+  const double bw_32_plain = peak_l1_bandwidth_mbps(issue, {32, 1}, 3.4);
+  EXPECT_LT(bw_32_unrolled, bw_32_plain);      // unrolling *hurts* here
+  EXPECT_LT(bw_32_unrolled, bw_16_unrolled / 2.0);  // extremely low
+}
+
+TEST(KernelModel, AnomalyAbsentOnOtherMachines) {
+  const IssueSpec arm = machines::arm_snowball().issue;
+  const double plain = peak_l1_bandwidth_mbps(arm, {8, 1}, 1.0);
+  const double unrolled = peak_l1_bandwidth_mbps(arm, {8, 2}, 1.0);
+  EXPECT_GE(unrolled, plain);  // no anomaly: unrolling never hurts
+}
+
+TEST(KernelModel, AccumulatorCapLimitsUnrollGains) {
+  const IssueSpec issue = snb();  // max_accumulators = 8
+  const double u8 = issue_cycles_per_access(issue, {4, 8});
+  const double u64 = issue_cycles_per_access(issue, {4, 64});
+  // Beyond the cap only the loop-overhead term shrinks.
+  EXPECT_LT(u64, u8);
+  EXPECT_GT(u64, u8 - issue.loop_overhead_cycles / 8.0);
+}
+
+TEST(KernelModel, Validation) {
+  EXPECT_THROW(issue_cycles_per_access(snb(), {0, 1}), std::invalid_argument);
+  EXPECT_THROW(issue_cycles_per_access(snb(), {4, 0}), std::invalid_argument);
+}
+
+// Property sweep: cycles per access are monotone non-increasing in the
+// unroll factor on machines without the anomaly.
+class UnrollMonotoneTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(UnrollMonotoneTest, MonotoneOnCleanMachines) {
+  const std::size_t elem = GetParam();
+  for (const auto& machine :
+       {machines::opteron(), machines::pentium4(), machines::arm_snowball()}) {
+    double prev = 1e300;
+    for (const std::size_t unroll : {1u, 2u, 4u, 8u, 16u}) {
+      const double c = issue_cycles_per_access(machine.issue, {elem, unroll});
+      EXPECT_LE(c, prev + 1e-12) << machine.name << " elem=" << elem
+                                 << " unroll=" << unroll;
+      prev = c;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Elements, UnrollMonotoneTest,
+                         ::testing::Values(4u, 8u, 16u, 32u));
+
+}  // namespace
+}  // namespace cal::sim::mem

@@ -1,0 +1,77 @@
+// Tests that the built-in machine specs match the paper's Fig. 5 table.
+
+#include "sim/machine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cal::sim {
+namespace {
+
+TEST(Machines, OpteronMatchesFig5) {
+  const MachineSpec m = machines::opteron();
+  EXPECT_EQ(m.word_bits, 64);
+  EXPECT_EQ(m.cores, 2);
+  EXPECT_DOUBLE_EQ(m.freq.max_ghz, 2.8);
+  ASSERT_EQ(m.caches.size(), 2u);  // no L3
+  EXPECT_EQ(m.caches[0].size_bytes, 64u * 1024);
+  EXPECT_EQ(m.caches[0].ways, 2u);
+  EXPECT_EQ(m.caches[1].size_bytes, 1024u * 1024);
+  EXPECT_EQ(m.caches[1].ways, 16u);
+  EXPECT_FALSE(m.random_page_allocation);
+}
+
+TEST(Machines, Pentium4MatchesFig5) {
+  const MachineSpec m = machines::pentium4();
+  EXPECT_DOUBLE_EQ(m.freq.max_ghz, 3.2);
+  ASSERT_EQ(m.caches.size(), 2u);
+  EXPECT_EQ(m.caches[0].size_bytes, 16u * 1024);
+  EXPECT_EQ(m.caches[0].ways, 8u);
+  EXPECT_EQ(m.caches[1].size_bytes, 2u * 1024 * 1024);
+  // The heavy noise profile behind Fig. 8.
+  EXPECT_GT(m.noise.sigma, 0.2);
+  EXPECT_GT(m.noise.spike_prob, 0.0);
+}
+
+TEST(Machines, CoreI7MatchesFig5) {
+  const MachineSpec m = machines::core_i7_2600();
+  EXPECT_EQ(m.cores, 8);
+  EXPECT_DOUBLE_EQ(m.freq.max_ghz, 3.4);
+  EXPECT_LT(m.freq.min_ghz, m.freq.max_ghz);  // DVFS range for Fig. 10
+  ASSERT_EQ(m.caches.size(), 3u);
+  EXPECT_EQ(m.caches[0].size_bytes, 32u * 1024);
+  EXPECT_EQ(m.caches[1].size_bytes, 256u * 1024);
+  EXPECT_EQ(m.caches[2].size_bytes, 8u * 1024 * 1024);
+  EXPECT_EQ(m.caches[2].ways, 16u);
+  // The Fig. 9 wide-unroll anomaly is present on this machine only.
+  EXPECT_GT(m.issue.wide_unroll_anomaly_factor, 1.0);
+}
+
+TEST(Machines, ArmSnowballMatchesSectionIV4) {
+  const MachineSpec m = machines::arm_snowball();
+  EXPECT_EQ(m.word_bits, 32);
+  EXPECT_DOUBLE_EQ(m.freq.max_ghz, 1.0);
+  EXPECT_EQ(m.caches[0].size_bytes, 32u * 1024);
+  EXPECT_EQ(m.caches[0].ways, 4u);  // the text's associativity, not Fig. 5's
+  EXPECT_EQ(m.page_bytes, 4096u);
+  EXPECT_TRUE(m.random_page_allocation);
+  // Exactly 2 L1 page colors: way bytes (8 KB) / page (4 KB).
+  const std::size_t way_bytes = m.caches[0].size_bytes / m.caches[0].ways;
+  EXPECT_EQ(way_bytes / m.page_bytes, 2u);
+}
+
+TEST(Machines, AllReturnsFour) {
+  const auto all = machines::all();
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all[0].name, "opteron");
+  EXPECT_EQ(all[3].name, "arm-snowball");
+}
+
+TEST(CacheLevelSpec, SetsGeometry) {
+  const CacheLevelSpec l1{"L1", 32 * 1024, 32, 4, 10.0};
+  EXPECT_EQ(l1.sets(), 256u);
+  const CacheLevelSpec l2{"L2", 1024 * 1024, 64, 16, 40.0};
+  EXPECT_EQ(l2.sets(), 1024u);
+}
+
+}  // namespace
+}  // namespace cal::sim

@@ -1,0 +1,237 @@
+// Tests for MemSystem: the composed memory-machine simulator.  These
+// encode the per-pitfall behaviours the figure benches rely on.
+
+#include "sim/mem/stride_bench.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace cal::sim::mem {
+namespace {
+
+MemSystemConfig quiet_config(MachineSpec machine) {
+  MemSystemConfig config;
+  config.machine = std::move(machine);
+  config.enable_noise = false;
+  return config;
+}
+
+double measure_bw(MemSystem& system, std::size_t size, std::size_t stride,
+                  KernelConfig kernel, std::size_t nloops, double now,
+                  std::uint64_t seed) {
+  Rng rng(seed);
+  return system
+      .measure({size, stride, kernel, nloops}, now, rng)
+      .bandwidth_mbps;
+}
+
+TEST(MemSystem, L1ResidentBandwidthNearPeak) {
+  const MachineSpec machine = machines::core_i7_2600();
+  MemSystem system(quiet_config(machine));
+  const KernelConfig kernel{8, 8};
+  // Large nloops so the cold-pass compulsory misses amortize away.
+  const double bw = measure_bw(system, 16 * 1024, 1, kernel, 800, 0.0, 1);
+  const double peak =
+      peak_l1_bandwidth_mbps(machine.issue, kernel, machine.freq.max_ghz);
+  EXPECT_GT(bw, 0.85 * peak);
+  EXPECT_LE(bw, peak * 1.001);
+}
+
+TEST(MemSystem, CliffVisibleForFastKernelInvisibleForSlow) {
+  // The central Fig. 9 observation: the L1 cliff only appears once the
+  // kernel is fast enough to be memory-bound.
+  MemSystem fast_sys(quiet_config(machines::core_i7_2600()));
+  MemSystem slow_sys(quiet_config(machines::core_i7_2600()));
+  const KernelConfig fast{16, 8};  // vectorized + unrolled
+  const KernelConfig slow{4, 1};   // naive int kernel
+
+  const double fast_in = measure_bw(fast_sys, 16 * 1024, 1, fast, 200, 0.0, 1);
+  const double fast_out =
+      measure_bw(fast_sys, 64 * 1024, 1, fast, 200, 1.0, 2);
+  const double slow_in = measure_bw(slow_sys, 16 * 1024, 1, slow, 200, 0.0, 3);
+  const double slow_out =
+      measure_bw(slow_sys, 64 * 1024, 1, slow, 200, 1.0, 4);
+
+  const double fast_drop = fast_in / fast_out;
+  const double slow_drop = slow_in / slow_out;
+  EXPECT_GT(fast_drop, 1.5);   // pronounced cliff
+  EXPECT_LT(slow_drop, 1.15);  // "no drop at all" for the 4 B kernel
+}
+
+TEST(MemSystem, StrideHalvesL2Bandwidth) {
+  // Fig. 7: strides do not matter inside L1 but roughly halve bandwidth
+  // per doubling once the buffer spills to L2.
+  MemSystem sys(quiet_config(machines::opteron()));
+  const KernelConfig kernel{4, 1};
+  const std::size_t big = 256 * 1024;  // L2-resident on Opteron
+  const double s2 = measure_bw(sys, big, 2, kernel, 300, 0.0, 1);
+  const double s4 = measure_bw(sys, big, 4, kernel, 300, 1.0, 2);
+  const double s8 = measure_bw(sys, big, 8, kernel, 300, 2.0, 3);
+  EXPECT_GT(s2 / s4, 1.3);
+  EXPECT_GT(s4 / s8, 1.3);
+
+  const std::size_t small = 16 * 1024;  // L1-resident
+  const double t2 = measure_bw(sys, small, 2, kernel, 2000, 3.0, 4);
+  const double t8 = measure_bw(sys, small, 8, kernel, 2000, 4.0, 5);
+  EXPECT_NEAR(t2 / t8, 1.0, 0.05);  // stride has no impact inside L1
+}
+
+TEST(MemSystem, DeterministicGivenSeeds) {
+  MemSystem a(quiet_config(machines::arm_snowball()));
+  MemSystem b(quiet_config(machines::arm_snowball()));
+  const double bw_a = measure_bw(a, 24 * 1024, 1, {4, 1}, 10, 0.0, 9);
+  const double bw_b = measure_bw(b, 24 * 1024, 1, {4, 1}, 10, 0.0, 9);
+  EXPECT_DOUBLE_EQ(bw_a, bw_b);
+}
+
+TEST(MemSystem, ArmMallocReuseGivesZeroIntraRunVariability) {
+  // Within one experiment (one MemSystem), repeated measurements of the
+  // same size reuse the same physical pages: identical bandwidth.
+  MemSystem sys(quiet_config(machines::arm_snowball()));
+  const double first = measure_bw(sys, 24 * 1024, 1, {4, 1}, 10, 0.0, 1);
+  for (int rep = 1; rep < 5; ++rep) {
+    const double bw = measure_bw(sys, 24 * 1024, 1, {4, 1}, 10, rep * 1.0,
+                                 static_cast<std::uint64_t>(rep) + 100);
+    EXPECT_DOUBLE_EQ(bw, first);
+  }
+}
+
+TEST(MemSystem, ArmCliffVariesAcrossExperiments) {
+  // Across experiments (system seeds), the mid-L1 sizes behave
+  // differently: some draws conflict, others do not (Fig. 12).
+  std::set<long> distinct;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    MemSystemConfig config = quiet_config(machines::arm_snowball());
+    config.system_seed = seed;
+    MemSystem sys(config);
+    const double bw = measure_bw(sys, 28 * 1024, 1, {4, 1}, 10, 0.0, 1);
+    distinct.insert(std::lround(bw));
+  }
+  EXPECT_GE(distinct.size(), 2u);
+}
+
+TEST(MemSystem, ArmSmallBuffersAreStableAcrossExperiments) {
+  // Sizes at most 4 pages (<= half of L1 colors * ways) can never
+  // conflict: every experiment agrees.
+  std::set<long> distinct;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    MemSystemConfig config = quiet_config(machines::arm_snowball());
+    config.system_seed = seed;
+    MemSystem sys(config);
+    const double bw = measure_bw(sys, 8 * 1024, 1, {4, 1}, 10, 0.0, 1);
+    distinct.insert(std::lround(bw));
+  }
+  EXPECT_EQ(distinct.size(), 1u);
+}
+
+TEST(MemSystem, PageColoringRemovesTheAnomaly) {
+  // With a colored allocator the mid-L1 sizes are stable across
+  // experiments: the OS-side fix the paper mentions.
+  std::set<long> distinct;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    MemSystemConfig config = quiet_config(machines::arm_snowball());
+    config.system_seed = seed;
+    config.page_policy = PagePolicy::kColored;
+    MemSystem sys(config);
+    const double bw = measure_bw(sys, 28 * 1024, 1, {4, 1}, 10, 0.0, 1);
+    distinct.insert(std::lround(bw));
+  }
+  EXPECT_EQ(distinct.size(), 1u);
+}
+
+TEST(MemSystem, BigBlockRandomOffsetRestoresIntraRunVariability) {
+  // The paper's alternative allocation: one big block, random offset per
+  // repetition -> the conflict pattern varies within one experiment.
+  MemSystemConfig config = quiet_config(machines::arm_snowball());
+  config.alloc = AllocTechnique::kBigBlockRandomOffset;
+  MemSystem sys(config);
+  std::set<long> distinct;
+  for (std::uint64_t rep = 0; rep < 16; ++rep) {
+    const double bw =
+        measure_bw(sys, 28 * 1024, 1, {4, 1}, 10, static_cast<double>(rep),
+                   rep + 1);
+    distinct.insert(std::lround(bw));
+  }
+  EXPECT_GE(distinct.size(), 2u);
+}
+
+TEST(MemSystem, OndemandMakesNloopsMatter) {
+  // Fig. 10: nloops "should not have any influence" on bandwidth but
+  // does under the ondemand governor.
+  MemSystemConfig config = quiet_config(machines::core_i7_2600());
+  config.governor = cpu::GovernorKind::kOndemand;
+  MemSystem sys(config);
+  const KernelConfig kernel{4, 1};
+  // Short kernel after a long idle gap: stuck at f_min.
+  const double bw_small = measure_bw(sys, 32 * 1024, 1, kernel, 4, 1.0, 1);
+  // Long kernel: ramps to f_max during the measurement.
+  const double bw_large =
+      measure_bw(sys, 32 * 1024, 1, kernel, 40000, 2.0, 2);
+  EXPECT_GT(bw_large / bw_small, 1.5);
+}
+
+TEST(MemSystem, PerformanceGovernorMakesNloopsIrrelevant) {
+  MemSystem sys(quiet_config(machines::core_i7_2600()));
+  const KernelConfig kernel{4, 1};
+  // Both runs long enough that the cold pass is negligible: any residual
+  // nloops dependence would have to come from the governor.
+  const double bw_small = measure_bw(sys, 32 * 1024, 1, kernel, 400, 1.0, 1);
+  const double bw_large = measure_bw(sys, 32 * 1024, 1, kernel, 4000, 2.0, 2);
+  EXPECT_NEAR(bw_large / bw_small, 1.0, 0.05);
+}
+
+TEST(MemSystem, FifoDaemonWindowSlowsMeasurements) {
+  MemSystemConfig config = quiet_config(machines::arm_snowball());
+  config.policy = os::SchedPolicy::kFifo;
+  config.daemon_present = true;
+  config.horizon_s = 100.0;
+  MemSystem sys(config);
+  const double inside_start = sys.scheduler().window_start_s();
+  const double bw_out = measure_bw(sys, 8 * 1024, 1, {4, 1}, 10,
+                                   inside_start - 1.0, 1);
+  const double bw_in =
+      measure_bw(sys, 8 * 1024, 1, {4, 1}, 10, inside_start + 0.1, 2);
+  EXPECT_NEAR(bw_out / bw_in, sys.config().daemon.fifo_slowdown, 0.01);
+}
+
+TEST(MemSystem, NoiseProfileCreatesSpread) {
+  MemSystemConfig config;
+  config.machine = machines::pentium4();
+  config.enable_noise = true;
+  MemSystem sys(config);
+  std::vector<double> bws;
+  for (std::uint64_t rep = 0; rep < 30; ++rep) {
+    bws.push_back(measure_bw(sys, 8 * 1024, 1, {4, 1}, 10,
+                             static_cast<double>(rep), rep + 1));
+  }
+  double lo = bws[0], hi = bws[0];
+  for (const double bw : bws) {
+    lo = std::min(lo, bw);
+    hi = std::max(hi, bw);
+  }
+  EXPECT_GT(hi / lo, 1.3);  // the Fig. 8 cloud
+}
+
+TEST(MemSystem, Validation) {
+  MemSystem sys(quiet_config(machines::opteron()));
+  Rng rng(1);
+  EXPECT_THROW(sys.measure({64, 32, {4, 1}, 1}, 0.0, rng),
+               std::invalid_argument);  // size < stride bytes
+  EXPECT_THROW(sys.measure({1024, 1, {4, 1}, 0}, 0.0, rng),
+               std::invalid_argument);  // nloops == 0
+}
+
+TEST(MemSystem, DiagnosticsArePopulated) {
+  MemSystem sys(quiet_config(machines::core_i7_2600()));
+  Rng rng(1);
+  const auto out = sys.measure({8 * 1024, 1, {4, 1}, 10}, 0.0, rng);
+  EXPECT_GT(out.elapsed_s, 0.0);
+  EXPECT_NEAR(out.avg_freq_ghz, 3.4, 1e-6);
+  EXPECT_GT(out.l1_hit_rate, 0.99);
+  EXPECT_DOUBLE_EQ(out.slowdown, 1.0);
+}
+
+}  // namespace
+}  // namespace cal::sim::mem

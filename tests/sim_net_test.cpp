@@ -1,0 +1,166 @@
+// Tests for the network substrate: link specs, protocol segments, quirks,
+// the three calibration operations, and perturbation injection.
+
+#include "sim/net/network_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cal::sim::net {
+namespace {
+
+NetworkSimConfig quiet_taurus() {
+  NetworkSimConfig config;
+  config.link = links::taurus_openmpi_tcp();
+  config.enable_noise = false;
+  return config;
+}
+
+TEST(LinkSpec, SegmentSelectionByMinSize) {
+  const LinkSpec link = links::taurus_openmpi_tcp();
+  EXPECT_EQ(link.segment_for(100.0).protocol, Protocol::kEager);
+  EXPECT_EQ(link.segment_for(40.0 * 1024).protocol, Protocol::kDetached);
+  EXPECT_EQ(link.segment_for(1e6).protocol, Protocol::kRendezvous);
+}
+
+TEST(LinkSpec, TrueBreakpointsMatchSegments) {
+  const LinkSpec link = links::taurus_openmpi_tcp();
+  const auto breaks = link.true_breakpoints();
+  ASSERT_EQ(breaks.size(), 2u);
+  EXPECT_DOUBLE_EQ(breaks[0], 32.0 * 1024);
+  EXPECT_DOUBLE_EQ(breaks[1], 64.0 * 1024);
+}
+
+TEST(LinkSpec, QuirkAppliesNearCenterOnly) {
+  const LinkSpec link = links::taurus_openmpi_tcp();
+  EXPECT_GT(link.quirk_factor(1024.0), 1.0);
+  EXPECT_GT(link.quirk_factor(1030.0), 1.0);   // inside half-width
+  EXPECT_DOUBLE_EQ(link.quirk_factor(900.0), 1.0);
+  EXPECT_DOUBLE_EQ(link.quirk_factor(1200.0), 1.0);
+}
+
+TEST(LinkSpec, MyrinetHasSubtle16KAndStrong32KBreaks) {
+  const LinkSpec link = links::myrinet_gm();
+  const auto breaks = link.true_breakpoints();
+  ASSERT_EQ(breaks.size(), 2u);
+  EXPECT_DOUBLE_EQ(breaks[0], 16.0 * 1024);
+  EXPECT_DOUBLE_EQ(breaks[1], 32.0 * 1024);
+}
+
+TEST(LinkSpec, OpenMpiStackAddsOverhead) {
+  const LinkSpec gm = links::myrinet_gm();
+  const LinkSpec ompi = links::openmpi_over_myrinet();
+  for (std::size_t i = 0; i < gm.segments.size(); ++i) {
+    EXPECT_GT(ompi.segments[i].send_overhead_us,
+              gm.segments[i].send_overhead_us);
+    EXPECT_GT(ompi.segments[i].latency_us, gm.segments[i].latency_us);
+  }
+}
+
+TEST(NetworkSim, ExpectedTimesIncreaseWithSize) {
+  NetworkSim sim(quiet_taurus());
+  double prev = 0.0;
+  for (const double size : {64.0, 1024.0 * 4, 1024.0 * 30, 1024.0 * 100,
+                            1024.0 * 1000}) {
+    const double t = sim.expected_us(NetOp::kPingPong, size);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(NetworkSim, PingPongIsTwiceOneWay) {
+  NetworkSim sim(quiet_taurus());
+  const double size = 10000.0;
+  EXPECT_DOUBLE_EQ(sim.expected_us(NetOp::kPingPong, size),
+                   2.0 * sim.one_way_us(size));
+}
+
+TEST(NetworkSim, OverheadsAreBelowFullTransferTime) {
+  NetworkSim sim(quiet_taurus());
+  for (const double size : {256.0, 8192.0, 262144.0}) {
+    EXPECT_LT(sim.expected_us(NetOp::kSendOverhead, size),
+              sim.one_way_us(size));
+    EXPECT_LT(sim.expected_us(NetOp::kRecvOverhead, size),
+              sim.one_way_us(size));
+  }
+}
+
+TEST(NetworkSim, RendezvousPaysHandshake) {
+  // Just above the rendez-vous threshold, the handshake makes one-way
+  // time jump relative to just below it.
+  NetworkSim sim(quiet_taurus());
+  const double below = sim.one_way_us(63.0 * 1024);
+  const double above = sim.one_way_us(65.0 * 1024);
+  EXPECT_GT(above, below);
+}
+
+TEST(NetworkSim, QuirkVisibleAt1024NotAt1000) {
+  NetworkSim sim(quiet_taurus());
+  const double at_1000 = sim.expected_us(NetOp::kPingPong, 1000.0);
+  const double at_1024 = sim.expected_us(NetOp::kPingPong, 1024.0);
+  const double at_1100 = sim.expected_us(NetOp::kPingPong, 1100.0);
+  EXPECT_GT(at_1024, at_1000 * 1.3);  // the special-cased path is slower
+  EXPECT_LT(at_1100, at_1024);        // neighbours are normal again
+}
+
+TEST(NetworkSim, NoiselessMeasurementEqualsExpected) {
+  NetworkSim sim(quiet_taurus());
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(sim.measure_us(NetOp::kPingPong, 5000.0, 0.0, rng),
+                   sim.expected_us(NetOp::kPingPong, 5000.0));
+}
+
+TEST(NetworkSim, NoiseIsDeterministicPerSeed) {
+  NetworkSimConfig config = quiet_taurus();
+  config.enable_noise = true;
+  NetworkSim sim(config);
+  Rng a(9), b(9);
+  EXPECT_DOUBLE_EQ(sim.measure_us(NetOp::kRecvOverhead, 40000.0, 0.0, a),
+                   sim.measure_us(NetOp::kRecvOverhead, 40000.0, 0.0, b));
+}
+
+TEST(NetworkSim, MediumSizeRecvIsExtraNoisy) {
+  // Fig. 4's blue band: the detached regime's o_r varies much more.
+  NetworkSimConfig config = quiet_taurus();
+  config.enable_noise = true;
+  NetworkSim sim(config);
+  auto spread = [&](double size) {
+    Rng rng(4);
+    double lo = 1e300, hi = 0.0;
+    for (int i = 0; i < 200; ++i) {
+      const double t = sim.measure_us(NetOp::kRecvOverhead, size, 0.0, rng);
+      lo = std::min(lo, t);
+      hi = std::max(hi, t);
+    }
+    return hi / lo;
+  };
+  EXPECT_GT(spread(40.0 * 1024), 2.0 * spread(4.0 * 1024));
+}
+
+TEST(NetworkSim, PerturbationWindowInflatesTimes) {
+  NetworkSimConfig config = quiet_taurus();
+  config.perturbations.push_back({10.0, 20.0, 3.0});
+  NetworkSim sim(config);
+  Rng rng(1);
+  const double normal = sim.measure_us(NetOp::kPingPong, 1000.0, 5.0, rng);
+  const double inside = sim.measure_us(NetOp::kPingPong, 1000.0, 15.0, rng);
+  const double after = sim.measure_us(NetOp::kPingPong, 1000.0, 25.0, rng);
+  EXPECT_NEAR(inside / normal, 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(after, normal);
+}
+
+TEST(NetworkSim, EmptyLinkThrows) {
+  NetworkSimConfig config;
+  EXPECT_THROW(NetworkSim{config}, std::invalid_argument);
+}
+
+TEST(Protocol, ToStringNames) {
+  EXPECT_STREQ(to_string(Protocol::kEager), "eager");
+  EXPECT_STREQ(to_string(Protocol::kDetached), "detached");
+  EXPECT_STREQ(to_string(Protocol::kRendezvous), "rendezvous");
+  EXPECT_STREQ(to_string(NetOp::kPingPong), "pingpong");
+}
+
+}  // namespace
+}  // namespace cal::sim::net

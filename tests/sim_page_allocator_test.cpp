@@ -1,0 +1,119 @@
+// Tests for the physical page allocator: the malloc-reuse and random-pool
+// semantics behind pitfall P7.
+
+#include "sim/mem/page_allocator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "sim/mem/address_space.hpp"
+
+namespace cal::sim::mem {
+namespace {
+
+TEST(PageAllocator, SequentialGrantsAscending) {
+  Rng rng(1);
+  PageAllocator alloc(16, PagePolicy::kSequential, rng);
+  const auto frames = alloc.allocate(4);
+  EXPECT_EQ(frames, (std::vector<std::uint32_t>{0, 1, 2, 3}));
+}
+
+TEST(PageAllocator, LifoReuseReturnsSameFrames) {
+  // The paper's observation: malloc/free per repetition reuses the same
+  // physical pages, so every rep sees the same mapping.
+  Rng rng(2);
+  PageAllocator alloc(64, PagePolicy::kRandomPool, rng);
+  const auto first = alloc.allocate(7);
+  alloc.release(first);
+  const auto second = alloc.allocate(7);
+  EXPECT_EQ(first, second);
+}
+
+TEST(PageAllocator, SharedPrefixAcrossSizes) {
+  // Different buffer sizes share the stack prefix: a 3-page buffer uses
+  // the first 3 frames of what a 7-page buffer would use.
+  Rng rng(3);
+  PageAllocator alloc(64, PagePolicy::kRandomPool, rng);
+  const auto big = alloc.allocate(7);
+  alloc.release(big);
+  const auto small = alloc.allocate(3);
+  alloc.release(small);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(small[i], big[i]);
+}
+
+TEST(PageAllocator, RandomPoolDiffersAcrossSeeds) {
+  // Different processes/boots (seeds) see different grant orders: the
+  // Fig. 12 "cliff moves between experiments" mechanism.
+  Rng rng_a(10), rng_b(11);
+  PageAllocator alloc_a(128, PagePolicy::kRandomPool, rng_a);
+  PageAllocator alloc_b(128, PagePolicy::kRandomPool, rng_b);
+  EXPECT_NE(alloc_a.allocate(12), alloc_b.allocate(12));
+}
+
+TEST(PageAllocator, RandomPoolSameSeedIdentical) {
+  Rng rng_a(42), rng_b(42);
+  PageAllocator alloc_a(128, PagePolicy::kRandomPool, rng_a);
+  PageAllocator alloc_b(128, PagePolicy::kRandomPool, rng_b);
+  EXPECT_EQ(alloc_a.allocate(12), alloc_b.allocate(12));
+}
+
+TEST(PageAllocator, ColoredAlternatesColors) {
+  Rng rng(4);
+  // 2 colors (ARM L1): consecutive grants must alternate even/odd frames.
+  PageAllocator alloc(32, PagePolicy::kColored, rng, 2);
+  const auto frames = alloc.allocate(8);
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    EXPECT_EQ(frames[i] % 2, i % 2) << "grant " << i;
+  }
+}
+
+TEST(PageAllocator, ExhaustionThrows) {
+  Rng rng(5);
+  PageAllocator alloc(4, PagePolicy::kSequential, rng);
+  alloc.allocate(4);
+  EXPECT_THROW(alloc.allocate(1), std::runtime_error);
+}
+
+TEST(PageAllocator, DoubleFreeThrows) {
+  Rng rng(6);
+  PageAllocator alloc(4, PagePolicy::kSequential, rng);
+  const auto frames = alloc.allocate(2);
+  alloc.release(frames);
+  EXPECT_THROW(alloc.release(frames), std::runtime_error);
+}
+
+TEST(PageAllocator, AllFramesDistinct) {
+  Rng rng(7);
+  PageAllocator alloc(256, PagePolicy::kRandomPool, rng);
+  const auto frames = alloc.allocate(256);
+  std::set<std::uint32_t> distinct(frames.begin(), frames.end());
+  EXPECT_EQ(distinct.size(), 256u);
+}
+
+TEST(Buffer, TranslateMapsThroughFrames) {
+  const std::vector<std::uint32_t> frames = {7, 3};
+  const Buffer buffer(frames, 4096, 8192);
+  EXPECT_EQ(buffer.translate(0), 7u * 4096);
+  EXPECT_EQ(buffer.translate(4095), 7u * 4096 + 4095);
+  EXPECT_EQ(buffer.translate(4096), 3u * 4096);
+  EXPECT_EQ(buffer.translate(8191), 3u * 4096 + 4095);
+}
+
+TEST(Buffer, OffsetShiftsWindow) {
+  const std::vector<std::uint32_t> frames = {1, 2};
+  const Buffer buffer(frames, 4096, 1024, /*offset=*/4000);
+  EXPECT_EQ(buffer.translate(0), 1u * 4096 + 4000);
+  EXPECT_EQ(buffer.translate(96), 2u * 4096 + 0);  // crosses page boundary
+}
+
+TEST(Buffer, Validation) {
+  const std::vector<std::uint32_t> frames = {1};
+  EXPECT_THROW(Buffer(frames, 4096, 8192), std::invalid_argument);
+  EXPECT_THROW(Buffer(frames, 4096, 0), std::invalid_argument);
+  EXPECT_THROW(Buffer(frames, 4096, 4096, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cal::sim::mem

@@ -1,0 +1,71 @@
+// Tests for the OS scheduler interference model (Fig. 11 mechanics).
+
+#include "sim/os/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cal::sim::os {
+namespace {
+
+TEST(Scheduler, DedicatedNeverSlowsDown) {
+  const Scheduler sched = Scheduler::dedicated();
+  EXPECT_DOUBLE_EQ(sched.slowdown_at(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(sched.slowdown_at(1e6), 1.0);
+}
+
+TEST(Scheduler, WindowInsideHorizon) {
+  Rng rng(1);
+  const Scheduler sched(SchedPolicy::kFifo, DaemonSpec{}, 100.0, rng);
+  EXPECT_GE(sched.window_start_s(), 0.0);
+  EXPECT_LE(sched.window_end_s(), 100.0 + 1e-9);
+  EXPECT_NEAR(sched.window_end_s() - sched.window_start_s(), 22.0, 1e-9);
+}
+
+TEST(Scheduler, FifoSlowsInsideWindowOnly) {
+  Rng rng(2);
+  DaemonSpec daemon;
+  const Scheduler sched(SchedPolicy::kFifo, daemon, 100.0, rng);
+  const double mid = 0.5 * (sched.window_start_s() + sched.window_end_s());
+  EXPECT_DOUBLE_EQ(sched.slowdown_at(mid), daemon.fifo_slowdown);
+  EXPECT_DOUBLE_EQ(sched.slowdown_at(sched.window_start_s() - 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(sched.slowdown_at(sched.window_end_s() + 1.0), 1.0);
+}
+
+TEST(Scheduler, OtherPolicyBarelySlows) {
+  Rng rng(3);
+  DaemonSpec daemon;
+  const Scheduler sched(SchedPolicy::kOther, daemon, 100.0, rng);
+  const double mid = 0.5 * (sched.window_start_s() + sched.window_end_s());
+  EXPECT_DOUBLE_EQ(sched.slowdown_at(mid), daemon.other_slowdown);
+  EXPECT_LT(daemon.other_slowdown, 1.1);
+  EXPECT_GT(daemon.fifo_slowdown, 4.0);  // the paper's ~5x gap
+}
+
+TEST(Scheduler, WindowPlacementVariesWithSeed) {
+  Rng rng_a(10), rng_b(20);
+  const Scheduler a(SchedPolicy::kFifo, DaemonSpec{}, 1000.0, rng_a);
+  const Scheduler b(SchedPolicy::kFifo, DaemonSpec{}, 1000.0, rng_b);
+  EXPECT_NE(a.window_start_s(), b.window_start_s());
+}
+
+TEST(Scheduler, WindowFractionRespected) {
+  Rng rng(4);
+  DaemonSpec daemon;
+  daemon.window_fraction = 0.5;
+  const Scheduler sched(SchedPolicy::kFifo, daemon, 200.0, rng);
+  EXPECT_NEAR(sched.window_end_s() - sched.window_start_s(), 100.0, 1e-9);
+}
+
+TEST(Scheduler, BadHorizonThrows) {
+  Rng rng(5);
+  EXPECT_THROW(Scheduler(SchedPolicy::kFifo, DaemonSpec{}, 0.0, rng),
+               std::invalid_argument);
+}
+
+TEST(Scheduler, PolicyToString) {
+  EXPECT_STREQ(to_string(SchedPolicy::kOther), "other");
+  EXPECT_STREQ(to_string(SchedPolicy::kFifo), "fifo");
+}
+
+}  // namespace
+}  // namespace cal::sim::os

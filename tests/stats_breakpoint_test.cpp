@@ -1,0 +1,263 @@
+// Tests for the four breakpoint detectors and the ground-truth scorer.
+// These tests encode the paper's Section III observations: the online
+// heuristics work on clean data but are fooled by temporal anomalies,
+// while the offline DP detector sees everything.
+
+#include "stats/breakpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/rng.hpp"
+
+namespace cal::stats {
+namespace {
+
+// Ground truth: slope change at x=500 (slope 0.1 -> 0.5).
+double kinked(double x) { return x < 500 ? 0.1 * x : 50.0 + 0.5 * (x - 500); }
+
+TEST(NetGaugeDetector, FindsCleanSlopeChange) {
+  NetGaugeDetector detector;
+  Rng rng(1);
+  for (double x = 10; x <= 1000; x += 10) {
+    detector.add(x, kinked(x) + rng.normal(0.0, 0.2));
+  }
+  ASSERT_GE(detector.breakpoints().size(), 1u);
+  EXPECT_NEAR(detector.breakpoints().front(), 500.0, 120.0);
+}
+
+TEST(NetGaugeDetector, QuietOnPureLine) {
+  NetGaugeDetector detector;
+  Rng rng(2);
+  for (double x = 10; x <= 1000; x += 10) {
+    detector.add(x, 3.0 + 0.2 * x + rng.normal(0.0, 0.1));
+  }
+  EXPECT_TRUE(detector.breakpoints().empty());
+}
+
+TEST(NetGaugeDetector, SingleAnomalyDoesNotCommitBreak) {
+  // One perturbed measurement recovers within the 5-point confirmation
+  // window, so no break should be committed.
+  NetGaugeDetector detector;
+  for (double x = 10; x <= 1000; x += 10) {
+    double y = 3.0 + 0.2 * x;
+    if (x == 500) y *= 1.15;  // isolated mild anomaly
+    detector.add(x, y);
+  }
+  EXPECT_TRUE(detector.breakpoints().empty());
+}
+
+TEST(NetGaugeDetector, SustainedPerturbationCreatesFalseBreak) {
+  // The P1 failure mode: a perturbation lasting longer than the
+  // confirmation window is indistinguishable from a protocol change.
+  NetGaugeDetector detector;
+  for (double x = 10; x <= 1000; x += 10) {
+    double y = 3.0 + 0.2 * x;
+    if (x >= 500 && x < 620) y *= 1.8;  // 12 consecutive perturbed sizes
+    detector.add(x, y);
+  }
+  EXPECT_FALSE(detector.breakpoints().empty());  // fooled, as the paper says
+}
+
+TEST(NetGaugeDetector, RejectsDecreasingX) {
+  NetGaugeDetector detector;
+  detector.add(10, 1);
+  EXPECT_THROW(detector.add(5, 1), std::invalid_argument);
+}
+
+TEST(NetGaugeDetector, BadFactorThrows) {
+  NetGaugeDetector::Options options;
+  options.factor = 0.5;
+  EXPECT_THROW(NetGaugeDetector{options}, std::invalid_argument);
+}
+
+TEST(PLogPProber, LocalizesSharpBreak) {
+  PLogPProber prober;
+  const auto sample = [](double x) {
+    return x < 4096 ? 10.0 + 0.01 * x : 200.0 + 0.08 * x;
+  };
+  const auto result = prober.probe(sample, 64, 65536);
+  ASSERT_GE(result.breakpoints.size(), 1u);
+  // Bisection should localize the 4096 break within its doubling interval.
+  bool near = false;
+  for (const double b : result.breakpoints) {
+    if (b >= 2048 && b <= 8192) near = true;
+  }
+  EXPECT_TRUE(near);
+}
+
+TEST(PLogPProber, NoBreaksOnLinearData) {
+  PLogPProber prober;
+  const auto result =
+      prober.probe([](double x) { return 5.0 + 0.02 * x; }, 64, 65536);
+  EXPECT_TRUE(result.breakpoints.empty());
+  // Doubling schedule only: 64, 128, ..., 65536.
+  EXPECT_EQ(result.xs.size(), 11u);
+}
+
+TEST(PLogPProber, PerturbedSampleRedirectsSampling) {
+  // P1 for PLogP: a transient spike triggers needless bisection work.
+  PLogPProber prober;
+  int calls = 0;
+  const auto sample = [&](double x) {
+    ++calls;
+    double y = 5.0 + 0.02 * x;
+    if (calls == 6) y *= 3.0;  // one transient outlier mid-sweep
+    return y;
+  };
+  const auto result = prober.probe(sample, 64, 65536);
+  EXPECT_GT(result.xs.size(), 11u);           // extra probes happened
+  EXPECT_FALSE(result.breakpoints.empty());   // and a phantom break logged
+}
+
+TEST(PLogPProber, Validation) {
+  PLogPProber prober;
+  EXPECT_THROW(prober.probe([](double) { return 1.0; }, -1, 10),
+               std::invalid_argument);
+  PLogPProber::Options options;
+  options.tolerance = 0.0;
+  EXPECT_THROW(PLogPProber{options}, std::invalid_argument);
+}
+
+TEST(LoOgGP, FindsLocalBump) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 100; ++i) {
+    xs.push_back(i * 10.0);
+    double y = 2.0 + 0.05 * i * 10.0;
+    if (i == 50) y += 25.0;  // pronounced local maximum
+    ys.push_back(y);
+  }
+  const auto breaks = loogp_breakpoints(xs, ys);
+  ASSERT_EQ(breaks.size(), 1u);
+  EXPECT_NEAR(breaks[0], 500.0, 1e-9);
+}
+
+TEST(LoOgGP, EmptyOnSmoothData) {
+  std::vector<double> xs, ys;
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    xs.push_back(i);
+    ys.push_back(1.0 + 0.3 * i + rng.normal(0.0, 0.05));
+  }
+  EXPECT_TRUE(loogp_breakpoints(xs, ys).empty());
+}
+
+TEST(LoOgGP, SensitiveToNeighborhoodExtent) {
+  // The paper: "the mechanism is sensitive to the neighborhood size".
+  // Two nearby bumps merge or split depending on the extent.
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 120; ++i) {
+    xs.push_back(i);
+    double y = 0.1 * i;
+    if (i == 40) y += 30.0;
+    if (i == 44) y += 28.0;
+    ys.push_back(y);
+  }
+  LoOgGPOptions narrow;
+  narrow.neighborhood = 2;
+  LoOgGPOptions wide;
+  wide.neighborhood = 10;
+  const auto breaks_narrow = loogp_breakpoints(xs, ys, narrow);
+  const auto breaks_wide = loogp_breakpoints(xs, ys, wide);
+  EXPECT_EQ(breaks_narrow.size(), 2u);
+  EXPECT_EQ(breaks_wide.size(), 1u);
+}
+
+TEST(Segmented, ExactTwoSegmentRecovery) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 120; ++i) {
+    xs.push_back(i * 10.0);
+    ys.push_back(kinked(i * 10.0));
+  }
+  const SegmentedFit fit = segmented_least_squares(xs, ys);
+  EXPECT_EQ(fit.chosen_segments, 2u);
+  ASSERT_EQ(fit.breakpoints.size(), 1u);
+  EXPECT_NEAR(fit.breakpoints[0], 500.0, 20.0);
+  EXPECT_NEAR(fit.segments[0].slope, 0.1, 0.01);
+  EXPECT_NEAR(fit.segments[1].slope, 0.5, 0.01);
+}
+
+TEST(Segmented, ChoosesOneSegmentForLine) {
+  Rng rng(5);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 100; ++i) {
+    xs.push_back(i);
+    ys.push_back(2.0 + 0.5 * i + rng.normal(0.0, 0.3));
+  }
+  const SegmentedFit fit = segmented_least_squares(xs, ys);
+  EXPECT_EQ(fit.chosen_segments, 1u);
+}
+
+TEST(Segmented, ExactSegmentsPinsK) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 60; ++i) {
+    xs.push_back(i);
+    ys.push_back(i);
+  }
+  SegmentedOptions options;
+  options.exact_segments = 3;
+  const SegmentedFit fit = segmented_least_squares(xs, ys, options);
+  EXPECT_EQ(fit.chosen_segments, 3u);
+  EXPECT_EQ(fit.breakpoints.size(), 2u);
+}
+
+TEST(Segmented, HandlesUnsortedInput) {
+  std::vector<double> xs, ys;
+  for (int i = 119; i >= 0; --i) {
+    xs.push_back(i * 10.0);
+    ys.push_back(kinked(i * 10.0));
+  }
+  const SegmentedFit fit = segmented_least_squares(xs, ys);
+  EXPECT_EQ(fit.chosen_segments, 2u);
+}
+
+TEST(Segmented, MoreSegmentsNeverIncreaseRss) {
+  // DP optimality property.
+  Rng rng(6);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 80; ++i) {
+    xs.push_back(i);
+    ys.push_back(kinked(i * 12.0) + rng.normal(0.0, 1.0));
+  }
+  double prev_rss = 1e300;
+  for (std::size_t k = 1; k <= 4; ++k) {
+    SegmentedOptions options;
+    options.exact_segments = k;
+    const SegmentedFit fit = segmented_least_squares(xs, ys, options);
+    EXPECT_LE(fit.total_rss, prev_rss + 1e-9);
+    prev_rss = fit.total_rss;
+  }
+}
+
+TEST(Score, PerfectDetection) {
+  const std::vector<double> truth = {100.0, 1000.0};
+  const std::vector<double> detected = {105.0, 980.0};
+  const BreakpointScore score = score_breakpoints(detected, truth);
+  EXPECT_EQ(score.true_positives, 2u);
+  EXPECT_EQ(score.false_positives, 0u);
+  EXPECT_EQ(score.false_negatives, 0u);
+  EXPECT_DOUBLE_EQ(score.f1, 1.0);
+}
+
+TEST(Score, FalsePositivesAndNegatives) {
+  const std::vector<double> truth = {100.0, 1000.0};
+  const std::vector<double> detected = {500.0};
+  const BreakpointScore score = score_breakpoints(detected, truth);
+  EXPECT_EQ(score.true_positives, 0u);
+  EXPECT_EQ(score.false_positives, 1u);
+  EXPECT_EQ(score.false_negatives, 2u);
+  EXPECT_DOUBLE_EQ(score.f1, 0.0);
+}
+
+TEST(Score, EachTruthMatchedOnce) {
+  const std::vector<double> truth = {100.0};
+  const std::vector<double> detected = {98.0, 102.0};  // both near the truth
+  const BreakpointScore score = score_breakpoints(detected, truth);
+  EXPECT_EQ(score.true_positives, 1u);
+  EXPECT_EQ(score.false_positives, 1u);
+}
+
+}  // namespace
+}  // namespace cal::stats

@@ -1,0 +1,133 @@
+// Tests for descriptive statistics, including R type-7 quantiles and the
+// Welford accumulator the opaque engine uses.
+
+#include "stats/descriptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/rng.hpp"
+
+namespace cal::stats {
+namespace {
+
+TEST(Descriptive, MeanKnownValues) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(mean(xs), 3.0);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+}
+
+TEST(Descriptive, VarianceKnownValues) {
+  const std::vector<double> xs = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_NEAR(variance(xs), 4.571428571428571, 1e-12);  // n-1 denominator
+  EXPECT_DOUBLE_EQ(variance(std::vector<double>{1.0}), 0.0);
+}
+
+TEST(Descriptive, StddevIsSqrtVariance) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(stddev(xs), std::sqrt(variance(xs)));
+}
+
+TEST(Descriptive, CoeffVariation) {
+  const std::vector<double> xs = {10, 10, 10};
+  EXPECT_DOUBLE_EQ(coeff_variation(xs), 0.0);
+  const std::vector<double> zero_mean = {-1, 1};
+  EXPECT_DOUBLE_EQ(coeff_variation(zero_mean), 0.0);  // guarded
+}
+
+TEST(Descriptive, MinMax) {
+  const std::vector<double> xs = {3, -1, 7, 2};
+  EXPECT_DOUBLE_EQ(min_value(xs), -1.0);
+  EXPECT_DOUBLE_EQ(max_value(xs), 7.0);
+  EXPECT_THROW(min_value(std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(Descriptive, QuantileMatchesRType7) {
+  // R: quantile(c(1,2,3,4), c(.25,.5,.75)) -> 1.75 2.50 3.25
+  const std::vector<double> xs = {1, 2, 3, 4};
+  EXPECT_NEAR(quantile(xs, 0.25), 1.75, 1e-12);
+  EXPECT_NEAR(quantile(xs, 0.50), 2.50, 1e-12);
+  EXPECT_NEAR(quantile(xs, 0.75), 3.25, 1e-12);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+}
+
+TEST(Descriptive, QuantileValidation) {
+  EXPECT_THROW(quantile(std::vector<double>{}, 0.5), std::invalid_argument);
+  EXPECT_THROW(quantile(std::vector<double>{1.0}, 1.5),
+               std::invalid_argument);
+}
+
+TEST(Descriptive, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{4, 1, 2, 3}), 2.5);
+}
+
+TEST(Descriptive, MadRobustness) {
+  const std::vector<double> xs = {1, 2, 3, 4, 1000};
+  EXPECT_DOUBLE_EQ(mad(xs), 1.0);  // median 3, deviations {2,1,0,1,997}
+}
+
+TEST(Descriptive, BoxplotGeometry) {
+  const std::vector<double> xs = {1, 2, 3, 4, 100};
+  const BoxplotSummary box = boxplot(xs);
+  EXPECT_DOUBLE_EQ(box.median, 3.0);
+  EXPECT_DOUBLE_EQ(box.minimum, 1.0);
+  EXPECT_DOUBLE_EQ(box.maximum, 100.0);
+  EXPECT_GT(box.upper_fence, box.q3);
+  ASSERT_EQ(box.outliers.size(), 1u);
+  EXPECT_DOUBLE_EQ(box.outliers[0], 100.0);
+}
+
+TEST(Welford, MatchesBatchComputation) {
+  Rng rng(5);
+  std::vector<double> xs;
+  Welford acc;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(10.0, 3.0);
+    xs.push_back(x);
+    acc.add(x);
+  }
+  EXPECT_EQ(acc.count(), 1000u);
+  EXPECT_NEAR(acc.mean(), mean(xs), 1e-10);
+  EXPECT_NEAR(acc.variance(), variance(xs), 1e-8);
+  EXPECT_NEAR(acc.stddev(), stddev(xs), 1e-9);
+}
+
+TEST(Welford, SinglePointHasZeroVariance) {
+  Welford acc;
+  acc.add(5.0);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+}
+
+// Property sweep: affine transforms behave as expected.
+class AffineTest : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(AffineTest, MeanAndSdTransformCorrectly) {
+  const auto [scale, shift] = GetParam();
+  Rng rng(11);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(0.0, 10.0);
+    xs.push_back(x);
+    ys.push_back(scale * x + shift);
+  }
+  EXPECT_NEAR(mean(ys), scale * mean(xs) + shift, 1e-9);
+  EXPECT_NEAR(stddev(ys), std::abs(scale) * stddev(xs), 1e-9);
+  EXPECT_NEAR(median(ys),
+              scale >= 0 ? scale * median(xs) + shift
+                         : scale * median(xs) + shift,
+              1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Transforms, AffineTest,
+                         ::testing::Values(std::pair{1.0, 0.0},
+                                           std::pair{2.5, -3.0},
+                                           std::pair{-1.0, 10.0},
+                                           std::pair{0.0, 7.0}));
+
+}  // namespace
+}  // namespace cal::stats

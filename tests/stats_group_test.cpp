@@ -1,0 +1,85 @@
+// Tests for group-by aggregation over raw tables.
+
+#include "stats/group.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cal::stats {
+namespace {
+
+RawTable table_with_groups() {
+  RawTable table({"size", "stride"}, {"bw"});
+  // Two sizes x two strides, 3 records each; bw = size*100 + stride*10 + rep.
+  std::size_t seq = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    for (const int size : {1, 2}) {
+      for (const int stride : {4, 8}) {
+        RawRecord rec;
+        rec.sequence = seq++;
+        rec.factors = {Value(size), Value(stride)};
+        rec.metrics = {size * 100.0 + stride * 10.0 + rep};
+        table.append(std::move(rec));
+      }
+    }
+  }
+  return table;
+}
+
+TEST(Group, GroupsByOneFactor) {
+  const RawTable table = table_with_groups();
+  const auto groups = group_metric(table, {"size"}, "bw");
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].key[0], Value(1));
+  EXPECT_EQ(groups[0].samples.size(), 6u);
+  EXPECT_EQ(groups[1].key[0], Value(2));
+}
+
+TEST(Group, GroupsByTwoFactors) {
+  const RawTable table = table_with_groups();
+  const auto groups = group_metric(table, {"size", "stride"}, "bw");
+  ASSERT_EQ(groups.size(), 4u);
+  for (const auto& group : groups) EXPECT_EQ(group.samples.size(), 3u);
+}
+
+TEST(Group, SamplesOrderedBySequence) {
+  const RawTable table = table_with_groups();
+  const auto groups = group_metric(table, {"size", "stride"}, "bw");
+  for (const auto& group : groups) {
+    for (std::size_t i = 1; i < group.sequence.size(); ++i) {
+      EXPECT_LT(group.sequence[i - 1], group.sequence[i]);
+    }
+    // bw encodes rep in its unit digit; sequence order == rep order here.
+    EXPECT_LT(group.samples[0], group.samples[1]);
+    EXPECT_LT(group.samples[1], group.samples[2]);
+  }
+}
+
+TEST(Group, KeysAreSorted) {
+  const RawTable table = table_with_groups();
+  const auto groups = group_metric(table, {"stride"}, "bw");
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_LT(groups[0].key[0], groups[1].key[0]);
+}
+
+TEST(GroupSummary, StatsAreCorrect) {
+  const RawTable table = table_with_groups();
+  const auto summaries = summarize_groups(table, {"size", "stride"}, "bw");
+  ASSERT_EQ(summaries.size(), 4u);
+  // Group (size=1, stride=4): values {140, 141, 142}.
+  const auto& s = summaries[0];
+  EXPECT_EQ(s.n, 3u);
+  EXPECT_DOUBLE_EQ(s.mean, 141.0);
+  EXPECT_DOUBLE_EQ(s.median, 141.0);
+  EXPECT_DOUBLE_EQ(s.min, 140.0);
+  EXPECT_DOUBLE_EQ(s.max, 142.0);
+  EXPECT_NEAR(s.sd, 1.0, 1e-12);
+}
+
+TEST(Group, UnknownColumnThrows) {
+  const RawTable table = table_with_groups();
+  EXPECT_THROW(group_metric(table, {"nope"}, "bw"), std::out_of_range);
+  EXPECT_THROW(group_metric(table, {"size"}, "nope"), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace cal::stats

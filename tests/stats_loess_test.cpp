@@ -1,0 +1,99 @@
+// Tests for the LOESS smoother (the trend lines of Fig. 8).
+
+#include "stats/loess.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/rng.hpp"
+
+namespace cal::stats {
+namespace {
+
+TEST(Loess, ReproducesLinearDataExactly) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 50; ++i) {
+    xs.push_back(i);
+    ys.push_back(2.0 + 3.0 * i);
+  }
+  const std::vector<double> query = {5.0, 25.0, 45.0};
+  const auto smoothed = loess(xs, ys, query);
+  ASSERT_EQ(smoothed.size(), 3u);
+  for (std::size_t i = 0; i < query.size(); ++i) {
+    EXPECT_NEAR(smoothed[i], 2.0 + 3.0 * query[i], 1e-6);
+  }
+}
+
+TEST(Loess, RecoversSmoothTrendFromNoise) {
+  Rng rng(4);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 2000; ++i) {
+    const double x = rng.uniform(0.0, 10.0);
+    xs.push_back(x);
+    ys.push_back(std::sin(x) + rng.normal(0.0, 0.2));
+  }
+  LoessOptions options;
+  options.span = 0.15;
+  const std::vector<double> query = {2.0, 5.0, 8.0};
+  const auto smoothed = loess(xs, ys, query, options);
+  for (std::size_t i = 0; i < query.size(); ++i) {
+    EXPECT_NEAR(smoothed[i], std::sin(query[i]), 0.1);
+  }
+}
+
+TEST(Loess, UnsortedInputSupported) {
+  std::vector<double> xs = {5, 1, 3, 2, 4, 0, 6, 8, 7, 9};
+  std::vector<double> ys;
+  for (const double x : xs) ys.push_back(2.0 * x);
+  const auto smoothed = loess(xs, ys, std::vector<double>{4.5});
+  EXPECT_NEAR(smoothed[0], 9.0, 1e-6);
+}
+
+TEST(Loess, Validation) {
+  const std::vector<double> xy = {1, 2};
+  EXPECT_THROW(loess(xy, xy, xy), std::invalid_argument);  // < 3 points
+  const std::vector<double> xs = {1, 2, 3};
+  const std::vector<double> ys = {1, 2};
+  EXPECT_THROW(loess(xs, ys, xs), std::invalid_argument);
+  LoessOptions bad;
+  bad.span = 0.0;
+  const std::vector<double> ok = {1, 2, 3};
+  EXPECT_THROW(loess(ok, ok, ok, bad), std::invalid_argument);
+}
+
+TEST(LoessCurve, CoversDataRange) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i <= 100; ++i) {
+    xs.push_back(i * 0.1);
+    ys.push_back(i * 0.2);
+  }
+  const LoessCurve curve = loess_curve(xs, ys, 11);
+  ASSERT_EQ(curve.x.size(), 11u);
+  EXPECT_DOUBLE_EQ(curve.x.front(), 0.0);
+  EXPECT_DOUBLE_EQ(curve.x.back(), 10.0);
+  EXPECT_NEAR(curve.y[5], 10.0, 1e-6);
+}
+
+// Property sweep over span values: smoothing linear data is exact for
+// any valid span.
+class SpanTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SpanTest, LinearPassThrough) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 60; ++i) {
+    xs.push_back(i);
+    ys.push_back(-1.0 + 0.5 * i);
+  }
+  LoessOptions options;
+  options.span = GetParam();
+  const auto smoothed = loess(xs, ys, std::vector<double>{30.0}, options);
+  EXPECT_NEAR(smoothed[0], 14.0, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Spans, SpanTest,
+                         ::testing::Values(0.1, 0.3, 0.5, 1.0));
+
+}  // namespace
+}  // namespace cal::stats
