@@ -41,6 +41,7 @@ int main() {
     options.min_size = 64.0;
     options.max_size = 1024.0 * 1024;
     options.samples_per_op = 600;
+    options.threads = 0;  // NetworkSim is stateless: shard over all workers
     const CampaignResult campaign =
         benchlib::run_net_calibration(network, options);
     const auto model = benchlib::analyze_net_calibration(
@@ -80,15 +81,16 @@ int main() {
   for (const auto& machine : sim::machines::all()) {
     sim::mem::MemSystemConfig config;
     config.machine = machine;
-    sim::mem::MemSystem system(config);
     benchlib::MemPlanOptions plan;
     plan.min_size = 2048;
     plan.max_size = 8 * 1024 * 1024;
     plan.sampled_sizes = 60;
     plan.nloops = {150};
     plan.replications = 3;
-    const CampaignResult campaign =
-        benchlib::run_mem_campaign(system, benchlib::make_mem_plan(plan));
+    benchlib::MemCampaignOptions campaign_options;
+    campaign_options.threads = 0;  // per-worker simulator replicas
+    const CampaignResult campaign = benchlib::run_mem_campaign(
+        config, benchlib::make_mem_plan(plan), campaign_options);
 
     const double l1 = static_cast<double>(machine.caches[0].size_bytes);
     const double last_cache =

@@ -14,6 +14,24 @@ using namespace cal;
 
 int main(int argc, char** argv) {
   const std::string name = argc > 1 ? argv[1] : "i7-2600";
+  // Optional second argument: engine worker threads (0 = all hardware).
+  std::size_t threads = 0;
+  if (argc > 2) {
+    const std::string arg = argv[2];
+    // std::stoul accepts "-1" (wrapping) and trailing junk; require a
+    // pure digit string instead.
+    const bool digits =
+        !arg.empty() && arg.find_first_not_of("0123456789") == std::string::npos;
+    try {
+      if (!digits) throw std::invalid_argument(arg);
+      threads = static_cast<std::size_t>(std::stoul(arg));
+    } catch (const std::exception&) {
+      std::cerr << "usage: memory_campaign [machine] [threads]\n"
+                << "  threads must be a non-negative integer, got '" << arg
+                << "'\n";
+      return 2;
+    }
+  }
   sim::MachineSpec machine = sim::machines::core_i7_2600();
   for (const auto& candidate : sim::machines::all()) {
     if (candidate.name == name) machine = candidate;
@@ -23,7 +41,6 @@ int main(int argc, char** argv) {
 
   sim::mem::MemSystemConfig config;
   config.machine = machine;
-  sim::mem::MemSystem system(config);
 
   // Stage 1: the Fig. 13 factor set (subset exercised here).
   benchlib::MemPlanOptions plan;
@@ -40,11 +57,16 @@ int main(int argc, char** argv) {
   std::cout << "Stage 1: " << design.size()
             << " runs designed (randomized order).\n";
 
-  // Stage 2: run + persist raw bundle.
+  // Stage 2: run sharded across workers + persist raw bundle.
+  benchlib::MemCampaignOptions campaign_options;
+  campaign_options.threads = threads;
   CampaignResult campaign =
-      benchlib::run_mem_campaign(system, std::move(design));
+      benchlib::run_mem_campaign(config, std::move(design), campaign_options);
   campaign.write_dir("memory_campaign_results");
-  std::cout << "Stage 2: raw bundle written to memory_campaign_results/.\n\n";
+  std::cout << "Stage 2: measured on "
+            << Engine::resolve_threads(campaign_options.threads)
+            << " worker(s); raw bundle written to "
+               "memory_campaign_results/.\n\n";
 
   // Stage 3: per-kernel-variant peak (L1-resident) bandwidth.
   std::cout << "Peak (L1-resident) bandwidth by kernel variant:\n";

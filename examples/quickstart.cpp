@@ -31,11 +31,14 @@ int main() {
   // --- Stage 2: measurement engine ---------------------------------------
   sim::mem::MemSystemConfig machine;
   machine.machine = sim::machines::core_i7_2600();
-  sim::mem::MemSystem system(machine);
+  benchlib::MemCampaignOptions campaign_options;
+  campaign_options.threads = 0;  // shard runs over all hardware threads
   CampaignResult campaign =
-      benchlib::run_mem_campaign(system, std::move(plan));
+      benchlib::run_mem_campaign(machine, std::move(plan), campaign_options);
   std::cout << "Measured " << campaign.table.size()
-            << " raw records; every observation kept.\n";
+            << " raw records on "
+            << Engine::resolve_threads(campaign_options.threads)
+            << " worker(s); every observation kept.\n";
 
   // Persist the bundle so anyone can re-run stage 3 later.
   campaign.write_dir("quickstart_results");

@@ -1,0 +1,12 @@
+#!/usr/bin/env sh
+# Builds and runs the engine throughput bench, leaving BENCH_engine.json
+# at the repo root so successive PRs can track the perf trajectory.
+#
+#   scripts/bench_engine.sh [build-dir]
+set -e
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build}"
+
+cmake -B "$BUILD" -S "$ROOT" >/dev/null
+cmake --build "$BUILD" --target bench_engine_throughput >/dev/null
+"$BUILD/bench/bench_engine_throughput" "$ROOT/BENCH_engine.json"

@@ -59,26 +59,62 @@ MeasureFn mem_measure_fn(sim::mem::MemSystem& system) {
   };
 }
 
-CampaignResult run_mem_campaign(sim::mem::MemSystem& system, Plan plan,
-                                const MemCampaignOptions& options) {
+namespace {
+
+Engine make_mem_engine(const MemCampaignOptions& options,
+                       std::size_t threads) {
   Engine::Options engine_options;
   engine_options.seed = options.engine_seed;
   engine_options.inter_run_gap_s = options.inter_run_gap_s;
-  Engine engine({"bandwidth_mbps", "elapsed_s", "avg_freq_ghz", "l1_hit_rate"},
-                engine_options);
+  engine_options.threads = threads;
+  return Engine(
+      {"bandwidth_mbps", "elapsed_s", "avg_freq_ghz", "l1_hit_rate"},
+      engine_options);
+}
 
+Metadata make_mem_metadata(const sim::mem::MemSystemConfig& config) {
   Metadata md = Metadata::capture_build();
   md.set("benchmark", "whitebox_mem_calibration");
-  const auto& config = system.config();
   md.set("machine", config.machine.name);
   md.set("processor", config.machine.processor);
   md.set("governor", sim::cpu::to_string(config.governor));
   md.set("sched_policy", sim::os::to_string(config.policy));
   md.set("alloc_technique", sim::mem::to_string(config.alloc));
   md.set("system_seed", static_cast<std::uint64_t>(config.system_seed));
+  return md;
+}
 
-  return Campaign(std::move(plan), std::move(engine), std::move(md))
+}  // namespace
+
+CampaignResult run_mem_campaign(sim::mem::MemSystem& system, Plan plan,
+                                const MemCampaignOptions& options) {
+  return Campaign(std::move(plan), make_mem_engine(options, /*threads=*/1),
+                  make_mem_metadata(system.config()))
       .run(mem_measure_fn(system));
+}
+
+CampaignResult run_mem_campaign(const sim::mem::MemSystemConfig& config,
+                                Plan plan, const MemCampaignOptions& options) {
+  // Time-dependent configs (ondemand DVFS, daemon perturbation windows)
+  // need true sequential timestamps: force threads = 1 so the engine's
+  // bit-identical contract holds (same guard as run_net_calibration).
+  const bool time_dependent =
+      config.governor != sim::cpu::GovernorKind::kPerformance ||
+      config.daemon_present;
+  const std::size_t threads = time_dependent ? 1 : options.threads;
+  // One identical simulator replica per worker: the engine calls the
+  // factory sequentially before the pool starts, and each worker's
+  // MemSystem is private to it afterwards.
+  MeasureFactory factory = [&config](std::size_t) {
+    auto system = std::make_shared<sim::mem::MemSystem>(config);
+    MeasureFn measure = mem_measure_fn(*system);
+    return [system, measure](const PlannedRun& run, MeasureContext& ctx) {
+      return measure(run, ctx);
+    };
+  };
+  return Campaign(std::move(plan), make_mem_engine(options, threads),
+                  make_mem_metadata(config))
+      .run(factory);
 }
 
 std::vector<SizeDiagnostics> diagnose_by_size(const RawTable& table) {

@@ -53,11 +53,25 @@ MeasureFn mem_measure_fn(sim::mem::MemSystem& system);
 struct MemCampaignOptions {
   double inter_run_gap_s = 200e-6;
   std::uint64_t engine_seed = 41;
+  /// Engine worker threads (1 = sequential, 0 = hardware concurrency).
+  /// Only honoured by the config-based overload, which can build one
+  /// simulator replica per worker.
+  std::size_t threads = 1;
 };
 
 /// Runs a plan against a system and returns the raw bundle
 /// (metrics: bandwidth_mbps, elapsed_s, avg_freq_ghz, l1_hit_rate).
+/// Always sequential: a single MemSystem is stateful and not thread-safe.
 CampaignResult run_mem_campaign(sim::mem::MemSystem& system, Plan plan,
+                                const MemCampaignOptions& options = {});
+
+/// Parallel-capable overload: builds one MemSystem per engine worker from
+/// `config` (identical replicas -- same system_seed), so campaigns can be
+/// sharded across options.threads workers.  Time-dependent configs
+/// (ondemand governor, daemon perturbation windows) should keep
+/// threads == 1; see the Engine determinism contract.
+CampaignResult run_mem_campaign(const sim::mem::MemSystemConfig& config,
+                                Plan plan,
                                 const MemCampaignOptions& options = {});
 
 /// Stage-3 convenience: per-size bandwidth summary with the diagnostics

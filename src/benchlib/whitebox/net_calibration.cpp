@@ -24,6 +24,8 @@ CampaignResult run_net_calibration(const sim::net::NetworkSim& network,
   Engine::Options engine_options;
   engine_options.seed = options.seed ^ 0xC0FFEE;
   engine_options.inter_run_gap_s = options.inter_run_gap_s;
+  engine_options.threads =
+      network.config().perturbations.empty() ? options.threads : 1;
   Engine engine({"time_us"}, engine_options);
 
   Metadata md = Metadata::capture_build();

@@ -27,6 +27,11 @@ struct NetCalibrationOptions {
   std::size_t samples_per_op = 400;  ///< random sizes per operation
   std::uint64_t seed = 31;
   double inter_run_gap_s = 100e-6;
+  /// Engine worker threads (1 = sequential, 0 = hardware concurrency).
+  /// NetworkSim::measure_us is const, so the shared measure is
+  /// thread-safe; keep 1 when the sim has perturbation windows (they are
+  /// time-dependent and need true sequential timestamps).
+  std::size_t threads = 1;
 };
 
 /// Runs the calibration campaign; the returned bundle holds the plan, the

@@ -1,5 +1,6 @@
 #include "core/campaign.hpp"
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <stdexcept>
@@ -49,10 +50,20 @@ Campaign::Campaign(Plan plan, Engine engine, Metadata metadata)
       metadata_(std::move(metadata)) {}
 
 CampaignResult Campaign::run(const MeasureFn& measure) const {
-  RawTable table = engine_.run(plan_, measure);
+  return run(MeasureFactory([&measure](std::size_t) { return measure; }));
+}
+
+CampaignResult Campaign::run(const MeasureFactory& factory) const {
+  RawTable table = engine_.run(plan_, factory);
   Metadata md = metadata_;
   md.set("plan_runs", static_cast<std::int64_t>(plan_.size()));
   md.set("plan_seed", static_cast<std::uint64_t>(plan_.seed()));
+  // Record the worker count actually used: the engine never spawns more
+  // workers than there are planned runs.
+  md.set("engine_threads",
+         static_cast<std::int64_t>(std::min(
+             Engine::resolve_threads(engine_.options().threads),
+             std::max<std::size_t>(plan_.size(), 1))));
   return CampaignResult{plan_, std::move(table), std::move(md)};
 }
 

@@ -33,8 +33,11 @@ class Campaign {
  public:
   Campaign(Plan plan, Engine engine, Metadata metadata);
 
-  /// Runs the campaign in white-box mode.
+  /// Runs the campaign in white-box mode.  With a parallel engine the
+  /// shared callable must be thread-safe; stateful measurements should
+  /// use the factory overload (one callable per worker).
   CampaignResult run(const MeasureFn& measure) const;
+  CampaignResult run(const MeasureFactory& factory) const;
 
   const Plan& plan() const noexcept { return plan_; }
   const Metadata& metadata() const noexcept { return metadata_; }

@@ -3,8 +3,25 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <thread>
+#include <utility>
 
 namespace cal {
+namespace {
+
+/// Child seeds for every planned run, in execution order.  The i-th seed
+/// is exactly what the i-th sequential engine_rng.split() would have used,
+/// so Rng(seeds[i]) == engine_rng.split_at(i): per-run streams do not
+/// depend on which worker executes the run, or when.
+std::vector<std::uint64_t> presplit_seeds(std::uint64_t engine_seed,
+                                          std::size_t n) {
+  Rng engine_rng(engine_seed);
+  std::vector<std::uint64_t> seeds(n);
+  for (auto& seed : seeds) seed = engine_rng.next_u64();
+  return seeds;
+}
+
+}  // namespace
 
 Engine::Engine(std::vector<std::string> metric_names, Options options)
     : metric_names_(std::move(metric_names)), options_(options) {
@@ -13,37 +30,126 @@ Engine::Engine(std::vector<std::string> metric_names, Options options)
   }
 }
 
-RawTable Engine::run(const Plan& plan, const MeasureFn& measure) const {
+std::size_t Engine::resolve_threads(std::size_t requested) noexcept {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+std::vector<MeasureResult> Engine::execute_sharded(
+    const std::vector<PlannedRun>& order, bool sequence_is_position,
+    const MeasureFactory& factory, std::size_t threads) const {
+  const std::size_t n = order.size();
+  const std::vector<std::uint64_t> seeds = presplit_seeds(options_.seed, n);
+
+  // Build every worker's measurement callable up front, on this thread,
+  // so factories need no synchronization.
+  std::vector<MeasureFn> measures;
+  measures.reserve(threads);
+  for (std::size_t w = 0; w < threads; ++w) measures.push_back(factory(w));
+
+  std::vector<MeasureResult> results(n);
+  std::vector<std::exception_ptr> errors(threads);
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t w = 0; w < threads; ++w) {
+    pool.emplace_back([&, w] {
+      try {
+        // Round-robin sharding: deterministic (no work stealing), and
+        // interleaved assignment spreads expensive neighbouring runs --
+        // randomized plans have no cost locality anyway.
+        for (std::size_t j = w; j < n; j += threads) {
+          Rng run_rng(seeds[j]);
+          MeasureContext ctx{options_.start_time_s,
+                             sequence_is_position ? j : order[j].run_index,
+                             &run_rng, w};
+          MeasureResult result = measures[w](order[j], ctx);
+          if (result.metrics.size() != metric_names_.size()) {
+            throw std::runtime_error("Engine: measurement width mismatch");
+          }
+          results[j] = std::move(result);
+        }
+      } catch (...) {
+        errors[w] = std::current_exception();
+      }
+    });
+  }
+  for (auto& worker : pool) worker.join();
+  for (const auto& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+  return results;
+}
+
+RawTable Engine::run(const Plan& plan, const MeasureFactory& factory) const {
   std::vector<std::string> factor_names;
   factor_names.reserve(plan.factors().size());
   for (const auto& f : plan.factors()) factor_names.push_back(f.name());
 
   RawTable table(std::move(factor_names), metric_names_);
-  Rng engine_rng(options_.seed);
-  double now = options_.start_time_s;
+  table.reserve(plan.size());
+  const std::vector<PlannedRun>& order = plan.runs();
+  const std::size_t threads =
+      std::min(resolve_threads(options_.threads),
+               std::max<std::size_t>(order.size(), 1));
 
-  for (const auto& planned : plan.runs()) {
-    Rng run_rng = engine_rng.split();
-    MeasureContext ctx{now, planned.run_index, &run_rng};
-    MeasureResult result = measure(planned, ctx);
-    if (result.metrics.size() != metric_names_.size()) {
-      throw std::runtime_error("Engine: measurement width mismatch");
+  if (threads <= 1) {
+    // Sequential: the simulated clock threads through the measurement, so
+    // time-dependent simulations see true timestamps.
+    const MeasureFn measure = factory(0);
+    Rng engine_rng(options_.seed);
+    double now = options_.start_time_s;
+    for (const auto& planned : order) {
+      Rng run_rng = engine_rng.split();
+      MeasureContext ctx{now, planned.run_index, &run_rng, 0};
+      MeasureResult result = measure(planned, ctx);
+      if (result.metrics.size() != metric_names_.size()) {
+        throw std::runtime_error("Engine: measurement width mismatch");
+      }
+      RawRecord rec;
+      rec.sequence = planned.run_index;
+      rec.cell_index = planned.cell_index;
+      rec.replicate = planned.replicate;
+      rec.timestamp_s = now;
+      rec.factors = planned.values;
+      rec.metrics = std::move(result.metrics);
+      table.append(std::move(rec));
+      now += result.elapsed_s + options_.inter_run_gap_s;
     }
+    return table;
+  }
+
+  std::vector<MeasureResult> results =
+      execute_sharded(order, /*sequence_is_position=*/false, factory, threads);
+
+  // Merge in plan order, rebuilding the sequential clock from the
+  // returned durations -- timestamps come out identical to a sequential
+  // execution of the same (stationary) measurement.
+  std::vector<RawRecord> batch;
+  batch.reserve(order.size());
+  double now = options_.start_time_s;
+  for (std::size_t j = 0; j < order.size(); ++j) {
+    const PlannedRun& planned = order[j];
     RawRecord rec;
     rec.sequence = planned.run_index;
     rec.cell_index = planned.cell_index;
     rec.replicate = planned.replicate;
     rec.timestamp_s = now;
     rec.factors = planned.values;
-    rec.metrics = std::move(result.metrics);
-    table.append(std::move(rec));
-    now += result.elapsed_s + options_.inter_run_gap_s;
+    rec.metrics = std::move(results[j].metrics);
+    batch.push_back(std::move(rec));
+    now += results[j].elapsed_s + options_.inter_run_gap_s;
   }
+  table.append_batch(std::move(batch));
   return table;
 }
 
+RawTable Engine::run(const Plan& plan, const MeasureFn& measure) const {
+  return run(plan, MeasureFactory([&measure](std::size_t) { return measure; }));
+}
+
 OpaqueSummary Engine::run_opaque(const Plan& plan,
-                                 const MeasureFn& measure) const {
+                                 const MeasureFactory& factory) const {
   // Sequential sweep: sort by cell index, replicates back-to-back --
   // exactly the order of the pseudo-code in the paper's Fig. 2.
   std::vector<PlannedRun> order = plan.runs();
@@ -58,56 +164,71 @@ OpaqueSummary Engine::run_opaque(const Plan& plan,
   }
   summary.metric_names = metric_names_;
 
-  Rng engine_rng(options_.seed);
-  double now = options_.start_time_s;
+  const std::size_t threads =
+      std::min(resolve_threads(options_.threads),
+               std::max<std::size_t>(order.size(), 1));
 
-  // Online Welford accumulators per cell.
+  std::vector<MeasureResult> results;
+  if (threads <= 1) {
+    const MeasureFn measure = factory(0);
+    Rng engine_rng(options_.seed);
+    double now = options_.start_time_s;
+    results.reserve(order.size());
+    for (std::size_t j = 0; j < order.size(); ++j) {
+      Rng run_rng = engine_rng.split();
+      MeasureContext ctx{now, j, &run_rng, 0};
+      MeasureResult result = measure(order[j], ctx);
+      if (result.metrics.size() != metric_names_.size()) {
+        throw std::runtime_error("Engine: measurement width mismatch");
+      }
+      now += result.elapsed_s + options_.inter_run_gap_s;
+      results.push_back(std::move(result));
+    }
+  } else {
+    results = execute_sharded(order, /*sequence_is_position=*/true, factory,
+                              threads);
+  }
+
+  // Online Welford accumulators, indexed directly by the plan's cell
+  // index -- no per-record scan over key vectors.  A cell's reported
+  // factor values are those of its first run in sweep order (for sampled
+  // factors they vary within the cell; level factors are constant).
   struct Acc {
     std::vector<Value> factors;
     std::size_t n = 0;
     std::vector<double> mean;
     std::vector<double> m2;
   };
-  std::vector<Acc> accs;
-
-  std::size_t sequence = 0;
+  std::size_t n_cells = 0;
   for (const auto& planned : order) {
-    Rng run_rng = engine_rng.split();
-    MeasureContext ctx{now, sequence, &run_rng};
-    MeasureResult result = measure(planned, ctx);
-    if (result.metrics.size() != metric_names_.size()) {
-      throw std::runtime_error("Engine: measurement width mismatch");
-    }
-    now += result.elapsed_s + options_.inter_run_gap_s;
-    ++sequence;
+    n_cells = std::max(n_cells, planned.cell_index + 1);
+  }
+  std::vector<Acc> accs(n_cells);
 
-    Acc* acc = nullptr;
-    for (auto& a : accs) {
-      if (a.factors == planned.values) {
-        acc = &a;
-        break;
-      }
+  for (std::size_t j = 0; j < order.size(); ++j) {
+    Acc& acc = accs[order[j].cell_index];
+    if (acc.n == 0) {
+      acc.factors = order[j].values;
+      acc.mean.assign(metric_names_.size(), 0.0);
+      acc.m2.assign(metric_names_.size(), 0.0);
     }
-    if (acc == nullptr) {
-      accs.push_back(Acc{planned.values, 0,
-                         std::vector<double>(metric_names_.size(), 0.0),
-                         std::vector<double>(metric_names_.size(), 0.0)});
-      acc = &accs.back();
-    }
-    acc->n += 1;
-    for (std::size_t m = 0; m < result.metrics.size(); ++m) {
-      const double x = result.metrics[m];
-      const double delta = x - acc->mean[m];
-      acc->mean[m] += delta / static_cast<double>(acc->n);
-      acc->m2[m] += delta * (x - acc->mean[m]);
+    acc.n += 1;
+    const std::vector<double>& metrics = results[j].metrics;
+    for (std::size_t m = 0; m < metrics.size(); ++m) {
+      const double x = metrics[m];
+      const double delta = x - acc.mean[m];
+      acc.mean[m] += delta / static_cast<double>(acc.n);
+      acc.m2[m] += delta * (x - acc.mean[m]);
     }
   }
 
-  for (const auto& acc : accs) {
+  summary.cells.reserve(n_cells);
+  for (auto& acc : accs) {
+    if (acc.n == 0) continue;  // cell had no runs
     OpaqueCellSummary cell;
-    cell.factors = acc.factors;
+    cell.factors = std::move(acc.factors);
     cell.n = acc.n;
-    cell.mean = acc.mean;
+    cell.mean = std::move(acc.mean);
     cell.sd.resize(acc.m2.size());
     for (std::size_t m = 0; m < acc.m2.size(); ++m) {
       cell.sd[m] =
@@ -117,6 +238,12 @@ OpaqueSummary Engine::run_opaque(const Plan& plan,
     summary.cells.push_back(std::move(cell));
   }
   return summary;
+}
+
+OpaqueSummary Engine::run_opaque(const Plan& plan,
+                                 const MeasureFn& measure) const {
+  return run_opaque(plan,
+                    MeasureFactory([&measure](std::size_t) { return measure; }));
 }
 
 }  // namespace cal

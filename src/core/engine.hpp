@@ -6,6 +6,22 @@
 // simulated wall-clock time, and appends it to a RawTable.  All
 // intelligence lives before (design) or after (analysis) this stage.
 //
+// Campaign throughput: the engine can shard runs over a worker pool
+// (Options::threads).  Determinism is preserved by construction:
+//
+//   * every run's random stream is pre-split from the engine seed by run
+//     index (Rng::split_at), so run i draws the exact same noise no
+//     matter which worker executes it, or in which order;
+//   * workers stage results into per-run slots and the merge rebuilds the
+//     record batch -- and the simulated clock -- in plan order.
+//
+// The resulting RawTable is bit-identical to sequential execution at any
+// thread count, provided the measurement is *stationary*: it must not
+// derive metrics from MeasureContext::now_s (in parallel mode now_s is
+// the campaign start time, and final timestamps are reconstructed during
+// the merge).  Time-dependent simulations (DVFS governors, scheduler
+// perturbation windows) should keep threads == 1.
+//
 // A second entry point, run_opaque(), emulates how the benchmarks
 // criticized by the paper behave: it ignores the plan's randomized order
 // (sorting runs by cell, i.e. a sequential parameter sweep) and keeps only
@@ -27,6 +43,7 @@ struct MeasureContext {
   double now_s = 0.0;        ///< simulated wall-clock time at run start
   std::size_t sequence = 0;  ///< execution order index
   Rng* rng = nullptr;        ///< per-run random stream (never null)
+  std::size_t worker = 0;    ///< worker executing the run (0 if sequential)
 };
 
 /// Result of one measurement.
@@ -37,6 +54,12 @@ struct MeasureResult {
 
 using MeasureFn =
     std::function<MeasureResult(const PlannedRun&, MeasureContext&)>;
+
+/// Builds one measurement callable per worker.  The engine invokes the
+/// factory sequentially on the calling thread, once per worker, before
+/// any measurement starts -- so the factory itself needs no locking, and
+/// each worker can own private mutable state (e.g. a simulator replica).
+using MeasureFactory = std::function<MeasureFn(std::size_t worker)>;
 
 /// Per-cell summary produced by the opaque execution mode.
 struct OpaqueCellSummary {
@@ -58,10 +81,15 @@ class Engine {
     /// Simulated dead time between consecutive measurements (loop
     /// overhead, logging, ...).  Keeps timestamps strictly increasing.
     double inter_run_gap_s = 50e-6;
-    /// Seed for the engine's own stream; each run receives a split of it.
+    /// Seed for the engine's own stream; each run receives an indexed
+    /// split of it (run i gets split_at(i)).
     std::uint64_t seed = 42;
     /// Initial simulated wall-clock value.
     double start_time_s = 0.0;
+    /// Worker threads for campaign execution.  1 = sequential (default);
+    /// 0 = one per hardware thread.  See the determinism contract in the
+    /// header comment.
+    std::size_t threads = 1;
   };
 
   explicit Engine(std::vector<std::string> metric_names)
@@ -71,17 +99,34 @@ class Engine {
   const std::vector<std::string>& metric_names() const noexcept {
     return metric_names_;
   }
+  const Options& options() const noexcept { return options_; }
+
+  /// Resolves an Options::threads request (0 -> hardware concurrency).
+  static std::size_t resolve_threads(std::size_t requested) noexcept;
 
   /// White-box mode: executes the plan in plan order, returns every raw
-  /// record.
+  /// record.  With threads > 1 the shared callable is invoked from all
+  /// workers concurrently and must be thread-safe; stateful measurements
+  /// should use the MeasureFactory overload instead.
   RawTable run(const Plan& plan, const MeasureFn& measure) const;
+  RawTable run(const Plan& plan, const MeasureFactory& factory) const;
 
   /// Opaque mode: sorts runs by cell index (sequential sweep), aggregates
-  /// online, and throws the raw data away.  Returned summaries are all an
-  /// opaque tool would have reported.
+  /// online per factorial cell, and throws the raw data away.  Returned
+  /// summaries are all an opaque tool would have reported.
   OpaqueSummary run_opaque(const Plan& plan, const MeasureFn& measure) const;
+  OpaqueSummary run_opaque(const Plan& plan,
+                           const MeasureFactory& factory) const;
 
  private:
+  /// Executes `order` sharded round-robin over `threads` workers, staging
+  /// per-position results.  `sequence_is_position` selects which index
+  /// the context reports: the position in `order` (opaque sweep) or the
+  /// run's own plan index (white-box mode).
+  std::vector<MeasureResult> execute_sharded(
+      const std::vector<PlannedRun>& order, bool sequence_is_position,
+      const MeasureFactory& factory, std::size_t threads) const;
+
   std::vector<std::string> metric_names_;
   Options options_;
 };

@@ -21,6 +21,18 @@ void RawTable::append(RawRecord record) {
   records_.push_back(std::move(record));
 }
 
+void RawTable::append_batch(std::vector<RawRecord> batch) {
+  for (const auto& record : batch) {
+    if (record.factors.size() != factor_names_.size() ||
+        record.metrics.size() != metric_names_.size()) {
+      throw std::invalid_argument("RawTable: record width mismatch");
+    }
+  }
+  records_.reserve(records_.size() + batch.size());
+  records_.insert(records_.end(), std::make_move_iterator(batch.begin()),
+                  std::make_move_iterator(batch.end()));
+}
+
 std::size_t RawTable::factor_index(const std::string& name) const {
   for (std::size_t i = 0; i < factor_names_.size(); ++i) {
     if (factor_names_[i] == name) return i;

@@ -44,8 +44,16 @@ class RawTable {
   std::size_t size() const noexcept { return records_.size(); }
   bool empty() const noexcept { return records_.empty(); }
 
+  /// Pre-sizes the record store; the campaign engine knows the plan size
+  /// up front, so the hot ingest path never reallocates.
+  void reserve(std::size_t n) { records_.reserve(records_.size() + n); }
+
   /// Appends a record; widths must match the declared column names.
   void append(RawRecord record);
+
+  /// Moves a whole batch in (per-worker shard merge).  Validates every
+  /// width first so a mid-batch mismatch cannot leave the table ragged.
+  void append_batch(std::vector<RawRecord> batch);
 
   std::size_t factor_index(const std::string& name) const;
   std::size_t metric_index(const std::string& name) const;

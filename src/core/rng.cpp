@@ -110,6 +110,34 @@ std::size_t Rng::pick_index(std::size_t n) noexcept {
 
 Rng Rng::split() noexcept { return Rng(next_u64()); }
 
+void Rng::discard(std::uint64_t n) noexcept {
+  for (std::uint64_t i = 0; i < n; ++i) next_u64();
+}
+
+Rng Rng::split_at(std::uint64_t i) const noexcept {
+  Rng probe = *this;  // never perturbs the parent stream
+  probe.discard(i);
+  return probe.split();
+}
+
+void Rng::jump() noexcept {
+  // Polynomial for the canonical xoshiro256** 2^128 jump (Blackman &
+  // Vigna); equivalent to 2^128 next_u64() calls.
+  static constexpr std::uint64_t kJump[] = {
+      0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL, 0xa9582618e03fc9aaULL,
+      0x39abdc4529b1661cULL};
+  std::array<std::uint64_t, 4> acc{};
+  for (const std::uint64_t word : kJump) {
+    for (int bit = 0; bit < 64; ++bit) {
+      if (word & (1ULL << bit)) {
+        for (std::size_t s = 0; s < acc.size(); ++s) acc[s] ^= state_[s];
+      }
+      next_u64();
+    }
+  }
+  state_ = acc;
+}
+
 std::vector<std::size_t> Rng::permutation(std::size_t n) {
   std::vector<std::size_t> p(n);
   for (std::size_t i = 0; i < n; ++i) p[i] = i;

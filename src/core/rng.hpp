@@ -86,6 +86,21 @@ class Rng {
   /// adding noise to one component does not perturb the draws of another.
   Rng split() noexcept;
 
+  /// Advances the stream by `n` draws (equivalent to n next_u64() calls).
+  void discard(std::uint64_t n) noexcept;
+
+  /// The child that the i-th sequential split() (0-based) would produce,
+  /// without advancing this generator.  This is what lets a parallel
+  /// engine hand run i its exact sequential-execution random stream no
+  /// matter which worker executes it, or in which order.  O(i); combine
+  /// with jump() when indexing far into the stream.
+  Rng split_at(std::uint64_t i) const noexcept;
+
+  /// The canonical xoshiro256** jump: advances the state by 2^128 draws
+  /// in O(1) (the reference long_jump, 2^192, is a different primitive).
+  /// Child streams split off after distinct jump counts never overlap.
+  void jump() noexcept;
+
   /// A randomly permuted identity vector [0, n).
   std::vector<std::size_t> permutation(std::size_t n);
 

@@ -3,6 +3,7 @@
 #include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <functional>
 #include <stdexcept>
 
 namespace cal {
@@ -81,6 +82,24 @@ bool operator==(const Value& a, const Value& b) {
     return false;
   }
   return a.data_ == b.data_;
+}
+
+std::size_t Value::hash() const noexcept {
+  if (const auto* s = std::get_if<std::string>(&data_)) {
+    return std::hash<std::string>{}(*s);
+  }
+  // Numeric: int and real that compare equal must hash equal.  Hash the
+  // double view; every int64 representable as double hashes consistently,
+  // and group-by keys mixing the two kinds for the same level are rare
+  // enough that collisions from the cast are harmless (equality rechecks).
+  double d = 0.0;
+  if (const auto* i = std::get_if<std::int64_t>(&data_)) {
+    d = static_cast<double>(*i);
+  } else {
+    d = std::get<double>(data_);
+  }
+  if (d == 0.0) d = 0.0;  // collapse -0.0 and +0.0 (they compare equal)
+  return std::hash<double>{}(d);
 }
 
 bool operator<(const Value& a, const Value& b) {

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <string>
 #include <variant>
+#include <vector>
 
 namespace cal {
 
@@ -55,8 +56,28 @@ class Value {
   /// Ordering used for group-by keys: by kind, then by content.
   friend bool operator<(const Value& a, const Value& b);
 
+  /// Hash consistent with operator== (which compares int and real values
+  /// numerically): numeric values hash through their double view, strings
+  /// through std::hash<std::string>.
+  std::size_t hash() const noexcept;
+
  private:
   std::variant<std::int64_t, double, std::string> data_;
+};
+
+/// Hasher for Value and std::vector<Value> group-by keys.
+struct ValueHash {
+  std::size_t operator()(const Value& v) const noexcept { return v.hash(); }
+
+  std::size_t operator()(const std::vector<Value>& key) const noexcept {
+    // FNV-style combine: order-sensitive, cheap, no allocation.
+    std::size_t h = 0xcbf29ce484222325ULL;
+    for (const Value& v : key) {
+      h ^= v.hash();
+      h *= 0x100000001b3ULL;
+    }
+    return h;
+  }
 };
 
 }  // namespace cal

@@ -53,29 +53,52 @@ double Hierarchy::stall_for_level(std::size_t level) const noexcept {
 PassCost Hierarchy::stream_pass(const Buffer& buffer, std::size_t stride_bytes,
                                 std::size_t count) noexcept {
   PassCost cost;
-  cost.hits_by_level.assign(caches_.size() + 1, 0);
+  stream_pass(buffer, stride_bytes, count, cost);
+  return cost;
+}
+
+void Hierarchy::stream_pass(const Buffer& buffer, std::size_t stride_bytes,
+                            std::size_t count, PassCost& out) noexcept {
+  // assign() reuses existing capacity: with a caller-retained PassCost the
+  // per-pass path performs no allocation.
+  out.hits_by_level.assign(caches_.size() + 1, 0);
   double stall = 0.0;
   std::size_t offset = 0;
   const std::size_t size = buffer.size();
+  // When stride_bytes >= size the stream degenerates: the cyclic wrap
+  // lands back on the same offset every iteration (one line serves the
+  // whole pass), so cache the translation instead of re-walking the page
+  // table for an unchanged offset.
+  std::size_t translated_offset = static_cast<std::size_t>(-1);
+  std::uint64_t paddr = 0;
   for (std::size_t i = 0; i < count; ++i) {
-    const std::size_t level = access(buffer.translate(offset));
-    ++cost.hits_by_level[level];
+    if (offset != translated_offset) {
+      paddr = buffer.translate(offset);
+      translated_offset = offset;
+    }
+    const std::size_t level = access(paddr);
+    ++out.hits_by_level[level];
     stall += stall_[level];
     offset += stride_bytes;
     if (offset >= size) offset -= size;  // cyclic, like the nloops loop
   }
-  cost.accesses = count;
-  cost.stall_cycles = static_cast<std::uint64_t>(stall);
-  return cost;
+  out.accesses = count;
+  out.stall_cycles = static_cast<std::uint64_t>(stall);
 }
 
 Hierarchy::SteadyCost Hierarchy::steady_state_cost(const Buffer& buffer,
                                                    std::size_t stride_bytes,
                                                    std::size_t count) noexcept {
   SteadyCost out;
-  out.cold = stream_pass(buffer, stride_bytes, count);
-  out.steady = stream_pass(buffer, stride_bytes, count);
+  steady_state_cost(buffer, stride_bytes, count, out);
   return out;
+}
+
+void Hierarchy::steady_state_cost(const Buffer& buffer,
+                                  std::size_t stride_bytes, std::size_t count,
+                                  SteadyCost& out) noexcept {
+  stream_pass(buffer, stride_bytes, count, out.cold);
+  stream_pass(buffer, stride_bytes, count, out.steady);
 }
 
 void Hierarchy::flush() noexcept {

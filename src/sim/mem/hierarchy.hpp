@@ -43,6 +43,12 @@ class Hierarchy {
   PassCost stream_pass(const Buffer& buffer, std::size_t stride_bytes,
                        std::size_t count) noexcept;
 
+  /// Allocation-free variant for hot loops: reuses `out.hits_by_level`
+  /// capacity, so a caller that keeps the PassCost across measurements
+  /// pays the vector allocation once instead of once per pass.
+  void stream_pass(const Buffer& buffer, std::size_t stride_bytes,
+                   std::size_t count, PassCost& out) noexcept;
+
   /// Cold + steady-state pass costs for the same stream.
   struct SteadyCost {
     PassCost cold;
@@ -50,6 +56,8 @@ class Hierarchy {
   };
   SteadyCost steady_state_cost(const Buffer& buffer, std::size_t stride_bytes,
                                std::size_t count) noexcept;
+  void steady_state_cost(const Buffer& buffer, std::size_t stride_bytes,
+                         std::size_t count, SteadyCost& out) noexcept;
 
   void flush() noexcept;
 

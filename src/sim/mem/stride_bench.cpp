@@ -92,7 +92,8 @@ MeasurementOutput MemSystem::measure(const MeasurementRequest& request,
   // --- Cache simulation: cold pass + steady pass -----------------------
   const std::size_t count = request.size_bytes / stride_bytes;
   hierarchy_.flush();
-  const auto cost = hierarchy_.steady_state_cost(buffer, stride_bytes, count);
+  hierarchy_.steady_state_cost(buffer, stride_bytes, count, cost_scratch_);
+  const auto& cost = cost_scratch_;
 
   const double issue_cpe =
       issue_cycles_per_access(machine.issue, request.kernel);

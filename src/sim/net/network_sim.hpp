@@ -55,6 +55,7 @@ class NetworkSim {
   double one_way_us(double size_bytes) const;
 
   const LinkSpec& link() const noexcept { return config_.link; }
+  const NetworkSimConfig& config() const noexcept { return config_; }
 
  private:
   double perturbation_factor(double now_s) const;

@@ -1,9 +1,35 @@
 #include "stats/group.hpp"
 
 #include <algorithm>
-#include <map>
+#include <unordered_map>
+#include <utility>
 
 namespace cal::stats {
+namespace {
+
+bool key_less(const std::vector<Value>& a, const std::vector<Value>& b) {
+  return std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end());
+}
+
+/// Reorders a group's samples and sequence in place by `order`
+/// (order[i] = index of the element that must end up at position i),
+/// destroying `order`.  Cycle-walking swaps: no copy of the group is
+/// materialized.
+void apply_permutation(std::vector<std::size_t>& order, Group& group) {
+  const std::size_t n = order.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t src = order[i];
+    // Already-moved slots redirect to where their content went.
+    while (src < i) src = order[src];
+    if (src != i) {
+      std::swap(group.samples[i], group.samples[src]);
+      std::swap(group.sequence[i], group.sequence[src]);
+    }
+    order[i] = src;
+  }
+}
+
+}  // namespace
 
 std::vector<Group> group_metric(const RawTable& table,
                                 const std::vector<std::string>& factors,
@@ -13,35 +39,47 @@ std::vector<Group> group_metric(const RawTable& table,
   for (const auto& f : factors) f_idx.push_back(table.factor_index(f));
   const std::size_t m_idx = table.metric_index(metric);
 
-  std::map<std::vector<Value>, Group> groups;
+  // Hash-grouped: O(1) expected per record instead of a log-time map of
+  // lexicographic Value comparisons.  The scratch key is allocated once
+  // and refilled per record; a fresh copy is made only per distinct group.
+  std::vector<Group> out;
+  std::unordered_map<std::vector<Value>, std::size_t, ValueHash> index;
+  index.reserve(64);
+  std::vector<Value> key;
+  key.reserve(f_idx.size());
   for (const auto& rec : table.records()) {
-    std::vector<Value> key;
-    key.reserve(f_idx.size());
+    key.clear();
     for (const std::size_t i : f_idx) key.push_back(rec.factors[i]);
-    auto [it, inserted] = groups.try_emplace(key);
-    if (inserted) it->second.key = key;
-    it->second.samples.push_back(rec.metrics[m_idx]);
-    it->second.sequence.push_back(rec.sequence);
+    std::size_t slot = 0;
+    if (const auto it = index.find(key); it != index.end()) {
+      slot = it->second;
+    } else {
+      slot = out.size();
+      index.emplace(key, slot);
+      Group group;
+      group.key = key;
+      out.push_back(std::move(group));
+    }
+    out[slot].samples.push_back(rec.metrics[m_idx]);
+    out[slot].sequence.push_back(rec.sequence);
   }
 
-  std::vector<Group> out;
-  out.reserve(groups.size());
-  for (auto& [key, group] : groups) {
-    // Order samples by sequence so temporal diagnostics can use them.
-    std::vector<std::size_t> order(group.samples.size());
+  // Keep the documented key ordering (Value ordering, lexicographic).
+  std::sort(out.begin(), out.end(),
+            [](const Group& a, const Group& b) { return key_less(a.key, b.key); });
+
+  // Order samples by sequence so temporal diagnostics can use them.
+  // Engine output already arrives in sequence order, so the common case
+  // is a no-op check; otherwise apply the sort permutation in place.
+  std::vector<std::size_t> order;
+  for (auto& group : out) {
+    if (std::is_sorted(group.sequence.begin(), group.sequence.end())) continue;
+    order.resize(group.sequence.size());
     for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
     std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
       return group.sequence[a] < group.sequence[b];
     });
-    Group sorted;
-    sorted.key = group.key;
-    sorted.samples.reserve(order.size());
-    sorted.sequence.reserve(order.size());
-    for (const std::size_t i : order) {
-      sorted.samples.push_back(group.samples[i]);
-      sorted.sequence.push_back(group.sequence[i]);
-    }
-    out.push_back(std::move(sorted));
+    apply_permutation(order, group);
   }
   return out;
 }

@@ -101,6 +101,34 @@ TEST(RawTable, CsvRoundTrip) {
   }
 }
 
+TEST(RawTable, AppendBatchMovesRecordsIn) {
+  RawTable table({"size", "op"}, {"time_us", "bw"});
+  table.reserve(6);
+  std::vector<RawRecord> batch;
+  for (int i = 0; i < 6; ++i) {
+    RawRecord rec;
+    rec.sequence = static_cast<std::size_t>(i);
+    rec.factors = {Value(i), Value("send")};
+    rec.metrics = {1.0 * i, 2.0 * i};
+    batch.push_back(std::move(rec));
+  }
+  table.append_batch(std::move(batch));
+  ASSERT_EQ(table.size(), 6u);
+  EXPECT_EQ(table.records()[5].sequence, 5u);
+}
+
+TEST(RawTable, AppendBatchValidatesEveryWidthUpFront) {
+  RawTable table({"a"}, {"m"});
+  std::vector<RawRecord> batch(2);
+  batch[0].factors = {Value(1)};
+  batch[0].metrics = {1.0};
+  batch[1].factors = {Value(2), Value(3)};  // ragged
+  batch[1].metrics = {2.0};
+  EXPECT_THROW(table.append_batch(std::move(batch)), std::invalid_argument);
+  // The good leading record must not have been ingested either.
+  EXPECT_TRUE(table.empty());
+}
+
 TEST(RawTable, SequencePreservedThroughFilter) {
   // Sequence indices must survive filtering: temporal diagnostics depend
   // on them (Fig. 11, right panel).

@@ -165,6 +165,49 @@ TEST(Rng, SplitStreamsAreIndependentish) {
   EXPECT_LT(equal, 2);
 }
 
+TEST(Rng, SplitAtMatchesSequentialSplits) {
+  // The contract the parallel engine is built on: split_at(i) must equal
+  // the i-th sequential split(), for any i, without touching the parent.
+  const Rng parent(2024);
+  Rng sequential = parent;
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    Rng expected = sequential.split();
+    Rng indexed = parent.split_at(i);
+    for (int d = 0; d < 16; ++d) {
+      ASSERT_EQ(indexed.next_u64(), expected.next_u64())
+          << "stream " << i << " draw " << d;
+    }
+  }
+}
+
+TEST(Rng, SplitAtDoesNotAdvanceParent) {
+  Rng a(99), b(99);
+  (void)a.split_at(17);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DiscardEqualsDrawing) {
+  Rng a(5), b(5);
+  a.discard(123);
+  for (int i = 0; i < 123; ++i) b.next_u64();
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, JumpIsDeterministicAndDiverges) {
+  Rng a(7), b(7), stay(7);
+  a.jump();
+  b.jump();
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+  // A jumped stream is far from the unjumped one.
+  Rng c(7);
+  c.jump();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (c.next_u64() == stay.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
 TEST(Rng, PickIndexInBounds) {
   Rng rng(21);
   for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.pick_index(7), 7u);
