@@ -1,23 +1,55 @@
 // memory_campaign: full Section V-B memory characterization of a chosen
 // simulated machine -- the Fig. 13 factor set, randomized and replicated,
 // with the offline diagnostics that make the pitfalls visible.
+//
+// With --stream-to <path> the raw records are streamed to <path> through
+// the double-buffered CsvStreamSink while the campaign runs (bounded
+// memory, byte-identical archive), then read back for the very same
+// stage-3 analysis -- the archive-first workflow the paper advocates.
 
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "benchlib/whitebox/mem_calibration.hpp"
+#include "io/stream_sink.hpp"
 #include "io/table_fmt.hpp"
 #include "stats/effects.hpp"
 #include "stats/group.hpp"
 
 using namespace cal;
 
+namespace {
+
+int usage(const std::string& problem) {
+  std::cerr << "usage: memory_campaign [machine] [threads] "
+               "[--stream-to <path>]\n";
+  if (!problem.empty()) std::cerr << "  " << problem << "\n";
+  return 2;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  const std::string name = argc > 1 ? argv[1] : "i7-2600";
-  // Optional second argument: engine worker threads (0 = all hardware).
+  std::string name = "i7-2600";
+  // Engine worker threads (0 = all hardware).
   std::size_t threads = 0;
-  if (argc > 2) {
-    const std::string arg = argv[2];
+  std::string stream_to;  // empty = accumulate the RawTable in memory
+
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--stream-to") {
+      if (i + 1 >= argc) return usage("--stream-to requires a path argument");
+      stream_to = argv[++i];
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (!positional.empty()) name = positional[0];
+  if (positional.size() > 1) {
+    const std::string& arg = positional[1];
     // std::stoul accepts "-1" (wrapping) and trailing junk; require a
     // pure digit string instead.
     const bool digits =
@@ -26,12 +58,11 @@ int main(int argc, char** argv) {
       if (!digits) throw std::invalid_argument(arg);
       threads = static_cast<std::size_t>(std::stoul(arg));
     } catch (const std::exception&) {
-      std::cerr << "usage: memory_campaign [machine] [threads]\n"
-                << "  threads must be a non-negative integer, got '" << arg
-                << "'\n";
-      return 2;
+      return usage("threads must be a non-negative integer, got '" + arg +
+                   "'");
     }
   }
+
   sim::MachineSpec machine = sim::machines::core_i7_2600();
   for (const auto& candidate : sim::machines::all()) {
     if (candidate.name == name) machine = candidate;
@@ -57,24 +88,43 @@ int main(int argc, char** argv) {
   std::cout << "Stage 1: " << design.size()
             << " runs designed (randomized order).\n";
 
-  // Stage 2: run sharded across workers + persist raw bundle.
+  // Stage 2: run sharded across workers + persist the raw archive.
   benchlib::MemCampaignOptions campaign_options;
   campaign_options.threads = threads;
-  CampaignResult campaign =
-      benchlib::run_mem_campaign(config, std::move(design), campaign_options);
-  campaign.write_dir("memory_campaign_results");
-  std::cout << "Stage 2: measured on "
-            << Engine::resolve_threads(campaign_options.threads)
-            << " worker(s); raw bundle written to "
-               "memory_campaign_results/.\n\n";
+  const std::size_t n_factors = design.factors().size();
+  RawTable table({}, {});
+  if (stream_to.empty()) {
+    CampaignResult campaign = benchlib::run_mem_campaign(
+        config, std::move(design), campaign_options);
+    campaign.write_dir("memory_campaign_results");
+    table = std::move(campaign.table);
+    std::cout << "Stage 2: measured on "
+              << Engine::resolve_threads(campaign_options.threads)
+              << " worker(s); raw bundle written to "
+                 "memory_campaign_results/.\n\n";
+  } else {
+    io::CsvStreamSink sink(stream_to);
+    benchlib::run_mem_campaign(config, std::move(design), sink,
+                               campaign_options);
+    std::cout << "Stage 2: measured on "
+              << Engine::resolve_threads(campaign_options.threads)
+              << " worker(s); " << sink.records_written()
+              << " raw records streamed to " << stream_to << ".\n";
+    // Offline re-load: the streamed CSV is the complete archive, so the
+    // analysis below runs from disk exactly as a later analyst would.
+    std::ifstream in(stream_to);
+    table = RawTable::read_csv(in, n_factors);
+    std::cout << "Stage 3 input: " << table.size()
+              << " records read back from the streamed archive.\n\n";
+  }
 
   // Stage 3: per-kernel-variant peak (L1-resident) bandwidth.
   std::cout << "Peak (L1-resident) bandwidth by kernel variant:\n";
-  io::TextTable table({"elem", "unroll", "stride", "peak median MB/s"});
+  io::TextTable variants({"elem", "unroll", "stride", "peak median MB/s"});
   for (const std::int64_t elem : plan.elem_bytes) {
     for (const std::int64_t unroll : plan.unrolls) {
       const RawTable variant =
-          campaign.table.filter("elem_bytes", Value(elem))
+          table.filter("elem_bytes", Value(elem))
               .filter("unroll", Value(unroll))
               .filter("stride", Value(std::int64_t{1}));
       const RawTable l1 = variant.filter_records([&](const RawRecord& rec) {
@@ -83,16 +133,16 @@ int main(int argc, char** argv) {
       });
       if (l1.empty()) continue;
       const auto bw = l1.metric_column("bandwidth_mbps");
-      table.add_row({std::to_string(elem) + "B", std::to_string(unroll), "1",
-                     io::TextTable::num(stats::median(bw), 0)});
+      variants.add_row({std::to_string(elem) + "B", std::to_string(unroll),
+                        "1", io::TextTable::num(stats::median(bw), 0)});
     }
   }
-  table.print(std::cout);
+  variants.print(std::cout);
 
   // Cache-level plateaus for the best kernel.
   std::cout << "\nBandwidth by working-set region (8B unrolled kernel, "
                "stride 1):\n";
-  const RawTable best = campaign.table.filter("elem_bytes", Value(std::int64_t{8}))
+  const RawTable best = table.filter("elem_bytes", Value(std::int64_t{8}))
                             .filter("unroll", Value(std::int64_t{8}))
                             .filter("stride", Value(std::int64_t{1}));
   io::TextTable plateaus({"region", "median MB/s", "n"});
@@ -125,8 +175,7 @@ int main(int argc, char** argv) {
   std::cout << "\nDesign-of-Experiments factor screening (share of "
                "bandwidth variance):\n";
   io::TextTable screening({"factor", "variance share", "max |effect| MB/s"});
-  for (const auto& effect :
-       stats::main_effects(campaign.table, "bandwidth_mbps")) {
+  for (const auto& effect : stats::main_effects(table, "bandwidth_mbps")) {
     screening.add_row({effect.factor,
                        io::TextTable::num(effect.variance_share, 3),
                        io::TextTable::num(effect.max_abs_effect, 0)});

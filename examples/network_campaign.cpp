@@ -3,17 +3,35 @@
 // message sizes (Eq. 1), the three calibration operations, raw records,
 // and a supervised piecewise fit producing per-regime parameters.
 
+#include <fstream>
 #include <iostream>
 #include <sstream>
+#include <vector>
 
 #include "benchlib/whitebox/net_calibration.hpp"
+#include "io/stream_sink.hpp"
 #include "io/table_fmt.hpp"
 #include "stats/breakpoint.hpp"
 
 using namespace cal;
 
 int main(int argc, char** argv) {
-  const std::string link_name = argc > 1 ? argv[1] : "taurus";
+  std::string link_name = "taurus";
+  std::string stream_to;  // --stream-to <path>: archive raw records there
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--stream-to") {
+      if (i + 1 >= argc) {
+        std::cerr << "usage: network_campaign [link] [--stream-to <path>]\n";
+        return 2;
+      }
+      stream_to = argv[++i];
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (!positional.empty()) link_name = positional[0];
 
   sim::net::NetworkSimConfig config;
   if (link_name == "myrinet") {
@@ -26,20 +44,34 @@ int main(int argc, char** argv) {
   const sim::net::NetworkSim network(config);
   std::cout << "Calibrating link: " << network.link().name << "\n\n";
 
-  // Stages 1+2: randomized campaign with raw output.
+  // Stages 1+2: randomized campaign with raw output.  With --stream-to
+  // the records never accumulate in memory: they stream to disk through
+  // the double-buffered sink and are read back for the offline analysis.
   benchlib::NetCalibrationOptions options;
   options.min_size = 64.0;
   options.max_size = 1024.0 * 1024;
   options.samples_per_op = 1000;
-  const CampaignResult campaign =
-      benchlib::run_net_calibration(network, options);
-  campaign.write_dir("network_campaign_results");
-  std::cout << "Campaign: " << campaign.table.size()
-            << " raw measurements written to network_campaign_results/.\n\n";
+  RawTable raw({}, {});
+  if (stream_to.empty()) {
+    CampaignResult campaign = benchlib::run_net_calibration(network, options);
+    campaign.write_dir("network_campaign_results");
+    raw = std::move(campaign.table);
+    std::cout << "Campaign: " << raw.size()
+              << " raw measurements written to network_campaign_results/.\n\n";
+  } else {
+    io::CsvStreamSink sink(stream_to);
+    const StreamedCampaign streamed =
+        benchlib::run_net_calibration(network, sink, options);
+    std::ifstream in(stream_to);
+    raw = RawTable::read_csv(in, streamed.plan.factors().size());
+    std::cout << "Campaign: " << sink.records_written()
+              << " raw measurements streamed to " << stream_to << " and "
+              << raw.size() << " read back for analysis.\n\n";
+  }
 
   // Stage 3a: let the offline DP segmentation propose breakpoints from
   // the ping-pong data; the analyst reviews them before fitting.
-  const RawTable pp = campaign.table.filter("op", Value("pingpong"));
+  const RawTable pp = raw.filter("op", Value("pingpong"));
   const auto proposal = stats::segmented_least_squares(
       pp.factor_column_real("size_bytes"), pp.metric_column("time_us"));
   std::cout << "Proposed breakpoints (offline segmented fit): ";
@@ -54,7 +86,7 @@ int main(int argc, char** argv) {
 
   // Stage 3b: supervised piecewise fit with the reviewed breakpoints.
   const benchlib::NetModel model = benchlib::analyze_net_calibration(
-      campaign.table, network.link().true_breakpoints());
+      raw, network.link().true_breakpoints());
 
   io::TextTable table({"regime (bytes)", "o_s(s) us", "o_r(s) us", "L us",
                        "G ns/B", "bandwidth MB/s"});

@@ -1,0 +1,13 @@
+#!/usr/bin/env sh
+# Builds and runs the stream-I/O bench (in-memory TableSink vs streamed
+# CsvStreamSink archiving), leaving BENCH_stream_io.json at the repo root
+# so successive PRs can track the perf trajectory.
+#
+#   scripts/bench_stream_io.sh [build-dir]
+set -e
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build}"
+
+cmake -B "$BUILD" -S "$ROOT" >/dev/null
+cmake --build "$BUILD" --target bench_stream_io >/dev/null
+"$BUILD/bench/bench_stream_io" "$ROOT/BENCH_stream_io.json"

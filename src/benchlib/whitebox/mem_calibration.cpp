@@ -93,28 +93,50 @@ CampaignResult run_mem_campaign(sim::mem::MemSystem& system, Plan plan,
       .run(mem_measure_fn(system));
 }
 
-CampaignResult run_mem_campaign(const sim::mem::MemSystemConfig& config,
-                                Plan plan, const MemCampaignOptions& options) {
-  // Time-dependent configs (ondemand DVFS, daemon perturbation windows)
-  // need true sequential timestamps: force threads = 1 so the engine's
-  // bit-identical contract holds (same guard as run_net_calibration).
+namespace {
+
+/// Worker count honouring the engine determinism contract:
+/// time-dependent configs (ondemand DVFS, daemon perturbation windows)
+/// need true sequential timestamps, so they force threads = 1 (same
+/// guard as run_net_calibration).
+std::size_t mem_campaign_threads(const sim::mem::MemSystemConfig& config,
+                                 const MemCampaignOptions& options) {
   const bool time_dependent =
       config.governor != sim::cpu::GovernorKind::kPerformance ||
       config.daemon_present;
-  const std::size_t threads = time_dependent ? 1 : options.threads;
-  // One identical simulator replica per worker: the engine calls the
-  // factory sequentially before the pool starts, and each worker's
-  // MemSystem is private to it afterwards.
-  MeasureFactory factory = [&config](std::size_t) {
+  return time_dependent ? 1 : options.threads;
+}
+
+/// One identical simulator replica per worker: the engine calls the
+/// factory sequentially before the pool starts, and each worker's
+/// MemSystem is private to it afterwards.
+MeasureFactory mem_replica_factory(const sim::mem::MemSystemConfig& config) {
+  return [&config](std::size_t) {
     auto system = std::make_shared<sim::mem::MemSystem>(config);
     MeasureFn measure = mem_measure_fn(*system);
     return [system, measure](const PlannedRun& run, MeasureContext& ctx) {
       return measure(run, ctx);
     };
   };
+}
+
+}  // namespace
+
+CampaignResult run_mem_campaign(const sim::mem::MemSystemConfig& config,
+                                Plan plan, const MemCampaignOptions& options) {
+  const std::size_t threads = mem_campaign_threads(config, options);
   return Campaign(std::move(plan), make_mem_engine(options, threads),
                   make_mem_metadata(config))
-      .run(factory);
+      .run(mem_replica_factory(config));
+}
+
+StreamedCampaign run_mem_campaign(const sim::mem::MemSystemConfig& config,
+                                  Plan plan, RecordSink& sink,
+                                  const MemCampaignOptions& options) {
+  const std::size_t threads = mem_campaign_threads(config, options);
+  return Campaign(std::move(plan), make_mem_engine(options, threads),
+                  make_mem_metadata(config))
+      .run(mem_replica_factory(config), sink);
 }
 
 std::vector<SizeDiagnostics> diagnose_by_size(const RawTable& table) {

@@ -74,6 +74,15 @@ CampaignResult run_mem_campaign(const sim::mem::MemSystemConfig& config,
                                 Plan plan,
                                 const MemCampaignOptions& options = {});
 
+/// Streaming variant of the config-based overload: raw records flow to
+/// `sink` (e.g. an io::CsvStreamSink) in plan-ordered batches instead of
+/// accumulating in a RawTable, so campaign size is not bounded by memory.
+/// The sink's archive is byte-identical to the table the non-streaming
+/// overload would have written.
+StreamedCampaign run_mem_campaign(const sim::mem::MemSystemConfig& config,
+                                  Plan plan, RecordSink& sink,
+                                  const MemCampaignOptions& options = {});
+
 /// Stage-3 convenience: per-size bandwidth summary with the diagnostics
 /// an opaque tool cannot produce.
 struct SizeDiagnostics {

@@ -5,7 +5,17 @@
 
 namespace cal::benchlib {
 
-CampaignResult run_net_calibration(const sim::net::NetworkSim& network,
+namespace {
+
+/// The three campaign stages shared by the table-returning and streaming
+/// entry points; the measure closure indexes factors resolved from the
+/// plan before it is moved into the Campaign.
+struct NetCampaignSetup {
+  Campaign campaign;
+  MeasureFn measure;
+};
+
+NetCampaignSetup make_net_campaign(const sim::net::NetworkSim& network,
                                    const NetCalibrationOptions& options) {
   using sim::net::NetOp;
 
@@ -37,8 +47,9 @@ CampaignResult run_net_calibration(const sim::net::NetworkSim& network,
 
   const std::size_t op_idx = plan.factor_index("op");
   const std::size_t size_idx = plan.factor_index("size_bytes");
-  const auto measure = [&](const PlannedRun& run,
-                           MeasureContext& ctx) -> MeasureResult {
+  MeasureFn measure = [&network, op_idx, size_idx](
+                          const PlannedRun& run,
+                          MeasureContext& ctx) -> MeasureResult {
     const std::string& op_name = run.values[op_idx].as_string();
     const double size = run.values[size_idx].as_real();
     NetOp op = NetOp::kPingPong;
@@ -48,8 +59,24 @@ CampaignResult run_net_calibration(const sim::net::NetworkSim& network,
     return MeasureResult{{us}, us * 1e-6};
   };
 
-  return Campaign(std::move(plan), std::move(engine), std::move(md))
-      .run(measure);
+  return NetCampaignSetup{
+      Campaign(std::move(plan), std::move(engine), std::move(md)),
+      std::move(measure)};
+}
+
+}  // namespace
+
+CampaignResult run_net_calibration(const sim::net::NetworkSim& network,
+                                   const NetCalibrationOptions& options) {
+  const NetCampaignSetup setup = make_net_campaign(network, options);
+  return setup.campaign.run(setup.measure);
+}
+
+StreamedCampaign run_net_calibration(const sim::net::NetworkSim& network,
+                                     RecordSink& sink,
+                                     const NetCalibrationOptions& options) {
+  const NetCampaignSetup setup = make_net_campaign(network, options);
+  return setup.campaign.run(setup.measure, sink);
 }
 
 namespace {

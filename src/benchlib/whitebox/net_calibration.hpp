@@ -40,6 +40,13 @@ struct NetCalibrationOptions {
 CampaignResult run_net_calibration(const sim::net::NetworkSim& network,
                                    const NetCalibrationOptions& options = {});
 
+/// Streaming variant: every raw observation flows to `sink` in
+/// plan-ordered batches (byte-identical archive, bounded memory); only
+/// the plan and metadata come back.
+StreamedCampaign run_net_calibration(const sim::net::NetworkSim& network,
+                                     RecordSink& sink,
+                                     const NetCalibrationOptions& options = {});
+
 /// LogGP-style parameters for one size regime.
 struct SegmentParams {
   double lo = 0.0, hi = 0.0;          ///< size range, bytes

@@ -5,6 +5,8 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "io/stream_sink.hpp"
+
 namespace cal {
 
 void CampaignResult::write_dir(const std::string& dir) const {
@@ -49,12 +51,7 @@ Campaign::Campaign(Plan plan, Engine engine, Metadata metadata)
       engine_(std::move(engine)),
       metadata_(std::move(metadata)) {}
 
-CampaignResult Campaign::run(const MeasureFn& measure) const {
-  return run(MeasureFactory([&measure](std::size_t) { return measure; }));
-}
-
-CampaignResult Campaign::run(const MeasureFactory& factory) const {
-  RawTable table = engine_.run(plan_, factory);
+Metadata Campaign::finished_metadata(bool streamed) const {
   Metadata md = metadata_;
   md.set("plan_runs", static_cast<std::int64_t>(plan_.size()));
   md.set("plan_seed", static_cast<std::uint64_t>(plan_.seed()));
@@ -64,7 +61,52 @@ CampaignResult Campaign::run(const MeasureFactory& factory) const {
          static_cast<std::int64_t>(std::min(
              Engine::resolve_threads(engine_.options().threads),
              std::max<std::size_t>(plan_.size(), 1))));
-  return CampaignResult{plan_, std::move(table), std::move(md)};
+  if (streamed) {
+    md.set("record_path", std::string("streamed"));
+    md.set("sink_batch",
+           static_cast<std::int64_t>(engine_.options().sink_batch));
+  }
+  return md;
+}
+
+CampaignResult Campaign::run(const MeasureFn& measure) const {
+  return run(MeasureFactory([&measure](std::size_t) { return measure; }));
+}
+
+CampaignResult Campaign::run(const MeasureFactory& factory) const {
+  RawTable table = engine_.run(plan_, factory);
+  return CampaignResult{plan_, std::move(table),
+                        finished_metadata(/*streamed=*/false)};
+}
+
+StreamedCampaign Campaign::run(const MeasureFn& measure,
+                               RecordSink& sink) const {
+  return run(MeasureFactory([&measure](std::size_t) { return measure; }),
+             sink);
+}
+
+StreamedCampaign Campaign::run(const MeasureFactory& factory,
+                               RecordSink& sink) const {
+  engine_.run(plan_, factory, sink);
+  return StreamedCampaign{plan_, finished_metadata(/*streamed=*/true)};
+}
+
+StreamedCampaign Campaign::run_to_dir(const MeasureFactory& factory,
+                                      const std::string& dir) const {
+  std::filesystem::create_directories(dir);
+  {
+    std::ofstream out(dir + "/plan.csv");
+    if (!out) throw std::runtime_error("Campaign: cannot write plan.csv");
+    plan_.write_csv(out);
+  }
+  io::CsvStreamSink sink(dir + "/results.csv");
+  StreamedCampaign streamed = run(factory, sink);
+  {
+    std::ofstream out(dir + "/metadata.txt");
+    if (!out) throw std::runtime_error("Campaign: cannot write metadata.txt");
+    streamed.metadata.write(out);
+  }
+  return streamed;
 }
 
 }  // namespace cal

@@ -12,6 +12,7 @@
 #include "core/engine.hpp"
 #include "core/metadata.hpp"
 #include "core/record.hpp"
+#include "core/record_sink.hpp"
 
 namespace cal {
 
@@ -29,6 +30,14 @@ struct CampaignResult {
   static CampaignResult read_dir(const std::string& dir);
 };
 
+/// What a streamed campaign leaves in memory: the plan and the capture
+/// metadata.  The raw records themselves went to the RecordSink and are
+/// only as resident as the sink chose to keep them.
+struct StreamedCampaign {
+  Plan plan;
+  Metadata metadata;
+};
+
 class Campaign {
  public:
   Campaign(Plan plan, Engine engine, Metadata metadata);
@@ -39,10 +48,29 @@ class Campaign {
   CampaignResult run(const MeasureFn& measure) const;
   CampaignResult run(const MeasureFactory& factory) const;
 
+  /// Streaming mode: raw records flow to `sink` in plan-ordered batches
+  /// (see Engine::run with a RecordSink) instead of accumulating in a
+  /// RawTable.  Use for campaigns too large to hold resident; the sink's
+  /// archive is byte-identical to what CampaignResult::write_dir would
+  /// have written as results.csv.
+  StreamedCampaign run(const MeasureFn& measure, RecordSink& sink) const;
+  StreamedCampaign run(const MeasureFactory& factory, RecordSink& sink) const;
+
+  /// Convenience streaming bundle: writes plan.csv and metadata.txt under
+  /// `dir` (created if missing) and streams results.csv there through an
+  /// io::CsvStreamSink -- a read_dir-compatible bundle produced without
+  /// ever materializing the table.
+  StreamedCampaign run_to_dir(const MeasureFactory& factory,
+                              const std::string& dir) const;
+
   const Plan& plan() const noexcept { return plan_; }
   const Metadata& metadata() const noexcept { return metadata_; }
 
  private:
+  /// Metadata stamped onto every finished campaign (plan size and seed,
+  /// resolved worker count, streamed flag).
+  Metadata finished_metadata(bool streamed) const;
+
   Plan plan_;
   Engine engine_;
   Metadata metadata_;

@@ -2,26 +2,101 @@
 
 #include <algorithm>
 #include <cmath>
+#include <ostream>
 #include <stdexcept>
 #include <thread>
 #include <utility>
 
+#include "io/csv.hpp"
+
 namespace cal {
 namespace {
 
-/// Child seeds for every planned run, in execution order.  The i-th seed
-/// is exactly what the i-th sequential engine_rng.split() would have used,
-/// so Rng(seeds[i]) == engine_rng.split_at(i): per-run streams do not
-/// depend on which worker executes the run, or when.
-std::vector<std::uint64_t> presplit_seeds(std::uint64_t engine_seed,
-                                          std::size_t n) {
-  Rng engine_rng(engine_seed);
-  std::vector<std::uint64_t> seeds(n);
+/// Draws the next `n` child seeds from the engine stream.  Drawing them
+/// through one long-lived Rng keeps the global invariant of the parallel
+/// contract: the k-th planned run's seed is exactly what the k-th
+/// sequential engine_rng.split() would have used, so per-run streams do
+/// not depend on which worker executes the run, when, or in which
+/// execution window.
+void draw_seeds(Rng& engine_rng, std::size_t n,
+                std::vector<std::uint64_t>& seeds) {
+  seeds.resize(n);
   for (auto& seed : seeds) seed = engine_rng.next_u64();
-  return seeds;
 }
 
+/// Builds every worker's measurement callable up front, on the calling
+/// thread, so factories need no synchronization.  Shared by both
+/// parallel entry points (run-with-sink and run_opaque) so the
+/// factory-call ordering that determinism relies on has one definition.
+std::vector<MeasureFn> build_measures(const MeasureFactory& factory,
+                                      std::size_t threads) {
+  std::vector<MeasureFn> measures;
+  measures.reserve(threads);
+  for (std::size_t w = 0; w < threads; ++w) measures.push_back(factory(w));
+  return measures;
+}
+
+/// Assembles the record for `planned` at simulated time `now`, appends
+/// it to `batch`, and advances the clock by the run's duration plus the
+/// inter-run gap.  The one definition both the sequential path and the
+/// parallel window merge share -- the bit-identical contract depends on
+/// these never drifting apart.
+void append_record(const PlannedRun& planned, MeasureResult&& result,
+                   double& now, double gap, std::vector<RawRecord>& batch) {
+  RawRecord rec;
+  rec.sequence = planned.run_index;
+  rec.cell_index = planned.cell_index;
+  rec.replicate = planned.replicate;
+  rec.timestamp_s = now;
+  rec.factors = planned.values;
+  rec.metrics = std::move(result.metrics);
+  batch.push_back(std::move(rec));
+  now += result.elapsed_s + gap;
+}
+
+/// Closes `sink` during unwinding if the campaign failed before the
+/// engine could close it normally; errors from this best-effort close
+/// are swallowed so the measurement error stays the one that propagates.
+class SinkCloser {
+ public:
+  explicit SinkCloser(RecordSink& sink) : sink_(sink) {}
+  ~SinkCloser() {
+    if (!disarmed_) {
+      try {
+        sink_.close();
+      } catch (...) {
+      }
+    }
+  }
+  void disarm() noexcept { disarmed_ = true; }
+
+ private:
+  RecordSink& sink_;
+  bool disarmed_ = false;
+};
+
 }  // namespace
+
+void OpaqueSummary::write_csv(std::ostream& out) const {
+  std::vector<std::string> header = factor_names;
+  header.push_back("n");
+  for (const auto& m : metric_names) {
+    header.push_back("mean_" + m);
+    header.push_back("sd_" + m);
+  }
+  io::write_csv_row(out, header);
+  for (const auto& cell : cells) {
+    std::vector<std::string> row;
+    row.reserve(header.size());
+    for (const auto& f : cell.factors) row.push_back(f.to_string());
+    row.push_back(std::to_string(cell.n));
+    for (std::size_t m = 0; m < metric_names.size(); ++m) {
+      row.push_back(Value(cell.mean[m]).to_string());
+      row.push_back(Value(cell.sd[m]).to_string());
+    }
+    io::write_csv_row(out, row);
+  }
+}
 
 Engine::Engine(std::vector<std::string> metric_names, Options options)
     : metric_names_(std::move(metric_names)), options_(options) {
@@ -36,19 +111,15 @@ std::size_t Engine::resolve_threads(std::size_t requested) noexcept {
   return hw == 0 ? 1 : static_cast<std::size_t>(hw);
 }
 
-std::vector<MeasureResult> Engine::execute_sharded(
-    const std::vector<PlannedRun>& order, bool sequence_is_position,
-    const MeasureFactory& factory, std::size_t threads) const {
-  const std::size_t n = order.size();
-  const std::vector<std::uint64_t> seeds = presplit_seeds(options_.seed, n);
-
-  // Build every worker's measurement callable up front, on this thread,
-  // so factories need no synchronization.
-  std::vector<MeasureFn> measures;
-  measures.reserve(threads);
-  for (std::size_t w = 0; w < threads; ++w) measures.push_back(factory(w));
-
-  std::vector<MeasureResult> results(n);
+void Engine::execute_window(const std::vector<PlannedRun>& order,
+                            std::size_t begin, std::size_t end,
+                            const std::vector<std::uint64_t>& seeds,
+                            bool sequence_is_position,
+                            const std::vector<MeasureFn>& measures,
+                            std::vector<MeasureResult>& results) const {
+  const std::size_t n = end - begin;
+  const std::size_t threads = measures.size();
+  results.resize(n);
   std::vector<std::exception_ptr> errors(threads);
   std::vector<std::thread> pool;
   pool.reserve(threads);
@@ -58,8 +129,9 @@ std::vector<MeasureResult> Engine::execute_sharded(
         // Round-robin sharding: deterministic (no work stealing), and
         // interleaved assignment spreads expensive neighbouring runs --
         // randomized plans have no cost locality anyway.
-        for (std::size_t j = w; j < n; j += threads) {
-          Rng run_rng(seeds[j]);
+        for (std::size_t k = w; k < n; k += threads) {
+          const std::size_t j = begin + k;
+          Rng run_rng(seeds[k]);
           MeasureContext ctx{options_.start_time_s,
                              sequence_is_position ? j : order[j].run_index,
                              &run_rng, w};
@@ -67,7 +139,7 @@ std::vector<MeasureResult> Engine::execute_sharded(
           if (result.metrics.size() != metric_names_.size()) {
             throw std::runtime_error("Engine: measurement width mismatch");
           }
-          results[j] = std::move(result);
+          results[k] = std::move(result);
         }
       } catch (...) {
         errors[w] = std::current_exception();
@@ -78,20 +150,21 @@ std::vector<MeasureResult> Engine::execute_sharded(
   for (const auto& error : errors) {
     if (error) std::rethrow_exception(error);
   }
-  return results;
 }
 
-RawTable Engine::run(const Plan& plan, const MeasureFactory& factory) const {
+void Engine::run(const Plan& plan, const MeasureFactory& factory,
+                 RecordSink& sink) const {
   std::vector<std::string> factor_names;
   factor_names.reserve(plan.factors().size());
   for (const auto& f : plan.factors()) factor_names.push_back(f.name());
+  sink.begin(factor_names, metric_names_, plan.size());
+  SinkCloser closer(sink);  // finalizes the sink even on failure
 
-  RawTable table(std::move(factor_names), metric_names_);
-  table.reserve(plan.size());
   const std::vector<PlannedRun>& order = plan.runs();
+  const std::size_t n = order.size();
+  const std::size_t batch_size = std::max<std::size_t>(options_.sink_batch, 1);
   const std::size_t threads =
-      std::min(resolve_threads(options_.threads),
-               std::max<std::size_t>(order.size(), 1));
+      std::min(resolve_threads(options_.threads), std::max<std::size_t>(n, 1));
 
   if (threads <= 1) {
     // Sequential: the simulated clock threads through the measurement, so
@@ -99,6 +172,8 @@ RawTable Engine::run(const Plan& plan, const MeasureFactory& factory) const {
     const MeasureFn measure = factory(0);
     Rng engine_rng(options_.seed);
     double now = options_.start_time_s;
+    std::vector<RawRecord> batch;
+    batch.reserve(std::min(batch_size, n));
     for (const auto& planned : order) {
       Rng run_rng = engine_rng.split();
       MeasureContext ctx{now, planned.run_index, &run_rng, 0};
@@ -106,42 +181,56 @@ RawTable Engine::run(const Plan& plan, const MeasureFactory& factory) const {
       if (result.metrics.size() != metric_names_.size()) {
         throw std::runtime_error("Engine: measurement width mismatch");
       }
-      RawRecord rec;
-      rec.sequence = planned.run_index;
-      rec.cell_index = planned.cell_index;
-      rec.replicate = planned.replicate;
-      rec.timestamp_s = now;
-      rec.factors = planned.values;
-      rec.metrics = std::move(result.metrics);
-      table.append(std::move(rec));
-      now += result.elapsed_s + options_.inter_run_gap_s;
+      append_record(planned, std::move(result), now, options_.inter_run_gap_s,
+                    batch);
+      if (batch.size() >= batch_size) {
+        sink.consume(std::move(batch));
+        batch.clear();
+        batch.reserve(std::min(batch_size, n));
+      }
     }
-    return table;
+    if (!batch.empty()) sink.consume(std::move(batch));
+    closer.disarm();
+    sink.close();
+    return;
   }
 
-  std::vector<MeasureResult> results =
-      execute_sharded(order, /*sequence_is_position=*/false, factory, threads);
-
-  // Merge in plan order, rebuilding the sequential clock from the
-  // returned durations -- timestamps come out identical to a sequential
-  // execution of the same (stationary) measurement.
-  std::vector<RawRecord> batch;
-  batch.reserve(order.size());
+  // Parallel: execute the plan window by window (one window = one sink
+  // batch), merging each window in plan order and rebuilding the
+  // sequential clock from the returned durations across windows.  The
+  // resident state is one window of results + one batch of records, no
+  // matter how large the campaign is.
+  const std::vector<MeasureFn> measures = build_measures(factory, threads);
+  Rng engine_rng(options_.seed);
   double now = options_.start_time_s;
-  for (std::size_t j = 0; j < order.size(); ++j) {
-    const PlannedRun& planned = order[j];
-    RawRecord rec;
-    rec.sequence = planned.run_index;
-    rec.cell_index = planned.cell_index;
-    rec.replicate = planned.replicate;
-    rec.timestamp_s = now;
-    rec.factors = planned.values;
-    rec.metrics = std::move(results[j].metrics);
-    batch.push_back(std::move(rec));
-    now += results[j].elapsed_s + options_.inter_run_gap_s;
+  std::vector<std::uint64_t> seeds;
+  std::vector<MeasureResult> results;
+  for (std::size_t begin = 0; begin < n; begin += batch_size) {
+    const std::size_t end = std::min(begin + batch_size, n);
+    draw_seeds(engine_rng, end - begin, seeds);
+    execute_window(order, begin, end, seeds, /*sequence_is_position=*/false,
+                   measures, results);
+    std::vector<RawRecord> batch;
+    batch.reserve(end - begin);
+    for (std::size_t j = begin; j < end; ++j) {
+      append_record(order[j], std::move(results[j - begin]), now,
+                    options_.inter_run_gap_s, batch);
+    }
+    sink.consume(std::move(batch));
   }
-  table.append_batch(std::move(batch));
-  return table;
+  closer.disarm();
+  sink.close();
+}
+
+void Engine::run(const Plan& plan, const MeasureFn& measure,
+                 RecordSink& sink) const {
+  run(plan, MeasureFactory([&measure](std::size_t) { return measure; }), sink);
+}
+
+RawTable Engine::run(const Plan& plan, const MeasureFactory& factory) const {
+  TableSink sink;
+  run(plan, factory, sink);
+  return sink.take();
 }
 
 RawTable Engine::run(const Plan& plan, const MeasureFn& measure) const {
@@ -185,8 +274,12 @@ OpaqueSummary Engine::run_opaque(const Plan& plan,
       results.push_back(std::move(result));
     }
   } else {
-    results = execute_sharded(order, /*sequence_is_position=*/true, factory,
-                              threads);
+    const std::vector<MeasureFn> measures = build_measures(factory, threads);
+    Rng engine_rng(options_.seed);
+    std::vector<std::uint64_t> seeds;
+    draw_seeds(engine_rng, order.size(), seeds);
+    execute_window(order, 0, order.size(), seeds,
+                   /*sequence_is_position=*/true, measures, results);
   }
 
   // Online Welford accumulators, indexed directly by the plan's cell

@@ -3,15 +3,20 @@
 //
 // The engine is deliberately dumb: it reads the plan, executes each run in
 // the prescribed order, stamps every result with its sequence index and
-// simulated wall-clock time, and appends it to a RawTable.  All
-// intelligence lives before (design) or after (analysis) this stage.
+// simulated wall-clock time, and hands it to a RecordSink -- either an
+// in-memory TableSink (the RawTable-returning overloads) or a streaming
+// sink such as io::CsvStreamSink for campaigns too large to hold
+// resident.  All intelligence lives before (design) or after (analysis)
+// this stage.
 //
 // Campaign throughput: the engine can shard runs over a worker pool
 // (Options::threads).  Determinism is preserved by construction:
 //
-//   * every run's random stream is pre-split from the engine seed by run
-//     index (Rng::split_at), so run i draws the exact same noise no
-//     matter which worker executes it, or in which order;
+//   * every run's random stream is pre-split from the engine seed in run
+//     order (one engine-stream draw per run, exactly what the i-th
+//     sequential Rng::split() -- equivalently Rng::split_at(i) -- would
+//     have produced), so run i draws the exact same noise no matter
+//     which worker executes it, or in which order;
 //   * workers stage results into per-run slots and the merge rebuilds the
 //     record batch -- and the simulated clock -- in plan order.
 //
@@ -29,11 +34,13 @@
 // ablation studies can quantify exactly what that style of tool loses.
 
 #include <functional>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
 #include "core/design.hpp"
 #include "core/record.hpp"
+#include "core/record_sink.hpp"
 #include "core/rng.hpp"
 
 namespace cal {
@@ -73,6 +80,12 @@ struct OpaqueSummary {
   std::vector<std::string> factor_names;
   std::vector<std::string> metric_names;
   std::vector<OpaqueCellSummary> cells;
+
+  /// Serializes the summary to CSV: factor columns, `n`, then
+  /// `mean_<metric>`/`sd_<metric>` pairs in metric order.  This is *all*
+  /// an opaque tool archives -- writing it next to a raw bundle is what
+  /// lets the ablation studies quantify the information it lost.
+  void write_csv(std::ostream& out) const;
 };
 
 class Engine {
@@ -81,8 +94,9 @@ class Engine {
     /// Simulated dead time between consecutive measurements (loop
     /// overhead, logging, ...).  Keeps timestamps strictly increasing.
     double inter_run_gap_s = 50e-6;
-    /// Seed for the engine's own stream; each run receives an indexed
-    /// split of it (run i gets split_at(i)).
+    /// Seed for the engine's own stream; run i receives the i-th
+    /// sequential child split of it (drawn via one engine-stream draw
+    /// per run -- the same child split_at(i) denotes).
     std::uint64_t seed = 42;
     /// Initial simulated wall-clock value.
     double start_time_s = 0.0;
@@ -90,6 +104,13 @@ class Engine {
     /// 0 = one per hardware thread.  See the determinism contract in the
     /// header comment.
     std::size_t threads = 1;
+    /// Records per RecordSink::consume() batch.  This also bounds the
+    /// engine's resident record buffer when streaming: in parallel mode
+    /// the plan is executed in windows of this many runs, so at most one
+    /// window of results + one batch of records is ever held.  Larger
+    /// batches amortize sink overhead; smaller ones tighten the memory
+    /// bound.
+    std::size_t sink_batch = 4096;
   };
 
   explicit Engine(std::vector<std::string> metric_names)
@@ -111,6 +132,17 @@ class Engine {
   RawTable run(const Plan& plan, const MeasureFn& measure) const;
   RawTable run(const Plan& plan, const MeasureFactory& factory) const;
 
+  /// Streaming white-box mode: delivers plan-ordered record batches (at
+  /// most Options::sink_batch records each) to `sink` instead of
+  /// materializing a RawTable, then close()s the sink.  Output is
+  /// byte-for-byte what the RawTable overloads would have archived, at
+  /// any thread count; in parallel mode the plan is executed in
+  /// sink_batch-sized windows so resident state stays bounded regardless
+  /// of campaign size.
+  void run(const Plan& plan, const MeasureFn& measure, RecordSink& sink) const;
+  void run(const Plan& plan, const MeasureFactory& factory,
+           RecordSink& sink) const;
+
   /// Opaque mode: sorts runs by cell index (sequential sweep), aggregates
   /// online per factorial cell, and throws the raw data away.  Returned
   /// summaries are all an opaque tool would have reported.
@@ -119,13 +151,17 @@ class Engine {
                            const MeasureFactory& factory) const;
 
  private:
-  /// Executes `order` sharded round-robin over `threads` workers, staging
-  /// per-position results.  `sequence_is_position` selects which index
-  /// the context reports: the position in `order` (opaque sweep) or the
+  /// Executes order[begin, end) sharded round-robin over the pre-built
+  /// worker callables, staging per-position results into
+  /// results[0, end - begin).  `seeds[k]` is the pre-split stream seed of
+  /// order[begin + k].  `sequence_is_position` selects which index the
+  /// context reports: the position in `order` (opaque sweep) or the
   /// run's own plan index (white-box mode).
-  std::vector<MeasureResult> execute_sharded(
-      const std::vector<PlannedRun>& order, bool sequence_is_position,
-      const MeasureFactory& factory, std::size_t threads) const;
+  void execute_window(const std::vector<PlannedRun>& order, std::size_t begin,
+                      std::size_t end, const std::vector<std::uint64_t>& seeds,
+                      bool sequence_is_position,
+                      const std::vector<MeasureFn>& measures,
+                      std::vector<MeasureResult>& results) const;
 
   std::vector<std::string> metric_names_;
   Options options_;

@@ -86,21 +86,29 @@ std::vector<Value> RawTable::distinct(const std::string& factor) const {
   return values;
 }
 
-void RawTable::write_csv(std::ostream& out) const {
+void write_raw_csv_header(std::ostream& out,
+                          const std::vector<std::string>& factor_names,
+                          const std::vector<std::string>& metric_names) {
   std::vector<std::string> header = {"sequence", "cell", "replicate",
                                      "timestamp_s"};
-  header.insert(header.end(), factor_names_.begin(), factor_names_.end());
-  header.insert(header.end(), metric_names_.begin(), metric_names_.end());
+  header.insert(header.end(), factor_names.begin(), factor_names.end());
+  header.insert(header.end(), metric_names.begin(), metric_names.end());
   io::write_csv_row(out, header);
-  for (const auto& r : records_) {
-    std::vector<std::string> row = {std::to_string(r.sequence),
-                                    std::to_string(r.cell_index),
-                                    std::to_string(r.replicate),
-                                    Value(r.timestamp_s).to_string()};
-    for (const auto& v : r.factors) row.push_back(v.to_string());
-    for (const auto m : r.metrics) row.push_back(Value(m).to_string());
-    io::write_csv_row(out, row);
-  }
+}
+
+void write_raw_csv_record(std::ostream& out, const RawRecord& record) {
+  std::vector<std::string> row = {std::to_string(record.sequence),
+                                  std::to_string(record.cell_index),
+                                  std::to_string(record.replicate),
+                                  Value(record.timestamp_s).to_string()};
+  for (const auto& v : record.factors) row.push_back(v.to_string());
+  for (const auto m : record.metrics) row.push_back(Value(m).to_string());
+  io::write_csv_row(out, row);
+}
+
+void RawTable::write_csv(std::ostream& out) const {
+  write_raw_csv_header(out, factor_names_, metric_names_);
+  for (const auto& r : records_) write_raw_csv_record(out, r);
 }
 
 RawTable RawTable::read_csv(std::istream& in, std::size_t n_factors) {

@@ -27,6 +27,17 @@ struct RawRecord {
   std::vector<double> metrics;   ///< measured values, table metric order
 };
 
+/// The raw-result CSV header row: bookkeeping columns, then factor names,
+/// then metric names.  Shared by RawTable::write_csv and the streaming
+/// io::CsvStreamSink so both produce byte-identical archives.
+void write_raw_csv_header(std::ostream& out,
+                          const std::vector<std::string>& factor_names,
+                          const std::vector<std::string>& metric_names);
+
+/// One raw-result CSV data row, formatted exactly as RawTable::write_csv
+/// would (Value round-trip precision for reals).
+void write_raw_csv_record(std::ostream& out, const RawRecord& record);
+
 /// Columnar-with-row-records table of raw measurements.
 class RawTable {
  public:

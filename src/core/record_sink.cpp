@@ -1,0 +1,41 @@
+#include "core/record_sink.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace cal {
+
+void TableSink::begin(const std::vector<std::string>& factor_names,
+                      const std::vector<std::string>& metric_names,
+                      std::size_t expected_records) {
+  if (table_.has_value()) {
+    throw std::logic_error("TableSink: begin() called twice");
+  }
+  table_.emplace(factor_names, metric_names);
+  table_->reserve(expected_records);
+}
+
+void TableSink::consume(std::vector<RawRecord> batch) {
+  if (!table_.has_value()) {
+    throw std::logic_error("TableSink: consume() before begin()");
+  }
+  table_->append_batch(std::move(batch));
+}
+
+const RawTable& TableSink::table() const {
+  if (!table_.has_value()) {
+    throw std::logic_error("TableSink: table() before begin()");
+  }
+  return *table_;
+}
+
+RawTable TableSink::take() {
+  if (!table_.has_value()) {
+    throw std::logic_error("TableSink: take() before begin()");
+  }
+  RawTable out = std::move(*table_);
+  table_.reset();
+  return out;
+}
+
+}  // namespace cal

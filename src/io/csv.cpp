@@ -1,5 +1,6 @@
 #include "io/csv.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -7,8 +8,11 @@
 namespace cal::io {
 
 std::string csv_escape(const std::string& cell) {
+  // A leading '#' is quoted so the cell cannot collide with the comment
+  // syntax plan files use in their preamble.
   const bool needs_quotes =
-      cell.find_first_of(",\"\n\r") != std::string::npos;
+      cell.find_first_of(",\"\n\r") != std::string::npos ||
+      (!cell.empty() && cell.front() == '#');
   if (!needs_quotes) return cell;
   std::string out = "\"";
   for (const char c : cell) {
@@ -62,10 +66,43 @@ std::vector<std::string> parse_csv_line(const std::string& line) {
 std::vector<std::vector<std::string>> read_csv(std::istream& in) {
   std::vector<std::vector<std::string>> rows;
   std::string line;
+  std::string logical;     // accumulates a record spanning physical lines
+  std::size_t quotes = 0;  // running '"' count over `logical`
+  std::size_t line_no = 0;       // physical line being read (1-based)
+  std::size_t record_start = 0;  // physical line the pending record began on
+  bool pending = false;    // logical ends inside an open quote
+  bool in_preamble = true; // '#' is a comment only before the header row
   while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    if (line[0] == '#') continue;
-    rows.push_back(parse_csv_line(line));
+    ++line_no;
+    // Escaped quotes are two '"' characters, so quote-count parity tells
+    // whether the record is complete or continues on the next line; only
+    // the newly appended segment is counted, keeping parsing linear.
+    const auto line_quotes = static_cast<std::size_t>(
+        std::count(line.begin(), line.end(), '"'));
+    if (!pending) {
+      if (line.empty()) continue;
+      if (in_preamble && line[0] == '#') continue;
+      logical = std::move(line);
+      quotes = line_quotes;
+      record_start = line_no;
+    } else {
+      // getline consumed the newline that belongs to the open quoted
+      // cell; restore it before appending the continuation.
+      logical += '\n';
+      logical += line;
+      quotes += line_quotes;
+    }
+    pending = quotes % 2 != 0;
+    if (pending) continue;
+    rows.push_back(parse_csv_line(logical));
+    in_preamble = false;
+  }
+  if (pending) {
+    // Typically a stray unpaired '"' in a hand-edited file: everything
+    // from the named line onward was absorbed into one quoted cell.
+    throw std::runtime_error(
+        "csv: unterminated quoted cell (record starting at line " +
+        std::to_string(record_start) + ")");
   }
   return rows;
 }

@@ -12,18 +12,24 @@
 
 namespace cal::io {
 
-/// Quotes a cell if it contains a comma, quote, or newline.
+/// Quotes a cell if it contains a comma, quote, or newline, or if it
+/// starts with '#' (so a '#'-leading data cell can never be mistaken for
+/// a metadata comment line by a reader).
 std::string csv_escape(const std::string& cell);
 
 /// Writes one CSV row (adds the trailing newline).
 void write_csv_row(std::ostream& out, const std::vector<std::string>& cells);
 
-/// Parses one logical CSV line into cells.  Assumes the line contains no
-/// embedded newlines (our writers never produce them).
+/// Parses one logical CSV line into cells.  Quoted cells may contain
+/// embedded '\n' (read_csv reassembles such lines before calling this).
 std::vector<std::string> parse_csv_line(const std::string& line);
 
-/// Reads a whole CSV document (vector of rows).  Skips blank lines and
-/// lines starting with '#' (used for metadata comments in plan files).
+/// Reads a whole CSV document (vector of rows).  Skips blank lines, and
+/// skips '#' comment lines only in the preamble -- i.e. before the first
+/// data (header) row, where plan files keep their metadata comments.
+/// Once the header has been seen, a line starting with '#' is data.
+/// Physical lines ending inside an open quote are joined with the
+/// following line(s), so quoted cells round-trip embedded newlines.
 std::vector<std::vector<std::string>> read_csv(std::istream& in);
 
 /// Convenience: reads a CSV file from disk.  Throws on open failure.

@@ -1,0 +1,140 @@
+#include "io/stream_sink.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace cal::io {
+
+CsvStreamSink::CsvStreamSink(const std::string& path, Options options)
+    : file_(path, std::ios::binary | std::ios::trunc),
+      out_(&file_),
+      options_(options) {
+  if (!file_) {
+    throw std::runtime_error("CsvStreamSink: cannot create '" + path + "'");
+  }
+  start_writer();
+}
+
+CsvStreamSink::CsvStreamSink(std::ostream& out, Options options)
+    : out_(&out), options_(options) {
+  start_writer();
+}
+
+CsvStreamSink::~CsvStreamSink() {
+  try {
+    close();
+  } catch (...) {
+    // Destructors must not throw; close() explicitly to observe errors.
+  }
+}
+
+void CsvStreamSink::start_writer() {
+  front_.reserve(options_.buffer_bytes);
+  back_.reserve(options_.buffer_bytes);
+  writer_ = std::thread([this] { writer_loop(); });
+}
+
+void CsvStreamSink::writer_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    cv_.wait(lock, [this] { return back_full_ || stop_; });
+    if (back_full_) {
+      // back_ is logically writer-owned while back_full_ is set, so it
+      // can be drained outside the lock.  Draining in place (no swap
+      // into a temporary) keeps the same two string storages alive for
+      // the sink's lifetime -- steady-state streaming allocates nothing.
+      lock.unlock();
+      std::exception_ptr failure;
+      try {
+        out_->write(back_.data(),
+                    static_cast<std::streamsize>(back_.size()));
+        if (!*out_) {
+          throw std::runtime_error("CsvStreamSink: write failed");
+        }
+      } catch (...) {
+        failure = std::current_exception();
+      }
+      lock.lock();
+      back_.clear();  // keeps capacity
+      back_full_ = false;
+      if (failure && !error_) error_ = failure;
+      cv_.notify_all();
+      continue;
+    }
+    return;  // stop_ set and no pending buffer
+  }
+}
+
+void CsvStreamSink::rethrow_if_failed() {
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    error = error_;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void CsvStreamSink::swap_to_writer() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return !back_full_ || error_; });
+    if (error_) std::rethrow_exception(error_);
+    front_.swap(back_);
+    back_full_ = true;
+    cv_.notify_all();
+  }
+  // The swapped-in string is the drained back buffer: empty, capacity
+  // intact.  The reserve is a no-op except on the very first cycles and
+  // guards the invariant that the producer never re-grows row by row.
+  front_.clear();
+  front_.reserve(options_.buffer_bytes);
+}
+
+void CsvStreamSink::begin(const std::vector<std::string>& factor_names,
+                          const std::vector<std::string>& metric_names,
+                          std::size_t /*expected_records*/) {
+  if (begun_) throw std::logic_error("CsvStreamSink: begin() called twice");
+  if (closed_) throw std::logic_error("CsvStreamSink: begin() after close()");
+  begun_ = true;
+  write_raw_csv_header(row_out_, factor_names, metric_names);
+}
+
+void CsvStreamSink::consume(std::vector<RawRecord> batch) {
+  if (!begun_) throw std::logic_error("CsvStreamSink: consume() before begin()");
+  if (closed_) throw std::logic_error("CsvStreamSink: consume() after close()");
+  rethrow_if_failed();
+  for (const RawRecord& record : batch) {
+    write_raw_csv_record(row_out_, record);
+    ++records_;
+    if (front_.size() >= options_.buffer_bytes) swap_to_writer();
+  }
+}
+
+void CsvStreamSink::close() {
+  if (closed_) {
+    rethrow_if_failed();
+    return;
+  }
+  closed_ = true;
+  // Push any residue, then drain: the writer owns at most one buffer at a
+  // time, so once back_full_ is observed false the stream has everything.
+  if (!front_.empty()) {
+    try {
+      swap_to_writer();
+    } catch (...) {
+      // Writer already failed; fall through to join and rethrow below.
+    }
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return !back_full_ || error_; });
+    stop_ = true;
+    cv_.notify_all();
+  }
+  if (writer_.joinable()) writer_.join();
+  rethrow_if_failed();
+  out_->flush();
+  if (!*out_) throw std::runtime_error("CsvStreamSink: flush failed");
+}
+
+}  // namespace cal::io

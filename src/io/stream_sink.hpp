@@ -1,0 +1,128 @@
+#pragma once
+// Streaming CSV record sink with a double-buffered background writer.
+//
+// CsvStreamSink archives a campaign's raw records to RFC-4180 CSV while
+// the campaign is still running, so million-run campaigns never hold the
+// full RawTable.  Rows are formatted on the engine's merge thread (cheap,
+// deterministic) into a front buffer; when the front buffer fills it is
+// swapped with a back buffer that a dedicated writer thread drains to the
+// underlying stream.  The producer only blocks when both buffers are
+// full, i.e. when the disk genuinely cannot keep up -- measurement
+// workers are never stalled by I/O latency, only by sustained I/O
+// bandwidth.
+//
+// Memory bound: two buffers of Options::buffer_bytes plus the one batch
+// in flight (at most Engine::Options::sink_batch records).
+//
+// Determinism: rows are produced through the same write_raw_csv_header /
+// write_raw_csv_record formatters as RawTable::write_csv, so the streamed
+// file is byte-identical to an in-memory table dump of the same campaign
+// at any thread count (tests/io_stream_sink_test.cpp pins this down).
+//
+// Errors: a write failure on the background thread is captured and
+// rethrown from the next consume() or from close().  close() must be
+// called (the engine does) to guarantee the error surfaces; the
+// destructor drains best-effort and swallows errors, as destructors must.
+
+#include <condition_variable>
+#include <cstddef>
+#include <fstream>
+#include <mutex>
+#include <ostream>
+#include <streambuf>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/record_sink.hpp"
+
+namespace cal::io {
+
+/// Streambuf that appends straight into a caller-owned std::string --
+/// lets the row formatters (which take std::ostream&) fill the sink's
+/// front buffer with no per-record stream construction or copy.
+class StringAppendBuf final : public std::streambuf {
+ public:
+  explicit StringAppendBuf(std::string& target) : target_(&target) {}
+
+ protected:
+  std::streamsize xsputn(const char* s, std::streamsize n) override {
+    target_->append(s, static_cast<std::size_t>(n));
+    return n;
+  }
+  int_type overflow(int_type ch) override {
+    if (!traits_type::eq_int_type(ch, traits_type::eof())) {
+      target_->push_back(traits_type::to_char_type(ch));
+    }
+    return ch;
+  }
+
+ private:
+  std::string* target_;
+};
+
+struct CsvStreamSinkOptions {
+  /// Capacity of each of the two swap buffers.  The writer is notified
+  /// when the front buffer reaches this size; total formatted-byte
+  /// memory is bounded by ~2x this value.
+  std::size_t buffer_bytes = 1 << 20;
+};
+
+class CsvStreamSink final : public RecordSink {
+ public:
+  using Options = CsvStreamSinkOptions;
+
+  /// Streams to a file (created/truncated).  Throws on open failure.
+  explicit CsvStreamSink(const std::string& path, Options options = {});
+
+  /// Streams to a caller-owned stream (kept alive by the caller until
+  /// close()).  Used by tests and in-process pipelines.
+  explicit CsvStreamSink(std::ostream& out, Options options = {});
+
+  ~CsvStreamSink() override;
+
+  CsvStreamSink(const CsvStreamSink&) = delete;
+  CsvStreamSink& operator=(const CsvStreamSink&) = delete;
+
+  void begin(const std::vector<std::string>& factor_names,
+             const std::vector<std::string>& metric_names,
+             std::size_t expected_records) override;
+  void consume(std::vector<RawRecord> batch) override;
+
+  /// Drains both buffers, joins the writer thread, flushes the stream,
+  /// and rethrows any deferred write error.  Idempotent.
+  void close() override;
+
+  /// Records formatted so far (monotone; not necessarily on disk until
+  /// close()).
+  std::size_t records_written() const noexcept { return records_; }
+
+ private:
+  void start_writer();
+  void writer_loop();
+  /// Hands the front buffer to the writer; blocks only while the writer
+  /// still owns a full back buffer.  Rethrows deferred writer errors.
+  void swap_to_writer();
+  void rethrow_if_failed();
+
+  std::ofstream file_;   ///< storage for the path constructor
+  std::ostream* out_;    ///< the stream actually written (never null)
+  Options options_;
+
+  std::string front_;    ///< producer-side buffer (engine thread only)
+  StringAppendBuf front_buf_{front_};  ///< row formatter target
+  std::ostream row_out_{&front_buf_};  ///< ostream view over front_
+  std::string back_;     ///< writer-side buffer (guarded by mutex_)
+  bool back_full_ = false;
+  bool stop_ = false;
+  std::exception_ptr error_;  ///< first writer failure (guarded by mutex_)
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::thread writer_;
+
+  std::size_t records_ = 0;
+  bool begun_ = false;
+  bool closed_ = false;
+};
+
+}  // namespace cal::io

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <sstream>
 
 namespace cal {
 namespace {
@@ -134,6 +135,32 @@ TEST(Engine, OpaqueSummaryLosesRawData) {
     EXPECT_EQ(cell.mean.size(), 1u);
     EXPECT_EQ(cell.sd.size(), 1u);
   }
+}
+
+TEST(Engine, OpaqueSummaryWriteCsvGoldenOutput) {
+  // Fixed seed, fixed plan, measurements chosen so every mean and sd is
+  // exact in floating point: the serialized CSV is pinned byte for byte.
+  // Per cell c the metric values are {c*10+10, c*10+11, c*10+12}
+  // (mean c*10+11, sd 1) and the second metric is the replicate index
+  // {0, 1, 2} (mean 1, sd 1).
+  const Plan plan = DesignBuilder(9)
+                        .add(Factor::levels("x", {Value(1), Value(2)}))
+                        .replications(3)
+                        .randomize(false)
+                        .build();
+  Engine engine({"m", "rep"});
+  const OpaqueSummary summary =
+      engine.run_opaque(plan, [](const PlannedRun& run, MeasureContext&) {
+        const double m = static_cast<double>(run.cell_index) * 10.0 + 10.0 +
+                         static_cast<double>(run.replicate);
+        return MeasureResult{{m, static_cast<double>(run.replicate)}, 1e-6};
+      });
+  std::ostringstream out;
+  summary.write_csv(out);
+  EXPECT_EQ(out.str(),
+            "x,n,mean_m,sd_m,mean_rep,sd_rep\n"
+            "1,3,11,1,1,1\n"
+            "2,3,21,1,1,1\n");
 }
 
 }  // namespace

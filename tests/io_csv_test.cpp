@@ -56,12 +56,75 @@ TEST(Csv, WriteRowRoundTrip) {
   EXPECT_EQ(cells[2], "with \"quotes\"");
 }
 
-TEST(Csv, ReadSkipsCommentsAndBlankLines) {
-  std::stringstream ss("# header comment\na,b\n\nc,d\n# trailing\n");
+TEST(Csv, ReadSkipsPreambleCommentsAndBlankLines) {
+  std::stringstream ss("# plan comment\n# another\na,b\n\nc,d\n");
   const auto rows = read_csv(ss);
   ASSERT_EQ(rows.size(), 2u);
   EXPECT_EQ(rows[0][0], "a");
   EXPECT_EQ(rows[1][1], "d");
+}
+
+TEST(Csv, HashIsDataAfterTheHeaderRow) {
+  // Regression: read_csv used to drop *any* '#'-leading line, silently
+  // deleting data rows whose first cell began with '#'.  Comments are a
+  // preamble-only convention (plan metadata); after the header row a
+  // '#'-leading line is a record.
+  std::stringstream ss("# real comment\nname,count\n#anomaly,3\nok,4\n");
+  const auto rows = read_csv(ss);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0][0], "name");
+  EXPECT_EQ(rows[1][0], "#anomaly");
+  EXPECT_EQ(rows[2][0], "ok");
+}
+
+TEST(Csv, EscapeQuotesLeadingHash) {
+  // A quoted '#' cell can never be mistaken for a comment line.
+  EXPECT_EQ(csv_escape("#tag"), "\"#tag\"");
+  EXPECT_EQ(csv_escape("a#b"), "a#b");  // only the leading position matters
+}
+
+TEST(Csv, QuotedNewlinesSpanPhysicalLines) {
+  std::stringstream ss("h1,h2\na,\"line1\nline2\"\nb,c\n");
+  const auto rows = read_csv(ss);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[1][1], "line1\nline2");
+  EXPECT_EQ(rows[2][0], "b");
+}
+
+TEST(Csv, UnterminatedQuoteAtEofThrows) {
+  std::stringstream ss("h1,h2\na,\"never closed\n");
+  EXPECT_THROW(read_csv(ss), std::runtime_error);
+}
+
+TEST(Csv, AwkwardCellsSurviveWriteReadRoundTrip) {
+  // The property the archive format must guarantee: any cell content
+  // written by write_csv_row comes back unchanged from read_csv.
+  const std::vector<std::string> awkward = {
+      "plain",          "with,comma",       "with \"quotes\"",
+      "line1\nline2",   "",                 "#leading-hash",
+      "trailing,\nboth \"kinds\"",          " padded ",
+  };
+  std::stringstream ss;
+  write_csv_row(ss, {"header", "of", "matching", "width", "for", "the",
+                     "data", "row"});
+  write_csv_row(ss, awkward);
+  const auto rows = read_csv(ss);
+  ASSERT_EQ(rows.size(), 2u);
+  ASSERT_EQ(rows[1].size(), awkward.size());
+  for (std::size_t i = 0; i < awkward.size(); ++i) {
+    EXPECT_EQ(rows[1][i], awkward[i]) << "cell " << i;
+  }
+}
+
+TEST(Csv, HashCellRoundTripsEvenAsFirstHeaderCell) {
+  // Leading-'#' quoting means even a '#' cell in the first (header) row
+  // survives; without it the reader would treat the row as preamble.
+  std::stringstream ss;
+  write_csv_row(ss, {"#col", "x"});
+  write_csv_row(ss, {"1", "2"});
+  const auto rows = read_csv(ss);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0], "#col");
 }
 
 TEST(Csv, FileRoundTrip) {

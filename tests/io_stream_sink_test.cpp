@@ -1,0 +1,287 @@
+// Streaming record-sink suite: a campaign streamed through CsvStreamSink
+// must archive the exact bytes RawTable::write_csv would have produced --
+// at any thread count -- while the engine's resident record buffer stays
+// bounded by Options::sink_batch.  Extends the serialized-CSV determinism
+// pattern of tests/core_engine_parallel_test.cpp across the I/O boundary.
+
+#include "io/stream_sink.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "core/engine.hpp"
+#include "core/metadata.hpp"
+
+namespace cal {
+namespace {
+
+/// Multi-factor randomized plan: 3 x 2 cells, replicated, order shuffled.
+Plan multi_factor_plan(std::uint64_t seed, std::size_t reps = 5) {
+  return DesignBuilder(seed)
+      .add(Factor::levels("size", {Value(1024), Value(4096), Value(16384)}))
+      .add(Factor::levels("stride", {Value(1), Value(8)}))
+      .replications(reps)
+      .randomize(true)
+      .build();
+}
+
+/// Stationary noisy measurement (engine parallel determinism contract).
+MeasureResult noisy_measure(const PlannedRun& run, MeasureContext& ctx) {
+  const double base = run.values[0].as_real() / (1.0 + run.values[1].as_real());
+  const double noise = ctx.rng->lognormal_factor(0.3);
+  const double value = base * noise;
+  return MeasureResult{{value, noise}, value * 1e-7};
+}
+
+Engine make_engine(std::size_t threads, std::size_t sink_batch = 4096) {
+  Engine::Options options;
+  options.seed = 97;
+  options.threads = threads;
+  options.sink_batch = sink_batch;
+  return Engine({"time_us", "noise"}, options);
+}
+
+std::string table_csv(const RawTable& table) {
+  std::ostringstream out;
+  table.write_csv(out);
+  return out.str();
+}
+
+std::string streamed_csv(std::size_t threads, std::uint64_t plan_seed,
+                         std::size_t sink_batch = 4096,
+                         std::size_t buffer_bytes = 1 << 12) {
+  const Engine engine = make_engine(threads, sink_batch);
+  std::ostringstream out;
+  {
+    io::CsvStreamSink::Options options;
+    options.buffer_bytes = buffer_bytes;
+    io::CsvStreamSink sink(out, options);
+    engine.run(multi_factor_plan(plan_seed), noisy_measure, sink);
+  }
+  return out.str();
+}
+
+/// Forwarding sink that records the batch-size profile the engine
+/// actually delivers (the "counting sink" of the acceptance criteria).
+class CountingSink final : public RecordSink {
+ public:
+  explicit CountingSink(RecordSink* downstream = nullptr)
+      : downstream_(downstream) {}
+
+  void begin(const std::vector<std::string>& factor_names,
+             const std::vector<std::string>& metric_names,
+             std::size_t expected_records) override {
+    if (downstream_) {
+      downstream_->begin(factor_names, metric_names, expected_records);
+    }
+  }
+
+  void consume(std::vector<RawRecord> batch) override {
+    max_batch = std::max(max_batch, batch.size());
+    total += batch.size();
+    ++batches;
+    for (const RawRecord& rec : batch) {
+      in_plan_order = in_plan_order && rec.sequence == next_sequence_;
+      ++next_sequence_;
+    }
+    if (downstream_) downstream_->consume(std::move(batch));
+  }
+
+  void close() override {
+    closed = true;
+    if (downstream_) downstream_->close();
+  }
+
+  std::size_t max_batch = 0;
+  std::size_t total = 0;
+  std::size_t batches = 0;
+  bool in_plan_order = true;
+  bool closed = false;
+
+ private:
+  RecordSink* downstream_;
+  std::size_t next_sequence_ = 0;
+};
+
+TEST(StreamSink, StreamedCsvMatchesTableCsvAcrossThreadCounts) {
+  const RawTable reference =
+      make_engine(1).run(multi_factor_plan(11), noisy_measure);
+  const std::string expected = table_csv(reference);
+  EXPECT_EQ(streamed_csv(1, 11), expected);
+  EXPECT_EQ(streamed_csv(2, 11), expected);
+  EXPECT_EQ(streamed_csv(8, 11), expected);
+}
+
+TEST(StreamSink, TinyBuffersAndBatchesPreserveBytes) {
+  // Force many buffer swaps (64-byte buffers) and many windows
+  // (3-record batches): the byte stream must not care.
+  const std::string expected =
+      table_csv(make_engine(1).run(multi_factor_plan(21), noisy_measure));
+  EXPECT_EQ(streamed_csv(8, 21, /*sink_batch=*/3, /*buffer_bytes=*/64),
+            expected);
+}
+
+TEST(StreamSink, TableSinkReproducesRunOverload) {
+  const Plan plan = multi_factor_plan(31);
+  const Engine engine = make_engine(2);
+  TableSink sink;
+  engine.run(plan, noisy_measure, sink);
+  EXPECT_EQ(table_csv(sink.table()), table_csv(engine.run(plan, noisy_measure)));
+}
+
+TEST(StreamSink, BatchesAreBoundedOrderedAndComplete) {
+  const Plan plan = multi_factor_plan(41, /*reps=*/40);  // 240 runs
+  const std::size_t batch = 32;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    CountingSink sink;
+    make_engine(threads, batch).run(plan, noisy_measure, sink);
+    EXPECT_LE(sink.max_batch, batch);
+    EXPECT_EQ(sink.total, plan.size());
+    EXPECT_TRUE(sink.in_plan_order);
+    EXPECT_TRUE(sink.closed);
+    EXPECT_EQ(sink.batches, (plan.size() + batch - 1) / batch);
+  }
+}
+
+TEST(StreamSink, HundredThousandRunCampaignStreamsBitIdentical) {
+  // Acceptance criterion: a 100k-run campaign streamed at 8 threads is
+  // byte-identical to the sequential in-memory table dump, and the
+  // counting sink proves the resident record buffer never exceeded the
+  // configured batch.
+  const std::size_t kBatch = 4096;
+  const Plan plan = DesignBuilder(51)
+                        .add(Factor::levels("size", {Value(1024), Value(4096),
+                                                     Value(16384), Value(65536)}))
+                        .add(Factor::levels("stride", {Value(1), Value(8)}))
+                        .replications(12500)  // 8 cells x 12500 = 100000 runs
+                        .randomize(true)
+                        .build();
+  ASSERT_EQ(plan.size(), 100000u);
+
+  const std::string expected =
+      table_csv(make_engine(1, kBatch).run(plan, noisy_measure));
+
+  std::ostringstream out;
+  CountingSink counter;
+  {
+    io::CsvStreamSink csv(out);
+    CountingSink counting(&csv);
+    make_engine(8, kBatch).run(plan, noisy_measure, counting);
+    counter = counting;
+  }
+  EXPECT_EQ(out.str(), expected);
+  EXPECT_EQ(counter.total, 100000u);
+  EXPECT_LE(counter.max_batch, kBatch);
+  EXPECT_TRUE(counter.in_plan_order);
+}
+
+TEST(StreamSink, FileArchiveRoundTripsThroughRawTable) {
+  const std::string path = "/tmp/calipers_stream_sink_test.csv";
+  const Plan plan = multi_factor_plan(61);
+  {
+    io::CsvStreamSink sink(path);
+    make_engine(2).run(plan, noisy_measure, sink);
+    EXPECT_EQ(sink.records_written(), plan.size());
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  const RawTable back = RawTable::read_csv(in, plan.factors().size());
+  EXPECT_EQ(back.size(), plan.size());
+  EXPECT_EQ(table_csv(back),
+            table_csv(make_engine(1).run(plan, noisy_measure)));
+  std::remove(path.c_str());
+}
+
+TEST(StreamSink, CampaignRunToDirProducesReadableBundle) {
+  const std::string dir = "/tmp/calipers_stream_campaign_test";
+  std::filesystem::remove_all(dir);
+  const Plan plan = multi_factor_plan(71);
+  Metadata md;
+  md.set("benchmark", std::string("stream_sink_test"));
+  const Campaign campaign(plan, make_engine(8), md);
+  const MeasureFactory factory = [](std::size_t) {
+    return MeasureFn(noisy_measure);
+  };
+  const StreamedCampaign streamed = campaign.run_to_dir(factory, dir);
+  EXPECT_EQ(streamed.plan.size(), plan.size());
+
+  // The streamed bundle reads back like any in-memory bundle, and its
+  // results.csv matches the table the non-streaming path produces.
+  const CampaignResult bundle = CampaignResult::read_dir(dir);
+  EXPECT_EQ(bundle.table.size(), plan.size());
+  EXPECT_EQ(table_csv(bundle.table),
+            table_csv(campaign.run(factory).table));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(StreamSink, UnwritablePathThrowsOnConstruction) {
+  EXPECT_THROW(io::CsvStreamSink("/nonexistent-dir/records.csv"),
+               std::runtime_error);
+}
+
+/// Stream buffer that rejects every byte: write errors must surface on
+/// the producer side even though the writes happen on the writer thread.
+class FailingBuf final : public std::streambuf {
+ protected:
+  std::streamsize xsputn(const char*, std::streamsize) override { return 0; }
+  int_type overflow(int_type) override { return traits_type::eof(); }
+};
+
+TEST(StreamSink, WriterFailurePropagatesToProducer) {
+  FailingBuf buf;
+  std::ostream broken(&buf);
+  io::CsvStreamSink::Options options;
+  options.buffer_bytes = 64;  // force a swap (and thus a write) early
+  bool threw = false;
+  try {
+    io::CsvStreamSink sink(broken, options);
+    make_engine(2).run(multi_factor_plan(81, /*reps=*/40), noisy_measure,
+                       sink);
+  } catch (const std::runtime_error&) {
+    threw = true;
+  }
+  EXPECT_TRUE(threw);
+}
+
+TEST(StreamSink, SinkIsClosedEvenWhenMeasurementThrows) {
+  // A failed campaign must still finalize the sink (best-effort close
+  // during unwinding), so archive-writing sinks flush what they got.
+  const Plan plan = multi_factor_plan(91);
+  CountingSink sink;
+  EXPECT_THROW(
+      make_engine(2, /*sink_batch=*/4)
+          .run(plan,
+               [](const PlannedRun& run, MeasureContext&) -> MeasureResult {
+                 if (run.run_index == 17) {
+                   throw std::runtime_error("instrument failure");
+                 }
+                 return MeasureResult{{1.0, 2.0}, 1e-6};
+               },
+               sink),
+      std::runtime_error);
+  EXPECT_TRUE(sink.closed);
+  EXPECT_LT(sink.total, plan.size());  // archive is truncated, not phantom
+}
+
+TEST(StreamSink, LifecycleMisuseThrows) {
+  std::ostringstream out;
+  io::CsvStreamSink sink(out);
+  sink.begin({"f"}, {"m"}, 0);
+  EXPECT_THROW(sink.begin({"f"}, {"m"}, 0), std::logic_error);
+  sink.close();
+  EXPECT_THROW(sink.consume({}), std::logic_error);
+
+  TableSink table_sink;
+  EXPECT_THROW(table_sink.consume({}), std::logic_error);
+  EXPECT_THROW(table_sink.table(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace cal
