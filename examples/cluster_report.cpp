@@ -8,9 +8,11 @@
 // diagnostics caught.
 
 #include <iostream>
+#include <memory>
 
 #include "benchlib/whitebox/mem_calibration.hpp"
 #include "benchlib/whitebox/net_calibration.hpp"
+#include "core/worker_pool.hpp"
 #include "io/table_fmt.hpp"
 #include "stats/breakpoint.hpp"
 #include "stats/group.hpp"
@@ -22,6 +24,12 @@ int main() {
   std::cout << "==========================================================\n"
             << " Cluster characterization report (simulated testbed)\n"
             << "==========================================================\n";
+
+  // One long-lived pool serves every calibration campaign in the report:
+  // the workers are spawned once here and woken per execution window,
+  // instead of each campaign (and each window) paying thread creation.
+  const auto pool = std::make_shared<core::WorkerPool>(
+      Engine::resolve_threads(0), "cluster");
 
   // --- Links ----------------------------------------------------------------
   const sim::net::LinkSpec links[] = {
@@ -41,7 +49,7 @@ int main() {
     options.min_size = 64.0;
     options.max_size = 1024.0 * 1024;
     options.samples_per_op = 600;
-    options.threads = 0;  // NetworkSim is stateless: shard over all workers
+    options.pool = pool;  // NetworkSim is stateless: shard over the pool
     const CampaignResult campaign =
         benchlib::run_net_calibration(network, options);
     const auto model = benchlib::analyze_net_calibration(
@@ -88,7 +96,7 @@ int main() {
     plan.nloops = {150};
     plan.replications = 3;
     benchlib::MemCampaignOptions campaign_options;
-    campaign_options.threads = 0;  // per-worker simulator replicas
+    campaign_options.pool = pool;  // per-worker simulator replicas
     const CampaignResult campaign = benchlib::run_mem_campaign(
         config, benchlib::make_mem_plan(plan), campaign_options);
 

@@ -1,0 +1,24 @@
+#!/usr/bin/env sh
+# Tier-1 verify line: configure, build, run the test suite.
+#
+#   scripts/check.sh              # full suite (unit + property + acceptance)
+#   scripts/check.sh --fast       # unit-labelled tests only (quick loop)
+#   scripts/check.sh [--fast] -R core_engine   # extra args go to ctest
+#
+# Build directory defaults to ./build; override with BUILD_DIR=...
+set -e
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${BUILD_DIR:-$ROOT/build}"
+
+LABEL_ARGS=""
+if [ "$1" = "--fast" ]; then
+  LABEL_ARGS="-L unit"
+  shift
+fi
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+cmake -B "$BUILD" -S "$ROOT"
+cmake --build "$BUILD" -j
+# ctest's bare -j (no value) would swallow the next flag, so pass the
+# job count explicitly.
+cd "$BUILD" && exec ctest --output-on-failure -j "$JOBS" $LABEL_ARGS "$@"

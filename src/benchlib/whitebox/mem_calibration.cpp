@@ -61,12 +61,19 @@ MeasureFn mem_measure_fn(sim::mem::MemSystem& system) {
 
 namespace {
 
+/// Worker threads + optional shared pool for one campaign.
+struct MemThreading {
+  std::size_t threads = 1;
+  std::shared_ptr<core::WorkerPool> pool;
+};
+
 Engine make_mem_engine(const MemCampaignOptions& options,
-                       std::size_t threads) {
+                       const MemThreading& threading) {
   Engine::Options engine_options;
   engine_options.seed = options.engine_seed;
   engine_options.inter_run_gap_s = options.inter_run_gap_s;
-  engine_options.threads = threads;
+  engine_options.threads = threading.threads;
+  engine_options.pool = threading.pool;
   return Engine(
       {"bandwidth_mbps", "elapsed_s", "avg_freq_ghz", "l1_hit_rate"},
       engine_options);
@@ -88,23 +95,24 @@ Metadata make_mem_metadata(const sim::mem::MemSystemConfig& config) {
 
 CampaignResult run_mem_campaign(sim::mem::MemSystem& system, Plan plan,
                                 const MemCampaignOptions& options) {
-  return Campaign(std::move(plan), make_mem_engine(options, /*threads=*/1),
+  return Campaign(std::move(plan), make_mem_engine(options, MemThreading{}),
                   make_mem_metadata(system.config()))
       .run(mem_measure_fn(system));
 }
 
 namespace {
 
-/// Worker count honouring the engine determinism contract:
-/// time-dependent configs (ondemand DVFS, daemon perturbation windows)
-/// need true sequential timestamps, so they force threads = 1 (same
-/// guard as run_net_calibration).
-std::size_t mem_campaign_threads(const sim::mem::MemSystemConfig& config,
-                                 const MemCampaignOptions& options) {
+/// Threading honouring the engine determinism contract: time-dependent
+/// configs (ondemand DVFS, daemon perturbation windows) need true
+/// sequential timestamps, so they force threads = 1 and drop any shared
+/// pool (same guard as run_net_calibration).
+MemThreading mem_campaign_threading(const sim::mem::MemSystemConfig& config,
+                                    const MemCampaignOptions& options) {
   const bool time_dependent =
       config.governor != sim::cpu::GovernorKind::kPerformance ||
       config.daemon_present;
-  return time_dependent ? 1 : options.threads;
+  if (time_dependent) return MemThreading{};
+  return MemThreading{options.threads, options.pool};
 }
 
 /// One identical simulator replica per worker: the engine calls the
@@ -124,8 +132,9 @@ MeasureFactory mem_replica_factory(const sim::mem::MemSystemConfig& config) {
 
 CampaignResult run_mem_campaign(const sim::mem::MemSystemConfig& config,
                                 Plan plan, const MemCampaignOptions& options) {
-  const std::size_t threads = mem_campaign_threads(config, options);
-  return Campaign(std::move(plan), make_mem_engine(options, threads),
+  return Campaign(std::move(plan),
+                  make_mem_engine(options, mem_campaign_threading(config,
+                                                                  options)),
                   make_mem_metadata(config))
       .run(mem_replica_factory(config));
 }
@@ -133,8 +142,9 @@ CampaignResult run_mem_campaign(const sim::mem::MemSystemConfig& config,
 StreamedCampaign run_mem_campaign(const sim::mem::MemSystemConfig& config,
                                   Plan plan, RecordSink& sink,
                                   const MemCampaignOptions& options) {
-  const std::size_t threads = mem_campaign_threads(config, options);
-  return Campaign(std::move(plan), make_mem_engine(options, threads),
+  return Campaign(std::move(plan),
+                  make_mem_engine(options, mem_campaign_threading(config,
+                                                                  options)),
                   make_mem_metadata(config))
       .run(mem_replica_factory(config), sink);
 }

@@ -15,6 +15,7 @@
 //   size_bytes, stride, elem_bytes, unroll, nloops
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -57,6 +58,11 @@ struct MemCampaignOptions {
   /// Only honoured by the config-based overload, which can build one
   /// simulator replica per worker.
   std::size_t threads = 1;
+  /// Optional long-lived worker pool shared across campaigns (supersedes
+  /// `threads`; see Engine::Options::pool).  Like `threads`, it is
+  /// only honoured by the config-based overloads and is dropped for
+  /// time-dependent configs, which must run sequentially.
+  std::shared_ptr<core::WorkerPool> pool;
 };
 
 /// Runs a plan against a system and returns the raw bundle

@@ -34,8 +34,11 @@ NetCampaignSetup make_net_campaign(const sim::net::NetworkSim& network,
   Engine::Options engine_options;
   engine_options.seed = options.seed ^ 0xC0FFEE;
   engine_options.inter_run_gap_s = options.inter_run_gap_s;
-  engine_options.threads =
-      network.config().perturbations.empty() ? options.threads : 1;
+  // Perturbation windows are time-dependent: force the sequential path
+  // (and drop any shared pool) so they see true timestamps.
+  const bool time_dependent = !network.config().perturbations.empty();
+  engine_options.threads = time_dependent ? 1 : options.threads;
+  engine_options.pool = time_dependent ? nullptr : options.pool;
   Engine engine({"time_us"}, engine_options);
 
   Metadata md = Metadata::capture_build();

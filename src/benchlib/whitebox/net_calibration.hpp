@@ -12,6 +12,7 @@
 //     L and G         from the ping-pong intercept/slope.
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -32,6 +33,10 @@ struct NetCalibrationOptions {
   /// thread-safe; keep 1 when the sim has perturbation windows (they are
   /// time-dependent and need true sequential timestamps).
   std::size_t threads = 1;
+  /// Optional long-lived worker pool shared across campaigns (supersedes
+  /// `threads`; see Engine::Options::pool).  Dropped, like `threads`,
+  /// when the sim has perturbation windows.
+  std::shared_ptr<core::WorkerPool> pool;
 };
 
 /// Runs the calibration campaign; the returned bundle holds the plan, the

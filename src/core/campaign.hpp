@@ -44,7 +44,10 @@ class Campaign {
 
   /// Runs the campaign in white-box mode.  With a parallel engine the
   /// shared callable must be thread-safe; stateful measurements should
-  /// use the factory overload (one callable per worker).
+  /// use the factory overload (one callable per worker).  Threading is
+  /// the engine's: set Engine::Options::threads for a per-call pool, or
+  /// Engine::Options::pool to share one long-lived core::WorkerPool
+  /// across many campaigns (recorded in the metadata as `worker_pool`).
   CampaignResult run(const MeasureFn& measure) const;
   CampaignResult run(const MeasureFactory& factory) const;
 

@@ -54,6 +54,103 @@ void append_record(const PlannedRun& planned, MeasureResult&& result,
   now += result.elapsed_s + gap;
 }
 
+/// Streamed per-cell Welford accumulators: the opaque path's whole
+/// resident state.  Measurements are merged strictly in sweep order
+/// (sequentially, or window by window in parallel mode), so the sums --
+/// and therefore the summaries -- are bit-identical no matter how the
+/// campaign was executed.
+class WelfordCells {
+ public:
+  WelfordCells(std::size_t n_cells, std::size_t n_metrics)
+      : n_metrics_(n_metrics), cells_(n_cells) {}
+
+  /// Folds one measurement into its cell.  A cell's reported factor
+  /// values are those of its first run in sweep order (for sampled
+  /// factors they vary within the cell; level factors are constant).
+  void add(const PlannedRun& run, const std::vector<double>& metrics) {
+    Acc& acc = cells_[run.cell_index];
+    if (acc.n == 0) {
+      acc.factors = run.values;
+      acc.mean.assign(n_metrics_, 0.0);
+      acc.m2.assign(n_metrics_, 0.0);
+    }
+    acc.n += 1;
+    for (std::size_t m = 0; m < metrics.size(); ++m) {
+      const double x = metrics[m];
+      const double delta = x - acc.mean[m];
+      acc.mean[m] += delta / static_cast<double>(acc.n);
+      acc.m2[m] += delta * (x - acc.mean[m]);
+    }
+  }
+
+  /// Finalizes into summary cells (sample sd, n-1; 0 for single-sample
+  /// cells), skipping cells that had no runs.  The accumulators are
+  /// spent afterwards.
+  std::vector<OpaqueCellSummary> finish() {
+    std::vector<OpaqueCellSummary> out;
+    out.reserve(cells_.size());
+    for (auto& acc : cells_) {
+      if (acc.n == 0) continue;
+      OpaqueCellSummary cell;
+      cell.factors = std::move(acc.factors);
+      cell.n = acc.n;
+      cell.mean = std::move(acc.mean);
+      cell.sd.resize(acc.m2.size());
+      for (std::size_t m = 0; m < acc.m2.size(); ++m) {
+        cell.sd[m] =
+            acc.n > 1 ? std::sqrt(acc.m2[m] / static_cast<double>(acc.n - 1))
+                      : 0.0;
+      }
+      out.push_back(std::move(cell));
+    }
+    return out;
+  }
+
+ private:
+  struct Acc {
+    std::vector<Value> factors;
+    std::size_t n = 0;
+    std::vector<double> mean;
+    std::vector<double> m2;
+  };
+  std::size_t n_metrics_;
+  std::vector<Acc> cells_;
+};
+
+/// The pool a parallel call executes its windows on.  Three modes:
+/// a shared long-lived pool (Options::pool), a pool owned for the
+/// duration of the call (Options::reuse_pool, the default), or -- the
+/// legacy behavior kept for latency A/B benches -- a fresh pool per
+/// window.
+class PoolLease {
+ public:
+  PoolLease(const Engine::Options& options, std::size_t threads)
+      : threads_(threads) {
+    if (options.pool) {
+      pool_ = options.pool.get();
+    } else if (options.reuse_pool) {
+      owned_ = std::make_unique<core::WorkerPool>(threads, "cal-engine");
+      pool_ = owned_.get();
+    }
+  }
+
+  /// The pool for the next window; in spawn-per-window mode the
+  /// previous window's pool is joined and torn down *before* the new
+  /// one spawns, so thread counts never momentarily double and each
+  /// window's timing charges its own spawn + join.
+  core::WorkerPool& next_window_pool() {
+    if (pool_ != nullptr) return *pool_;
+    owned_.reset();
+    owned_ = std::make_unique<core::WorkerPool>(threads_, "cal-window");
+    return *owned_;
+  }
+
+ private:
+  std::size_t threads_;
+  core::WorkerPool* pool_ = nullptr;
+  std::unique_ptr<core::WorkerPool> owned_;
+};
+
 /// Closes `sink` during unwinding if the campaign failed before the
 /// engine could close it normally; errors from this best-effort close
 /// are swallowed so the measurement error stays the one that propagates.
@@ -111,45 +208,42 @@ std::size_t Engine::resolve_threads(std::size_t requested) noexcept {
   return hw == 0 ? 1 : static_cast<std::size_t>(hw);
 }
 
-void Engine::execute_window(const std::vector<PlannedRun>& order,
+std::size_t Engine::parallelism(std::size_t plan_runs) const {
+  // Clamp to the plan size either way: a 6-run campaign on a 32-worker
+  // shared pool should build 6 factory replicas, not 32.
+  const std::size_t requested = options_.pool
+                                    ? options_.pool->size()
+                                    : resolve_threads(options_.threads);
+  return std::min(requested, std::max<std::size_t>(plan_runs, 1));
+}
+
+void Engine::execute_window(core::WorkerPool& pool,
+                            const std::vector<PlannedRun>& order,
                             std::size_t begin, std::size_t end,
                             const std::vector<std::uint64_t>& seeds,
                             bool sequence_is_position,
                             const std::vector<MeasureFn>& measures,
                             std::vector<MeasureResult>& results) const {
-  const std::size_t n = end - begin;
-  const std::size_t threads = measures.size();
-  results.resize(n);
-  std::vector<std::exception_ptr> errors(threads);
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (std::size_t w = 0; w < threads; ++w) {
-    pool.emplace_back([&, w] {
-      try {
-        // Round-robin sharding: deterministic (no work stealing), and
-        // interleaved assignment spreads expensive neighbouring runs --
-        // randomized plans have no cost locality anyway.
-        for (std::size_t k = w; k < n; k += threads) {
-          const std::size_t j = begin + k;
-          Rng run_rng(seeds[k]);
-          MeasureContext ctx{options_.start_time_s,
-                             sequence_is_position ? j : order[j].run_index,
-                             &run_rng, w};
-          MeasureResult result = measures[w](order[j], ctx);
-          if (result.metrics.size() != metric_names_.size()) {
-            throw std::runtime_error("Engine: measurement width mismatch");
-          }
-          results[k] = std::move(result);
-        }
-      } catch (...) {
-        errors[w] = std::current_exception();
-      }
-    });
-  }
-  for (auto& worker : pool) worker.join();
-  for (const auto& error : errors) {
-    if (error) std::rethrow_exception(error);
-  }
+  results.resize(end - begin);
+  // Round-robin sharding (worker w takes window positions w, w + width,
+  // ...): deterministic -- no work stealing -- and interleaved assignment
+  // spreads expensive neighbouring runs; randomized plans have no cost
+  // locality anyway.  The shard width is the measure count, which may be
+  // below a shared pool's worker count for small plans.  On failure the
+  // lowest-position exception (plan order) propagates and the pool
+  // stays reusable.
+  pool.run_indexed(end - begin, [&](std::size_t w, std::size_t k) {
+    const std::size_t j = begin + k;
+    Rng run_rng(seeds[k]);
+    MeasureContext ctx{options_.start_time_s,
+                       sequence_is_position ? j : order[j].run_index, &run_rng,
+                       w};
+    MeasureResult result = measures[w](order[j], ctx);
+    if (result.metrics.size() != metric_names_.size()) {
+      throw std::runtime_error("Engine: measurement width mismatch");
+    }
+    results[k] = std::move(result);
+  }, measures.size());
 }
 
 void Engine::run(const Plan& plan, const MeasureFactory& factory,
@@ -163,8 +257,7 @@ void Engine::run(const Plan& plan, const MeasureFactory& factory,
   const std::vector<PlannedRun>& order = plan.runs();
   const std::size_t n = order.size();
   const std::size_t batch_size = std::max<std::size_t>(options_.sink_batch, 1);
-  const std::size_t threads =
-      std::min(resolve_threads(options_.threads), std::max<std::size_t>(n, 1));
+  const std::size_t threads = parallelism(n);
 
   if (threads <= 1) {
     // Sequential: the simulated clock threads through the measurement, so
@@ -196,11 +289,12 @@ void Engine::run(const Plan& plan, const MeasureFactory& factory,
   }
 
   // Parallel: execute the plan window by window (one window = one sink
-  // batch), merging each window in plan order and rebuilding the
-  // sequential clock from the returned durations across windows.  The
-  // resident state is one window of results + one batch of records, no
-  // matter how large the campaign is.
+  // batch) on the persistent pool, merging each window in plan order and
+  // rebuilding the sequential clock from the returned durations across
+  // windows.  The resident state is one window of results + one batch of
+  // records, no matter how large the campaign is.
   const std::vector<MeasureFn> measures = build_measures(factory, threads);
+  PoolLease lease(options_, threads);
   Rng engine_rng(options_.seed);
   double now = options_.start_time_s;
   std::vector<std::uint64_t> seeds;
@@ -208,8 +302,8 @@ void Engine::run(const Plan& plan, const MeasureFactory& factory,
   for (std::size_t begin = 0; begin < n; begin += batch_size) {
     const std::size_t end = std::min(begin + batch_size, n);
     draw_seeds(engine_rng, end - begin, seeds);
-    execute_window(order, begin, end, seeds, /*sequence_is_position=*/false,
-                   measures, results);
+    execute_window(lease.next_window_pool(), order, begin, end, seeds,
+                   /*sequence_is_position=*/false, measures, results);
     std::vector<RawRecord> batch;
     batch.reserve(end - begin);
     for (std::size_t j = begin; j < end; ++j) {
@@ -253,16 +347,20 @@ OpaqueSummary Engine::run_opaque(const Plan& plan,
   }
   summary.metric_names = metric_names_;
 
-  const std::size_t threads =
-      std::min(resolve_threads(options_.threads),
-               std::max<std::size_t>(order.size(), 1));
+  // Online Welford accumulators, indexed directly by the plan's cell
+  // index -- no per-record scan over key vectors, and no MeasureResult
+  // buffering: each measurement folds in as soon as it is merged.
+  std::size_t n_cells = 0;
+  for (const auto& planned : order) {
+    n_cells = std::max(n_cells, planned.cell_index + 1);
+  }
+  WelfordCells cells(n_cells, metric_names_.size());
 
-  std::vector<MeasureResult> results;
+  const std::size_t threads = parallelism(order.size());
   if (threads <= 1) {
     const MeasureFn measure = factory(0);
     Rng engine_rng(options_.seed);
     double now = options_.start_time_s;
-    results.reserve(order.size());
     for (std::size_t j = 0; j < order.size(); ++j) {
       Rng run_rng = engine_rng.split();
       MeasureContext ctx{now, j, &run_rng, 0};
@@ -271,65 +369,35 @@ OpaqueSummary Engine::run_opaque(const Plan& plan,
         throw std::runtime_error("Engine: measurement width mismatch");
       }
       now += result.elapsed_s + options_.inter_run_gap_s;
-      results.push_back(std::move(result));
+      cells.add(order[j], result.metrics);
     }
   } else {
+    // Parallel: execute the sweep in bounded windows on the persistent
+    // pool and merge each window's staged results into the shared
+    // accumulators in plan order -- the summation order is identical to
+    // the sequential loop above, so the summaries are bit-identical at
+    // any thread count and any window size.
+    const std::size_t window = std::max<std::size_t>(
+        options_.opaque_window != 0 ? options_.opaque_window
+                                    : options_.sink_batch,
+        1);
     const std::vector<MeasureFn> measures = build_measures(factory, threads);
+    PoolLease lease(options_, threads);
     Rng engine_rng(options_.seed);
     std::vector<std::uint64_t> seeds;
-    draw_seeds(engine_rng, order.size(), seeds);
-    execute_window(order, 0, order.size(), seeds,
-                   /*sequence_is_position=*/true, measures, results);
-  }
-
-  // Online Welford accumulators, indexed directly by the plan's cell
-  // index -- no per-record scan over key vectors.  A cell's reported
-  // factor values are those of its first run in sweep order (for sampled
-  // factors they vary within the cell; level factors are constant).
-  struct Acc {
-    std::vector<Value> factors;
-    std::size_t n = 0;
-    std::vector<double> mean;
-    std::vector<double> m2;
-  };
-  std::size_t n_cells = 0;
-  for (const auto& planned : order) {
-    n_cells = std::max(n_cells, planned.cell_index + 1);
-  }
-  std::vector<Acc> accs(n_cells);
-
-  for (std::size_t j = 0; j < order.size(); ++j) {
-    Acc& acc = accs[order[j].cell_index];
-    if (acc.n == 0) {
-      acc.factors = order[j].values;
-      acc.mean.assign(metric_names_.size(), 0.0);
-      acc.m2.assign(metric_names_.size(), 0.0);
-    }
-    acc.n += 1;
-    const std::vector<double>& metrics = results[j].metrics;
-    for (std::size_t m = 0; m < metrics.size(); ++m) {
-      const double x = metrics[m];
-      const double delta = x - acc.mean[m];
-      acc.mean[m] += delta / static_cast<double>(acc.n);
-      acc.m2[m] += delta * (x - acc.mean[m]);
+    std::vector<MeasureResult> results;
+    for (std::size_t begin = 0; begin < order.size(); begin += window) {
+      const std::size_t end = std::min(begin + window, order.size());
+      draw_seeds(engine_rng, end - begin, seeds);
+      execute_window(lease.next_window_pool(), order, begin, end, seeds,
+                     /*sequence_is_position=*/true, measures, results);
+      for (std::size_t k = 0; k < end - begin; ++k) {
+        cells.add(order[begin + k], results[k].metrics);
+      }
     }
   }
 
-  summary.cells.reserve(n_cells);
-  for (auto& acc : accs) {
-    if (acc.n == 0) continue;  // cell had no runs
-    OpaqueCellSummary cell;
-    cell.factors = std::move(acc.factors);
-    cell.n = acc.n;
-    cell.mean = std::move(acc.mean);
-    cell.sd.resize(acc.m2.size());
-    for (std::size_t m = 0; m < acc.m2.size(); ++m) {
-      cell.sd[m] =
-          acc.n > 1 ? std::sqrt(acc.m2[m] / static_cast<double>(acc.n - 1))
-                    : 0.0;
-    }
-    summary.cells.push_back(std::move(cell));
-  }
+  summary.cells = cells.finish();
   return summary;
 }
 

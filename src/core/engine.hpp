@@ -27,14 +27,24 @@
 // the merge).  Time-dependent simulations (DVFS governors, scheduler
 // perturbation windows) should keep threads == 1.
 //
+// Parallel windows execute on a persistent core::WorkerPool: the pool is
+// created once per run()/run_opaque() call (or shared across calls via
+// Options::pool) and woken per window, so per-window latency is a
+// condition-variable broadcast, not a thread spawn/join.
+//
 // A second entry point, run_opaque(), emulates how the benchmarks
 // criticized by the paper behave: it ignores the plan's randomized order
 // (sorting runs by cell, i.e. a sequential parameter sweep) and keeps only
 // online mean/standard-deviation summaries per cell.  It exists so the
 // ablation studies can quantify exactly what that style of tool loses.
+// True to form, it aggregates *online*: measurements stream into per-cell
+// Welford accumulators (sequentially, or window by window in plan order
+// when parallel), so its resident state is one execution window of
+// results plus the accumulators -- never the whole campaign.
 
 #include <functional>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -42,6 +52,7 @@
 #include "core/record.hpp"
 #include "core/record_sink.hpp"
 #include "core/rng.hpp"
+#include "core/worker_pool.hpp"
 
 namespace cal {
 
@@ -111,6 +122,26 @@ class Engine {
     /// batches amortize sink overhead; smaller ones tighten the memory
     /// bound.
     std::size_t sink_batch = 4096;
+    /// Runs per execution window in parallel opaque mode.  Bounds
+    /// run_opaque's resident MeasureResult staging buffer exactly the
+    /// way sink_batch bounds the white-box streaming path (the summaries
+    /// are bit-identical at any window size, since windows merge into
+    /// the accumulators in plan order).  0 = use sink_batch.
+    std::size_t opaque_window = 0;
+    /// Reuse one worker pool across all execution windows of a run() or
+    /// run_opaque() call (default).  false restores the legacy
+    /// spawn-threads-per-window behavior -- kept only so
+    /// bench_engine_throughput can quantify the per-window latency the
+    /// persistent pool removes.  Ignored when `pool` is set.
+    bool reuse_pool = true;
+    /// Optional long-lived pool shared across calls (and across Engine
+    /// instances, e.g. one pool for every campaign of a cluster report).
+    /// When set it supersedes `threads`: the engine shards over
+    /// pool->size() workers (clamped to the plan size, like `threads`)
+    /// and submits windows to it instead of creating its own.  A
+    /// one-worker pool leaves the engine on the sequential path (which
+    /// also serves time-dependent measurements).
+    std::shared_ptr<core::WorkerPool> pool;
   };
 
   explicit Engine(std::vector<std::string> metric_names)
@@ -143,21 +174,31 @@ class Engine {
   void run(const Plan& plan, const MeasureFactory& factory,
            RecordSink& sink) const;
 
-  /// Opaque mode: sorts runs by cell index (sequential sweep), aggregates
-  /// online per factorial cell, and throws the raw data away.  Returned
-  /// summaries are all an opaque tool would have reported.
+  /// Opaque mode: sorts runs by cell index (sequential sweep), streams
+  /// every measurement into online per-cell Welford accumulators, and
+  /// throws the raw data away.  Returned summaries are all an opaque
+  /// tool would have reported.  Resident state is bounded by one
+  /// execution window of MeasureResults (Options::opaque_window) plus
+  /// the accumulators -- never the full campaign.
   OpaqueSummary run_opaque(const Plan& plan, const MeasureFn& measure) const;
   OpaqueSummary run_opaque(const Plan& plan,
                            const MeasureFactory& factory) const;
 
  private:
-  /// Executes order[begin, end) sharded round-robin over the pre-built
-  /// worker callables, staging per-position results into
+  /// The number of workers a parallel call shards over: the shared
+  /// pool's size when Options::pool is set, else Options::threads
+  /// resolved and clamped to the plan size.  <= 1 means sequential.
+  std::size_t parallelism(std::size_t plan_runs) const;
+
+  /// Executes order[begin, end) on `pool`, sharded round-robin over the
+  /// pre-built worker callables, staging per-position results into
   /// results[0, end - begin).  `seeds[k]` is the pre-split stream seed of
   /// order[begin + k].  `sequence_is_position` selects which index the
   /// context reports: the position in `order` (opaque sweep) or the
-  /// run's own plan index (white-box mode).
-  void execute_window(const std::vector<PlannedRun>& order, std::size_t begin,
+  /// run's own plan index (white-box mode).  Throws the lowest-position
+  /// failure of the window; the pool stays reusable.
+  void execute_window(core::WorkerPool& pool,
+                      const std::vector<PlannedRun>& order, std::size_t begin,
                       std::size_t end, const std::vector<std::uint64_t>& seeds,
                       bool sequence_is_position,
                       const std::vector<MeasureFn>& measures,
