@@ -1,0 +1,131 @@
+// archive_convert: closes the loop between the two raw-result archive
+// formats.
+//
+//   archive_convert csv2bbx <results.csv> <out-dir> [--factors N]
+//                   [--shards S] [--block B]
+//   archive_convert bbx2csv <bundle-dir> <out.csv> [--threads T]
+//
+// csv2bbx reads a raw-results CSV (the factor count comes from --factors
+// or from a plan.csv sibling of the input) and writes a bbx bundle;
+// bbx2csv decodes a bundle -- block-parallel when --threads > 1 -- and
+// writes the CSV the CsvStreamSink path would have produced.  Because
+// both formats preserve values exactly, csv -> bbx -> csv round-trips
+// byte-identically.
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/design.hpp"
+#include "core/record.hpp"
+#include "core/worker_pool.hpp"
+#include "io/archive/bbx_reader.hpp"
+#include "io/archive/bbx_writer.hpp"
+
+using namespace cal;
+
+namespace {
+
+int usage(const std::string& problem) {
+  std::cerr << "usage: archive_convert csv2bbx <results.csv> <out-dir> "
+               "[--factors N] [--shards S] [--block B]\n"
+               "       archive_convert bbx2csv <bundle-dir> <out.csv> "
+               "[--threads T]\n";
+  if (!problem.empty()) std::cerr << "  " << problem << "\n";
+  return 2;
+}
+
+bool parse_size(const std::string& arg, std::size_t& out) {
+  if (arg.empty() || arg.find_first_not_of("0123456789") != std::string::npos) {
+    return false;
+  }
+  out = static_cast<std::size_t>(std::stoull(arg));
+  return true;
+}
+
+int csv2bbx(const std::string& csv_path, const std::string& out_dir,
+            std::size_t n_factors, std::size_t shards, std::size_t block) {
+  if (n_factors == 0) {
+    // No --factors: a plan.csv next to the input names them.
+    const std::string plan_path =
+        (std::filesystem::path(csv_path).parent_path() / "plan.csv").string();
+    std::ifstream plan_in(plan_path);
+    if (!plan_in) {
+      throw std::runtime_error("cannot infer the factor count: pass "
+                               "--factors N or keep a plan.csv next to '" +
+                               csv_path + "'");
+    }
+    n_factors = Plan::read_csv(plan_in).factors().size();
+  }
+  std::ifstream in(csv_path);
+  if (!in) throw std::runtime_error("cannot read '" + csv_path + "'");
+  const RawTable table = RawTable::read_csv(in, n_factors);
+
+  io::archive::BbxWriterOptions options;
+  options.shards = shards;
+  options.block_records = block;
+  io::archive::BbxWriter writer(out_dir, options);
+  writer.begin(table.factor_names(), table.metric_names(), table.size());
+  writer.add_manifest_extra("converted_from", csv_path);
+  writer.consume(table.records());
+  writer.close();
+  std::cout << "csv2bbx: " << table.size() << " records -> " << out_dir
+            << " (" << shards << " shard(s), " << block
+            << " records/block)\n";
+  return 0;
+}
+
+int bbx2csv(const std::string& bundle_dir, const std::string& csv_path,
+            std::size_t threads) {
+  const io::archive::BbxReader reader(bundle_dir);
+  RawTable table({}, {});
+  if (threads > 1) {
+    core::WorkerPool pool(threads, "bbx2csv");
+    table = reader.read_all(&pool);
+  } else {
+    table = reader.read_all();
+  }
+  std::ofstream out(csv_path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot create '" + csv_path + "'");
+  table.write_csv(out);
+  out.flush();
+  if (!out) throw std::runtime_error("write failed on '" + csv_path + "'");
+  std::cout << "bbx2csv: " << table.size() << " records -> " << csv_path
+            << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 4) return usage("");
+  const std::string mode = argv[1];
+  const std::string input = argv[2];
+  const std::string output = argv[3];
+  std::size_t n_factors = 0, shards = 1, block = 4096, threads = 1;
+  for (int i = 4; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::size_t* target = nullptr;
+    if (arg == "--factors") target = &n_factors;
+    if (arg == "--shards") target = &shards;
+    if (arg == "--block") target = &block;
+    if (arg == "--threads") target = &threads;
+    if (!target) return usage("unknown flag '" + arg + "'");
+    if (i + 1 >= argc || !parse_size(argv[++i], *target)) {
+      return usage(arg + " requires a non-negative integer");
+    }
+  }
+
+  try {
+    if (mode == "csv2bbx") {
+      return csv2bbx(input, output, n_factors, shards, block);
+    }
+    if (mode == "bbx2csv") return bbx2csv(input, output, threads);
+    return usage("unknown mode '" + mode + "'");
+  } catch (const std::exception& e) {
+    std::cerr << "archive_convert: " << e.what() << "\n";
+    return 1;
+  }
+}

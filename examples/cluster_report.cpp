@@ -7,8 +7,10 @@
 // LogGP parameters, per-node cache plateaus, and the anomalies the
 // diagnostics caught.
 
+#include <cctype>
 #include <iostream>
 #include <memory>
+#include <string>
 
 #include "benchlib/whitebox/mem_calibration.hpp"
 #include "benchlib/whitebox/net_calibration.hpp"
@@ -20,7 +22,44 @@
 
 using namespace cal;
 
-int main() {
+namespace {
+
+int usage() {
+  std::cerr << "usage: cluster_report [--archive-to <dir>] "
+               "[--archive-format csv|bbx]\n";
+  return 2;
+}
+
+/// Campaign bundle directory name from a link/machine display name.
+std::string slug(const std::string& name) {
+  std::string out;
+  for (const char c : name) {
+    out += std::isalnum(static_cast<unsigned char>(c)) ? c : '-';
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string archive_to;  // empty = report only, no persisted bundles
+  ArchiveOptions archive;
+  archive.shards = 2;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--archive-to") {
+      if (i + 1 >= argc) return usage();
+      archive_to = argv[++i];
+    } else if (arg == "--archive-format") {
+      if (i + 1 >= argc) return usage();
+      const auto parsed = parse_archive_format(argv[++i]);
+      if (!parsed) return usage();
+      archive.format = *parsed;
+    } else {
+      return usage();
+    }
+  }
+
   std::cout << "==========================================================\n"
             << " Cluster characterization report (simulated testbed)\n"
             << "==========================================================\n";
@@ -52,6 +91,9 @@ int main() {
     options.pool = pool;  // NetworkSim is stateless: shard over the pool
     const CampaignResult campaign =
         benchlib::run_net_calibration(network, options);
+    if (!archive_to.empty()) {
+      campaign.write_dir(archive_to + "/link-" + slug(link.name), archive);
+    }
     const auto model = benchlib::analyze_net_calibration(
         campaign.table, link.true_breakpoints());
 
@@ -99,6 +141,9 @@ int main() {
     campaign_options.pool = pool;  // per-worker simulator replicas
     const CampaignResult campaign = benchlib::run_mem_campaign(
         config, benchlib::make_mem_plan(plan), campaign_options);
+    if (!archive_to.empty()) {
+      campaign.write_dir(archive_to + "/node-" + slug(machine.name), archive);
+    }
 
     const double l1 = static_cast<double>(machine.caches[0].size_bytes);
     const double last_cache =
@@ -130,10 +175,14 @@ int main() {
   }
   node_table.print(std::cout);
 
+  if (!archive_to.empty()) {
+    std::cout << "\nRaw bundles (" << to_string(archive.format)
+              << " format) archived under " << archive_to << "/.\n";
+  }
   std::cout << "\n[3] Methodology notes\n"
             << "  * every number above comes from randomized, replicated\n"
-            << "    raw measurements (plans + raw CSVs archived per "
-               "campaign);\n"
+            << "    raw measurements (plans + raw archives persisted per "
+               "campaign with --archive-to);\n"
             << "  * breakpoints were proposed by offline segmentation and\n"
             << "    confirmed against the raw scatter;\n"
             << "  * anomaly columns report what the diagnostics flagged,\n"

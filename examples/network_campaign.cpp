@@ -9,24 +9,39 @@
 #include <vector>
 
 #include "benchlib/whitebox/net_calibration.hpp"
+#include "io/archive/bbx_reader.hpp"
+#include "io/archive/bbx_writer.hpp"
 #include "io/stream_sink.hpp"
 #include "io/table_fmt.hpp"
 #include "stats/breakpoint.hpp"
 
 using namespace cal;
 
+namespace {
+
+int usage() {
+  std::cerr << "usage: network_campaign [link] [--stream-to <path>] "
+               "[--archive-format csv|bbx]\n";
+  return 2;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   std::string link_name = "taurus";
   std::string stream_to;  // --stream-to <path>: archive raw records there
+  ArchiveFormat format = ArchiveFormat::kCsv;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--stream-to") {
-      if (i + 1 >= argc) {
-        std::cerr << "usage: network_campaign [link] [--stream-to <path>]\n";
-        return 2;
-      }
+      if (i + 1 >= argc) return usage();
       stream_to = argv[++i];
+    } else if (arg == "--archive-format") {
+      if (i + 1 >= argc) return usage();
+      const auto parsed = parse_archive_format(argv[++i]);
+      if (!parsed) return usage();
+      format = *parsed;
     } else {
       positional.push_back(arg);
     }
@@ -54,11 +69,15 @@ int main(int argc, char** argv) {
   RawTable raw({}, {});
   if (stream_to.empty()) {
     CampaignResult campaign = benchlib::run_net_calibration(network, options);
-    campaign.write_dir("network_campaign_results");
+    ArchiveOptions archive;
+    archive.format = format;
+    archive.shards = 2;
+    campaign.write_dir("network_campaign_results", archive);
     raw = std::move(campaign.table);
-    std::cout << "Campaign: " << raw.size()
-              << " raw measurements written to network_campaign_results/.\n\n";
-  } else {
+    std::cout << "Campaign: " << raw.size() << " raw measurements written to "
+                 "network_campaign_results/ ("
+              << to_string(format) << " results).\n\n";
+  } else if (format == ArchiveFormat::kCsv) {
     io::CsvStreamSink sink(stream_to);
     const StreamedCampaign streamed =
         benchlib::run_net_calibration(network, sink, options);
@@ -67,6 +86,14 @@ int main(int argc, char** argv) {
     std::cout << "Campaign: " << sink.records_written()
               << " raw measurements streamed to " << stream_to << " and "
               << raw.size() << " read back for analysis.\n\n";
+  } else {
+    // bbx: <stream_to> becomes a sharded binary bundle directory.
+    io::archive::BbxWriter sink(stream_to, {.shards = 2});
+    benchlib::run_net_calibration(network, sink, options);
+    raw = io::archive::BbxReader(stream_to).read_all();
+    std::cout << "Campaign: " << sink.records_written()
+              << " raw measurements archived to bbx bundle " << stream_to
+              << " and " << raw.size() << " decoded back for analysis.\n\n";
   }
 
   // Stage 3a: let the offline DP segmentation propose breakpoints from

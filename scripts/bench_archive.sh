@@ -1,0 +1,13 @@
+#!/usr/bin/env sh
+# Builds and runs the archive-format bench (bbx sharded binary bundle vs
+# streamed CSV archiving), leaving BENCH_archive.json at the repo root so
+# successive PRs can track write/read throughput and compression ratio.
+#
+#   scripts/bench_archive.sh [build-dir]
+set -e
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build}"
+
+cmake -B "$BUILD" -S "$ROOT" >/dev/null
+cmake --build "$BUILD" --target bench_archive >/dev/null
+"$BUILD/bench/bench_archive" "$ROOT/BENCH_archive.json"

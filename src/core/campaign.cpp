@@ -5,21 +5,79 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "io/archive/bbx_reader.hpp"
+#include "io/archive/bbx_writer.hpp"
 #include "io/stream_sink.hpp"
 
 namespace cal {
 
-void CampaignResult::write_dir(const std::string& dir) const {
+const char* to_string(ArchiveFormat format) noexcept {
+  return format == ArchiveFormat::kBbx ? "bbx" : "csv";
+}
+
+std::optional<ArchiveFormat> parse_archive_format(const std::string& text) {
+  if (text == "csv") return ArchiveFormat::kCsv;
+  if (text == "bbx") return ArchiveFormat::kBbx;
+  return std::nullopt;
+}
+
+namespace {
+
+io::archive::BbxWriterOptions bbx_options(const ArchiveOptions& archive) {
+  io::archive::BbxWriterOptions options;
+  options.shards = archive.shards;
+  options.block_records = archive.block_records;
+  return options;
+}
+
+/// Removes the *other* format's raw results from `dir` before archiving
+/// into it, so read_dir's auto-detection can never resurrect a stale
+/// archive after the bundle was rewritten in the other format.
+void remove_stale_results(const std::string& dir, ArchiveFormat format) {
+  namespace fs = std::filesystem;
+  if (format == ArchiveFormat::kBbx) {
+    fs::remove(dir + "/results.csv");
+  } else {
+    fs::remove(dir + "/" + std::string(io::archive::Manifest::file_name()));
+    for (std::size_t s = 0; fs::remove(
+             dir + "/" + io::archive::Manifest::shard_file_name(s));
+         ++s) {
+    }
+  }
+}
+
+}  // namespace
+
+void CampaignResult::write_dir(const std::string& dir,
+                               const ArchiveOptions& archive) const {
   std::filesystem::create_directories(dir);
   {
     std::ofstream out(dir + "/plan.csv");
     if (!out) throw std::runtime_error("Campaign: cannot write plan.csv");
     plan.write_csv(out);
   }
-  {
+  remove_stale_results(dir, archive.format);
+  if (archive.format == ArchiveFormat::kCsv) {
     std::ofstream out(dir + "/results.csv");
     if (!out) throw std::runtime_error("Campaign: cannot write results.csv");
     table.write_csv(out);
+  } else {
+    io::archive::BbxWriter writer(dir, bbx_options(archive));
+    writer.begin(table.factor_names(), table.metric_names(), table.size());
+    for (const auto& [key, value] : metadata.entries()) {
+      writer.add_manifest_extra(key, value);
+    }
+    // Feed block-sized copies so peak extra memory is one block, not a
+    // second full table (the table itself stays usable).
+    const auto& records = table.records();
+    for (std::size_t i = 0; i < records.size();
+         i += archive.block_records) {
+      const std::size_t end =
+          std::min(records.size(), i + archive.block_records);
+      writer.consume(std::vector<RawRecord>(records.begin() + i,
+                                            records.begin() + end));
+    }
+    writer.close();
   }
   {
     std::ofstream out(dir + "/metadata.txt");
@@ -33,11 +91,22 @@ CampaignResult CampaignResult::read_dir(const std::string& dir) {
   if (!plan_in) throw std::runtime_error("Campaign: cannot read plan.csv");
   Plan plan = Plan::read_csv(plan_in);
 
-  std::ifstream results_in(dir + "/results.csv");
-  if (!results_in) {
-    throw std::runtime_error("Campaign: cannot read results.csv");
+  // Results format auto-detection: a plain results.csv wins (the
+  // historical layout), else a bbx manifest marks a sharded bundle.
+  RawTable table({}, {});
+  if (std::filesystem::exists(dir + "/results.csv")) {
+    std::ifstream results_in(dir + "/results.csv");
+    if (!results_in) {
+      throw std::runtime_error("Campaign: cannot read results.csv");
+    }
+    table = RawTable::read_csv(results_in, plan.factors().size());
+  } else if (io::archive::BbxReader::is_bundle(dir)) {
+    table = io::archive::BbxReader(dir).read_all();
+  } else {
+    throw std::runtime_error(
+        "Campaign: no raw results in '" + dir +
+        "' (neither results.csv nor manifest.bbx.json)");
   }
-  RawTable table = RawTable::read_csv(results_in, plan.factors().size());
 
   std::ifstream md_in(dir + "/metadata.txt");
   if (!md_in) throw std::runtime_error("Campaign: cannot read metadata.txt");
@@ -98,21 +167,55 @@ StreamedCampaign Campaign::run(const MeasureFactory& factory,
 }
 
 StreamedCampaign Campaign::run_to_dir(const MeasureFactory& factory,
-                                      const std::string& dir) const {
+                                      const std::string& dir,
+                                      const ArchiveOptions& archive) const {
   std::filesystem::create_directories(dir);
+  // Atomic finalize: every bundle file is staged under a `*.tmp` name and
+  // renamed only after the campaign succeeded, metadata.txt last -- so an
+  // interrupted campaign leaves only `.tmp` debris (and, for bbx, the
+  // writer's own staged shards), never a bundle read_dir would accept.
   {
-    std::ofstream out(dir + "/plan.csv");
+    std::ofstream out(dir + "/plan.csv.tmp");
     if (!out) throw std::runtime_error("Campaign: cannot write plan.csv");
     plan_.write_csv(out);
+    out.flush();
+    if (!out) throw std::runtime_error("Campaign: plan.csv write failed");
   }
-  io::CsvStreamSink sink(dir + "/results.csv");
-  StreamedCampaign streamed = run(factory, sink);
+
+  remove_stale_results(dir, archive.format);
+  std::optional<StreamedCampaign> streamed;
+  if (archive.format == ArchiveFormat::kCsv) {
+    io::CsvStreamSink sink(dir + "/results.csv.tmp");
+    streamed = run(factory, sink);
+    std::filesystem::rename(dir + "/results.csv.tmp", dir + "/results.csv");
+  } else {
+    io::archive::BbxWriter sink(dir, bbx_options(archive));
+    // The engine close()s the sink inside run(), after which manifest
+    // extras are frozen -- so stamp the (run-independent) campaign
+    // metadata into the manifest up front.
+    const Metadata stamped = finished_metadata(true);
+    for (const auto& [key, value] : stamped.entries()) {
+      sink.add_manifest_extra(key, value);
+    }
+    streamed = run(factory, sink);
+  }
+  streamed->metadata.set("archive_format",
+                         std::string(to_string(archive.format)));
+  if (archive.format == ArchiveFormat::kBbx) {
+    streamed->metadata.set("archive_shards",
+                           static_cast<std::int64_t>(archive.shards));
+  }
+
   {
-    std::ofstream out(dir + "/metadata.txt");
+    std::ofstream out(dir + "/metadata.txt.tmp");
     if (!out) throw std::runtime_error("Campaign: cannot write metadata.txt");
-    streamed.metadata.write(out);
+    streamed->metadata.write(out);
+    out.flush();
+    if (!out) throw std::runtime_error("Campaign: metadata.txt write failed");
   }
-  return streamed;
+  std::filesystem::rename(dir + "/plan.csv.tmp", dir + "/plan.csv");
+  std::filesystem::rename(dir + "/metadata.txt.tmp", dir + "/metadata.txt");
+  return *std::move(streamed);
 }
 
 }  // namespace cal

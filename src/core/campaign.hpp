@@ -6,6 +6,7 @@
 // whole bundle -- plan.csv, results.csv, metadata.txt -- to a directory so
 // the analysis (stage 3) can happen offline, later, by someone else.
 
+#include <optional>
 #include <string>
 
 #include "core/design.hpp"
@@ -16,17 +17,41 @@
 
 namespace cal {
 
+/// Durable raw-result formats a campaign bundle can archive.
+///   kCsv -- one plain results.csv (human-greppable, the paper's own
+///           interchange; parsing cost is paid on every re-analysis);
+///   kBbx -- the binary sharded columnar archive of io::archive
+///           (compressed blocks, checksums, parallel readback).
+enum class ArchiveFormat { kCsv, kBbx };
+
+/// Display / flag form ("csv" | "bbx").
+const char* to_string(ArchiveFormat format) noexcept;
+
+/// Parses a --archive-format flag value; nullopt when unrecognized.
+std::optional<ArchiveFormat> parse_archive_format(const std::string& text);
+
+/// How a campaign bundle persists its raw records.
+struct ArchiveOptions {
+  ArchiveFormat format = ArchiveFormat::kCsv;
+  /// bbx only: shard files per bundle (blocks round-robin over them).
+  std::size_t shards = 1;
+  /// bbx only: records per columnar block.
+  std::size_t block_records = 4096;
+};
+
 /// Everything a finished campaign produced.
 struct CampaignResult {
   Plan plan;
   RawTable table;
   Metadata metadata;
 
-  /// Writes plan.csv, results.csv and metadata.txt under `dir`
-  /// (created if missing).
-  void write_dir(const std::string& dir) const;
+  /// Writes plan.csv, metadata.txt and the raw results (results.csv or a
+  /// bbx shard set, per `archive`) under `dir` (created if missing).
+  void write_dir(const std::string& dir,
+                 const ArchiveOptions& archive = {}) const;
 
-  /// Reads a bundle back.
+  /// Reads a bundle back, auto-detecting the results format: a
+  /// results.csv is read as CSV, else a manifest.bbx.json as bbx.
   static CampaignResult read_dir(const std::string& dir);
 };
 
@@ -60,11 +85,17 @@ class Campaign {
   StreamedCampaign run(const MeasureFactory& factory, RecordSink& sink) const;
 
   /// Convenience streaming bundle: writes plan.csv and metadata.txt under
-  /// `dir` (created if missing) and streams results.csv there through an
-  /// io::CsvStreamSink -- a read_dir-compatible bundle produced without
-  /// ever materializing the table.
+  /// `dir` (created if missing) and streams the raw results there --
+  /// through an io::CsvStreamSink or an io::archive::BbxWriter depending
+  /// on `archive.format` -- producing a read_dir-compatible bundle
+  /// without ever materializing the table.  Finalization is atomic:
+  /// every bundle file is staged under a `*.tmp` name and renamed only
+  /// on success (metadata.txt last, as the completeness marker), so a
+  /// crashed campaign never leaves a bundle that read_dir mistakes for a
+  /// complete one.
   StreamedCampaign run_to_dir(const MeasureFactory& factory,
-                              const std::string& dir) const;
+                              const std::string& dir,
+                              const ArchiveOptions& archive = {}) const;
 
   const Plan& plan() const noexcept { return plan_; }
   const Metadata& metadata() const noexcept { return metadata_; }

@@ -1,0 +1,180 @@
+#include "io/archive/bbx_reader.hpp"
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "io/archive/block_codec.hpp"
+#include "io/archive/bbx_writer.hpp"  // kShardMagic
+#include "io/archive/column_codec.hpp"
+#include "io/archive/crc32.hpp"
+#include "io/archive/wire.hpp"
+
+namespace cal::io::archive {
+
+BbxReader::BbxReader(std::string dir)
+    : dir_(std::move(dir)), manifest_(Manifest::load(dir_)) {
+  std::uint64_t indexed = 0;
+  for (const BlockInfo& b : manifest_.blocks) {
+    if (b.shard >= manifest_.shard_count) {
+      throw std::runtime_error("bbx: block references shard " +
+                               std::to_string(b.shard) + " of " +
+                               std::to_string(manifest_.shard_count));
+    }
+    indexed += b.records;
+  }
+  if (indexed != manifest_.total_records) {
+    throw std::runtime_error(
+        "bbx: manifest block index covers " + std::to_string(indexed) +
+        " records but declares " + std::to_string(manifest_.total_records));
+  }
+}
+
+bool BbxReader::is_bundle(const std::string& dir) {
+  return std::filesystem::exists(dir + "/" +
+                                 std::string(Manifest::file_name()));
+}
+
+std::vector<std::string> BbxReader::load_shards() const {
+  std::vector<std::string> shards;
+  shards.reserve(manifest_.shard_count);
+  for (std::size_t s = 0; s < manifest_.shard_count; ++s) {
+    const std::string path = dir_ + "/" + Manifest::shard_file_name(s);
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      throw std::runtime_error("bbx: missing shard '" + path + "'");
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string bytes = buf.str();
+    if (bytes.size() < sizeof kShardMagic ||
+        std::memcmp(bytes.data(), kShardMagic, sizeof kShardMagic) != 0) {
+      throw std::runtime_error("bbx: '" + path + "' is not a bbx shard");
+    }
+    shards.push_back(std::move(bytes));
+  }
+  return shards;
+}
+
+std::string BbxReader::fetch_block(const std::vector<std::string>& shards,
+                                   std::size_t index) const {
+  const BlockInfo& info = manifest_.blocks[index];
+  const std::string& shard = shards[info.shard];
+  const std::string where = "block " + std::to_string(index) + " of shard '" +
+                            Manifest::shard_file_name(info.shard) + "'";
+  // Overflow-safe bounds check: a tampered manifest can carry offsets
+  // near 2^64, so never compute offset + frame on the left-hand side.
+  if (shard.size() < 12 || info.offset > shard.size() - 12 ||
+      info.stored_bytes > shard.size() - 12 - info.offset) {
+    throw std::runtime_error("bbx: shard truncated at " + where +
+                             " (file shorter than the manifest's index)");
+  }
+  ByteReader frame(shard.data() + info.offset, 12);
+  const std::uint32_t stored_bytes = frame.u32le();
+  const std::uint32_t raw_bytes = frame.u32le();
+  const std::uint32_t crc = frame.u32le();
+  if (stored_bytes != info.stored_bytes || raw_bytes != info.raw_bytes ||
+      crc != info.crc32) {
+    throw std::runtime_error("bbx: frame header of " + where +
+                             " disagrees with the manifest (corrupt frame)");
+  }
+  const char* payload = shard.data() + info.offset + 12;
+  if (crc32(payload, info.stored_bytes) != info.crc32) {
+    throw std::runtime_error("bbx: checksum mismatch in " + where +
+                             " (corrupt block payload)");
+  }
+  std::string raw = block_decompress(payload, info.stored_bytes,
+                                     info.raw_bytes);
+  return raw;
+}
+
+void BbxReader::for_each_block(
+    core::WorkerPool* pool,
+    const std::function<void(std::size_t)>& body) const {
+  const std::size_t blocks = manifest_.blocks.size();
+  if (pool && pool->size() > 1 && blocks > 1) {
+    pool->run_indexed(blocks,
+                      [&](std::size_t /*worker*/, std::size_t index) {
+                        body(index);
+                      });
+  } else {
+    for (std::size_t i = 0; i < blocks; ++i) body(i);
+  }
+}
+
+RawTable BbxReader::read_all(core::WorkerPool* pool) const {
+  const std::vector<std::string> shards = load_shards();
+  std::vector<std::vector<RawRecord>> slots(manifest_.blocks.size());
+  for_each_block(pool, [&](std::size_t index) {
+    const std::string raw = fetch_block(shards, index);
+    std::vector<RawRecord> records = decode_block(
+        raw, manifest_.factor_names.size(), manifest_.metric_names.size());
+    if (records.size() != manifest_.blocks[index].records) {
+      throw std::runtime_error("bbx: block " + std::to_string(index) +
+                               " decoded to the wrong record count");
+    }
+    slots[index] = std::move(records);
+  });
+
+  RawTable table(manifest_.factor_names, manifest_.metric_names);
+  table.reserve(manifest_.total_records);
+  for (std::vector<RawRecord>& block : slots) {
+    table.append_batch(std::move(block));
+  }
+  return table;
+}
+
+std::vector<Value> BbxReader::factor_column(const std::string& name,
+                                            core::WorkerPool* pool) const {
+  std::size_t factor_index = manifest_.factor_names.size();
+  for (std::size_t i = 0; i < manifest_.factor_names.size(); ++i) {
+    if (manifest_.factor_names[i] == name) factor_index = i;
+  }
+  if (factor_index == manifest_.factor_names.size()) {
+    throw std::out_of_range("bbx: unknown factor '" + name + "'");
+  }
+  const std::vector<std::string> shards = load_shards();
+  std::vector<std::vector<Value>> slots(manifest_.blocks.size());
+  for_each_block(pool, [&](std::size_t index) {
+    const std::string raw = fetch_block(shards, index);
+    slots[index] = decode_factor_column(raw, manifest_.factor_names.size(),
+                                        manifest_.metric_names.size(),
+                                        factor_index);
+  });
+  std::vector<Value> out;
+  out.reserve(manifest_.total_records);
+  for (std::vector<Value>& block : slots) {
+    for (Value& v : block) out.push_back(std::move(v));
+  }
+  return out;
+}
+
+std::vector<double> BbxReader::metric_column(const std::string& name,
+                                             core::WorkerPool* pool) const {
+  std::size_t metric_index = manifest_.metric_names.size();
+  for (std::size_t i = 0; i < manifest_.metric_names.size(); ++i) {
+    if (manifest_.metric_names[i] == name) metric_index = i;
+  }
+  if (metric_index == manifest_.metric_names.size()) {
+    throw std::out_of_range("bbx: unknown metric '" + name + "'");
+  }
+  const std::vector<std::string> shards = load_shards();
+  std::vector<std::vector<double>> slots(manifest_.blocks.size());
+  for_each_block(pool, [&](std::size_t index) {
+    const std::string raw = fetch_block(shards, index);
+    slots[index] = decode_metric_column(raw, manifest_.factor_names.size(),
+                                        manifest_.metric_names.size(),
+                                        metric_index);
+  });
+  std::vector<double> out;
+  out.reserve(manifest_.total_records);
+  for (const std::vector<double>& block : slots) {
+    out.insert(out.end(), block.begin(), block.end());
+  }
+  return out;
+}
+
+}  // namespace cal::io::archive

@@ -1,0 +1,176 @@
+#include "io/archive/bbx_writer.hpp"
+
+#include <exception>
+#include <filesystem>
+#include <stdexcept>
+#include <utility>
+
+#include "io/archive/block_codec.hpp"
+#include "io/archive/column_codec.hpp"
+#include "io/archive/crc32.hpp"
+#include "io/archive/wire.hpp"
+
+namespace cal::io::archive {
+
+BbxWriter::BbxWriter(std::string dir, Options options)
+    : dir_(std::move(dir)), options_(options) {
+  if (options_.shards == 0) {
+    throw std::invalid_argument("BbxWriter: shards must be >= 1");
+  }
+  if (options_.block_records == 0) {
+    throw std::invalid_argument("BbxWriter: block_records must be >= 1");
+  }
+}
+
+BbxWriter::~BbxWriter() {
+  try {
+    close();
+  } catch (...) {
+    // Destructors must not throw; close() explicitly to observe errors.
+  }
+}
+
+std::string BbxWriter::staged_name(const std::string& final_name) const {
+  return options_.atomic ? final_name + ".tmp" : final_name;
+}
+
+void BbxWriter::begin(const std::vector<std::string>& factor_names,
+                      const std::vector<std::string>& metric_names,
+                      std::size_t /*expected_records*/) {
+  if (begun_) throw std::logic_error("BbxWriter: begin() called twice");
+  if (closed_) throw std::logic_error("BbxWriter: begin() after close()");
+  begun_ = true;
+  manifest_.factor_names = factor_names;
+  manifest_.metric_names = metric_names;
+  manifest_.shard_count = options_.shards;
+  manifest_.block_records = options_.block_records;
+
+  std::filesystem::create_directories(dir_);
+  shards_.reserve(options_.shards);
+  shard_offsets_.assign(options_.shards, sizeof kShardMagic);
+  for (std::size_t s = 0; s < options_.shards; ++s) {
+    const std::string path =
+        dir_ + "/" + staged_name(Manifest::shard_file_name(s));
+    auto& out = shards_.emplace_back(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("BbxWriter: cannot create '" + path + "'");
+    }
+    out.write(kShardMagic, sizeof kShardMagic);
+  }
+  pending_.reserve(options_.block_records);
+}
+
+void BbxWriter::consume(std::vector<RawRecord> batch) {
+  if (!begun_) throw std::logic_error("BbxWriter: consume() before begin()");
+  if (closed_) throw std::logic_error("BbxWriter: consume() after close()");
+  for (RawRecord& record : batch) {
+    if (record.factors.size() != manifest_.factor_names.size() ||
+        record.metrics.size() != manifest_.metric_names.size()) {
+      throw std::invalid_argument("BbxWriter: record width mismatch");
+    }
+    pending_.push_back(std::move(record));
+    if (pending_.size() == options_.block_records) flush_block();
+  }
+}
+
+void BbxWriter::flush_block() {
+  if (pending_.empty()) return;
+  scratch_raw_ = encode_block(pending_.data(), pending_.size(),
+                              manifest_.factor_names.size(),
+                              manifest_.metric_names.size());
+  const std::string stored = block_compress(scratch_raw_);
+
+  BlockInfo info;
+  info.shard = static_cast<std::uint32_t>(manifest_.blocks.size() %
+                                          options_.shards);
+  info.offset = shard_offsets_[info.shard];
+  info.stored_bytes = static_cast<std::uint32_t>(stored.size());
+  info.raw_bytes = static_cast<std::uint32_t>(scratch_raw_.size());
+  info.crc32 = crc32(stored.data(), stored.size());
+  info.first_sequence = pending_.front().sequence;
+  info.records = static_cast<std::uint32_t>(pending_.size());
+
+  // Frame: sizes + checksum repeated in the shard itself, so a shard is
+  // walkable (and corruption localizable) even without the manifest.
+  std::string frame;
+  frame.reserve(12 + stored.size());
+  put_u32le(frame, info.stored_bytes);
+  put_u32le(frame, info.raw_bytes);
+  put_u32le(frame, info.crc32);
+  frame.append(stored);
+
+  std::ofstream& out = shards_[info.shard];
+  out.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+  if (!out) {
+    throw std::runtime_error("BbxWriter: write failed on shard " +
+                             std::to_string(info.shard));
+  }
+  shard_offsets_[info.shard] += frame.size();
+  records_ += pending_.size();
+  manifest_.blocks.push_back(info);
+  pending_.clear();
+}
+
+void BbxWriter::add_manifest_extra(const std::string& key,
+                                   const std::string& value) {
+  if (closed_) {
+    throw std::logic_error("BbxWriter: add_manifest_extra() after close()");
+  }
+  manifest_.extra.emplace_back(key, value);
+}
+
+void BbxWriter::close() {
+  if (closed_) return;
+  if (!begun_) {
+    // Nothing was ever opened; a no-op close keeps the sink contract.
+    closed_ = true;
+    return;
+  }
+  closed_ = true;
+  flush_block();
+  manifest_.total_records = records_;
+
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s].flush();
+    if (!shards_[s]) {
+      throw std::runtime_error("BbxWriter: flush failed on shard " +
+                               std::to_string(s));
+    }
+    shards_[s].close();
+  }
+
+  const std::string manifest_path =
+      dir_ + "/" + staged_name(Manifest::file_name());
+  {
+    std::ofstream out(manifest_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("BbxWriter: cannot create '" + manifest_path +
+                               "'");
+    }
+    manifest_.write(out);
+    out.flush();
+    if (!out) {
+      throw std::runtime_error("BbxWriter: manifest write failed");
+    }
+  }
+
+  if (options_.atomic) {
+    // A close() reached during exception unwinding is the engine
+    // finalizing a *failed* campaign (the RecordSink contract): flush
+    // what arrived, but leave everything under its staged name -- a
+    // truncated bundle must never be published as complete.
+    if (std::uncaught_exceptions() > 0) return;
+    // Shards first, manifest last: the manifest's existence is the
+    // bundle's completeness marker, so it must never appear before every
+    // shard it indexes is in place.
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      const std::string name = Manifest::shard_file_name(s);
+      std::filesystem::rename(dir_ + "/" + staged_name(name),
+                              dir_ + "/" + name);
+    }
+    std::filesystem::rename(manifest_path,
+                            dir_ + "/" + std::string(Manifest::file_name()));
+  }
+}
+
+}  // namespace cal::io::archive

@@ -1,0 +1,325 @@
+#include "io/archive/column_codec.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+#include "io/archive/wire.hpp"
+
+namespace cal::io::archive {
+
+namespace {
+
+// Factor-column encodings (one tag byte per column per block).
+enum : unsigned char {
+  kColInt = 0,     // zigzag-delta varints
+  kColReal = 1,    // raw LE doubles
+  kColString = 2,  // dictionary + per-record indices
+  kColMixed = 3,   // per-value kind tag; strings share the dictionary
+};
+
+void encode_delta_column(std::string& out, const RawRecord* records,
+                         std::size_t n, std::size_t RawRecord::*field) {
+  std::int64_t prev = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto v = static_cast<std::int64_t>(records[i].*field);
+    put_svarint(out, v - prev);
+    prev = v;
+  }
+}
+
+std::vector<std::size_t> decode_delta_column(ByteReader& r, std::size_t n) {
+  std::vector<std::size_t> out(n);
+  std::int64_t prev = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    prev += r.svarint();
+    out[i] = static_cast<std::size_t>(prev);
+  }
+  return out;
+}
+
+void write_dictionary(std::string& out,
+                      const std::vector<const std::string*>& dict) {
+  put_varint(out, dict.size());
+  for (const std::string* s : dict) {
+    put_varint(out, s->size());
+    out.append(*s);
+  }
+}
+
+std::vector<std::string> read_dictionary(ByteReader& r) {
+  const std::uint64_t size = r.varint();
+  std::vector<std::string> dict;
+  dict.reserve(size);
+  for (std::uint64_t i = 0; i < size; ++i) {
+    const std::uint64_t len = r.varint();
+    dict.emplace_back(r.bytes(len), len);
+  }
+  return dict;
+}
+
+void encode_factor_column(std::string& out, const RawRecord* records,
+                          std::size_t n, std::size_t col) {
+  bool any_int = false, any_real = false, any_string = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    switch (records[i].factors[col].kind()) {
+      case ValueKind::kInt: any_int = true; break;
+      case ValueKind::kReal: any_real = true; break;
+      case ValueKind::kString: any_string = true; break;
+    }
+  }
+
+  // Dictionary of the block's distinct strings, first-appearance order.
+  std::vector<const std::string*> dict;
+  std::unordered_map<std::string, std::uint64_t> dict_index;
+  if (any_string) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const Value& v = records[i].factors[col];
+      if (!v.is_string()) continue;
+      if (dict_index.emplace(v.as_string(), dict.size()).second) {
+        dict.push_back(&v.as_string());
+      }
+    }
+  }
+
+  if (any_int && !any_real && !any_string) {
+    put_u8(out, kColInt);
+    std::int64_t prev = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::int64_t v = records[i].factors[col].as_int();
+      put_svarint(out, v - prev);
+      prev = v;
+    }
+  } else if (any_real && !any_int && !any_string) {
+    put_u8(out, kColReal);
+    for (std::size_t i = 0; i < n; ++i) {
+      put_f64le(out, records[i].factors[col].as_real());
+    }
+  } else if (any_string && !any_int && !any_real) {
+    put_u8(out, kColString);
+    write_dictionary(out, dict);
+    for (std::size_t i = 0; i < n; ++i) {
+      put_varint(out, dict_index.at(records[i].factors[col].as_string()));
+    }
+  } else {
+    put_u8(out, kColMixed);
+    write_dictionary(out, dict);
+    for (std::size_t i = 0; i < n; ++i) {
+      const Value& v = records[i].factors[col];
+      switch (v.kind()) {
+        case ValueKind::kInt:
+          put_u8(out, 0);
+          put_svarint(out, v.as_int());
+          break;
+        case ValueKind::kReal:
+          put_u8(out, 1);
+          put_f64le(out, v.as_real());
+          break;
+        case ValueKind::kString:
+          put_u8(out, 2);
+          put_varint(out, dict_index.at(v.as_string()));
+          break;
+      }
+    }
+  }
+}
+
+std::vector<Value> decode_factor_payload(ByteReader& r, std::size_t n) {
+  std::vector<Value> out;
+  out.reserve(n);
+  const std::uint8_t tag = r.u8();
+  switch (tag) {
+    case kColInt: {
+      std::int64_t prev = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        prev += r.svarint();
+        out.emplace_back(prev);
+      }
+      break;
+    }
+    case kColReal:
+      for (std::size_t i = 0; i < n; ++i) out.emplace_back(r.f64le());
+      break;
+    case kColString: {
+      const std::vector<std::string> dict = read_dictionary(r);
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t idx = r.varint();
+        if (idx >= dict.size()) {
+          throw std::runtime_error("bbx: dictionary index out of range");
+        }
+        out.emplace_back(dict[idx]);
+      }
+      break;
+    }
+    case kColMixed: {
+      const std::vector<std::string> dict = read_dictionary(r);
+      for (std::size_t i = 0; i < n; ++i) {
+        switch (r.u8()) {
+          case 0: out.emplace_back(r.svarint()); break;
+          case 1: out.emplace_back(r.f64le()); break;
+          case 2: {
+            const std::uint64_t idx = r.varint();
+            if (idx >= dict.size()) {
+              throw std::runtime_error("bbx: dictionary index out of range");
+            }
+            out.emplace_back(dict[idx]);
+            break;
+          }
+          default:
+            throw std::runtime_error("bbx: unknown mixed-value kind tag");
+        }
+      }
+      break;
+    }
+    default:
+      throw std::runtime_error("bbx: unknown factor column encoding " +
+                               std::to_string(tag));
+  }
+  return out;
+}
+
+/// Parsed block header plus a cursor positioned at the first column.
+struct BlockLayout {
+  std::size_t records = 0;
+  std::size_t n_factors = 0;
+  std::size_t n_metrics = 0;
+  std::vector<std::size_t> column_bytes;  // bookkeeping + factors + metrics
+  std::size_t payload_start = 0;          // byte offset of column 0
+};
+
+BlockLayout read_layout(const std::string& raw, std::size_t n_factors,
+                        std::size_t n_metrics) {
+  ByteReader r(raw);
+  BlockLayout layout;
+  layout.records = r.varint();
+  layout.n_factors = r.varint();
+  layout.n_metrics = r.varint();
+  if (layout.n_factors != n_factors || layout.n_metrics != n_metrics) {
+    throw std::runtime_error("bbx: block schema does not match manifest");
+  }
+  const std::size_t columns = 4 + n_factors + n_metrics;
+  layout.column_bytes.reserve(columns);
+  for (std::size_t c = 0; c < columns; ++c) {
+    layout.column_bytes.push_back(r.varint());
+  }
+  layout.payload_start = r.position();
+  std::size_t total = layout.payload_start;
+  for (const std::size_t bytes : layout.column_bytes) total += bytes;
+  if (total != raw.size()) {
+    throw std::runtime_error("bbx: block column sizes disagree with image");
+  }
+  return layout;
+}
+
+/// Cursor over one column's payload.
+ByteReader column_reader(const std::string& raw, const BlockLayout& layout,
+                         std::size_t column) {
+  std::size_t start = layout.payload_start;
+  for (std::size_t c = 0; c < column; ++c) start += layout.column_bytes[c];
+  return ByteReader(raw.data() + start, layout.column_bytes[column]);
+}
+
+}  // namespace
+
+std::string encode_block(const RawRecord* records, std::size_t n,
+                         std::size_t n_factors, std::size_t n_metrics) {
+  const std::size_t columns = 4 + n_factors + n_metrics;
+  std::vector<std::string> payloads(columns);
+
+  encode_delta_column(payloads[0], records, n, &RawRecord::sequence);
+  encode_delta_column(payloads[1], records, n, &RawRecord::cell_index);
+  encode_delta_column(payloads[2], records, n, &RawRecord::replicate);
+  for (std::size_t i = 0; i < n; ++i) {
+    put_f64le(payloads[3], records[i].timestamp_s);
+  }
+  for (std::size_t f = 0; f < n_factors; ++f) {
+    encode_factor_column(payloads[4 + f], records, n, f);
+  }
+  for (std::size_t m = 0; m < n_metrics; ++m) {
+    std::string& col = payloads[4 + n_factors + m];
+    for (std::size_t i = 0; i < n; ++i) {
+      put_f64le(col, records[i].metrics[m]);
+    }
+  }
+
+  std::string out;
+  std::size_t payload_bytes = 0;
+  for (const std::string& p : payloads) payload_bytes += p.size();
+  out.reserve(payload_bytes + 4 * columns + 16);
+  put_varint(out, n);
+  put_varint(out, n_factors);
+  put_varint(out, n_metrics);
+  for (const std::string& p : payloads) put_varint(out, p.size());
+  for (const std::string& p : payloads) out.append(p);
+  return out;
+}
+
+std::vector<RawRecord> decode_block(const std::string& raw,
+                                    std::size_t n_factors,
+                                    std::size_t n_metrics) {
+  const BlockLayout layout = read_layout(raw, n_factors, n_metrics);
+  const std::size_t n = layout.records;
+
+  ByteReader seq_r = column_reader(raw, layout, 0);
+  ByteReader cell_r = column_reader(raw, layout, 1);
+  ByteReader rep_r = column_reader(raw, layout, 2);
+  ByteReader ts_r = column_reader(raw, layout, 3);
+  const std::vector<std::size_t> sequence = decode_delta_column(seq_r, n);
+  const std::vector<std::size_t> cell = decode_delta_column(cell_r, n);
+  const std::vector<std::size_t> replicate = decode_delta_column(rep_r, n);
+
+  std::vector<RawRecord> records(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    records[i].sequence = sequence[i];
+    records[i].cell_index = cell[i];
+    records[i].replicate = replicate[i];
+    records[i].timestamp_s = ts_r.f64le();
+    records[i].factors.reserve(n_factors);
+    records[i].metrics.resize(n_metrics);
+  }
+  for (std::size_t f = 0; f < n_factors; ++f) {
+    ByteReader col_r = column_reader(raw, layout, 4 + f);
+    std::vector<Value> column = decode_factor_payload(col_r, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      records[i].factors.push_back(std::move(column[i]));
+    }
+  }
+  for (std::size_t m = 0; m < n_metrics; ++m) {
+    ByteReader col_r = column_reader(raw, layout, 4 + n_factors + m);
+    for (std::size_t i = 0; i < n; ++i) {
+      records[i].metrics[m] = col_r.f64le();
+    }
+  }
+  return records;
+}
+
+std::vector<Value> decode_factor_column(const std::string& raw,
+                                        std::size_t n_factors,
+                                        std::size_t n_metrics,
+                                        std::size_t factor_index) {
+  if (factor_index >= n_factors) {
+    throw std::out_of_range("bbx: factor index out of range");
+  }
+  const BlockLayout layout = read_layout(raw, n_factors, n_metrics);
+  ByteReader col_r = column_reader(raw, layout, 4 + factor_index);
+  return decode_factor_payload(col_r, layout.records);
+}
+
+std::vector<double> decode_metric_column(const std::string& raw,
+                                         std::size_t n_factors,
+                                         std::size_t n_metrics,
+                                         std::size_t metric_index) {
+  if (metric_index >= n_metrics) {
+    throw std::out_of_range("bbx: metric index out of range");
+  }
+  const BlockLayout layout = read_layout(raw, n_factors, n_metrics);
+  ByteReader col_r =
+      column_reader(raw, layout, 4 + n_factors + metric_index);
+  std::vector<double> out;
+  out.reserve(layout.records);
+  for (std::size_t i = 0; i < layout.records; ++i) {
+    out.push_back(col_r.f64le());
+  }
+  return out;
+}
+
+}  // namespace cal::io::archive

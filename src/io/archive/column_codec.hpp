@@ -1,0 +1,58 @@
+#pragma once
+// Per-block columnar encoding of raw records (the bbx block image).
+//
+// A block is a fixed-size slice of plan-ordered RawRecords pivoted into
+// columns, each encoded by shape before the LZ pass sees it:
+//
+//   sequence / cell / replicate   zigzag-delta varints (sequence deltas
+//                                 are 1 in plan order; cell deltas of a
+//                                 randomized plan are small signed ints)
+//   timestamp_s, metric columns   raw little-endian doubles (full
+//                                 precision; noise does not compress,
+//                                 so no cleverness is pretended)
+//   factor columns                tagged per block: all-int columns
+//                                 delta-varint, all-real columns raw
+//                                 doubles, string/factor columns
+//                                 dictionary-encoded (unique levels in
+//                                 first-appearance order + per-record
+//                                 indices), mixed columns per-value
+//                                 tagged.  Kinds are preserved exactly,
+//                                 so decode returns the Values that went
+//                                 in -- not a text round-trip of them.
+//
+// The block image starts with varint record/factor/metric counts and a
+// per-column byte-size table, so a reader can decode one projected
+// column without touching the others.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/record.hpp"
+#include "core/value.hpp"
+
+namespace cal::io::archive {
+
+/// Encodes records[0, n) into a block image.  Record widths must agree
+/// with `n_factors`/`n_metrics` (the writer validated them on consume).
+std::string encode_block(const RawRecord* records, std::size_t n,
+                         std::size_t n_factors, std::size_t n_metrics);
+
+/// Decodes a full block image back into records.
+std::vector<RawRecord> decode_block(const std::string& raw,
+                                    std::size_t n_factors,
+                                    std::size_t n_metrics);
+
+/// Projection: decodes only factor column `factor_index` of the block.
+std::vector<Value> decode_factor_column(const std::string& raw,
+                                        std::size_t n_factors,
+                                        std::size_t n_metrics,
+                                        std::size_t factor_index);
+
+/// Projection: decodes only metric column `metric_index` of the block.
+std::vector<double> decode_metric_column(const std::string& raw,
+                                         std::size_t n_factors,
+                                         std::size_t n_metrics,
+                                         std::size_t metric_index);
+
+}  // namespace cal::io::archive

@@ -1,0 +1,18 @@
+#pragma once
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) for bbx block checksums.
+//
+// Every compressed block payload is checksummed on write and re-verified
+// on read, so a flipped byte anywhere in a shard fails loudly with the
+// block it corrupted instead of silently skewing a re-analysis.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cal::io::archive {
+
+/// Rolling CRC-32: pass the previous result as `seed` to continue a
+/// checksum across buffers (the default starts a fresh one).
+std::uint32_t crc32(const void* data, std::size_t size,
+                    std::uint32_t seed = 0);
+
+}  // namespace cal::io::archive

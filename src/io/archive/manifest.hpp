@@ -1,0 +1,60 @@
+#pragma once
+// bbx bundle manifest: the self-describing index of a sharded archive.
+//
+// One JSON document (`manifest.bbx.json`) per bundle records the schema
+// (factor and metric names), the shard layout, and a block index -- for
+// every block, which shard holds it, at what offset, its stored and raw
+// sizes, checksum, first sequence number, and record count.  The reader
+// plans whole-table loads, projections, and parallel decodes entirely
+// from the manifest; the shards themselves are opened only to fetch
+// block payloads.  Campaign-level metadata can ride along in `extra` so
+// a bundle stays interpretable without its sibling metadata.txt.
+//
+// The writer emits ordinary JSON; the parser accepts just the subset the
+// writer produces (objects, arrays, strings with escapes, integers and
+// doubles) -- enough for self round-trips without a JSON dependency.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cal::io::archive {
+
+/// Where one block lives and how to verify it.
+struct BlockInfo {
+  std::uint32_t shard = 0;         ///< shard file index
+  std::uint64_t offset = 0;        ///< frame start within the shard
+  std::uint32_t stored_bytes = 0;  ///< compressed payload size
+  std::uint32_t raw_bytes = 0;     ///< decoded block image size
+  std::uint32_t crc32 = 0;         ///< checksum of the stored payload
+  std::uint64_t first_sequence = 0;
+  std::uint32_t records = 0;
+};
+
+struct Manifest {
+  std::uint32_t version = 1;
+  std::vector<std::string> factor_names;
+  std::vector<std::string> metric_names;
+  std::size_t shard_count = 1;
+  std::size_t block_records = 0;  ///< full-block record count (last may be short)
+  std::uint64_t total_records = 0;
+  std::vector<BlockInfo> blocks;
+  /// Campaign metadata carried along (key order preserved).
+  std::vector<std::pair<std::string, std::string>> extra;
+
+  /// Conventional file name of shard `index` within a bundle directory.
+  static std::string shard_file_name(std::size_t index);
+  /// Conventional manifest file name within a bundle directory.
+  static const char* file_name() { return "manifest.bbx.json"; }
+
+  void write(std::ostream& out) const;
+  static Manifest parse(std::istream& in);
+
+  /// Loads `<dir>/manifest.bbx.json`; throws a clear error when the
+  /// manifest is missing (the "is this a bbx bundle at all?" check).
+  static Manifest load(const std::string& dir);
+};
+
+}  // namespace cal::io::archive

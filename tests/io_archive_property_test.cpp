@@ -1,0 +1,204 @@
+// Randomized bbx determinism harness (the archive acceptance criteria):
+// for randomized plans, a campaign archived through BbxWriter and read
+// back by BbxReader must be value-identical to the in-memory RawTable --
+// and to the CSV archive path -- at thread counts {1, 2, 8} and shard
+// counts {1, 3, 8}; and every shard's bytes must be identical no matter
+// how many threads measured (blocks are cut from the plan-ordered record
+// stream, so sharding is a function of the plan alone).  Parallel block
+// decode on a WorkerPool must reproduce the sequential decode exactly.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/worker_pool.hpp"
+#include "io/archive/bbx_reader.hpp"
+#include "io/archive/bbx_writer.hpp"
+
+namespace cal {
+namespace {
+
+namespace ar = io::archive;
+
+/// Randomized plan over mixed-kind factors: an int grid, a categorical
+/// op, and a sampled real factor -- the three column encodings.
+Plan random_plan(std::mt19937_64& rng) {
+  std::uniform_int_distribution<int> reps(2, 9);
+  std::uniform_int_distribution<int> sizes(2, 4);
+  DesignBuilder builder(rng());
+  std::vector<Value> size_levels;
+  for (int i = 0, n = sizes(rng); i < n; ++i) {
+    size_levels.push_back(Value(std::int64_t{512} << i));
+  }
+  builder.add(Factor::levels("size", size_levels));
+  builder.add(Factor::levels("op", {Value("load"), Value("store"),
+                                    Value("copy")}));
+  builder.add(Factor::log_uniform_real("intensity", 0.5, 2.0));
+  return builder.replications(static_cast<std::size_t>(reps(rng)))
+      .randomize(true)
+      .build();
+}
+
+MeasureResult noisy_measure(const PlannedRun& run, MeasureContext& ctx) {
+  const double size = run.values[0].as_real();
+  const double op_scale = run.values[1].as_string() == "copy" ? 2.0 : 1.0;
+  const double value = size * op_scale * run.values[2].as_real() *
+                       ctx.rng->lognormal_factor(0.25);
+  return MeasureResult{{value, 1.0 / value}, value * 1e-8};
+}
+
+Engine make_engine(std::size_t threads) {
+  Engine::Options options;
+  options.seed = 1234;
+  options.threads = threads;
+  options.sink_batch = 64;  // several consume() calls per block
+  return Engine({"time_us", "inv"}, options);
+}
+
+void expect_tables_identical(const RawTable& a, const RawTable& b) {
+  ASSERT_EQ(a.factor_names(), b.factor_names());
+  ASSERT_EQ(a.metric_names(), b.metric_names());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const RawRecord& ra = a.records()[i];
+    const RawRecord& rb = b.records()[i];
+    ASSERT_EQ(ra.sequence, rb.sequence);
+    ASSERT_EQ(ra.cell_index, rb.cell_index);
+    ASSERT_EQ(ra.replicate, rb.replicate);
+    ASSERT_EQ(ra.timestamp_s, rb.timestamp_s);
+    ASSERT_EQ(ra.factors, rb.factors);
+    ASSERT_EQ(ra.metrics, rb.metrics);
+  }
+}
+
+std::string slurp(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Streams `plan` into a bbx bundle at `threads`, returning the bundle's
+/// shard bytes keyed by file name (manifest included).
+std::vector<std::pair<std::string, std::string>> archive_bytes(
+    const Plan& plan, std::size_t threads, std::size_t shard_count,
+    const std::filesystem::path& dir) {
+  std::filesystem::remove_all(dir);
+  ar::BbxWriterOptions options;
+  options.shards = shard_count;
+  options.block_records = 37;  // misaligned with sink_batch on purpose
+  ar::BbxWriter sink(dir.string(), options);
+  make_engine(threads).run(plan, noisy_measure, sink);
+  std::vector<std::pair<std::string, std::string>> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    files.emplace_back(entry.path().filename().string(), slurp(entry.path()));
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(ArchiveProperty, RoundTripValueIdenticalAcrossThreadsAndShards) {
+  std::mt19937_64 seed_rng(20260726);
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "calipers_bbx_property";
+  for (int trial = 0; trial < 8; ++trial) {
+    const Plan plan = random_plan(seed_rng);
+    const RawTable reference = make_engine(1).run(plan, noisy_measure);
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                      std::size_t{8}}) {
+      for (const std::size_t shards : {std::size_t{1}, std::size_t{3},
+                                       std::size_t{8}}) {
+        archive_bytes(plan, threads, shards, dir);
+        const ar::BbxReader reader(dir.string());
+        expect_tables_identical(reader.read_all(), reference);
+      }
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ArchiveProperty, ShardBytesDeterministicAtAnyThreadCount) {
+  std::mt19937_64 seed_rng(987);
+  const std::filesystem::path dir1 =
+      std::filesystem::temp_directory_path() / "calipers_bbx_det_a";
+  const std::filesystem::path dir2 =
+      std::filesystem::temp_directory_path() / "calipers_bbx_det_b";
+  for (int trial = 0; trial < 4; ++trial) {
+    const Plan plan = random_plan(seed_rng);
+    for (const std::size_t shards : {std::size_t{1}, std::size_t{3},
+                                     std::size_t{8}}) {
+      const auto sequential = archive_bytes(plan, 1, shards, dir1);
+      for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+        const auto parallel = archive_bytes(plan, threads, shards, dir2);
+        ASSERT_EQ(sequential.size(), parallel.size());
+        for (std::size_t f = 0; f < sequential.size(); ++f) {
+          EXPECT_EQ(sequential[f].first, parallel[f].first);
+          EXPECT_TRUE(sequential[f].second == parallel[f].second)
+              << sequential[f].first << " differs at " << threads
+              << " threads, " << shards << " shards";
+        }
+      }
+    }
+  }
+  std::filesystem::remove_all(dir1);
+  std::filesystem::remove_all(dir2);
+}
+
+TEST(ArchiveProperty, BbxMatchesCsvPathUnderValueEquality) {
+  // The CSV path normalizes Value kinds through text (a real 2.0 comes
+  // back as the int 2); bbx preserves kinds exactly.  Value equality --
+  // numeric across kinds -- is the contract both must meet.
+  std::mt19937_64 seed_rng(555);
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "calipers_bbx_vs_csv";
+  for (int trial = 0; trial < 4; ++trial) {
+    const Plan plan = random_plan(seed_rng);
+    std::ostringstream csv;
+    make_engine(4).run(plan, noisy_measure).write_csv(csv);
+    std::istringstream csv_in(csv.str());
+    const RawTable via_csv =
+        RawTable::read_csv(csv_in, plan.factors().size());
+
+    archive_bytes(plan, 4, 3, dir);
+    const RawTable via_bbx = ar::BbxReader(dir.string()).read_all();
+
+    ASSERT_EQ(via_csv.size(), via_bbx.size());
+    for (std::size_t i = 0; i < via_csv.size(); ++i) {
+      const RawRecord& rc = via_csv.records()[i];
+      const RawRecord& rb = via_bbx.records()[i];
+      ASSERT_EQ(rc.sequence, rb.sequence);
+      ASSERT_EQ(rc.cell_index, rb.cell_index);
+      ASSERT_EQ(rc.replicate, rb.replicate);
+      ASSERT_EQ(rc.timestamp_s, rb.timestamp_s);
+      ASSERT_EQ(rc.factors, rb.factors);  // Value==: numeric across kinds
+      ASSERT_EQ(rc.metrics, rb.metrics);
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ArchiveProperty, ParallelDecodeMatchesSequentialDecode) {
+  std::mt19937_64 seed_rng(31337);
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "calipers_bbx_par_decode";
+  const Plan plan = random_plan(seed_rng);
+  archive_bytes(plan, 2, 3, dir);
+  const ar::BbxReader reader(dir.string());
+  const RawTable sequential = reader.read_all();
+  for (const std::size_t workers : {std::size_t{2}, std::size_t{8}}) {
+    core::WorkerPool pool(workers, "bbx-decode-test");
+    expect_tables_identical(reader.read_all(&pool), sequential);
+    EXPECT_EQ(reader.metric_column("time_us", &pool),
+              sequential.metric_column("time_us"));
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace cal
