@@ -4,17 +4,24 @@
 //   archive_convert csv2bbx <results.csv> <out-dir> [--factors N]
 //                   [--shards S] [--block B]
 //   archive_convert bbx2csv <bundle-dir> <out.csv> [--threads T]
+//                   [--columns a,b,c]
 //
 // csv2bbx reads a raw-results CSV (the factor count comes from --factors
 // or from a plan.csv sibling of the input) and writes a bbx bundle;
 // bbx2csv decodes a bundle -- block-parallel when --threads > 1 -- and
 // writes the CSV the CsvStreamSink path would have produced.  Because
 // both formats preserve values exactly, csv -> bbx -> csv round-trips
-// byte-identically.
+// byte-identically.  --columns restricts bbx2csv to the listed
+// factor/metric columns (bookkeeping always comes along; the CSV keeps
+// the raw-results shape, selected factors then selected metrics) via
+// the reader's per-column projection, so exporting two columns of a
+// wide campaign never decodes the rest.
 
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -23,6 +30,7 @@
 #include "core/worker_pool.hpp"
 #include "io/archive/bbx_reader.hpp"
 #include "io/archive/bbx_writer.hpp"
+#include "query/engine.hpp"
 
 using namespace cal;
 
@@ -32,7 +40,7 @@ int usage(const std::string& problem) {
   std::cerr << "usage: archive_convert csv2bbx <results.csv> <out-dir> "
                "[--factors N] [--shards S] [--block B]\n"
                "       archive_convert bbx2csv <bundle-dir> <out.csv> "
-               "[--threads T]\n";
+               "[--threads T] [--columns a,b,c]\n";
   if (!problem.empty()) std::cerr << "  " << problem << "\n";
   return 2;
 }
@@ -78,22 +86,28 @@ int csv2bbx(const std::string& csv_path, const std::string& out_dir,
 }
 
 int bbx2csv(const std::string& bundle_dir, const std::string& csv_path,
-            std::size_t threads) {
+            std::size_t threads, const std::vector<std::string>& columns) {
   const io::archive::BbxReader reader(bundle_dir);
-  RawTable table({}, {});
+  std::unique_ptr<core::WorkerPool> pool;
   if (threads > 1) {
-    core::WorkerPool pool(threads, "bbx2csv");
-    table = reader.read_all(&pool);
+    pool = std::make_unique<core::WorkerPool>(threads, "bbx2csv");
+  }
+  RawTable table({}, {});
+  if (columns.empty()) {
+    table = reader.read_all(pool.get());
   } else {
-    table = reader.read_all();
+    // Projection: decode only the listed columns of each block.
+    table = query::BundleQuery(reader).materialize(nullptr, columns,
+                                                   pool.get());
   }
   std::ofstream out(csv_path, std::ios::binary | std::ios::trunc);
   if (!out) throw std::runtime_error("cannot create '" + csv_path + "'");
   table.write_csv(out);
   out.flush();
   if (!out) throw std::runtime_error("write failed on '" + csv_path + "'");
-  std::cout << "bbx2csv: " << table.size() << " records -> " << csv_path
-            << "\n";
+  std::cout << "bbx2csv: " << table.size() << " records ("
+            << table.factor_names().size() + table.metric_names().size()
+            << " column(s)) -> " << csv_path << "\n";
   return 0;
 }
 
@@ -105,8 +119,18 @@ int main(int argc, char** argv) {
   const std::string input = argv[2];
   const std::string output = argv[3];
   std::size_t n_factors = 0, shards = 1, block = 4096, threads = 1;
+  std::vector<std::string> columns;
   for (int i = 4; i < argc; ++i) {
     const std::string arg = argv[i];
+    if (arg == "--columns") {
+      if (i + 1 >= argc) return usage("--columns requires a name list");
+      std::istringstream list(argv[++i]);
+      std::string name;
+      while (std::getline(list, name, ',')) {
+        if (!name.empty()) columns.push_back(name);
+      }
+      continue;
+    }
     std::size_t* target = nullptr;
     if (arg == "--factors") target = &n_factors;
     if (arg == "--shards") target = &shards;
@@ -122,7 +146,7 @@ int main(int argc, char** argv) {
     if (mode == "csv2bbx") {
       return csv2bbx(input, output, n_factors, shards, block);
     }
-    if (mode == "bbx2csv") return bbx2csv(input, output, threads);
+    if (mode == "bbx2csv") return bbx2csv(input, output, threads, columns);
     return usage("unknown mode '" + mode + "'");
   } catch (const std::exception& e) {
     std::cerr << "archive_convert: " << e.what() << "\n";

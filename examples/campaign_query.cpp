@@ -1,0 +1,172 @@
+// campaign_query: slice an archived bbx campaign without materializing it.
+//
+//   campaign_query <bundle-dir> --group-by f1,f2 --agg count,mean:m,sd:m
+//                  [--where EXPR] [--threads T] [--csv <path|->]
+//   campaign_query <bundle-dir> [--where EXPR] [--select c1,c2]
+//                  [--threads T] [--csv <path|->]
+//
+// With --agg the query aggregates (grouped by --group-by factors) and
+// prints a table -- or writes aggregate CSV with --csv.  Without --agg it
+// materializes the matching records, projected onto --select columns,
+// as a raw-results CSV (--csv, '-' = stdout).  Either way the predicate
+// is pruned against the bundle's zone maps first, so a selective query
+// touches only the blocks that can match.
+//
+// Expression syntax (see src/query/expr.hpp):
+//   size == 1024 && op != "pingpong" || sequence < 10000
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/worker_pool.hpp"
+#include "io/archive/bbx_reader.hpp"
+#include "io/table_fmt.hpp"
+#include "query/engine.hpp"
+
+using namespace cal;
+
+namespace {
+
+int usage(const std::string& problem) {
+  std::cerr
+      << "usage: campaign_query <bundle-dir> [--where EXPR]\n"
+         "         [--group-by f1,f2 --agg count,mean:metric,...]\n"
+         "         [--select col1,col2] [--threads T] [--csv <path|->]\n"
+         "  aggregates: count, sum:m, mean:m, sd:m, min:m, max:m\n";
+  if (!problem.empty()) std::cerr << "  " << problem << "\n";
+  return 2;
+}
+
+std::vector<std::string> split_list(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream in(text);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+void print_scan(const query::ScanStats& scan) {
+  std::cout << "Scan: pruned " << scan.blocks_pruned << " of "
+            << scan.blocks_total << " block(s), decoded "
+            << scan.records_scanned << " record(s), matched "
+            << scan.records_matched << ".\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage("");
+  const std::string bundle_dir = argv[1];
+  std::string where_text, csv_path;
+  std::vector<std::string> group_by, select;
+  std::vector<query::Aggregate> aggregates;
+  std::size_t threads = 1;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::exit(usage(arg + " requires an argument"));
+      }
+      return argv[++i];
+    };
+    if (arg == "--where") {
+      where_text = next();
+    } else if (arg == "--group-by") {
+      group_by = split_list(next());
+    } else if (arg == "--select") {
+      select = split_list(next());
+    } else if (arg == "--agg") {
+      for (const std::string& item : split_list(next())) {
+        const auto agg = query::parse_aggregate(item);
+        if (!agg) return usage("unknown aggregate '" + item + "'");
+        aggregates.push_back(*agg);
+      }
+    } else if (arg == "--threads") {
+      const std::string value = next();
+      if (value.empty() ||
+          value.find_first_not_of("0123456789") != std::string::npos) {
+        return usage("--threads requires a non-negative integer");
+      }
+      threads = std::stoul(value);
+    } else if (arg == "--csv") {
+      csv_path = next();
+    } else {
+      return usage("unknown flag '" + arg + "'");
+    }
+  }
+  if (aggregates.empty() && !group_by.empty()) {
+    return usage("--group-by needs --agg (or use --select to project rows)");
+  }
+  if (!aggregates.empty() && !select.empty()) {
+    return usage("--select only applies to row queries (drop --agg)");
+  }
+
+  try {
+    const io::archive::BbxReader reader(bundle_dir);
+    const query::BundleQuery bundle(reader);
+    query::ExprPtr where;
+    if (!where_text.empty()) where = query::parse_expr(where_text);
+    std::unique_ptr<core::WorkerPool> pool;
+    if (threads > 1) {
+      pool = std::make_unique<core::WorkerPool>(threads, "query");
+    }
+
+    if (!aggregates.empty()) {
+      query::QuerySpec spec;
+      spec.where = where;
+      spec.group_by = group_by;
+      spec.aggregates = aggregates;
+      const query::QueryResult result = bundle.aggregate(spec, pool.get());
+      if (!csv_path.empty()) {
+        if (csv_path == "-") {
+          result.write_csv(std::cout);
+        } else {
+          std::ofstream out(csv_path, std::ios::binary | std::ios::trunc);
+          if (!out) {
+            throw std::runtime_error("cannot create '" + csv_path + "'");
+          }
+          result.write_csv(out);
+        }
+      } else {
+        std::vector<std::string> header = result.group_names;
+        header.insert(header.end(), result.value_names.begin(),
+                      result.value_names.end());
+        io::TextTable table(header);
+        for (const auto& row : result.rows) {
+          std::vector<std::string> cells;
+          for (const Value& v : row.key) cells.push_back(v.to_string());
+          for (const double v : row.values) {
+            cells.push_back(io::TextTable::num(v, 4));
+          }
+          table.add_row(cells);
+        }
+        table.print(std::cout);
+      }
+      if (csv_path != "-") print_scan(result.scan);
+      return 0;
+    }
+
+    query::ScanStats scan;
+    const RawTable table =
+        bundle.materialize(where, select, pool.get(), &scan);
+    if (csv_path.empty() || csv_path == "-") {
+      table.write_csv(std::cout);
+    } else {
+      std::ofstream out(csv_path, std::ios::binary | std::ios::trunc);
+      if (!out) throw std::runtime_error("cannot create '" + csv_path + "'");
+      table.write_csv(out);
+      print_scan(scan);
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "campaign_query: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -6,16 +6,32 @@
 // memory hierarchy, then emits one combined report with the per-link
 // LogGP parameters, per-node cache plateaus, and the anomalies the
 // diagnostics caught.
+//
+// With `--archive-to <dir> --archive-format bbx` each campaign streams
+// straight into a bbx bundle and every report number is then computed by
+// *querying* the bundle (filtered / projected / grouped scans on the
+// query engine) instead of materializing each link and node table -- the
+// report's resident footprint is one projected slice, not the union of
+// every raw table.  CSV archiving (or no archiving) keeps the in-memory
+// path.
 
 #include <cctype>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "benchlib/whitebox/mem_calibration.hpp"
 #include "benchlib/whitebox/net_calibration.hpp"
 #include "core/worker_pool.hpp"
+#include "io/archive/bbx_reader.hpp"
+#include "io/archive/bbx_writer.hpp"
 #include "io/table_fmt.hpp"
+#include "query/engine.hpp"
 #include "stats/breakpoint.hpp"
 #include "stats/group.hpp"
 #include "stats/modes.hpp"
@@ -39,6 +55,47 @@ std::string slug(const std::string& name) {
   return out;
 }
 
+/// Completes a streamed bbx bundle with the plan.csv / metadata.txt
+/// sidecars Campaign bundles carry, so read_dir accepts it too.
+/// Staged like Campaign::run_to_dir: write *.tmp, rename on success
+/// (metadata last), so a crash mid-write never leaves a half-written
+/// sidecar that parses wrong.
+void write_bundle_sidecars(const std::string& dir, StreamedCampaign streamed,
+                           const ArchiveOptions& archive) {
+  // The same stamps Campaign::run_to_dir records for a bbx bundle.
+  streamed.metadata.set("archive_format",
+                        std::string(to_string(archive.format)));
+  streamed.metadata.set("archive_shards",
+                        static_cast<std::int64_t>(archive.shards));
+  {
+    std::ofstream out(dir + "/plan.csv.tmp");
+    if (!out) throw std::runtime_error("cannot write " + dir + "/plan.csv");
+    streamed.plan.write_csv(out);
+    out.flush();
+    if (!out) throw std::runtime_error(dir + "/plan.csv write failed");
+  }
+  {
+    std::ofstream out(dir + "/metadata.txt.tmp");
+    if (!out) {
+      throw std::runtime_error("cannot write " + dir + "/metadata.txt");
+    }
+    streamed.metadata.write(out);
+    out.flush();
+    if (!out) throw std::runtime_error(dir + "/metadata.txt write failed");
+  }
+  std::filesystem::rename(dir + "/plan.csv.tmp", dir + "/plan.csv");
+  std::filesystem::rename(dir + "/metadata.txt.tmp", dir + "/metadata.txt");
+}
+
+query::ExprPtr size_range(const char* factor, double lo, double hi) {
+  using query::ColumnKind;
+  using query::CmpOp;
+  using query::Expr;
+  return Expr::logical_and(
+      Expr::cmp({ColumnKind::kNamed, factor}, CmpOp::kGt, Value(lo)),
+      Expr::cmp({ColumnKind::kNamed, factor}, CmpOp::kLe, Value(hi)));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -59,14 +116,20 @@ int main(int argc, char** argv) {
       return usage();
     }
   }
+  // bbx bundles are analyzed through the query engine; CSV bundles (and
+  // the no-archive run) analyze the in-memory table.
+  const bool query_bundles =
+      !archive_to.empty() && archive.format == ArchiveFormat::kBbx;
+  io::archive::BbxWriterOptions bbx_options;
+  bbx_options.shards = archive.shards;
+  bbx_options.block_records = archive.block_records;
 
   std::cout << "==========================================================\n"
             << " Cluster characterization report (simulated testbed)\n"
             << "==========================================================\n";
 
-  // One long-lived pool serves every calibration campaign in the report:
-  // the workers are spawned once here and woken per execution window,
-  // instead of each campaign (and each window) paying thread creation.
+  // One long-lived pool serves every calibration campaign in the report
+  // -- and, in query mode, every block-parallel bundle scan.
   const auto pool = std::make_shared<core::WorkerPool>(
       Engine::resolve_threads(0), "cluster");
 
@@ -89,16 +152,38 @@ int main(int argc, char** argv) {
     options.max_size = 1024.0 * 1024;
     options.samples_per_op = 600;
     options.pool = pool;  // NetworkSim is stateless: shard over the pool
-    const CampaignResult campaign =
-        benchlib::run_net_calibration(network, options);
-    if (!archive_to.empty()) {
-      campaign.write_dir(archive_to + "/link-" + slug(link.name), archive);
+
+    // The model fit's columns and the anomaly scan's ping-pong rows,
+    // either queried from a streamed bundle or viewed from the table.
+    std::optional<CampaignResult> campaign;  // in-memory path only
+    RawTable queried_fit({}, {});
+    RawTable pp({}, {});
+    const RawTable* fit_table = nullptr;
+    if (query_bundles) {
+      const std::string dir = archive_to + "/link-" + slug(link.name);
+      io::archive::BbxWriter sink(dir, bbx_options);
+      write_bundle_sidecars(
+          dir, benchlib::run_net_calibration(network, sink, options),
+          archive);
+      const io::archive::BbxReader reader(dir);
+      const query::BundleQuery query(reader);
+      queried_fit = query.materialize(
+          nullptr, {"op", "size_bytes", "time_us"}, pool.get());
+      fit_table = &queried_fit;
+      pp = query.materialize(query::parse_expr("op == \"pingpong\""),
+                             {"size_bytes", "time_us"}, pool.get());
+    } else {
+      campaign = benchlib::run_net_calibration(network, options);
+      if (!archive_to.empty()) {
+        campaign->write_dir(archive_to + "/link-" + slug(link.name), archive);
+      }
+      fit_table = &campaign->table;
+      pp = campaign->table.filter("op", Value("pingpong"));
     }
     const auto model = benchlib::analyze_net_calibration(
-        campaign.table, link.true_breakpoints());
+        *fit_table, link.true_breakpoints());
 
     // Anomaly scan: localized per-byte-time spikes (quirky sizes).
-    const RawTable pp = campaign.table.filter("op", Value("pingpong"));
     const auto sizes = pp.factor_column_real("size_bytes");
     const auto times = pp.metric_column("time_us");
     std::vector<double> per_byte(sizes.size());
@@ -139,45 +224,82 @@ int main(int argc, char** argv) {
     plan.replications = 3;
     benchlib::MemCampaignOptions campaign_options;
     campaign_options.pool = pool;  // per-worker simulator replicas
-    const CampaignResult campaign = benchlib::run_mem_campaign(
-        config, benchlib::make_mem_plan(plan), campaign_options);
-    if (!archive_to.empty()) {
-      campaign.write_dir(archive_to + "/node-" + slug(machine.name), archive);
-    }
 
     const double l1 = static_cast<double>(machine.caches[0].size_bytes);
     const double last_cache =
         static_cast<double>(machine.caches.back().size_bytes);
-    auto plateau = [&](double lo, double hi) {
-      const RawTable rows =
-          campaign.table.filter_records([&](const RawRecord& rec) {
-            const double s = rec.factors[0].as_real();
-            return s > lo && s <= hi;
-          });
-      if (rows.empty()) return 0.0;
-      return stats::median(rows.metric_column("bandwidth_mbps"));
-    };
+    double plateau_l1 = 0.0, plateau_mid = 0.0, plateau_mem = 0.0;
+    std::optional<CampaignResult> campaign;  // in-memory path only
+    RawTable queried_diag({}, {});  // bandwidth + bookkeeping only
+    const RawTable* diag_table = nullptr;
+    if (query_bundles) {
+      const std::string dir = archive_to + "/node-" + slug(machine.name);
+      io::archive::BbxWriter sink(dir, bbx_options);
+      write_bundle_sidecars(
+          dir,
+          benchlib::run_mem_campaign(config, benchlib::make_mem_plan(plan),
+                                     sink, campaign_options),
+          archive);
+      const io::archive::BbxReader reader(dir);
+      const query::BundleQuery query(reader);
+      const auto plateau = [&](double lo, double hi) {
+        const auto groups = query.group_samples(
+            size_range("size_bytes", lo, hi), {}, "bandwidth_mbps",
+            pool.get());
+        return groups.empty() ? 0.0 : stats::median(groups.front().samples);
+      };
+      plateau_l1 = plateau(0, l1 * 0.8);
+      plateau_mid = plateau(l1 * 1.5, last_cache);
+      plateau_mem = plateau(last_cache * 2, 1e18);
+      queried_diag =
+          query.materialize(nullptr, {"bandwidth_mbps"}, pool.get());
+      diag_table = &queried_diag;
+    } else {
+      campaign = benchlib::run_mem_campaign(
+          config, benchlib::make_mem_plan(plan), campaign_options);
+      if (!archive_to.empty()) {
+        campaign->write_dir(archive_to + "/node-" + slug(machine.name),
+                            archive);
+      }
+      const auto plateau = [&](double lo, double hi) {
+        const RawTable rows =
+            campaign->table.filter_records([&](const RawRecord& rec) {
+              const double s = rec.factors[0].as_real();
+              return s > lo && s <= hi;
+            });
+        if (rows.empty()) return 0.0;
+        return stats::median(rows.metric_column("bandwidth_mbps"));
+      };
+      plateau_l1 = plateau(0, l1 * 0.8);
+      plateau_mid = plateau(l1 * 1.5, last_cache);
+      plateau_mem = plateau(last_cache * 2, 1e18);
+      diag_table = &campaign->table;
+    }
 
     std::string diag_text = "clean";
-    const auto temporal = benchlib::diagnose_temporal(campaign.table);
+    const auto temporal = benchlib::diagnose_temporal(*diag_table);
     const double cv = stats::coeff_variation(
-        campaign.table.metric_column("bandwidth_mbps"));
+        diag_table->metric_column("bandwidth_mbps"));
     if (temporal.temporally_clustered) {
       diag_text = "temporal anomaly window!";
     } else if (machine.noise.sigma > 0.2) {
       diag_text = "very noisy (cv=" + io::TextTable::num(cv, 2) + ")";
     }
     node_table.add_row({machine.name,
-                        io::TextTable::num(plateau(0, l1 * 0.8), 0),
-                        io::TextTable::num(plateau(l1 * 1.5, last_cache), 0),
-                        io::TextTable::num(plateau(last_cache * 2, 1e18), 0),
+                        io::TextTable::num(plateau_l1, 0),
+                        io::TextTable::num(plateau_mid, 0),
+                        io::TextTable::num(plateau_mem, 0),
                         diag_text});
   }
   node_table.print(std::cout);
 
   if (!archive_to.empty()) {
     std::cout << "\nRaw bundles (" << to_string(archive.format)
-              << " format) archived under " << archive_to << "/.\n";
+              << " format) archived under " << archive_to << "/"
+              << (query_bundles
+                      ? "; every number above was computed by querying them."
+                      : ".")
+              << "\n";
   }
   std::cout << "\n[3] Methodology notes\n"
             << "  * every number above comes from randomized, replicated\n"

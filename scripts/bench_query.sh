@@ -1,0 +1,14 @@
+#!/usr/bin/env sh
+# Builds and runs the query-engine bench (selective zone-map-pruned
+# group-by over a bbx bundle vs full materialize + stats grouping),
+# leaving BENCH_query.json at the repo root so successive PRs can track
+# the pruning speedup and scan determinism checks.
+#
+#   scripts/bench_query.sh [build-dir]
+set -e
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build}"
+
+cmake -B "$BUILD" -S "$ROOT" >/dev/null
+cmake --build "$BUILD" --target bench_query >/dev/null
+"$BUILD/bench/bench_query" "$ROOT/BENCH_query.json"

@@ -87,25 +87,36 @@ void CampaignResult::write_dir(const std::string& dir,
 }
 
 CampaignResult CampaignResult::read_dir(const std::string& dir) {
-  std::ifstream plan_in(dir + "/plan.csv");
-  if (!plan_in) throw std::runtime_error("Campaign: cannot read plan.csv");
+  const std::string plan_path = dir + "/plan.csv";
+  std::ifstream plan_in(plan_path);
+  if (!plan_in) {
+    throw std::runtime_error("Campaign: cannot read '" + plan_path +
+                             "' (is '" + dir + "' a campaign bundle?)");
+  }
   Plan plan = Plan::read_csv(plan_in);
 
   // Results format auto-detection: a plain results.csv wins (the
   // historical layout), else a bbx manifest marks a sharded bundle.
+  // When neither exists the error must name the bundle and both
+  // candidates -- "cannot open file" with no path helps nobody decide
+  // whether the bundle is incomplete or simply elsewhere.
+  const std::string csv_path = dir + "/results.csv";
+  const std::string manifest_path =
+      dir + "/" + std::string(io::archive::Manifest::file_name());
   RawTable table({}, {});
-  if (std::filesystem::exists(dir + "/results.csv")) {
-    std::ifstream results_in(dir + "/results.csv");
+  if (std::filesystem::exists(csv_path)) {
+    std::ifstream results_in(csv_path);
     if (!results_in) {
-      throw std::runtime_error("Campaign: cannot read results.csv");
+      throw std::runtime_error("Campaign: cannot read '" + csv_path + "'");
     }
     table = RawTable::read_csv(results_in, plan.factors().size());
   } else if (io::archive::BbxReader::is_bundle(dir)) {
     table = io::archive::BbxReader(dir).read_all();
   } else {
     throw std::runtime_error(
-        "Campaign: no raw results in '" + dir +
-        "' (neither results.csv nor manifest.bbx.json)");
+        "Campaign: bundle '" + dir + "' has no raw results: neither '" +
+        csv_path + "' nor '" + manifest_path +
+        "' exists (incomplete campaign, or the wrong directory)");
   }
 
   std::ifstream md_in(dir + "/metadata.txt");

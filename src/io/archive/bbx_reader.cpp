@@ -59,36 +59,41 @@ std::vector<std::string> BbxReader::load_shards() const {
   return shards;
 }
 
-std::string BbxReader::fetch_block(const std::vector<std::string>& shards,
-                                   std::size_t index) const {
+std::string BbxReader::decode_frame(const char* frame, std::size_t index) const {
   const BlockInfo& info = manifest_.blocks[index];
-  const std::string& shard = shards[info.shard];
   const std::string where = "block " + std::to_string(index) + " of shard '" +
                             Manifest::shard_file_name(info.shard) + "'";
-  // Overflow-safe bounds check: a tampered manifest can carry offsets
-  // near 2^64, so never compute offset + frame on the left-hand side.
-  if (shard.size() < 12 || info.offset > shard.size() - 12 ||
-      info.stored_bytes > shard.size() - 12 - info.offset) {
-    throw std::runtime_error("bbx: shard truncated at " + where +
-                             " (file shorter than the manifest's index)");
-  }
-  ByteReader frame(shard.data() + info.offset, 12);
-  const std::uint32_t stored_bytes = frame.u32le();
-  const std::uint32_t raw_bytes = frame.u32le();
-  const std::uint32_t crc = frame.u32le();
+  ByteReader header(frame, 12);
+  const std::uint32_t stored_bytes = header.u32le();
+  const std::uint32_t raw_bytes = header.u32le();
+  const std::uint32_t crc = header.u32le();
   if (stored_bytes != info.stored_bytes || raw_bytes != info.raw_bytes ||
       crc != info.crc32) {
     throw std::runtime_error("bbx: frame header of " + where +
                              " disagrees with the manifest (corrupt frame)");
   }
-  const char* payload = shard.data() + info.offset + 12;
+  const char* payload = frame + 12;
   if (crc32(payload, info.stored_bytes) != info.crc32) {
     throw std::runtime_error("bbx: checksum mismatch in " + where +
                              " (corrupt block payload)");
   }
-  std::string raw = block_decompress(payload, info.stored_bytes,
-                                     info.raw_bytes);
-  return raw;
+  return block_decompress(payload, info.stored_bytes, info.raw_bytes);
+}
+
+std::string BbxReader::fetch_block(const std::vector<std::string>& shards,
+                                   std::size_t index) const {
+  const BlockInfo& info = manifest_.blocks[index];
+  const std::string& shard = shards[info.shard];
+  // Overflow-safe bounds check: a tampered manifest can carry offsets
+  // near 2^64, so never compute offset + frame on the left-hand side.
+  if (shard.size() < 12 || info.offset > shard.size() - 12 ||
+      info.stored_bytes > shard.size() - 12 - info.offset) {
+    throw std::runtime_error(
+        "bbx: shard truncated at block " + std::to_string(index) +
+        " of shard '" + Manifest::shard_file_name(info.shard) +
+        "' (file shorter than the manifest's index)");
+  }
+  return decode_frame(shard.data() + info.offset, index);
 }
 
 void BbxReader::for_each_block(
@@ -102,6 +107,75 @@ void BbxReader::for_each_block(
                       });
   } else {
     for (std::size_t i = 0; i < blocks; ++i) body(i);
+  }
+}
+
+void BbxReader::scan_blocks(
+    const std::vector<std::size_t>& blocks, core::WorkerPool* pool,
+    const std::function<void(std::size_t, std::size_t, const std::string&)>&
+        body) const {
+  for (const std::size_t block : blocks) {
+    if (block >= manifest_.blocks.size()) {
+      throw std::out_of_range("bbx: scan of unknown block " +
+                              std::to_string(block));
+    }
+  }
+  if (blocks.empty()) return;
+
+  // Read only the selected blocks' frames: the whole point of pruning is
+  // that a selective query must not pay whole-bundle I/O.  Frames are
+  // fetched per shard in offset order (one open, forward seeks), then
+  // verified + decompressed + decoded in parallel.
+  std::vector<std::string> frames(blocks.size());
+  std::vector<std::vector<std::size_t>> by_shard(manifest_.shard_count);
+  for (std::size_t ordinal = 0; ordinal < blocks.size(); ++ordinal) {
+    by_shard[manifest_.blocks[blocks[ordinal]].shard].push_back(ordinal);
+  }
+  for (std::size_t s = 0; s < by_shard.size(); ++s) {
+    std::vector<std::size_t>& ordinals = by_shard[s];
+    if (ordinals.empty()) continue;
+    const std::string path = dir_ + "/" + Manifest::shard_file_name(s);
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      throw std::runtime_error("bbx: missing shard '" + path + "'");
+    }
+    char magic[sizeof kShardMagic];
+    if (!in.read(magic, sizeof magic) ||
+        std::memcmp(magic, kShardMagic, sizeof magic) != 0) {
+      throw std::runtime_error("bbx: '" + path + "' is not a bbx shard");
+    }
+    std::sort(ordinals.begin(), ordinals.end(),
+              [&](std::size_t a, std::size_t b) {
+                return manifest_.blocks[blocks[a]].offset <
+                       manifest_.blocks[blocks[b]].offset;
+              });
+    for (const std::size_t ordinal : ordinals) {
+      const BlockInfo& info = manifest_.blocks[blocks[ordinal]];
+      const std::size_t frame_bytes = 12 + std::size_t{info.stored_bytes};
+      std::string& frame = frames[ordinal];
+      frame.resize(frame_bytes);
+      in.seekg(static_cast<std::streamoff>(info.offset));
+      if (!in.read(frame.data(), static_cast<std::streamsize>(frame_bytes))) {
+        throw std::runtime_error(
+            "bbx: shard truncated at block " +
+            std::to_string(blocks[ordinal]) + " of shard '" +
+            Manifest::shard_file_name(s) +
+            "' (file shorter than the manifest's index)");
+      }
+    }
+  }
+
+  const auto scan_one = [&](std::size_t ordinal) {
+    body(ordinal, blocks[ordinal],
+         decode_frame(frames[ordinal].data(), blocks[ordinal]));
+  };
+  if (pool && pool->size() > 1 && blocks.size() > 1) {
+    pool->run_indexed(blocks.size(),
+                      [&](std::size_t /*worker*/, std::size_t ordinal) {
+                        scan_one(ordinal);
+                      });
+  } else {
+    for (std::size_t i = 0; i < blocks.size(); ++i) scan_one(i);
   }
 }
 

@@ -46,6 +46,23 @@ class BbxReader {
   std::vector<double> metric_column(const std::string& name,
                                     core::WorkerPool* pool = nullptr) const;
 
+  /// Scan hook for the query layer: verifies + decompresses each listed
+  /// block (manifest block indices, any subset, any order) and hands its
+  /// raw image to `body(ordinal, block, raw)` -- `ordinal` is the
+  /// position within `blocks`, for slot-addressed result collection.
+  /// Only the listed blocks' frames are read from disk (per-shard seeks
+  /// driven by the manifest index), so a pruned scan's I/O and resident
+  /// bytes are proportional to what survived, not to the bundle.
+  /// Parallel over the pool when provided; `body` runs concurrently and
+  /// must only touch per-ordinal state.  Failures propagate in ordinal
+  /// order, like every other block-parallel path.
+  void scan_blocks(const std::vector<std::size_t>& blocks,
+                   core::WorkerPool* pool,
+                   const std::function<void(std::size_t ordinal,
+                                            std::size_t block,
+                                            const std::string& raw)>& body)
+      const;
+
   /// True when `dir` holds a bundle manifest (used by format
   /// auto-detection; does not validate the shards).
   static bool is_bundle(const std::string& dir);
@@ -58,6 +75,11 @@ class BbxReader {
   /// decompressed image.
   std::string fetch_block(const std::vector<std::string>& shards,
                           std::size_t index) const;
+
+  /// Shared frame verification: `frame` points at block `index`'s
+  /// [stored][raw][crc][payload] bytes (caller guarantees the full
+  /// frame is readable); returns the decompressed block image.
+  std::string decode_frame(const char* frame, std::size_t index) const;
 
   /// Runs `body(block_index)` for every block, in parallel when the pool
   /// allows, rethrowing the lowest-block failure.

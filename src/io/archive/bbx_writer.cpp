@@ -1,7 +1,10 @@
 #include "io/archive/bbx_writer.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <exception>
 #include <filesystem>
+#include <set>
 #include <stdexcept>
 #include <utility>
 
@@ -11,6 +14,91 @@
 #include "io/archive/wire.hpp"
 
 namespace cal::io::archive {
+
+namespace {
+
+/// Numeric zone over already-widened doubles; degrades to kNone when any
+/// value is non-finite (JSON cannot carry inf/nan, and a NaN row defeats
+/// interval pruning anyway).
+template <typename Values>
+ColumnStats numeric_stats(const Values& values) {
+  ColumnStats stats;
+  stats.kind = ColumnStats::Kind::kNumeric;
+  stats.min = stats.max = static_cast<double>(values.front());
+  for (const auto v : values) {
+    const double d = static_cast<double>(v);
+    if (!std::isfinite(d)) return ColumnStats{};
+    stats.min = std::min(stats.min, d);
+    stats.max = std::max(stats.max, d);
+  }
+  return stats;
+}
+
+/// Zone map of one factor column: numeric [min, max] when every value in
+/// the block is numeric, level membership when every value is a string
+/// (capped at kZoneMaxLevels distinct levels), kNone for mixed blocks.
+ColumnStats factor_stats(const std::vector<RawRecord>& records,
+                         std::size_t col) {
+  bool any_numeric = false, any_string = false;
+  for (const RawRecord& r : records) {
+    (r.factors[col].is_string() ? any_string : any_numeric) = true;
+  }
+  if (any_numeric && !any_string) {
+    ColumnStats stats;
+    stats.kind = ColumnStats::Kind::kNumeric;
+    stats.min = stats.max = records.front().factors[col].as_real();
+    for (const RawRecord& r : records) {
+      const double d = r.factors[col].as_real();
+      if (!std::isfinite(d)) return ColumnStats{};
+      stats.min = std::min(stats.min, d);
+      stats.max = std::max(stats.max, d);
+    }
+    return stats;
+  }
+  if (any_string && !any_numeric) {
+    std::set<std::string> levels;
+    for (const RawRecord& r : records) {
+      levels.insert(r.factors[col].as_string());
+      if (levels.size() > kZoneMaxLevels) return ColumnStats{};
+    }
+    ColumnStats stats;
+    stats.kind = ColumnStats::Kind::kStrings;
+    stats.levels.assign(levels.begin(), levels.end());
+    return stats;
+  }
+  return ColumnStats{};
+}
+
+BlockStats block_stats(const std::vector<RawRecord>& records,
+                       std::size_t n_factors, std::size_t n_metrics) {
+  BlockStats stats;
+  stats.columns.reserve(4 + n_factors + n_metrics);
+  std::vector<double> scratch(records.size());
+  const auto bookkeeping = [&](auto&& field) -> ColumnStats {
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      scratch[i] = static_cast<double>(field(records[i]));
+    }
+    return numeric_stats(scratch);
+  };
+  stats.columns.push_back(
+      bookkeeping([](const RawRecord& r) { return r.sequence; }));
+  stats.columns.push_back(
+      bookkeeping([](const RawRecord& r) { return r.cell_index; }));
+  stats.columns.push_back(
+      bookkeeping([](const RawRecord& r) { return r.replicate; }));
+  stats.columns.push_back(
+      bookkeeping([](const RawRecord& r) { return r.timestamp_s; }));
+  for (std::size_t f = 0; f < n_factors; ++f) {
+    stats.columns.push_back(factor_stats(records, f));
+  }
+  for (std::size_t m = 0; m < n_metrics; ++m) {
+    stats.columns.push_back(bookkeeping(
+        [m](const RawRecord& r) { return r.metrics[m]; }));
+  }
+  return stats;
+}
+
+}  // namespace
 
 BbxWriter::BbxWriter(std::string dir, Options options)
     : dir_(std::move(dir)), options_(options) {
@@ -108,6 +196,9 @@ void BbxWriter::flush_block() {
   shard_offsets_[info.shard] += frame.size();
   records_ += pending_.size();
   manifest_.blocks.push_back(info);
+  manifest_.zones.push_back(block_stats(pending_,
+                                        manifest_.factor_names.size(),
+                                        manifest_.metric_names.size()));
   pending_.clear();
 }
 

@@ -292,6 +292,31 @@ std::vector<RawRecord> decode_block(const std::string& raw,
   return records;
 }
 
+std::vector<std::size_t> decode_index_column(const std::string& raw,
+                                             std::size_t n_factors,
+                                             std::size_t n_metrics,
+                                             std::size_t which) {
+  if (which > 2) {
+    throw std::out_of_range("bbx: bookkeeping index column out of range");
+  }
+  const BlockLayout layout = read_layout(raw, n_factors, n_metrics);
+  ByteReader col_r = column_reader(raw, layout, which);
+  return decode_delta_column(col_r, layout.records);
+}
+
+std::vector<double> decode_timestamp_column(const std::string& raw,
+                                            std::size_t n_factors,
+                                            std::size_t n_metrics) {
+  const BlockLayout layout = read_layout(raw, n_factors, n_metrics);
+  ByteReader col_r = column_reader(raw, layout, 3);
+  std::vector<double> out;
+  out.reserve(layout.records);
+  for (std::size_t i = 0; i < layout.records; ++i) {
+    out.push_back(col_r.f64le());
+  }
+  return out;
+}
+
 std::vector<Value> decode_factor_column(const std::string& raw,
                                         std::size_t n_factors,
                                         std::size_t n_metrics,

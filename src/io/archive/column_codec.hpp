@@ -43,6 +43,18 @@ std::vector<RawRecord> decode_block(const std::string& raw,
                                     std::size_t n_factors,
                                     std::size_t n_metrics);
 
+/// Projection: decodes one bookkeeping index column of the block
+/// (`which`: 0 = sequence, 1 = cell_index, 2 = replicate).
+std::vector<std::size_t> decode_index_column(const std::string& raw,
+                                             std::size_t n_factors,
+                                             std::size_t n_metrics,
+                                             std::size_t which);
+
+/// Projection: decodes only the timestamp column of the block.
+std::vector<double> decode_timestamp_column(const std::string& raw,
+                                            std::size_t n_factors,
+                                            std::size_t n_metrics);
+
 /// Projection: decodes only factor column `factor_index` of the block.
 std::vector<Value> decode_factor_column(const std::string& raw,
                                         std::size_t n_factors,

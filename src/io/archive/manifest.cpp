@@ -48,6 +48,31 @@ void write_string_array(std::ostream& out,
   out << "]";
 }
 
+/// Round-trip numeric form: integers print without a point, everything
+/// else with enough digits that std::stod reproduces the double exactly.
+std::string json_number(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+void write_zone_entry(std::ostream& out, const ColumnStats& stats) {
+  switch (stats.kind) {
+    case ColumnStats::Kind::kNone:
+      out << "null";
+      break;
+    case ColumnStats::Kind::kNumeric:
+      out << "[" << json_number(stats.min) << ", " << json_number(stats.max)
+          << "]";
+      break;
+    case ColumnStats::Kind::kStrings:
+      out << "{\"levels\": ";
+      write_string_array(out, stats.levels);
+      out << "}";
+      break;
+  }
+}
+
 // --- JSON parsing (the writer's subset) -------------------------------------
 
 struct JsonValue;
@@ -71,6 +96,12 @@ struct JsonValue {
     }
     throw std::runtime_error("bbx manifest: '" + what +
                              "' is not a non-negative integer");
+  }
+  double as_real(const std::string& what) const {
+    if (kind == Kind::kReal) return real_v;
+    if (kind == Kind::kUInt) return static_cast<double>(uint_v);
+    if (kind == Kind::kInt) return static_cast<double>(int_v);
+    throw std::runtime_error("bbx manifest: '" + what + "' is not a number");
   }
   const std::string& as_string(const std::string& what) const {
     if (kind != Kind::kString) {
@@ -302,6 +333,20 @@ void Manifest::write(std::ostream& out) const {
         << b.first_sequence << ", " << b.records << "]";
   }
   out << (blocks.empty() ? "]" : "\n  ]");
+  if (!zones.empty()) {
+    // Zone maps: one row per block, one entry per column ([min, max],
+    // {"levels": [...]}, or null), in block-image column order.
+    out << ",\n  \"zones\": [";
+    for (std::size_t i = 0; i < zones.size(); ++i) {
+      out << (i ? ",\n    [" : "\n    [");
+      for (std::size_t c = 0; c < zones[i].columns.size(); ++c) {
+        if (c) out << ", ";
+        write_zone_entry(out, zones[i].columns[c]);
+      }
+      out << "]";
+    }
+    out << "\n  ]";
+  }
   out << ",\n  \"extra\": {";
   for (std::size_t i = 0; i < extra.size(); ++i) {
     out << (i ? ",\n    \"" : "\n    \"") << json_escape(extra[i].first)
@@ -323,7 +368,9 @@ Manifest Manifest::parse(std::istream& in) {
   }
   Manifest m;
   m.version = static_cast<std::uint32_t>(require(obj, "version").as_uint("version"));
-  if (m.version != 1) {
+  // Version 1 (PR-4 bundles) lacks zone maps but is otherwise identical;
+  // anything newer than this build's writer is refused outright.
+  if (m.version < 1 || m.version > kManifestVersion) {
     throw std::runtime_error("bbx manifest: unsupported version " +
                              std::to_string(m.version));
   }
@@ -348,6 +395,48 @@ Manifest Manifest::parse(std::istream& in) {
     b.first_sequence = cells[5].as_uint("block first_sequence");
     b.records = static_cast<std::uint32_t>(cells[6].as_uint("block records"));
     m.blocks.push_back(b);
+  }
+  if (const JsonValue* zones = find(obj, "zones")) {
+    const JsonArray& rows = zones->as_array("zones");
+    if (rows.size() != m.blocks.size()) {
+      throw std::runtime_error(
+          "bbx manifest: " + std::to_string(rows.size()) +
+          " zone rows for " + std::to_string(m.blocks.size()) + " blocks");
+    }
+    const std::size_t columns = m.column_count();
+    for (const auto& row : rows) {
+      const JsonArray& cells = row.as_array("zone row");
+      if (cells.size() != columns) {
+        throw std::runtime_error("bbx manifest: zone row width " +
+                                 std::to_string(cells.size()) +
+                                 " does not match the schema's " +
+                                 std::to_string(columns) + " columns");
+      }
+      BlockStats stats;
+      stats.columns.reserve(columns);
+      for (const auto& cell : cells) {
+        ColumnStats col;
+        if (cell.kind == JsonValue::Kind::kNull) {
+          // kNone: no stats for this column in this block.
+        } else if (cell.kind == JsonValue::Kind::kArray) {
+          const JsonArray& pair = cell.as_array("zone entry");
+          if (pair.size() != 2) {
+            throw std::runtime_error(
+                "bbx manifest: numeric zone entry is not [min, max]");
+          }
+          col.kind = ColumnStats::Kind::kNumeric;
+          col.min = pair[0].as_real("zone min");
+          col.max = pair[1].as_real("zone max");
+        } else {
+          col.kind = ColumnStats::Kind::kStrings;
+          col.levels = string_array(require(cell.as_object("zone entry"),
+                                            "levels"),
+                                    "zone levels");
+        }
+        stats.columns.push_back(std::move(col));
+      }
+      m.zones.push_back(std::move(stats));
+    }
   }
   if (const JsonValue* extra = find(obj, "extra")) {
     for (const auto& [k, v] : extra->as_object("extra")) {

@@ -13,6 +13,15 @@
 // The writer emits ordinary JSON; the parser accepts just the subset the
 // writer produces (objects, arrays, strings with escapes, integers and
 // doubles) -- enough for self round-trips without a JSON dependency.
+//
+// Version history:
+//   1  schema + block index + extra (PR 4).
+//   2  adds optional per-block zone maps ("zones"): for every block, one
+//      stats entry per column (bookkeeping, factors, metrics) holding a
+//      numeric [min, max] or the block's string-factor level membership.
+//      The query planner prunes whole blocks against them before decode.
+//      Version-1 manifests (and version-2 manifests without "zones")
+//      still load -- no stats simply means no pruning.
 
 #include <cstdint>
 #include <iosfwd>
@@ -33,16 +42,56 @@ struct BlockInfo {
   std::uint32_t records = 0;
 };
 
+/// Zone-map entry: what one block holds in one column.  Numeric stats
+/// are stored as doubles (int factors widen), so pruning is exact only
+/// within the double-exact integer range -- which covers sequence /
+/// cell / replicate and any realistic factor grid.  String stats list
+/// the block's distinct levels (capped; an over-wide column gets kNone).
+struct ColumnStats {
+  enum class Kind { kNone, kNumeric, kStrings };
+  Kind kind = Kind::kNone;
+  double min = 0.0;
+  double max = 0.0;
+  std::vector<std::string> levels;  ///< kStrings: distinct levels, sorted
+
+  friend bool operator==(const ColumnStats&, const ColumnStats&) = default;
+};
+
+/// Per-block zone map: one ColumnStats per column, in block-image column
+/// order (sequence, cell, replicate, timestamp, factors..., metrics...).
+struct BlockStats {
+  std::vector<ColumnStats> columns;
+
+  friend bool operator==(const BlockStats&, const BlockStats&) = default;
+};
+
+/// Distinct string levels kept per block column before the zone map
+/// degrades to kNone (membership lists must stay cheap to scan).
+inline constexpr std::size_t kZoneMaxLevels = 32;
+
+/// Manifest version the writer emits.
+inline constexpr std::uint32_t kManifestVersion = 2;
+
 struct Manifest {
-  std::uint32_t version = 1;
+  std::uint32_t version = kManifestVersion;
   std::vector<std::string> factor_names;
   std::vector<std::string> metric_names;
   std::size_t shard_count = 1;
   std::size_t block_records = 0;  ///< full-block record count (last may be short)
   std::uint64_t total_records = 0;
   std::vector<BlockInfo> blocks;
+  /// Per-block zone maps, parallel to `blocks`.  Empty when the bundle
+  /// predates version 2 (or stats were stripped): queries still run,
+  /// they just cannot prune.
+  std::vector<BlockStats> zones;
   /// Campaign metadata carried along (key order preserved).
   std::vector<std::pair<std::string, std::string>> extra;
+
+  /// Number of columns a block image (and a BlockStats entry) carries:
+  /// 4 bookkeeping columns + factors + metrics.
+  std::size_t column_count() const noexcept {
+    return 4 + factor_names.size() + metric_names.size();
+  }
 
   /// Conventional file name of shard `index` within a bundle directory.
   static std::string shard_file_name(std::size_t index);

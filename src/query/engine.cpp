@@ -1,0 +1,885 @@
+#include "query/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <ostream>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "io/archive/column_codec.hpp"
+#include "io/csv.hpp"
+#include "stats/descriptive.hpp"
+
+namespace cal::query {
+
+namespace ar = io::archive;
+
+std::string Aggregate::label() const {
+  switch (kind) {
+    case AggKind::kCount: return "count";
+    case AggKind::kSum: return "sum(" + metric + ")";
+    case AggKind::kMean: return "mean(" + metric + ")";
+    case AggKind::kSd: return "sd(" + metric + ")";
+    case AggKind::kMin: return "min(" + metric + ")";
+    case AggKind::kMax: return "max(" + metric + ")";
+  }
+  return "?";
+}
+
+std::optional<Aggregate> parse_aggregate(const std::string& text) {
+  if (text == "count") return Aggregate{AggKind::kCount, ""};
+  const std::size_t colon = text.find(':');
+  if (colon == std::string::npos || colon + 1 >= text.size()) {
+    return std::nullopt;
+  }
+  const std::string kind = text.substr(0, colon);
+  const std::string metric = text.substr(colon + 1);
+  if (kind == "sum") return Aggregate{AggKind::kSum, metric};
+  if (kind == "mean") return Aggregate{AggKind::kMean, metric};
+  if (kind == "sd") return Aggregate{AggKind::kSd, metric};
+  if (kind == "min") return Aggregate{AggKind::kMin, metric};
+  if (kind == "max") return Aggregate{AggKind::kMax, metric};
+  return std::nullopt;
+}
+
+namespace {
+
+// --- bound columns and compiled predicates ----------------------------------
+
+/// A column resolved against the bundle schema.
+enum class Col { kSeq, kCell, kRep, kTs, kFactor, kMetric };
+
+struct BoundRef {
+  Col col = Col::kSeq;
+  std::size_t index = 0;  ///< factor / metric position
+};
+
+/// Compiled predicate node: schema-resolved refs, bind-time constant
+/// folding already applied (kConst subsumes whole decided subtrees).
+struct Node {
+  enum class Kind { kCmp, kAnd, kOr, kNot, kConst };
+  Kind kind = Kind::kConst;
+  BoundRef ref;
+  CmpOp op = CmpOp::kEq;
+  Value literal;
+  bool truth = true;  ///< kConst
+  std::unique_ptr<Node> lhs, rhs;
+};
+
+using NodePtr = std::unique_ptr<Node>;
+
+NodePtr make_const(bool truth) {
+  auto n = std::make_unique<Node>();
+  n->kind = Node::Kind::kConst;
+  n->truth = truth;
+  return n;
+}
+
+struct Schema {
+  const std::vector<std::string>* factors = nullptr;
+  const std::vector<std::string>* metrics = nullptr;
+
+  std::optional<BoundRef> find(const std::string& name) const {
+    for (std::size_t i = 0; i < factors->size(); ++i) {
+      if ((*factors)[i] == name) return BoundRef{Col::kFactor, i};
+    }
+    for (std::size_t i = 0; i < metrics->size(); ++i) {
+      if ((*metrics)[i] == name) return BoundRef{Col::kMetric, i};
+    }
+    return std::nullopt;
+  }
+};
+
+BoundRef resolve(const ColumnRef& ref, const Schema& schema) {
+  // Schema names shadow the reserved bookkeeping names, so a campaign
+  // with a factor literally called "cell" stays addressable.
+  if (const auto named = schema.find(ref.name)) return *named;
+  switch (ref.kind) {
+    case ColumnKind::kSequence: return {Col::kSeq, 0};
+    case ColumnKind::kCellIndex: return {Col::kCell, 0};
+    case ColumnKind::kReplicate: return {Col::kRep, 0};
+    case ColumnKind::kTimestamp: return {Col::kTs, 0};
+    case ColumnKind::kNamed: break;
+  }
+  throw std::out_of_range("query: unknown column '" + ref.name +
+                          "' (not a factor, metric, or bookkeeping name)");
+}
+
+bool numeric_only(Col col) { return col != Col::kFactor; }
+
+NodePtr compile(const Expr& e, const Schema& schema) {
+  switch (e.kind()) {
+    case Expr::Kind::kCmp: {
+      const BoundRef ref = resolve(e.column(), schema);
+      // Constant folding: a numeric-only column compared to a string
+      // literal is decided now -- != matches every record, everything
+      // else matches none.
+      if (numeric_only(ref.col) && e.literal().is_string()) {
+        return make_const(e.op() == CmpOp::kNe);
+      }
+      auto n = std::make_unique<Node>();
+      n->kind = Node::Kind::kCmp;
+      n->ref = ref;
+      n->op = e.op();
+      n->literal = e.literal();
+      return n;
+    }
+    case Expr::Kind::kAnd: {
+      NodePtr a = compile(*e.lhs(), schema);
+      NodePtr b = compile(*e.rhs(), schema);
+      if (a->kind == Node::Kind::kConst) {
+        return a->truth ? std::move(b) : std::move(a);
+      }
+      if (b->kind == Node::Kind::kConst) {
+        return b->truth ? std::move(a) : std::move(b);
+      }
+      auto n = std::make_unique<Node>();
+      n->kind = Node::Kind::kAnd;
+      n->lhs = std::move(a);
+      n->rhs = std::move(b);
+      return n;
+    }
+    case Expr::Kind::kOr: {
+      NodePtr a = compile(*e.lhs(), schema);
+      NodePtr b = compile(*e.rhs(), schema);
+      if (a->kind == Node::Kind::kConst) {
+        return a->truth ? std::move(a) : std::move(b);
+      }
+      if (b->kind == Node::Kind::kConst) {
+        return b->truth ? std::move(b) : std::move(a);
+      }
+      auto n = std::make_unique<Node>();
+      n->kind = Node::Kind::kOr;
+      n->lhs = std::move(a);
+      n->rhs = std::move(b);
+      return n;
+    }
+    case Expr::Kind::kNot: {
+      NodePtr a = compile(*e.lhs(), schema);
+      if (a->kind == Node::Kind::kConst) return make_const(!a->truth);
+      auto n = std::make_unique<Node>();
+      n->kind = Node::Kind::kNot;
+      n->lhs = std::move(a);
+      return n;
+    }
+  }
+  throw std::logic_error("query: unreachable expression kind");
+}
+
+// --- zone-map pruning -------------------------------------------------------
+
+/// Tri-state answer of a zone map: can this block hold matching records?
+enum class Tri { kNone, kSome, kAll };
+
+Tri tri_and(Tri a, Tri b) {
+  if (a == Tri::kNone || b == Tri::kNone) return Tri::kNone;
+  if (a == Tri::kAll && b == Tri::kAll) return Tri::kAll;
+  return Tri::kSome;
+}
+
+Tri tri_or(Tri a, Tri b) {
+  if (a == Tri::kAll || b == Tri::kAll) return Tri::kAll;
+  if (a == Tri::kNone && b == Tri::kNone) return Tri::kNone;
+  return Tri::kSome;
+}
+
+Tri tri_not(Tri a) {
+  if (a == Tri::kNone) return Tri::kAll;
+  if (a == Tri::kAll) return Tri::kNone;
+  return Tri::kSome;
+}
+
+std::size_t zone_column(const BoundRef& ref, std::size_t n_factors) {
+  switch (ref.col) {
+    case Col::kSeq: return 0;
+    case Col::kCell: return 1;
+    case Col::kRep: return 2;
+    case Col::kTs: return 3;
+    case Col::kFactor: return 4 + ref.index;
+    case Col::kMetric: return 4 + n_factors + ref.index;
+  }
+  return 0;
+}
+
+Tri zone_cmp(const Node& node, const ar::ColumnStats& stats) {
+  using Kind = ar::ColumnStats::Kind;
+  if (stats.kind == Kind::kNone) return Tri::kSome;
+
+  if (stats.kind == Kind::kNumeric) {
+    // Every record in the block is numeric here (that is what kNumeric
+    // asserts), so a string literal decides the block outright.
+    if (node.literal.is_string()) {
+      return node.op == CmpOp::kNe ? Tri::kAll : Tri::kNone;
+    }
+    const double d = node.literal.as_real();
+    if (std::isnan(d)) return node.op == CmpOp::kNe ? Tri::kAll : Tri::kNone;
+    const double mn = stats.min, mx = stats.max;
+    switch (node.op) {
+      case CmpOp::kEq:
+        if (d < mn || d > mx) return Tri::kNone;
+        return (mn == mx && mn == d) ? Tri::kAll : Tri::kSome;
+      case CmpOp::kNe:
+        if (mn == mx && mn == d) return Tri::kNone;
+        return (d < mn || d > mx) ? Tri::kAll : Tri::kSome;
+      case CmpOp::kLt:
+        if (mx < d) return Tri::kAll;
+        return mn >= d ? Tri::kNone : Tri::kSome;
+      case CmpOp::kLe:
+        if (mx <= d) return Tri::kAll;
+        return mn > d ? Tri::kNone : Tri::kSome;
+      case CmpOp::kGt:
+        if (mn > d) return Tri::kAll;
+        return mx <= d ? Tri::kNone : Tri::kSome;
+      case CmpOp::kGe:
+        if (mn >= d) return Tri::kAll;
+        return mx < d ? Tri::kNone : Tri::kSome;
+    }
+    return Tri::kSome;
+  }
+
+  // kStrings: the block's complete level membership.  Every record is a
+  // string and every listed level occurs, so counting satisfied levels
+  // answers exactly.
+  if (!node.literal.is_string()) {
+    return node.op == CmpOp::kNe ? Tri::kAll : Tri::kNone;
+  }
+  std::size_t satisfied = 0;
+  for (const std::string& level : stats.levels) {
+    if (value_compare(Value(level), node.op, node.literal)) ++satisfied;
+  }
+  if (satisfied == 0) return Tri::kNone;
+  return satisfied == stats.levels.size() ? Tri::kAll : Tri::kSome;
+}
+
+Tri zone_eval(const Node& node, const ar::BlockStats& stats,
+              std::size_t n_factors) {
+  switch (node.kind) {
+    case Node::Kind::kConst: return node.truth ? Tri::kAll : Tri::kNone;
+    case Node::Kind::kCmp:
+      return zone_cmp(node, stats.columns[zone_column(node.ref, n_factors)]);
+    case Node::Kind::kAnd:
+      return tri_and(zone_eval(*node.lhs, stats, n_factors),
+                     zone_eval(*node.rhs, stats, n_factors));
+    case Node::Kind::kOr:
+      return tri_or(zone_eval(*node.lhs, stats, n_factors),
+                    zone_eval(*node.rhs, stats, n_factors));
+    case Node::Kind::kNot:
+      return tri_not(zone_eval(*node.lhs, stats, n_factors));
+  }
+  return Tri::kSome;
+}
+
+// --- block decode, driven by what the query needs ---------------------------
+
+struct Needs {
+  bool seq = false, cell = false, rep = false, ts = false;
+  std::vector<char> factors;  ///< per factor index
+  std::vector<char> metrics;  ///< per metric index
+
+  explicit Needs(std::size_t n_factors, std::size_t n_metrics)
+      : factors(n_factors, 0), metrics(n_metrics, 0) {}
+
+  void add(const BoundRef& ref) {
+    switch (ref.col) {
+      case Col::kSeq: seq = true; break;
+      case Col::kCell: cell = true; break;
+      case Col::kRep: rep = true; break;
+      case Col::kTs: ts = true; break;
+      case Col::kFactor: factors[ref.index] = 1; break;
+      case Col::kMetric: metrics[ref.index] = 1; break;
+    }
+  }
+
+  void add_all(const Needs& other) {
+    seq |= other.seq;
+    cell |= other.cell;
+    rep |= other.rep;
+    ts |= other.ts;
+    for (std::size_t i = 0; i < factors.size(); ++i) {
+      factors[i] |= other.factors[i];
+    }
+    for (std::size_t i = 0; i < metrics.size(); ++i) {
+      metrics[i] |= other.metrics[i];
+    }
+  }
+};
+
+void collect_needs(const Node& node, Needs& needs) {
+  switch (node.kind) {
+    case Node::Kind::kCmp: needs.add(node.ref); break;
+    case Node::Kind::kAnd:
+    case Node::Kind::kOr:
+      collect_needs(*node.lhs, needs);
+      collect_needs(*node.rhs, needs);
+      break;
+    case Node::Kind::kNot: collect_needs(*node.lhs, needs); break;
+    case Node::Kind::kConst: break;
+  }
+}
+
+/// The decoded columns of one block (only those a query asked for).
+struct Decoded {
+  std::size_t n = 0;
+  std::vector<std::size_t> seq, cell, rep;
+  std::vector<double> ts;
+  std::vector<std::vector<Value>> factors;
+  std::vector<std::vector<double>> metrics;
+};
+
+Decoded decode_needed(const std::string& raw, const Needs& needs,
+                      std::size_t n_records, std::size_t n_factors,
+                      std::size_t n_metrics) {
+  Decoded d;
+  d.n = n_records;
+  // The scan loop runs to the manifest's record count; a decoded column
+  // of any other length means the manifest and the block image disagree
+  // (tampering the PR-4 corruption tests promise a clear error for), so
+  // check every column before it can be indexed out of bounds.
+  const auto checked = [n_records](auto column) {
+    if (column.size() != n_records) {
+      throw std::runtime_error(
+          "query: block decoded to " + std::to_string(column.size()) +
+          " records but the manifest declares " + std::to_string(n_records));
+    }
+    return column;
+  };
+  if (needs.seq) {
+    d.seq = checked(ar::decode_index_column(raw, n_factors, n_metrics, 0));
+  }
+  if (needs.cell) {
+    d.cell = checked(ar::decode_index_column(raw, n_factors, n_metrics, 1));
+  }
+  if (needs.rep) {
+    d.rep = checked(ar::decode_index_column(raw, n_factors, n_metrics, 2));
+  }
+  if (needs.ts) {
+    d.ts = checked(ar::decode_timestamp_column(raw, n_factors, n_metrics));
+  }
+  d.factors.resize(n_factors);
+  d.metrics.resize(n_metrics);
+  for (std::size_t f = 0; f < n_factors; ++f) {
+    if (needs.factors[f]) {
+      d.factors[f] =
+          checked(ar::decode_factor_column(raw, n_factors, n_metrics, f));
+    }
+  }
+  for (std::size_t m = 0; m < n_metrics; ++m) {
+    if (needs.metrics[m]) {
+      d.metrics[m] =
+          checked(ar::decode_metric_column(raw, n_factors, n_metrics, m));
+    }
+  }
+  return d;
+}
+
+bool eval(const Node& node, const Decoded& d, std::size_t i) {
+  switch (node.kind) {
+    case Node::Kind::kConst: return node.truth;
+    case Node::Kind::kCmp:
+      switch (node.ref.col) {
+        case Col::kSeq:
+          return value_compare(
+              Value(static_cast<std::int64_t>(d.seq[i])), node.op,
+              node.literal);
+        case Col::kCell:
+          return value_compare(
+              Value(static_cast<std::int64_t>(d.cell[i])), node.op,
+              node.literal);
+        case Col::kRep:
+          return value_compare(
+              Value(static_cast<std::int64_t>(d.rep[i])), node.op,
+              node.literal);
+        case Col::kTs:
+          return value_compare(Value(d.ts[i]), node.op, node.literal);
+        case Col::kFactor:
+          return value_compare(d.factors[node.ref.index][i], node.op,
+                               node.literal);
+        case Col::kMetric:
+          return value_compare(Value(d.metrics[node.ref.index][i]), node.op,
+                               node.literal);
+      }
+      return false;
+    case Node::Kind::kAnd: return eval(*node.lhs, d, i) && eval(*node.rhs, d, i);
+    case Node::Kind::kOr: return eval(*node.lhs, d, i) || eval(*node.rhs, d, i);
+    case Node::Kind::kNot: return !eval(*node.lhs, d, i);
+  }
+  return false;
+}
+
+// --- the shared plan: prune, then scan surviving blocks --------------------
+
+struct BlockPlan {
+  std::vector<std::size_t> blocks;  ///< surviving manifest block indices
+  std::vector<char> certain;  ///< per surviving block: zone said kAll
+  ScanStats stats;
+};
+
+BlockPlan plan_blocks(const ar::Manifest& manifest, const Node* predicate) {
+  BlockPlan plan;
+  plan.stats.blocks_total = manifest.blocks.size();
+  const bool have_zones = manifest.zones.size() == manifest.blocks.size();
+  for (std::size_t b = 0; b < manifest.blocks.size(); ++b) {
+    Tri tri = Tri::kAll;
+    if (predicate) {
+      // No zone maps (a PR-4-era bundle): every block might match, and
+      // nothing is certain -- scan it all, predicate per record.
+      tri = have_zones
+                ? zone_eval(*predicate, manifest.zones[b],
+                            manifest.factor_names.size())
+                : Tri::kSome;
+    }
+    if (tri == Tri::kNone) {
+      ++plan.stats.blocks_pruned;
+      continue;
+    }
+    plan.blocks.push_back(b);
+    plan.certain.push_back(tri == Tri::kAll);
+    plan.stats.records_scanned += manifest.blocks[b].records;
+  }
+  plan.stats.blocks_scanned = plan.blocks.size();
+  return plan;
+}
+
+NodePtr compile_where(const ExprPtr& where, const Schema& schema) {
+  if (!where) return nullptr;
+  NodePtr node = compile(*where, schema);
+  // A predicate folded to constant-true is no predicate at all.
+  if (node->kind == Node::Kind::kConst && node->truth) return nullptr;
+  return node;
+}
+
+/// Group accumulator map shared by aggregate() and group_samples():
+/// first-appearance keyed slots, deterministic per block.
+template <typename Acc>
+struct GroupedPartial {
+  std::vector<std::vector<Value>> keys;
+  std::unordered_map<std::vector<Value>, std::size_t, ValueHash> index;
+  std::vector<Acc> groups;
+
+  Acc& slot(std::vector<Value>&& key) {
+    if (const auto it = index.find(key); it != index.end()) {
+      return groups[it->second];
+    }
+    index.emplace(key, groups.size());
+    keys.push_back(std::move(key));
+    groups.emplace_back();
+    return groups.back();
+  }
+};
+
+/// Welford + extrema over one metric within one group.
+struct MetricAcc {
+  double sum = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  stats::Welford welford;
+
+  void add(double x) {
+    sum += x;
+    min = std::min(min, x);
+    max = std::max(max, x);
+    welford.add(x);
+  }
+
+  void merge(const MetricAcc& other) {
+    sum += other.sum;
+    min = std::min(min, other.min);
+    max = std::max(max, other.max);
+    welford.merge(other.welford);
+  }
+};
+
+struct AggAcc {
+  std::size_t rows = 0;
+  std::vector<MetricAcc> metrics;  ///< one per distinct aggregate metric
+};
+
+/// Orders group keys the way stats::group_metric documents: Value
+/// ordering, lexicographic across factors.
+bool key_less(const std::vector<Value>& a, const std::vector<Value>& b) {
+  return std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end());
+}
+
+}  // namespace
+
+// --- QueryResult bridges ----------------------------------------------------
+
+RawTable QueryResult::to_table() const {
+  RawTable table(group_names, value_names);
+  table.reserve(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    RawRecord record;
+    record.sequence = i;
+    record.cell_index = i;
+    record.factors = rows[i].key;
+    record.metrics = rows[i].values;
+    table.append(std::move(record));
+  }
+  return table;
+}
+
+void QueryResult::write_csv(std::ostream& out) const {
+  std::vector<std::string> header = group_names;
+  header.insert(header.end(), value_names.begin(), value_names.end());
+  io::write_csv_row(out, header);
+  std::vector<std::string> cells;
+  for (const Row& row : rows) {
+    cells.clear();
+    for (const Value& v : row.key) cells.push_back(v.to_string());
+    for (const double v : row.values) cells.push_back(Value(v).to_string());
+    io::write_csv_row(out, cells);
+  }
+}
+
+// --- BundleQuery ------------------------------------------------------------
+
+QueryResult BundleQuery::aggregate(const QuerySpec& spec,
+                                   core::WorkerPool* pool) const {
+  const ar::Manifest& manifest = reader_.manifest();
+  const std::size_t n_factors = manifest.factor_names.size();
+  const std::size_t n_metrics = manifest.metric_names.size();
+  const Schema schema{&manifest.factor_names, &manifest.metric_names};
+
+  if (spec.aggregates.empty()) {
+    throw std::invalid_argument("query: aggregate() needs >= 1 aggregate");
+  }
+
+  // Resolve group factors and the distinct set of aggregate metrics.
+  std::vector<std::size_t> group_idx;
+  for (const std::string& name : spec.group_by) {
+    const auto ref = schema.find(name);
+    if (!ref || ref->col != Col::kFactor) {
+      throw std::out_of_range("query: group-by column '" + name +
+                              "' is not a factor of the bundle");
+    }
+    group_idx.push_back(ref->index);
+  }
+  std::vector<std::size_t> agg_metric_idx;   // distinct metric positions
+  std::vector<std::size_t> agg_to_metric;    // per aggregate: slot or npos
+  constexpr std::size_t kNoMetric = static_cast<std::size_t>(-1);
+  for (const Aggregate& agg : spec.aggregates) {
+    if (agg.kind == AggKind::kCount) {
+      agg_to_metric.push_back(kNoMetric);
+      continue;
+    }
+    const auto ref = schema.find(agg.metric);
+    if (!ref || ref->col != Col::kMetric) {
+      throw std::out_of_range("query: aggregate metric '" + agg.metric +
+                              "' is not a metric of the bundle");
+    }
+    const auto found = std::find(agg_metric_idx.begin(), agg_metric_idx.end(),
+                                 ref->index);
+    if (found == agg_metric_idx.end()) {
+      agg_to_metric.push_back(agg_metric_idx.size());
+      agg_metric_idx.push_back(ref->index);
+    } else {
+      agg_to_metric.push_back(
+          static_cast<std::size_t>(found - agg_metric_idx.begin()));
+    }
+  }
+
+  const NodePtr predicate = compile_where(spec.where, schema);
+  const BlockPlan plan = plan_blocks(manifest, predicate.get());
+
+  Needs pred_needs(n_factors, n_metrics);
+  if (predicate) collect_needs(*predicate, pred_needs);
+  Needs out_needs(n_factors, n_metrics);
+  for (const std::size_t f : group_idx) out_needs.factors[f] = 1;
+  for (const std::size_t m : agg_metric_idx) out_needs.metrics[m] = 1;
+
+  using Partial = GroupedPartial<AggAcc>;
+  std::vector<Partial> slots(plan.blocks.size());
+  reader_.scan_blocks(
+      plan.blocks, pool,
+      [&](std::size_t ordinal, std::size_t block, const std::string& raw) {
+        const bool certain = plan.certain[ordinal] != 0;
+        Needs needs = out_needs;
+        if (predicate && !certain) needs.add_all(pred_needs);
+        const Decoded d =
+            decode_needed(raw, needs, manifest.blocks[block].records,
+                          n_factors, n_metrics);
+        Partial& partial = slots[ordinal];
+        std::vector<Value> key;
+        for (std::size_t i = 0; i < d.n; ++i) {
+          if (predicate && !certain && !eval(*predicate, d, i)) continue;
+          key.clear();
+          key.reserve(group_idx.size());
+          for (const std::size_t f : group_idx) {
+            key.push_back(d.factors[f][i]);
+          }
+          AggAcc& acc = partial.slot(std::move(key));
+          if (acc.metrics.size() != agg_metric_idx.size()) {
+            acc.metrics.resize(agg_metric_idx.size());
+          }
+          ++acc.rows;
+          for (std::size_t m = 0; m < agg_metric_idx.size(); ++m) {
+            acc.metrics[m].add(d.metrics[agg_metric_idx[m]][i]);
+          }
+        }
+      });
+
+  // Merge partials in block plan order -- the step that makes results
+  // bit-identical at any worker count.
+  GroupedPartial<AggAcc> merged;
+  for (Partial& partial : slots) {
+    for (std::size_t g = 0; g < partial.keys.size(); ++g) {
+      AggAcc& into = merged.slot(std::move(partial.keys[g]));
+      AggAcc& from = partial.groups[g];
+      if (into.metrics.size() != agg_metric_idx.size()) {
+        into.metrics.resize(agg_metric_idx.size());
+      }
+      into.rows += from.rows;
+      for (std::size_t m = 0; m < agg_metric_idx.size(); ++m) {
+        into.metrics[m].merge(from.metrics[m]);
+      }
+    }
+  }
+
+  QueryResult result;
+  result.group_names = spec.group_by;
+  for (const Aggregate& agg : spec.aggregates) {
+    result.value_names.push_back(agg.label());
+  }
+  result.scan = plan.stats;
+
+  std::vector<std::size_t> order(merged.keys.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return key_less(merged.keys[a], merged.keys[b]);
+  });
+  result.rows.reserve(order.size());
+  for (const std::size_t g : order) {
+    QueryResult::Row row;
+    row.key = std::move(merged.keys[g]);
+    const AggAcc& acc = merged.groups[g];
+    result.scan.records_matched += acc.rows;
+    for (std::size_t a = 0; a < spec.aggregates.size(); ++a) {
+      const AggKind kind = spec.aggregates[a].kind;
+      if (kind == AggKind::kCount) {
+        row.values.push_back(static_cast<double>(acc.rows));
+        continue;
+      }
+      const MetricAcc& m = acc.metrics[agg_to_metric[a]];
+      switch (kind) {
+        case AggKind::kSum: row.values.push_back(m.sum); break;
+        case AggKind::kMean: row.values.push_back(m.welford.mean()); break;
+        case AggKind::kSd: row.values.push_back(m.welford.stddev()); break;
+        case AggKind::kMin: row.values.push_back(m.min); break;
+        case AggKind::kMax: row.values.push_back(m.max); break;
+        case AggKind::kCount: break;  // handled above
+      }
+    }
+    result.rows.push_back(std::move(row));
+  }
+  return result;
+}
+
+RawTable BundleQuery::materialize(const ExprPtr& where,
+                                  const std::vector<std::string>& columns,
+                                  core::WorkerPool* pool,
+                                  ScanStats* scan) const {
+  const ar::Manifest& manifest = reader_.manifest();
+  const std::size_t n_factors = manifest.factor_names.size();
+  const std::size_t n_metrics = manifest.metric_names.size();
+  const Schema schema{&manifest.factor_names, &manifest.metric_names};
+
+  // Resolve the projection: listed order, or the full schema.
+  std::vector<std::size_t> factor_sel, metric_sel;
+  std::vector<std::string> factor_names, metric_names;
+  if (columns.empty()) {
+    for (std::size_t f = 0; f < n_factors; ++f) factor_sel.push_back(f);
+    for (std::size_t m = 0; m < n_metrics; ++m) metric_sel.push_back(m);
+    factor_names = manifest.factor_names;
+    metric_names = manifest.metric_names;
+  } else {
+    for (const std::string& name : columns) {
+      const auto ref = schema.find(name);
+      if (!ref) {
+        throw std::out_of_range("query: unknown column '" + name +
+                                "' in projection");
+      }
+      if (ref->col == Col::kFactor) {
+        factor_sel.push_back(ref->index);
+        factor_names.push_back(name);
+      } else {
+        metric_sel.push_back(ref->index);
+        metric_names.push_back(name);
+      }
+    }
+  }
+
+  const NodePtr predicate = compile_where(where, schema);
+  const BlockPlan plan = plan_blocks(manifest, predicate.get());
+
+  Needs out_needs(n_factors, n_metrics);
+  out_needs.seq = out_needs.cell = out_needs.rep = out_needs.ts = true;
+  for (const std::size_t f : factor_sel) out_needs.factors[f] = 1;
+  for (const std::size_t m : metric_sel) out_needs.metrics[m] = 1;
+  Needs pred_needs(n_factors, n_metrics);
+  if (predicate) collect_needs(*predicate, pred_needs);
+
+  std::vector<std::vector<RawRecord>> slots(plan.blocks.size());
+  std::uint64_t matched = 0;
+  reader_.scan_blocks(
+      plan.blocks, pool,
+      [&](std::size_t ordinal, std::size_t block, const std::string& raw) {
+        const bool certain = plan.certain[ordinal] != 0;
+        Needs needs = out_needs;
+        if (predicate && !certain) needs.add_all(pred_needs);
+        const Decoded d =
+            decode_needed(raw, needs, manifest.blocks[block].records,
+                          n_factors, n_metrics);
+        std::vector<RawRecord>& out = slots[ordinal];
+        for (std::size_t i = 0; i < d.n; ++i) {
+          if (predicate && !certain && !eval(*predicate, d, i)) continue;
+          RawRecord record;
+          record.sequence = d.seq[i];
+          record.cell_index = d.cell[i];
+          record.replicate = d.rep[i];
+          record.timestamp_s = d.ts[i];
+          record.factors.reserve(factor_sel.size());
+          for (const std::size_t f : factor_sel) {
+            record.factors.push_back(d.factors[f][i]);
+          }
+          record.metrics.reserve(metric_sel.size());
+          for (const std::size_t m : metric_sel) {
+            record.metrics.push_back(d.metrics[m][i]);
+          }
+          out.push_back(std::move(record));
+        }
+      });
+
+  RawTable table(std::move(factor_names), std::move(metric_names));
+  for (std::vector<RawRecord>& block : slots) {
+    matched += block.size();
+    table.append_batch(std::move(block));
+  }
+  if (scan) {
+    *scan = plan.stats;
+    scan->records_matched = matched;
+  }
+  return table;
+}
+
+std::vector<stats::Group> BundleQuery::group_samples(
+    const ExprPtr& where, const std::vector<std::string>& group_by,
+    const std::string& metric, core::WorkerPool* pool,
+    ScanStats* scan) const {
+  const ar::Manifest& manifest = reader_.manifest();
+  const std::size_t n_factors = manifest.factor_names.size();
+  const std::size_t n_metrics = manifest.metric_names.size();
+  const Schema schema{&manifest.factor_names, &manifest.metric_names};
+
+  std::vector<std::size_t> group_idx;
+  for (const std::string& name : group_by) {
+    const auto ref = schema.find(name);
+    if (!ref || ref->col != Col::kFactor) {
+      throw std::out_of_range("query: group-by column '" + name +
+                              "' is not a factor of the bundle");
+    }
+    group_idx.push_back(ref->index);
+  }
+  const auto metric_ref = schema.find(metric);
+  if (!metric_ref || metric_ref->col != Col::kMetric) {
+    throw std::out_of_range("query: '" + metric +
+                            "' is not a metric of the bundle");
+  }
+
+  const NodePtr predicate = compile_where(where, schema);
+  const BlockPlan plan = plan_blocks(manifest, predicate.get());
+
+  Needs out_needs(n_factors, n_metrics);
+  out_needs.seq = true;
+  for (const std::size_t f : group_idx) out_needs.factors[f] = 1;
+  out_needs.metrics[metric_ref->index] = 1;
+  Needs pred_needs(n_factors, n_metrics);
+  if (predicate) collect_needs(*predicate, pred_needs);
+
+  struct SampleAcc {
+    std::vector<double> samples;
+    std::vector<std::size_t> sequence;
+  };
+  using Partial = GroupedPartial<SampleAcc>;
+  std::vector<Partial> slots(plan.blocks.size());
+  reader_.scan_blocks(
+      plan.blocks, pool,
+      [&](std::size_t ordinal, std::size_t block, const std::string& raw) {
+        const bool certain = plan.certain[ordinal] != 0;
+        Needs needs = out_needs;
+        if (predicate && !certain) needs.add_all(pred_needs);
+        const Decoded d =
+            decode_needed(raw, needs, manifest.blocks[block].records,
+                          n_factors, n_metrics);
+        Partial& partial = slots[ordinal];
+        std::vector<Value> key;
+        for (std::size_t i = 0; i < d.n; ++i) {
+          if (predicate && !certain && !eval(*predicate, d, i)) continue;
+          key.clear();
+          key.reserve(group_idx.size());
+          for (const std::size_t f : group_idx) {
+            key.push_back(d.factors[f][i]);
+          }
+          SampleAcc& acc = partial.slot(std::move(key));
+          acc.samples.push_back(d.metrics[metric_ref->index][i]);
+          acc.sequence.push_back(d.seq[i]);
+        }
+      });
+
+  GroupedPartial<SampleAcc> merged;
+  std::uint64_t matched = 0;
+  for (Partial& partial : slots) {
+    for (std::size_t g = 0; g < partial.keys.size(); ++g) {
+      SampleAcc& into = merged.slot(std::move(partial.keys[g]));
+      SampleAcc& from = partial.groups[g];
+      matched += from.samples.size();
+      into.samples.insert(into.samples.end(), from.samples.begin(),
+                          from.samples.end());
+      into.sequence.insert(into.sequence.end(), from.sequence.begin(),
+                           from.sequence.end());
+    }
+  }
+
+  std::vector<std::size_t> order(merged.keys.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return key_less(merged.keys[a], merged.keys[b]);
+  });
+
+  std::vector<stats::Group> out;
+  out.reserve(order.size());
+  for (const std::size_t g : order) {
+    stats::Group group;
+    group.key = std::move(merged.keys[g]);
+    group.samples = std::move(merged.groups[g].samples);
+    group.sequence = std::move(merged.groups[g].sequence);
+    // Blocks are plan-ordered, so concatenation already runs in sequence
+    // order; re-sort defensively if an unusual bundle violates that.
+    if (!std::is_sorted(group.sequence.begin(), group.sequence.end())) {
+      std::vector<std::size_t> perm(group.sequence.size());
+      for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+      std::sort(perm.begin(), perm.end(), [&](std::size_t a, std::size_t b) {
+        return group.sequence[a] < group.sequence[b];
+      });
+      stats::Group sorted;
+      sorted.key = group.key;
+      sorted.samples.reserve(perm.size());
+      sorted.sequence.reserve(perm.size());
+      for (const std::size_t i : perm) {
+        sorted.samples.push_back(group.samples[i]);
+        sorted.sequence.push_back(group.sequence[i]);
+      }
+      group = std::move(sorted);
+    }
+    out.push_back(std::move(group));
+  }
+  if (scan) {
+    *scan = plan.stats;
+    scan->records_matched = matched;
+  }
+  return out;
+}
+
+}  // namespace cal::query

@@ -1,0 +1,125 @@
+#pragma once
+// Columnar query engine over bbx bundles.
+//
+// The analysis workflow is "run a huge designed campaign, then slice it
+// many ways" -- and most slices touch two columns and a handful of factor
+// levels.  BundleQuery evaluates filter -> project -> group/aggregate
+// plans directly over a bbx bundle without ever materializing the full
+// RawTable:
+//
+//   plan     the predicate is checked against the manifest's per-block
+//            zone maps first, so whole blocks whose [min, max] / level
+//            membership cannot satisfy it are pruned before any decode
+//            (a PR-4-era bundle without zone maps simply prunes nothing);
+//   scan     surviving blocks decode block-parallel on a caller-provided
+//            core::WorkerPool, and only the columns the query actually
+//            references are decoded (column_codec projection) -- a block
+//            whose zone map already proves the predicate holds for every
+//            record skips decoding the predicate's columns entirely;
+//   fold     each block folds its matching records into a partial
+//            aggregate (count / sum / mean & sd via Welford / min / max,
+//            grouped by factor cell); partials merge in block plan order,
+//            so the result is bit-identical at any worker count;
+//   bridge   results convert to a RawTable (QueryResult::to_table) or
+//            CSV, and group_samples() returns stats::Group directly, so
+//            stats::* and the examples consume queries unchanged.
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/record.hpp"
+#include "core/worker_pool.hpp"
+#include "io/archive/bbx_reader.hpp"
+#include "query/expr.hpp"
+#include "stats/group.hpp"
+
+namespace cal::query {
+
+enum class AggKind { kCount, kSum, kMean, kSd, kMin, kMax };
+
+struct Aggregate {
+  AggKind kind = AggKind::kCount;
+  std::string metric;  ///< empty for kCount
+
+  /// Result column label: "count", "mean(time_us)", ...
+  std::string label() const;
+};
+
+/// Parses the CLI form: "count" or "<kind>:<metric>" with kind one of
+/// sum|mean|sd|min|max.  nullopt when unrecognized.
+std::optional<Aggregate> parse_aggregate(const std::string& text);
+
+struct QuerySpec {
+  ExprPtr where;                      ///< null = every record matches
+  std::vector<std::string> group_by;  ///< factor names (empty = one group)
+  std::vector<Aggregate> aggregates;
+};
+
+/// What the planner and scan did -- the observability half of pruning.
+struct ScanStats {
+  std::size_t blocks_total = 0;
+  std::size_t blocks_pruned = 0;   ///< zone maps proved: no record matches
+  std::size_t blocks_scanned = 0;
+  std::uint64_t records_scanned = 0;  ///< records of scanned blocks
+  std::uint64_t records_matched = 0;
+};
+
+struct QueryResult {
+  std::vector<std::string> group_names;  ///< the spec's group_by factors
+  std::vector<std::string> value_names;  ///< aggregate labels
+  struct Row {
+    std::vector<Value> key;
+    std::vector<double> values;
+  };
+  std::vector<Row> rows;  ///< sorted by key (Value ordering)
+  ScanStats scan;
+
+  /// Bridge: one record per group row (keys as factors, aggregates as
+  /// metrics, sequence = row index), so stats::* and io::* consume
+  /// aggregate results like any other table.
+  RawTable to_table() const;
+
+  /// Aggregate CSV: group names + value labels header, round-trip real
+  /// formatting -- byte-identical at any worker count.
+  void write_csv(std::ostream& out) const;
+};
+
+class BundleQuery {
+ public:
+  /// Borrows the reader (and its manifest); the reader must outlive the
+  /// query object.
+  explicit BundleQuery(const io::archive::BbxReader& reader)
+      : reader_(reader) {}
+
+  /// Filter -> group -> aggregate without materializing records.
+  QueryResult aggregate(const QuerySpec& spec,
+                        core::WorkerPool* pool = nullptr) const;
+
+  /// Filter -> project: the matching records as a RawTable holding only
+  /// `columns` (factor/metric names; empty = all columns).  A RawTable
+  /// is inherently factors-then-metrics, so the result lists the
+  /// selected factors (in listed order) followed by the selected
+  /// metrics (in listed order).  Bookkeeping fields always come along
+  /// -- they are what keep temporal diagnostics possible on a projected
+  /// table.
+  RawTable materialize(const ExprPtr& where,
+                       const std::vector<std::string>& columns = {},
+                       core::WorkerPool* pool = nullptr,
+                       ScanStats* scan = nullptr) const;
+
+  /// Filter -> group, keeping the samples: the stats::group_metric view
+  /// of the bundle, computed without a RawTable.  Groups are sorted by
+  /// key and samples by sequence, exactly like stats::group_metric.
+  std::vector<stats::Group> group_samples(
+      const ExprPtr& where, const std::vector<std::string>& group_by,
+      const std::string& metric, core::WorkerPool* pool = nullptr,
+      ScanStats* scan = nullptr) const;
+
+ private:
+  const io::archive::BbxReader& reader_;
+};
+
+}  // namespace cal::query

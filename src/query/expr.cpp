@@ -1,0 +1,274 @@
+#include "query/expr.hpp"
+
+#include <cctype>
+#include <stdexcept>
+#include <utility>
+
+namespace cal::query {
+
+const char* to_string(CmpOp op) noexcept {
+  switch (op) {
+    case CmpOp::kEq: return "==";
+    case CmpOp::kNe: return "!=";
+    case CmpOp::kLt: return "<";
+    case CmpOp::kLe: return "<=";
+    case CmpOp::kGt: return ">";
+    case CmpOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+ExprPtr Expr::cmp(ColumnRef column, CmpOp op, Value literal) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kCmp;
+  e->column_ = std::move(column);
+  e->op_ = op;
+  e->literal_ = std::move(literal);
+  return e;
+}
+
+ExprPtr Expr::logical_and(ExprPtr a, ExprPtr b) {
+  if (!a || !b) throw std::invalid_argument("Expr: null operand");
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kAnd;
+  e->lhs_ = std::move(a);
+  e->rhs_ = std::move(b);
+  return e;
+}
+
+ExprPtr Expr::logical_or(ExprPtr a, ExprPtr b) {
+  if (!a || !b) throw std::invalid_argument("Expr: null operand");
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kOr;
+  e->lhs_ = std::move(a);
+  e->rhs_ = std::move(b);
+  return e;
+}
+
+ExprPtr Expr::logical_not(ExprPtr a) {
+  if (!a) throw std::invalid_argument("Expr: null operand");
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kNot;
+  e->lhs_ = std::move(a);
+  return e;
+}
+
+namespace {
+
+std::string column_display(const ColumnRef& ref) {
+  switch (ref.kind) {
+    case ColumnKind::kSequence: return "sequence";
+    case ColumnKind::kCellIndex: return "cell";
+    case ColumnKind::kReplicate: return "replicate";
+    case ColumnKind::kTimestamp: return "timestamp";
+    case ColumnKind::kNamed: return ref.name;
+  }
+  return "?";
+}
+
+std::string literal_display(const Value& v) {
+  if (!v.is_string()) return v.to_string();
+  std::string out = "\"";
+  for (const char c : v.as_string()) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string Expr::to_string() const {
+  switch (kind_) {
+    case Kind::kCmp:
+      return column_display(column_) + " " + query::to_string(op_) + " " +
+             literal_display(literal_);
+    case Kind::kAnd:
+      return "(" + lhs_->to_string() + " && " + rhs_->to_string() + ")";
+    case Kind::kOr:
+      return "(" + lhs_->to_string() + " || " + rhs_->to_string() + ")";
+    case Kind::kNot:
+      return "!(" + lhs_->to_string() + ")";
+  }
+  return "?";
+}
+
+bool value_compare(const Value& v, CmpOp op, const Value& literal) {
+  const bool both_numeric = !v.is_string() && !literal.is_string();
+  const bool both_string = v.is_string() && literal.is_string();
+  if (!both_numeric && !both_string) return op == CmpOp::kNe;
+
+  int cmp;  // -1, 0, 1 -- or unordered (NaN)
+  if (both_numeric) {
+    if (v.is_int() && literal.is_int()) {
+      const std::int64_t a = v.as_int(), b = literal.as_int();
+      cmp = a < b ? -1 : (a > b ? 1 : 0);
+    } else {
+      const double a = v.as_real(), b = literal.as_real();
+      if (a < b) {
+        cmp = -1;
+      } else if (a > b) {
+        cmp = 1;
+      } else if (a == b) {
+        cmp = 0;
+      } else {
+        return op == CmpOp::kNe;  // NaN: unordered
+      }
+    }
+  } else {
+    const int c = v.as_string().compare(literal.as_string());
+    cmp = c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  switch (op) {
+    case CmpOp::kEq: return cmp == 0;
+    case CmpOp::kNe: return cmp != 0;
+    case CmpOp::kLt: return cmp < 0;
+    case CmpOp::kLe: return cmp <= 0;
+    case CmpOp::kGt: return cmp > 0;
+    case CmpOp::kGe: return cmp >= 0;
+  }
+  return false;
+}
+
+// --- parser -----------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  ExprPtr parse() {
+    ExprPtr e = parse_or();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing input after expression");
+    return e;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument("query expression: " + what + " at byte " +
+                                std::to_string(pos_) + " of '" + text_ + "'");
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool consume(const char* token) {
+    skip_ws();
+    const std::size_t len = std::char_traits<char>::length(token);
+    if (text_.compare(pos_, len, token) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  ExprPtr parse_or() {
+    ExprPtr e = parse_and();
+    while (consume("||")) e = Expr::logical_or(e, parse_and());
+    return e;
+  }
+
+  ExprPtr parse_and() {
+    ExprPtr e = parse_unary();
+    while (consume("&&")) e = Expr::logical_and(e, parse_unary());
+    return e;
+  }
+
+  ExprPtr parse_unary() {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '!' &&
+        (pos_ + 1 >= text_.size() || text_[pos_ + 1] != '=')) {
+      ++pos_;
+      return Expr::logical_not(parse_unary());
+    }
+    if (consume("(")) {
+      ExprPtr e = parse_or();
+      if (!consume(")")) fail("expected ')'");
+      return e;
+    }
+    return parse_cmp();
+  }
+
+  ExprPtr parse_cmp() {
+    const ColumnRef column = parse_column();
+    const CmpOp op = parse_op();
+    Value literal = parse_literal();
+    return Expr::cmp(column, op, std::move(literal));
+  }
+
+  static bool word_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '.' || c == '-' || c == '+';
+  }
+
+  std::string parse_word(const char* what) {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() && word_char(text_[pos_])) ++pos_;
+    if (pos_ == start) fail(std::string("expected ") + what);
+    return text_.substr(start, pos_ - start);
+  }
+
+  ColumnRef parse_column() {
+    const std::string word = parse_word("a column name");
+    ColumnRef ref;
+    // Reserved bookkeeping names; a schema column of the same name wins
+    // at bind time, so parse them as named and let the binder decide.
+    if (word == "sequence" || word == "seq") {
+      ref.kind = ColumnKind::kSequence;
+    } else if (word == "cell" || word == "cell_index") {
+      ref.kind = ColumnKind::kCellIndex;
+    } else if (word == "replicate" || word == "rep") {
+      ref.kind = ColumnKind::kReplicate;
+    } else if (word == "timestamp" || word == "timestamp_s") {
+      ref.kind = ColumnKind::kTimestamp;
+    } else {
+      ref.kind = ColumnKind::kNamed;
+    }
+    ref.name = word;
+    return ref;
+  }
+
+  CmpOp parse_op() {
+    if (consume("==")) return CmpOp::kEq;
+    if (consume("!=")) return CmpOp::kNe;
+    if (consume("<=")) return CmpOp::kLe;
+    if (consume(">=")) return CmpOp::kGe;
+    if (consume("<")) return CmpOp::kLt;
+    if (consume(">")) return CmpOp::kGt;
+    if (consume("=")) return CmpOp::kEq;  // lenient single '='
+    fail("expected a comparison operator");
+  }
+
+  Value parse_literal() {
+    skip_ws();
+    if (pos_ < text_.size() && (text_[pos_] == '"' || text_[pos_] == '\'')) {
+      const char quote = text_[pos_++];
+      std::string s;
+      while (pos_ < text_.size() && text_[pos_] != quote) {
+        if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) ++pos_;
+        s += text_[pos_++];
+      }
+      if (pos_ >= text_.size()) fail("unterminated string literal");
+      ++pos_;
+      return Value(std::move(s));
+    }
+    // Bare word: ints stay ints, reals reals, everything else a string
+    // level -- the CSV cell rule.
+    return Value::parse(parse_word("a literal"));
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+ExprPtr parse_expr(const std::string& text) { return Parser(text).parse(); }
+
+}  // namespace cal::query

@@ -49,6 +49,14 @@ BoxplotSummary boxplot(std::span<const double> xs);
 class Welford {
  public:
   void add(double x) noexcept;
+
+  /// Folds another accumulator in (Chan's parallel update), as if every
+  /// sample of `other` had been add()ed after this accumulator's own.
+  /// Deterministic: merging the same partials in the same order always
+  /// produces bit-identical state, which is what lets the query engine
+  /// fold per-block partials in plan order at any thread count.
+  void merge(const Welford& other) noexcept;
+
   std::size_t count() const noexcept { return n_; }
   double mean() const noexcept { return mean_; }
   double variance() const noexcept;  ///< sample variance (n-1)

@@ -1,0 +1,329 @@
+// BundleQuery unit suite: aggregates against the materialize-then-stats
+// reference, zone-map pruning, projection, the stats/CSV bridges, and
+// backward compatibility with PR-4-era (version-1, zone-less) bundles.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/engine.hpp"
+#include "core/worker_pool.hpp"
+#include "io/archive/bbx_reader.hpp"
+#include "io/archive/bbx_writer.hpp"
+#include "query/engine.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/group.hpp"
+
+namespace cal {
+namespace {
+
+namespace ar = io::archive;
+
+Plan test_plan(std::size_t reps = 8) {
+  return DesignBuilder(99)
+      .add(Factor::levels("size", {Value(1024), Value(4096), Value(16384)}))
+      .add(Factor::levels("op", {Value("load"), Value("store")}))
+      .replications(reps)
+      .randomize(true)
+      .build();
+}
+
+MeasureResult measure(const PlannedRun& run, MeasureContext& ctx) {
+  const double size = run.values[0].as_real();
+  const double scale = run.values[1].as_string() == "store" ? 2.0 : 1.0;
+  const double value = size * scale * ctx.rng->lognormal_factor(0.2);
+  return MeasureResult{{value, 1.0 / value}, value * 1e-9};
+}
+
+Engine make_engine() {
+  Engine::Options options;
+  options.seed = 7;
+  return Engine({"time_us", "inv"}, options);
+}
+
+/// A fresh bundle under a unique temp dir; block_records small enough
+/// that the plan spans many blocks.
+class QueryEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "calipers_query_test";
+    std::filesystem::remove_all(dir_);
+    ar::BbxWriterOptions options;
+    options.shards = 2;
+    options.block_records = 7;
+    ar::BbxWriter sink(dir_.string(), options);
+    make_engine().run(test_plan(), measure, sink);
+    reference_ = make_engine().run(test_plan(), measure);
+  }
+
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  /// Rewrites the manifest as a PR-4-era version-1 document (no zones).
+  void strip_zones() {
+    ar::Manifest m = ar::Manifest::load(dir_.string());
+    m.version = 1;
+    m.zones.clear();
+    std::ofstream out(dir_ / ar::Manifest::file_name(),
+                      std::ios::binary | std::ios::trunc);
+    m.write(out);
+  }
+
+  std::filesystem::path dir_;
+  RawTable reference_{{}, {}};
+};
+
+TEST_F(QueryEngineTest, GroupedAggregatesMatchMaterializeThenStats) {
+  const ar::BbxReader reader(dir_.string());
+  const query::BundleQuery bundle(reader);
+  query::QuerySpec spec;
+  spec.group_by = {"size", "op"};
+  spec.aggregates = {query::Aggregate{query::AggKind::kCount, ""},
+                     *query::parse_aggregate("mean:time_us"),
+                     *query::parse_aggregate("sd:time_us"),
+                     *query::parse_aggregate("min:time_us"),
+                     *query::parse_aggregate("max:time_us"),
+                     *query::parse_aggregate("sum:inv")};
+  const query::QueryResult result = bundle.aggregate(spec);
+
+  const auto groups =
+      stats::group_metric(reference_, {"size", "op"}, "time_us");
+  ASSERT_EQ(result.rows.size(), groups.size());
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    EXPECT_EQ(result.rows[g].key, groups[g].key);
+    const auto& xs = groups[g].samples;
+    EXPECT_EQ(result.rows[g].values[0], static_cast<double>(xs.size()));
+    EXPECT_NEAR(result.rows[g].values[1], stats::mean(xs),
+                1e-12 * std::abs(stats::mean(xs)));
+    EXPECT_NEAR(result.rows[g].values[2], stats::stddev(xs),
+                1e-9 * std::max(1.0, stats::stddev(xs)));
+    EXPECT_EQ(result.rows[g].values[3], stats::min_value(xs));
+    EXPECT_EQ(result.rows[g].values[4], stats::max_value(xs));
+  }
+  const auto inv_groups =
+      stats::group_metric(reference_, {"size", "op"}, "inv");
+  for (std::size_t g = 0; g < inv_groups.size(); ++g) {
+    double sum = 0.0;
+    for (const double x : inv_groups[g].samples) sum += x;
+    EXPECT_NEAR(result.rows[g].values[5], sum, 1e-12 * std::abs(sum));
+  }
+}
+
+TEST_F(QueryEngineTest, UngroupedAggregateAndCountOnly) {
+  const ar::BbxReader reader(dir_.string());
+  const query::BundleQuery bundle(reader);
+  query::QuerySpec spec;
+  spec.aggregates = {query::Aggregate{query::AggKind::kCount, ""}};
+  const query::QueryResult result = bundle.aggregate(spec);
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_TRUE(result.rows[0].key.empty());
+  EXPECT_EQ(result.rows[0].values[0],
+            static_cast<double>(reference_.size()));
+}
+
+TEST_F(QueryEngineTest, PredicateMatchesFilterRecords) {
+  const ar::BbxReader reader(dir_.string());
+  const query::BundleQuery bundle(reader);
+  const query::ExprPtr where =
+      query::parse_expr("op == store && size >= 4096");
+  const RawTable got = bundle.materialize(where);
+  const RawTable want = reference_.filter_records([&](const RawRecord& r) {
+    return r.factors[1] == Value("store") && r.factors[0].as_int() >= 4096;
+  });
+  ASSERT_EQ(got.size(), want.size());
+  ASSERT_GT(got.size(), 0u);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got.records()[i].sequence, want.records()[i].sequence);
+    EXPECT_EQ(got.records()[i].factors, want.records()[i].factors);
+    EXPECT_EQ(got.records()[i].metrics, want.records()[i].metrics);
+    EXPECT_EQ(got.records()[i].timestamp_s, want.records()[i].timestamp_s);
+  }
+}
+
+TEST_F(QueryEngineTest, ProjectionDecodesOnlyListedColumns) {
+  const ar::BbxReader reader(dir_.string());
+  const query::BundleQuery bundle(reader);
+  const RawTable got = bundle.materialize(nullptr, {"op", "inv"});
+  EXPECT_EQ(got.factor_names(), std::vector<std::string>{"op"});
+  EXPECT_EQ(got.metric_names(), std::vector<std::string>{"inv"});
+  ASSERT_EQ(got.size(), reference_.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got.records()[i].sequence, reference_.records()[i].sequence);
+    EXPECT_EQ(got.records()[i].cell_index,
+              reference_.records()[i].cell_index);
+    EXPECT_EQ(got.records()[i].factors[0], reference_.records()[i].factors[1]);
+    EXPECT_EQ(got.records()[i].metrics[0], reference_.records()[i].metrics[1]);
+  }
+}
+
+TEST_F(QueryEngineTest, ZoneMapsPruneSelectiveSequenceSlice) {
+  const ar::BbxReader reader(dir_.string());
+  const query::BundleQuery bundle(reader);
+  query::QuerySpec spec;
+  spec.where = query::parse_expr("sequence < 5");
+  spec.group_by = {"op"};
+  spec.aggregates = {*query::parse_aggregate("mean:time_us"),
+                     query::Aggregate{query::AggKind::kCount, ""}};
+  const query::QueryResult result = bundle.aggregate(spec);
+  // The slice lives in the first block; every other block must be pruned.
+  EXPECT_GT(result.scan.blocks_pruned, 0u);
+  EXPECT_EQ(result.scan.blocks_scanned, 1u);
+  EXPECT_EQ(result.scan.records_matched, 5u);
+
+  // Pruning must not change a single value: same query on a zone-less
+  // copy of the manifest (PR-4-era bundle) gives the identical CSV.
+  std::ostringstream with_zones;
+  result.write_csv(with_zones);
+  strip_zones();
+  const ar::BbxReader v1_reader(dir_.string());
+  EXPECT_EQ(v1_reader.manifest().version, 1u);
+  EXPECT_TRUE(v1_reader.manifest().zones.empty());
+  const query::QueryResult v1_result =
+      query::BundleQuery(v1_reader).aggregate(spec);
+  EXPECT_EQ(v1_result.scan.blocks_pruned, 0u);  // no stats -> no pruning
+  std::ostringstream without_zones;
+  v1_result.write_csv(without_zones);
+  EXPECT_EQ(with_zones.str(), without_zones.str());
+}
+
+TEST_F(QueryEngineTest, FactorLevelPruningOnOrderedPlan) {
+  // An unrandomized plan clusters cells into runs of blocks, which is
+  // exactly when factor-level zone maps prune.
+  const auto ordered_dir =
+      std::filesystem::temp_directory_path() / "calipers_query_ordered";
+  std::filesystem::remove_all(ordered_dir);
+  const Plan plan = DesignBuilder(5)
+                        .add(Factor::levels("size", {Value(1), Value(2),
+                                                     Value(3), Value(4)}))
+                        .replications(8)
+                        .randomize(false)
+                        .build();
+  ar::BbxWriterOptions options;
+  options.block_records = 4;
+  ar::BbxWriter sink(ordered_dir.string(), options);
+  make_engine().run(plan,
+                    [](const PlannedRun& run, MeasureContext&) {
+                      const double v = run.values[0].as_real();
+                      return MeasureResult{{v, 1.0 / v}, v * 1e-9};
+                    },
+                    sink);
+
+  const ar::BbxReader reader(ordered_dir.string());
+  query::QuerySpec spec;
+  spec.where = query::parse_expr("size == 3");
+  spec.aggregates = {query::Aggregate{query::AggKind::kCount, ""}};
+  const query::QueryResult result =
+      query::BundleQuery(reader).aggregate(spec);
+  EXPECT_EQ(result.rows[0].values[0], 8.0);
+  EXPECT_EQ(result.scan.blocks_scanned, 2u);  // 8 records / 4 per block
+  EXPECT_EQ(result.scan.blocks_pruned, 6u);
+  std::filesystem::remove_all(ordered_dir);
+}
+
+TEST_F(QueryEngineTest, GroupSamplesMatchesGroupMetric) {
+  const ar::BbxReader reader(dir_.string());
+  const query::BundleQuery bundle(reader);
+  const auto got = bundle.group_samples(nullptr, {"size"}, "time_us");
+  const auto want = stats::group_metric(reference_, {"size"}, "time_us");
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t g = 0; g < got.size(); ++g) {
+    EXPECT_EQ(got[g].key, want[g].key);
+    EXPECT_EQ(got[g].samples, want[g].samples);
+    EXPECT_EQ(got[g].sequence, want[g].sequence);
+  }
+}
+
+TEST_F(QueryEngineTest, ConstantFoldingDecidesMismatchedKinds) {
+  const ar::BbxReader reader(dir_.string());
+  const query::BundleQuery bundle(reader);
+  // A metric compared against a string can never match...
+  query::QuerySpec spec;
+  spec.where = query::parse_expr("time_us == fast");
+  spec.aggregates = {query::Aggregate{query::AggKind::kCount, ""}};
+  const query::QueryResult none = bundle.aggregate(spec);
+  EXPECT_TRUE(none.rows.empty());
+  EXPECT_EQ(none.scan.blocks_scanned, 0u);  // folded to false: all pruned
+  // ...and != against a string matches everything (folded to true).
+  spec.where = query::parse_expr("time_us != fast");
+  const query::QueryResult all = bundle.aggregate(spec);
+  EXPECT_EQ(all.rows[0].values[0], static_cast<double>(reference_.size()));
+}
+
+TEST_F(QueryEngineTest, ResultBridgesToTableAndCsv) {
+  const ar::BbxReader reader(dir_.string());
+  const query::BundleQuery bundle(reader);
+  query::QuerySpec spec;
+  spec.group_by = {"size"};
+  spec.aggregates = {query::Aggregate{query::AggKind::kCount, ""},
+                     *query::parse_aggregate("mean:time_us")};
+  const query::QueryResult result = bundle.aggregate(spec);
+
+  const RawTable table = result.to_table();
+  EXPECT_EQ(table.factor_names(), std::vector<std::string>{"size"});
+  EXPECT_EQ(table.metric_names(),
+            (std::vector<std::string>{"count", "mean(time_us)"}));
+  ASSERT_EQ(table.size(), result.rows.size());
+  // The bridge feeds stats::* unchanged.
+  const auto regrouped = stats::group_metric(table, {"size"}, "count");
+  EXPECT_EQ(regrouped.size(), result.rows.size());
+
+  std::ostringstream csv;
+  result.write_csv(csv);
+  EXPECT_NE(csv.str().find("size,count,mean(time_us)\n"), std::string::npos);
+}
+
+TEST_F(QueryEngineTest, UnknownColumnsThrowClearly) {
+  const ar::BbxReader reader(dir_.string());
+  const query::BundleQuery bundle(reader);
+  query::QuerySpec spec;
+  spec.aggregates = {*query::parse_aggregate("mean:nope")};
+  EXPECT_THROW(bundle.aggregate(spec), std::out_of_range);
+  spec.aggregates = {query::Aggregate{query::AggKind::kCount, ""}};
+  spec.group_by = {"nope"};
+  EXPECT_THROW(bundle.aggregate(spec), std::out_of_range);
+  spec.group_by = {"time_us"};  // a metric is not a grouping factor
+  EXPECT_THROW(bundle.aggregate(spec), std::out_of_range);
+  spec.group_by.clear();
+  spec.where = query::parse_expr("nope == 1");
+  EXPECT_THROW(bundle.aggregate(spec), std::out_of_range);
+  EXPECT_THROW(bundle.materialize(nullptr, {"nope"}), std::out_of_range);
+  EXPECT_THROW(bundle.aggregate(query::QuerySpec{}), std::invalid_argument);
+}
+
+TEST_F(QueryEngineTest, ParseAggregateForms) {
+  EXPECT_EQ(query::parse_aggregate("count")->kind, query::AggKind::kCount);
+  EXPECT_EQ(query::parse_aggregate("mean:m")->metric, "m");
+  EXPECT_EQ(query::parse_aggregate("sd:m")->kind, query::AggKind::kSd);
+  EXPECT_FALSE(query::parse_aggregate("median:m").has_value());
+  EXPECT_FALSE(query::parse_aggregate("mean").has_value());
+  EXPECT_FALSE(query::parse_aggregate("mean:").has_value());
+  EXPECT_EQ(query::Aggregate{query::AggKind::kCount}.label(), "count");
+  EXPECT_EQ((query::Aggregate{query::AggKind::kMean, "x"}).label(),
+            "mean(x)");
+}
+
+TEST(QueryWelford, MergeMatchesSequentialFold) {
+  stats::Welford whole, left, right;
+  const double xs[] = {1.0, 2.5, -3.0, 7.25, 0.125, 9.0};
+  for (int i = 0; i < 6; ++i) {
+    whole.add(xs[i]);
+    (i < 3 ? left : right).add(xs[i]);
+  }
+  stats::Welford merged = left;
+  merged.merge(right);
+  EXPECT_EQ(merged.count(), whole.count());
+  EXPECT_NEAR(merged.mean(), whole.mean(), 1e-15);
+  EXPECT_NEAR(merged.variance(), whole.variance(), 1e-12);
+
+  stats::Welford empty;
+  merged.merge(empty);  // no-op
+  EXPECT_EQ(merged.count(), 6u);
+  empty.merge(left);  // adopt
+  EXPECT_EQ(empty.count(), 3u);
+  EXPECT_EQ(empty.mean(), left.mean());
+}
+
+}  // namespace
+}  // namespace cal

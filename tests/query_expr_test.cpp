@@ -1,0 +1,98 @@
+// Expression layer: parser grammar, comparison semantics, display form.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "query/expr.hpp"
+
+namespace cal::query {
+namespace {
+
+TEST(QueryExpr, ParsesComparisonKindsAndLiterals) {
+  const ExprPtr e = parse_expr("size == 1024");
+  ASSERT_EQ(e->kind(), Expr::Kind::kCmp);
+  EXPECT_EQ(e->column().kind, ColumnKind::kNamed);
+  EXPECT_EQ(e->column().name, "size");
+  EXPECT_EQ(e->op(), CmpOp::kEq);
+  EXPECT_TRUE(e->literal().is_int());
+  EXPECT_EQ(e->literal().as_int(), 1024);
+
+  EXPECT_TRUE(parse_expr("x >= 2.5")->literal().is_real());
+  EXPECT_TRUE(parse_expr("op != pingpong")->literal().is_string());
+  EXPECT_EQ(parse_expr("op == \"two words\"")->literal().as_string(),
+            "two words");
+  EXPECT_EQ(parse_expr("op == 'it\\''")->literal().as_string(), "it'");
+  // Lenient single '=' spelling.
+  EXPECT_EQ(parse_expr("x = 3")->op(), CmpOp::kEq);
+}
+
+TEST(QueryExpr, ReservedBookkeepingNames) {
+  EXPECT_EQ(parse_expr("sequence < 5")->column().kind,
+            ColumnKind::kSequence);
+  EXPECT_EQ(parse_expr("seq < 5")->column().kind, ColumnKind::kSequence);
+  EXPECT_EQ(parse_expr("cell == 0")->column().kind, ColumnKind::kCellIndex);
+  EXPECT_EQ(parse_expr("replicate > 1")->column().kind,
+            ColumnKind::kReplicate);
+  EXPECT_EQ(parse_expr("timestamp <= 0.5")->column().kind,
+            ColumnKind::kTimestamp);
+  // The raw word is preserved so a schema column can shadow it at bind.
+  EXPECT_EQ(parse_expr("cell == 0")->column().name, "cell");
+}
+
+TEST(QueryExpr, PrecedenceAndGrouping) {
+  // && binds tighter than ||.
+  const ExprPtr e = parse_expr("a == 1 || b == 2 && c == 3");
+  ASSERT_EQ(e->kind(), Expr::Kind::kOr);
+  EXPECT_EQ(e->lhs()->kind(), Expr::Kind::kCmp);
+  EXPECT_EQ(e->rhs()->kind(), Expr::Kind::kAnd);
+
+  const ExprPtr grouped = parse_expr("(a == 1 || b == 2) && c == 3");
+  ASSERT_EQ(grouped->kind(), Expr::Kind::kAnd);
+  EXPECT_EQ(grouped->lhs()->kind(), Expr::Kind::kOr);
+
+  const ExprPtr negated = parse_expr("!(a == 1) && b != 2");
+  ASSERT_EQ(negated->kind(), Expr::Kind::kAnd);
+  EXPECT_EQ(negated->lhs()->kind(), Expr::Kind::kNot);
+}
+
+TEST(QueryExpr, ToStringRoundTrips) {
+  for (const char* text :
+       {"size == 1024", "a < 1 && b >= 2.5", "!(op == \"x\") || seq != 0"}) {
+    const ExprPtr once = parse_expr(text);
+    const ExprPtr twice = parse_expr(once->to_string());
+    EXPECT_EQ(once->to_string(), twice->to_string()) << text;
+  }
+}
+
+TEST(QueryExpr, MalformedInputThrows) {
+  for (const char* text :
+       {"", "size ==", "== 3", "size == 1 &&", "(a == 1", "a == 1) ",
+        "a ~ 3", "a == \"unterminated"}) {
+    EXPECT_THROW(parse_expr(text), std::invalid_argument) << text;
+  }
+}
+
+TEST(QueryExpr, ValueCompareSemantics) {
+  // Numeric across kinds, exact for int pairs.
+  EXPECT_TRUE(value_compare(Value(2), CmpOp::kEq, Value(2.0)));
+  EXPECT_TRUE(value_compare(Value(1.5), CmpOp::kLt, Value(2)));
+  EXPECT_TRUE(value_compare(Value(std::int64_t{1} << 60), CmpOp::kLt,
+                            Value((std::int64_t{1} << 60) + 1)));
+  // Strings lexicographic.
+  EXPECT_TRUE(value_compare(Value("abc"), CmpOp::kLt, Value("abd")));
+  EXPECT_TRUE(value_compare(Value("x"), CmpOp::kEq, Value("x")));
+  // Kind mismatch: only != holds.
+  EXPECT_FALSE(value_compare(Value(3), CmpOp::kEq, Value("3")));
+  EXPECT_FALSE(value_compare(Value(3), CmpOp::kLt, Value("3")));
+  EXPECT_TRUE(value_compare(Value(3), CmpOp::kNe, Value("3")));
+  // NaN is unordered: everything false but !=.
+  const double nan = std::nan("");
+  EXPECT_FALSE(value_compare(Value(nan), CmpOp::kEq, Value(nan)));
+  EXPECT_FALSE(value_compare(Value(nan), CmpOp::kLe, Value(1.0)));
+  EXPECT_TRUE(value_compare(Value(nan), CmpOp::kNe, Value(1.0)));
+}
+
+}  // namespace
+}  // namespace cal::query
