@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "cli.hpp"
 #include "core/design.hpp"
 #include "core/record.hpp"
 #include "core/worker_pool.hpp"
@@ -33,25 +34,15 @@
 #include "query/engine.hpp"
 
 using namespace cal;
+using examples::UsageError;
 
 namespace {
 
-int usage(const std::string& problem) {
-  std::cerr << "usage: archive_convert csv2bbx <results.csv> <out-dir> "
-               "[--factors N] [--shards S] [--block B]\n"
-               "       archive_convert bbx2csv <bundle-dir> <out.csv> "
-               "[--threads T] [--columns a,b,c]\n";
-  if (!problem.empty()) std::cerr << "  " << problem << "\n";
-  return 2;
-}
-
-bool parse_size(const std::string& arg, std::size_t& out) {
-  if (arg.empty() || arg.find_first_not_of("0123456789") != std::string::npos) {
-    return false;
-  }
-  out = static_cast<std::size_t>(std::stoull(arg));
-  return true;
-}
+constexpr const char* kUsage =
+    "usage: archive_convert csv2bbx <results.csv> <out-dir> "
+    "[--factors N] [--shards S] [--block B]\n"
+    "       archive_convert bbx2csv <bundle-dir> <out.csv> "
+    "[--threads T] [--columns a,b,c]\n";
 
 int csv2bbx(const std::string& csv_path, const std::string& out_dir,
             std::size_t n_factors, std::size_t shards, std::size_t block) {
@@ -114,42 +105,38 @@ int bbx2csv(const std::string& bundle_dir, const std::string& csv_path,
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 4) return usage("");
-  const std::string mode = argv[1];
-  const std::string input = argv[2];
-  const std::string output = argv[3];
-  std::size_t n_factors = 0, shards = 1, block = 4096, threads = 1;
-  std::vector<std::string> columns;
-  for (int i = 4; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--columns") {
-      if (i + 1 >= argc) return usage("--columns requires a name list");
-      std::istringstream list(argv[++i]);
-      std::string name;
-      while (std::getline(list, name, ',')) {
-        if (!name.empty()) columns.push_back(name);
+  return examples::cli_guard("archive_convert", kUsage, [&]() -> int {
+    if (argc < 4) throw UsageError("");
+    const std::string mode = argv[1];
+    const std::string input = argv[2];
+    const std::string output = argv[3];
+    std::size_t n_factors = 0, shards = 1, block = 4096, threads = 1;
+    std::vector<std::string> columns;
+    for (int i = 4; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--columns") {
+        if (i + 1 >= argc) throw UsageError("--columns requires a name list");
+        std::istringstream list(argv[++i]);
+        std::string name;
+        while (std::getline(list, name, ',')) {
+          if (!name.empty()) columns.push_back(name);
+        }
+        continue;
       }
-      continue;
+      std::size_t* target = nullptr;
+      if (arg == "--factors") target = &n_factors;
+      if (arg == "--shards") target = &shards;
+      if (arg == "--block") target = &block;
+      if (arg == "--threads") target = &threads;
+      if (!target) throw UsageError("unknown flag '" + arg + "'");
+      if (i + 1 >= argc) throw UsageError(arg + " requires a value");
+      *target = examples::parse_size_flag(arg, argv[++i]);
     }
-    std::size_t* target = nullptr;
-    if (arg == "--factors") target = &n_factors;
-    if (arg == "--shards") target = &shards;
-    if (arg == "--block") target = &block;
-    if (arg == "--threads") target = &threads;
-    if (!target) return usage("unknown flag '" + arg + "'");
-    if (i + 1 >= argc || !parse_size(argv[++i], *target)) {
-      return usage(arg + " requires a non-negative integer");
-    }
-  }
 
-  try {
     if (mode == "csv2bbx") {
       return csv2bbx(input, output, n_factors, shards, block);
     }
     if (mode == "bbx2csv") return bbx2csv(input, output, threads, columns);
-    return usage("unknown mode '" + mode + "'");
-  } catch (const std::exception& e) {
-    std::cerr << "archive_convert: " << e.what() << "\n";
-    return 1;
-  }
+    throw UsageError("unknown mode '" + mode + "'");
+  });
 }

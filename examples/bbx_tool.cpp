@@ -1,0 +1,111 @@
+// bbx_tool: operational companion for bbx bundles.
+//
+//   bbx_tool merge <out-dir> <part-dir> [<part-dir>...] [--allow-gaps]
+//   bbx_tool fsck <bundle-dir>
+//   bbx_tool salvage <bundle-dir> <out-dir>
+//
+// merge concatenates partial bundles (Campaign::run_partition_to_dir
+// outputs) into one bundle -- byte-identical to a single-process run
+// when every partition is present; --allow-gaps accepts a degraded
+// campaign and reports the missing plan ranges.  fsck verifies every
+// indexed block of a bundle (or of `*.tmp` crash debris) and reports
+// what survived; salvage recovers the longest valid block prefix into a
+// fresh complete bundle.
+//
+// Exit codes follow the shared CLI conventions (cli.hpp): 0 ok, 1
+// runtime/corruption failure, 2 usage.  fsck exits 1 when the bundle
+// has any defect, so scripts can gate on it.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli.hpp"
+#include "io/archive/bbx_fsck.hpp"
+#include "io/archive/bbx_merge.hpp"
+
+using namespace cal;
+using examples::UsageError;
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: bbx_tool merge <out-dir> <part-dir> [<part-dir>...] "
+    "[--allow-gaps]\n"
+    "       bbx_tool fsck <bundle-dir>\n"
+    "       bbx_tool salvage <bundle-dir> <out-dir>\n";
+
+int do_merge(const std::vector<std::string>& args) {
+  std::string out_dir;
+  std::vector<std::string> parts;
+  io::archive::MergeOptions options;
+  for (const std::string& arg : args) {
+    if (arg == "--allow-gaps") {
+      options.allow_gaps = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      throw UsageError("unknown flag '" + arg + "'");
+    } else if (out_dir.empty()) {
+      out_dir = arg;
+    } else {
+      parts.push_back(arg);
+    }
+  }
+  if (out_dir.empty() || parts.empty()) {
+    throw UsageError("merge needs an out-dir and at least one part-dir");
+  }
+  const io::archive::MergeReport report =
+      io::archive::bbx_merge(parts, out_dir, options);
+  std::cout << "merge: " << report.parts << " part(s), " << report.blocks
+            << " block(s), " << report.records << " record(s) -> " << out_dir
+            << "\n";
+  for (const io::archive::MergeGap& gap : report.gaps) {
+    std::cout << "merge: WARNING missing plan runs [" << gap.first_sequence
+              << ", " << gap.first_sequence + gap.record_count << ")\n";
+  }
+  return report.gaps.empty() ? examples::kExitOk : examples::kExitFailure;
+}
+
+void print_report(const io::archive::FsckReport& report) {
+  std::cout << "fsck: " << report.blocks_valid << "/" << report.blocks_indexed
+            << " block(s) valid, prefix " << report.prefix_blocks
+            << " block(s) / " << report.prefix_records << " record(s)"
+            << (report.manifest_staged ? " (index from staged manifest)" : "")
+            << "\n";
+  for (const std::string& problem : report.problems) {
+    std::cout << "fsck: " << problem << "\n";
+  }
+}
+
+int do_fsck(const std::vector<std::string>& args) {
+  if (args.size() != 1) throw UsageError("fsck takes exactly one bundle-dir");
+  const io::archive::FsckReport report = io::archive::bbx_fsck(args[0]);
+  print_report(report);
+  std::cout << (report.ok ? "fsck: OK\n" : "fsck: bundle is damaged\n");
+  return report.ok ? examples::kExitOk : examples::kExitFailure;
+}
+
+int do_salvage(const std::vector<std::string>& args) {
+  if (args.size() != 2) {
+    throw UsageError("salvage takes a bundle-dir and an out-dir");
+  }
+  const io::archive::FsckReport report =
+      io::archive::bbx_salvage(args[0], args[1]);
+  print_report(report);
+  std::cout << "salvage: recovered " << report.prefix_blocks << " block(s) / "
+            << report.prefix_records << " record(s) -> " << args[1] << "\n";
+  return examples::kExitOk;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return examples::cli_guard("bbx_tool", kUsage, [&]() -> int {
+    if (argc < 2) throw UsageError("");
+    const std::string mode = argv[1];
+    const std::vector<std::string> args(argv + 2, argv + argc);
+    if (mode == "merge") return do_merge(args);
+    if (mode == "fsck") return do_fsck(args);
+    if (mode == "salvage") return do_salvage(args);
+    throw UsageError("unknown mode '" + mode + "'");
+  });
+}

@@ -1,0 +1,215 @@
+// campaign_farm: crash-resilient distributed campaign coordinator.
+//
+//   campaign_farm <out-dir> [--parts N] [--reps R] [--shards S]
+//                 [--block B] [--max-parallel M] [--attempts K]
+//                 [--seed X] [--chaos-kill]
+//
+// The demo campaign (a size x op grid with replication, randomized
+// order) is partitioned into block-aligned plan ranges (partition_plan)
+// and each partition runs in its own forked child process, streaming a
+// bbx partial bundle under <out-dir>/parts/.  A child that dies -- any
+// exit, SIGKILL included -- is re-dispatched with capped exponential
+// backoff until its attempt budget is spent (core::run_partition_farm).
+// Completed partials are then concatenated with bbx_merge into
+// <out-dir>/merged, which is byte-identical to a single-process
+// Campaign::run_to_dir of the same plan under Clock::kIndexed.
+//
+// Degradation is graceful: when a partition exhausts its budget, the
+// coordinator still merges what exists (allow_gaps), reports exactly
+// which plan runs are missing, and exits 1 -- the merged bundle stays
+// fully queryable.
+//
+// --chaos-kill demonstrates the recovery path: the first attempt of a
+// middle partition arms a failpoint that SIGKILLs the child mid-block-write
+// (tearing the frame on disk), so the retry -- and the byte-identical
+// merge -- happen for real.  Requires a CALIPERS_FAULT_INJECTION build.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli.hpp"
+#include "core/campaign.hpp"
+#include "core/design.hpp"
+#include "core/farm.hpp"
+#include "core/fault.hpp"
+#include "core/metadata.hpp"
+#include "io/archive/bbx_merge.hpp"
+#include "io/archive/bbx_reader.hpp"
+
+using namespace cal;
+using examples::UsageError;
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: campaign_farm <out-dir> [--parts N] [--reps R] [--shards S]\n"
+    "         [--block B] [--max-parallel M] [--attempts K] [--seed X]\n"
+    "         [--chaos-kill]\n";
+
+Plan demo_plan(std::uint64_t seed, std::size_t reps) {
+  return DesignBuilder(seed)
+      .add(Factor::levels("size", {Value(1024), Value(4096), Value(16384),
+                                   Value(65536)}))
+      .add(Factor::levels("op", {Value("read"), Value("write")}))
+      .replications(reps)
+      .randomize(true)
+      .build();
+}
+
+MeasureResult demo_measure(const PlannedRun& run, MeasureContext& ctx) {
+  const double base = run.values[0].as_real() *
+                      (run.values[1].as_string() == "read" ? 1.0 : 0.6);
+  const double value = base * ctx.rng->lognormal_factor(0.25);
+  return MeasureResult{{value, value * 0.125}, value * 1e-7};
+}
+
+std::string part_dir_name(const std::string& root, std::size_t index) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "part-%03zu", index);
+  return root + "/parts/" + buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return examples::cli_guard("campaign_farm", kUsage, [&]() -> int {
+    if (argc < 2) throw UsageError("");
+    const std::string out_dir = argv[1];
+    std::size_t parts = 4, reps = 64, shards = 2, block = 64;
+    std::size_t max_parallel = 0, attempts = 3, seed = 2017;
+    bool chaos_kill = false;
+    for (int i = 2; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--chaos-kill") {
+        chaos_kill = true;
+        continue;
+      }
+      std::size_t* target = nullptr;
+      if (arg == "--parts") target = &parts;
+      if (arg == "--reps") target = &reps;
+      if (arg == "--shards") target = &shards;
+      if (arg == "--block") target = &block;
+      if (arg == "--max-parallel") target = &max_parallel;
+      if (arg == "--attempts") target = &attempts;
+      if (arg == "--seed") target = &seed;
+      if (!target) throw UsageError("unknown flag '" + arg + "'");
+      if (i + 1 >= argc) throw UsageError(arg + " requires a value");
+      *target = examples::parse_size_flag(arg, argv[++i]);
+    }
+    if (chaos_kill && !core::fault::compiled_in()) {
+      throw UsageError(
+          "--chaos-kill needs a CALIPERS_FAULT_INJECTION build");
+    }
+
+    const Plan plan = demo_plan(seed, reps);
+    Engine::Options eopts;
+    eopts.seed = seed * 31 + 7;
+    eopts.clock = Clock::kIndexed;  // partition timestamps are plan-indexed
+    Metadata md;
+    md.set("benchmark", std::string("campaign_farm"));
+    const Campaign campaign(plan, Engine({"time_us", "aux"}, eopts), md);
+
+    ArchiveOptions archive;
+    archive.format = ArchiveFormat::kBbx;
+    archive.shards = shards;
+    archive.block_records = block;
+
+    const std::vector<PlanPartition> partitions =
+        partition_plan(plan.size(), parts, block);
+    std::cout << "campaign_farm: " << plan.size() << " runs in "
+              << partitions.size() << " partition(s)\n";
+
+    const MeasureFactory factory = [](std::size_t) {
+      return MeasureFn(demo_measure);
+    };
+    // The chaos marker makes the injected crash one-shot: the first
+    // child to see it absent arms the failpoint and dies mid-write; the
+    // re-dispatch finds the marker and runs clean.
+    const std::string chaos_marker = out_dir + "/.chaos-fired";
+    const auto job = [&](const PlanPartition& part) {
+      if (chaos_kill && part.index == partitions.size() / 2 &&
+          !std::filesystem::exists(chaos_marker)) {
+        std::ofstream(chaos_marker) << "armed\n";
+        core::fault::arm_spec("bbx.flush_block=crash@2");
+      }
+      campaign.run_partition_to_dir(factory, part_dir_name(out_dir, part.index),
+                                    part, archive);
+    };
+    const auto completed = [&](const PlanPartition& part) {
+      return io::archive::BbxReader::is_bundle(part_dir_name(out_dir, part.index));
+    };
+
+    core::FarmOptions fopts;
+    fopts.max_parallel = max_parallel;
+    fopts.attempt_budget = attempts;
+    fopts.log = [](const std::string& line) {
+      std::cout << "campaign_farm: " << line << "\n";
+    };
+    std::filesystem::create_directories(out_dir + "/parts");
+    const core::FarmResult farm =
+        core::run_partition_farm(partitions, job, completed, fopts);
+
+    // Merge whatever completed; a degraded campaign still yields a
+    // queryable bundle plus an exact account of what is missing.
+    std::vector<std::string> done;
+    for (const PlanPartition& part : partitions) {
+      const std::string dir = part_dir_name(out_dir, part.index);
+      if (io::archive::BbxReader::is_bundle(dir)) done.push_back(dir);
+    }
+    if (done.empty()) {
+      throw std::runtime_error("no partition completed; nothing to merge");
+    }
+    io::archive::MergeOptions mopts;
+    mopts.allow_gaps = !farm.complete;
+    const std::string merged = out_dir + "/merged";
+    const io::archive::MergeReport report =
+        io::archive::bbx_merge(done, merged, mopts);
+    std::cout << "campaign_farm: merged " << report.parts << " partial(s), "
+              << report.records << "/" << plan.size() << " record(s) -> "
+              << merged << "\n";
+
+    // Complete the merged bundle into a read_dir-compatible campaign:
+    // plan.csv + metadata.txt, staged and renamed metadata-last.
+    {
+      std::ofstream out(merged + "/plan.csv.tmp");
+      if (!out) throw std::runtime_error("cannot write '" + merged +
+                                         "/plan.csv'");
+      plan.write_csv(out);
+    }
+    Metadata stamped = md;
+    stamped.set("plan_runs", static_cast<std::int64_t>(plan.size()));
+    stamped.set("plan_seed", static_cast<std::uint64_t>(plan.seed()));
+    stamped.set("engine_clock", std::string("indexed"));
+    stamped.set("archive_format", std::string("bbx"));
+    stamped.set("farm_partitions",
+                static_cast<std::int64_t>(partitions.size()));
+    stamped.set("farm_redispatches",
+                static_cast<std::int64_t>(farm.redispatches));
+    {
+      std::ofstream out(merged + "/metadata.txt.tmp");
+      if (!out) throw std::runtime_error("cannot write '" + merged +
+                                         "/metadata.txt'");
+      stamped.write(out);
+    }
+    std::filesystem::rename(merged + "/plan.csv.tmp", merged + "/plan.csv");
+    std::filesystem::rename(merged + "/metadata.txt.tmp",
+                            merged + "/metadata.txt");
+
+    if (!farm.complete) {
+      std::cerr << "campaign_farm: DEGRADED -- missing partitions:";
+      for (const PlanPartition& part : farm.incomplete) {
+        std::cerr << " " << part.index << " (runs [" << part.first_run << ", "
+                  << part.end_run() << "))";
+      }
+      std::cerr << "\n";
+      return examples::kExitFailure;
+    }
+    std::cout << "campaign_farm: complete (" << farm.redispatches
+              << " redispatch(es))\n";
+    return examples::kExitOk;
+  });
+}

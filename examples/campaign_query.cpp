@@ -23,24 +23,22 @@
 #include <string>
 #include <vector>
 
+#include "cli.hpp"
 #include "core/worker_pool.hpp"
 #include "io/archive/bbx_reader.hpp"
 #include "io/table_fmt.hpp"
 #include "query/engine.hpp"
 
 using namespace cal;
+using examples::UsageError;
 
 namespace {
 
-int usage(const std::string& problem) {
-  std::cerr
-      << "usage: campaign_query <bundle-dir> [--where EXPR]\n"
-         "         [--group-by f1,f2 --agg count,mean:metric,...]\n"
-         "         [--select col1,col2] [--threads T] [--csv <path|->]\n"
-         "  aggregates: count, sum:m, mean:m, sd:m, min:m, max:m\n";
-  if (!problem.empty()) std::cerr << "  " << problem << "\n";
-  return 2;
-}
+constexpr const char* kUsage =
+    "usage: campaign_query <bundle-dir> [--where EXPR]\n"
+    "         [--group-by f1,f2 --agg count,mean:metric,...]\n"
+    "         [--select col1,col2] [--threads T] [--csv <path|->]\n"
+    "  aggregates: count, sum:m, mean:m, sd:m, min:m, max:m\n";
 
 std::vector<std::string> split_list(const std::string& text) {
   std::vector<std::string> out;
@@ -62,53 +60,47 @@ void print_scan(const query::ScanStats& scan) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage("");
-  const std::string bundle_dir = argv[1];
-  std::string where_text, csv_path;
-  std::vector<std::string> group_by, select;
-  std::vector<query::Aggregate> aggregates;
-  std::size_t threads = 1;
-  for (int i = 2; i < argc; ++i) {
-    const std::string arg = argv[i];
-    const auto next = [&]() -> std::string {
-      if (i + 1 >= argc) {
-        std::exit(usage(arg + " requires an argument"));
+  return examples::cli_guard("campaign_query", kUsage, [&]() -> int {
+    if (argc < 2) throw UsageError("");
+    const std::string bundle_dir = argv[1];
+    std::string where_text, csv_path;
+    std::vector<std::string> group_by, select;
+    std::vector<query::Aggregate> aggregates;
+    std::size_t threads = 1;
+    for (int i = 2; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto next = [&]() -> std::string {
+        if (i + 1 >= argc) throw UsageError(arg + " requires an argument");
+        return argv[++i];
+      };
+      if (arg == "--where") {
+        where_text = next();
+      } else if (arg == "--group-by") {
+        group_by = split_list(next());
+      } else if (arg == "--select") {
+        select = split_list(next());
+      } else if (arg == "--agg") {
+        for (const std::string& item : split_list(next())) {
+          const auto agg = query::parse_aggregate(item);
+          if (!agg) throw UsageError("unknown aggregate '" + item + "'");
+          aggregates.push_back(*agg);
+        }
+      } else if (arg == "--threads") {
+        threads = examples::parse_size_flag(arg, next());
+      } else if (arg == "--csv") {
+        csv_path = next();
+      } else {
+        throw UsageError("unknown flag '" + arg + "'");
       }
-      return argv[++i];
-    };
-    if (arg == "--where") {
-      where_text = next();
-    } else if (arg == "--group-by") {
-      group_by = split_list(next());
-    } else if (arg == "--select") {
-      select = split_list(next());
-    } else if (arg == "--agg") {
-      for (const std::string& item : split_list(next())) {
-        const auto agg = query::parse_aggregate(item);
-        if (!agg) return usage("unknown aggregate '" + item + "'");
-        aggregates.push_back(*agg);
-      }
-    } else if (arg == "--threads") {
-      const std::string value = next();
-      if (value.empty() ||
-          value.find_first_not_of("0123456789") != std::string::npos) {
-        return usage("--threads requires a non-negative integer");
-      }
-      threads = std::stoul(value);
-    } else if (arg == "--csv") {
-      csv_path = next();
-    } else {
-      return usage("unknown flag '" + arg + "'");
     }
-  }
-  if (aggregates.empty() && !group_by.empty()) {
-    return usage("--group-by needs --agg (or use --select to project rows)");
-  }
-  if (!aggregates.empty() && !select.empty()) {
-    return usage("--select only applies to row queries (drop --agg)");
-  }
+    if (aggregates.empty() && !group_by.empty()) {
+      throw UsageError(
+          "--group-by needs --agg (or use --select to project rows)");
+    }
+    if (!aggregates.empty() && !select.empty()) {
+      throw UsageError("--select only applies to row queries (drop --agg)");
+    }
 
-  try {
     const io::archive::BbxReader reader(bundle_dir);
     const query::BundleQuery bundle(reader);
     query::ExprPtr where;
@@ -165,8 +157,5 @@ int main(int argc, char** argv) {
       print_scan(scan);
     }
     return 0;
-  } catch (const std::exception& e) {
-    std::cerr << "campaign_query: " << e.what() << "\n";
-    return 1;
-  }
+  });
 }

@@ -1,0 +1,64 @@
+#pragma once
+// Shared CLI conventions for the example tools.
+//
+// Every tool exits with the same code vocabulary so scripts (and CI) can
+// branch on failure *kind*:
+//
+//   0  success
+//   1  runtime failure -- I/O error, corrupt bundle, failed campaign;
+//      one line on stderr, prefixed with the tool name, naming the
+//      offending path where there is one
+//   2  usage error -- the invocation itself was malformed; the usage
+//      text plus the specific problem goes to stderr
+//
+// Tools wrap main's body in cli_guard and signal bad invocations by
+// throwing UsageError instead of hand-rolling exit paths.
+
+#include <exception>
+#include <functional>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace cal::examples {
+
+inline constexpr int kExitOk = 0;
+inline constexpr int kExitFailure = 1;
+inline constexpr int kExitUsage = 2;
+
+/// A malformed invocation: cli_guard prints the tool's usage text plus
+/// the problem (when non-empty) and exits kExitUsage.
+class UsageError : public std::runtime_error {
+ public:
+  explicit UsageError(std::string problem)
+      : std::runtime_error(std::move(problem)) {}
+};
+
+/// Runs `body` and maps exceptions onto the shared exit codes.
+inline int cli_guard(const char* tool, const char* usage,
+                     const std::function<int()>& body) {
+  try {
+    return body();
+  } catch (const UsageError& e) {
+    std::cerr << usage;
+    if (e.what()[0] != '\0') std::cerr << "  " << e.what() << "\n";
+    return kExitUsage;
+  } catch (const std::exception& e) {
+    std::cerr << tool << ": " << e.what() << "\n";
+    return kExitFailure;
+  }
+}
+
+/// Parses a non-negative integer flag value; throws UsageError naming
+/// the flag otherwise.
+inline std::size_t parse_size_flag(const std::string& flag,
+                                   const std::string& value) {
+  if (value.empty() ||
+      value.find_first_not_of("0123456789") != std::string::npos) {
+    throw UsageError(flag + " requires a non-negative integer");
+  }
+  return static_cast<std::size_t>(std::stoull(value));
+}
+
+}  // namespace cal::examples

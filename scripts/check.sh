@@ -3,21 +3,32 @@
 #
 #   scripts/check.sh              # full suite (unit + property + acceptance)
 #   scripts/check.sh --fast       # unit-labelled tests only (quick loop)
+#   scripts/check.sh --sanitize   # ASan+UBSan build, unit + fault labels
 #   scripts/check.sh [--fast] -R core_engine   # extra args go to ctest
 #
-# Build directory defaults to ./build; override with BUILD_DIR=...
+# Build directory defaults to ./build (./build-asan for --sanitize);
+# override with BUILD_DIR=...
 set -e
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
-BUILD="${BUILD_DIR:-$ROOT/build}"
 
 LABEL_ARGS=""
+CMAKE_ARGS=""
+DEFAULT_BUILD="$ROOT/build"
 if [ "$1" = "--fast" ]; then
   LABEL_ARGS="-L unit"
   shift
+elif [ "$1" = "--sanitize" ]; then
+  # The crash-recovery story only counts if it holds with the memory
+  # checkers watching: fault-injection + unit suites under ASan/UBSan.
+  LABEL_ARGS="-L unit|fault"
+  CMAKE_ARGS="-DCMAKE_BUILD_TYPE=Debug -DCALIPERS_SANITIZE=ON"
+  DEFAULT_BUILD="$ROOT/build-asan"
+  shift
 fi
+BUILD="${BUILD_DIR:-$DEFAULT_BUILD}"
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
-cmake -B "$BUILD" -S "$ROOT"
+cmake -B "$BUILD" -S "$ROOT" $CMAKE_ARGS
 cmake --build "$BUILD" -j
 # ctest's bare -j (no value) would swallow the next flag, so pass the
 # job count explicitly.

@@ -113,6 +113,22 @@ CampaignResult CampaignResult::read_dir(const std::string& dir) {
   } else if (io::archive::BbxReader::is_bundle(dir)) {
     table = io::archive::BbxReader(dir).read_all();
   } else {
+    // Crash forensics before the generic error: staged `*.tmp` files are
+    // the signature of a campaign that died mid-write or mid-finalize --
+    // a materially different situation from "wrong directory", and one
+    // bbx_fsck can often salvage.
+    namespace fs = std::filesystem;
+    const bool debris =
+        fs::exists(csv_path + ".tmp") || fs::exists(manifest_path + ".tmp") ||
+        fs::exists(dir + "/" + io::archive::Manifest::shard_file_name(0) +
+                   ".tmp") ||
+        fs::exists(dir + "/metadata.txt.tmp");
+    if (debris) {
+      throw std::runtime_error(
+          "Campaign: bundle '" + dir +
+          "' is incomplete (interrupted finalize left *.tmp staging "
+          "files); run bbx_fsck to inspect and salvage it");
+    }
     throw std::runtime_error(
         "Campaign: bundle '" + dir + "' has no raw results: neither '" +
         csv_path + "' nor '" + manifest_path +
@@ -147,6 +163,9 @@ Metadata Campaign::finished_metadata(bool streamed) const {
          static_cast<std::int64_t>(
              std::min(requested, std::max<std::size_t>(plan_.size(), 1))));
   if (eopts.pool) md.set("worker_pool", eopts.pool->name());
+  if (eopts.clock == Clock::kIndexed) {
+    md.set("engine_clock", std::string("indexed"));
+  }
   if (streamed) {
     md.set("record_path", std::string("streamed"));
     md.set("sink_batch",
@@ -227,6 +246,55 @@ StreamedCampaign Campaign::run_to_dir(const MeasureFactory& factory,
   std::filesystem::rename(dir + "/plan.csv.tmp", dir + "/plan.csv");
   std::filesystem::rename(dir + "/metadata.txt.tmp", dir + "/metadata.txt");
   return *std::move(streamed);
+}
+
+StreamedCampaign Campaign::run_partition_to_dir(
+    const MeasureFactory& factory, const std::string& dir,
+    const PlanPartition& partition, const ArchiveOptions& archive) const {
+  if (archive.format != ArchiveFormat::kBbx) {
+    throw std::invalid_argument(
+        "Campaign: partitioned execution archives bbx partial bundles "
+        "(bbx_merge has no CSV path)");
+  }
+  if (engine_.options().clock != Clock::kIndexed) {
+    throw std::invalid_argument(
+        "Campaign: partitioned execution requires Engine Options::clock == "
+        "Clock::kIndexed (accumulated timestamps depend on runs outside the "
+        "partition)");
+  }
+  if (archive.block_records == 0 ||
+      partition.first_run % archive.block_records != 0) {
+    throw std::invalid_argument(
+        "Campaign: partition first_run " +
+        std::to_string(partition.first_run) +
+        " is not a multiple of block_records " +
+        std::to_string(archive.block_records) +
+        " (partition with partition_plan)");
+  }
+  if (partition.first_run > plan_.size() ||
+      partition.run_count > plan_.size() - partition.first_run) {
+    throw std::out_of_range("Campaign: partition exceeds the plan's " +
+                            std::to_string(plan_.size()) + " runs");
+  }
+
+  std::filesystem::create_directories(dir);
+  io::archive::BbxWriterOptions options = bbx_options(archive);
+  options.first_block = partition.first_run / archive.block_records;
+  io::archive::BbxWriter sink(dir, options);
+
+  Metadata stamped = finished_metadata(/*streamed=*/true);
+  stamped.set("partition_index", static_cast<std::int64_t>(partition.index));
+  stamped.set("partition_parts", static_cast<std::int64_t>(partition.parts));
+  stamped.set("partition_first_run",
+              static_cast<std::int64_t>(partition.first_run));
+  stamped.set("partition_run_count",
+              static_cast<std::int64_t>(partition.run_count));
+  for (const auto& [key, value] : stamped.entries()) {
+    sink.add_manifest_extra(key, value);
+  }
+  engine_.run_range(plan_, factory, sink, partition.first_run,
+                    partition.run_count);
+  return StreamedCampaign{plan_, std::move(stamped)};
 }
 
 }  // namespace cal

@@ -12,6 +12,7 @@
 #include "core/design.hpp"
 #include "core/engine.hpp"
 #include "core/metadata.hpp"
+#include "core/partition.hpp"
 #include "core/record.hpp"
 #include "core/record_sink.hpp"
 
@@ -96,6 +97,22 @@ class Campaign {
   StreamedCampaign run_to_dir(const MeasureFactory& factory,
                               const std::string& dir,
                               const ArchiveOptions& archive = {}) const;
+
+  /// Distributed-campaign building block: executes one PlanPartition of
+  /// the plan and streams it into a bbx *partial bundle* at `dir` --
+  /// blocks on their global round-robin shards, partition provenance in
+  /// the manifest extras -- which io::archive::bbx_merge later
+  /// concatenates with its siblings into a bundle byte-identical to a
+  /// single-process run_to_dir of the same plan, seed, and archive
+  /// options.  Requires ArchiveFormat::kBbx, Engine Options::clock ==
+  /// Clock::kIndexed (a partition cannot know how long the rest of the
+  /// plan took), and a partition whose first_run is a multiple of
+  /// archive.block_records (use partition_plan); throws
+  /// std::invalid_argument otherwise.
+  StreamedCampaign run_partition_to_dir(const MeasureFactory& factory,
+                                        const std::string& dir,
+                                        const PlanPartition& partition,
+                                        const ArchiveOptions& archive) const;
 
   const Plan& plan() const noexcept { return plan_; }
   const Metadata& metadata() const noexcept { return metadata_; }

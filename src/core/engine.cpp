@@ -7,6 +7,7 @@
 #include <thread>
 #include <utility>
 
+#include "core/fault.hpp"
 #include "io/csv.hpp"
 
 namespace cal {
@@ -36,18 +37,18 @@ std::vector<MeasureFn> build_measures(const MeasureFactory& factory,
   return measures;
 }
 
-/// Assembles the record for `planned` at simulated time `now`, appends
-/// it to `batch`, and advances the clock by the run's duration plus the
-/// inter-run gap.  The one definition both the sequential path and the
-/// parallel window merge share -- the bit-identical contract depends on
-/// these never drifting apart.
-void append_record(const PlannedRun& planned, MeasureResult&& result,
+/// Assembles the record for `planned`, stamped with timestamp `t`,
+/// appends it to `batch`, and advances the accumulated clock by the
+/// run's duration plus the inter-run gap.  The one definition both the
+/// sequential path and the parallel window merge share -- the
+/// bit-identical contract depends on these never drifting apart.
+void append_record(const PlannedRun& planned, MeasureResult&& result, double t,
                    double& now, double gap, std::vector<RawRecord>& batch) {
   RawRecord rec;
   rec.sequence = planned.run_index;
   rec.cell_index = planned.cell_index;
   rec.replicate = planned.replicate;
-  rec.timestamp_s = now;
+  rec.timestamp_s = t;
   rec.factors = planned.values;
   rec.metrics = std::move(result.metrics);
   batch.push_back(std::move(rec));
@@ -248,47 +249,83 @@ void Engine::execute_window(core::WorkerPool& pool,
 
 void Engine::run(const Plan& plan, const MeasureFactory& factory,
                  RecordSink& sink) const {
+  run_range(plan, factory, sink, 0, plan.size());
+}
+
+void Engine::run_range(const Plan& plan, const MeasureFactory& factory,
+                       RecordSink& sink, std::size_t first,
+                       std::size_t count) const {
+  const std::vector<PlannedRun>& order = plan.runs();
+  if (first > order.size() || count > order.size() - first) {
+    throw std::out_of_range("Engine::run_range: range exceeds plan size " +
+                            std::to_string(order.size()));
+  }
+  if (first != 0 && options_.clock != Clock::kIndexed) {
+    throw std::invalid_argument(
+        "Engine::run_range: first > 0 requires Options::clock == "
+        "Clock::kIndexed (accumulated timestamps depend on every preceding "
+        "run's duration)");
+  }
+  if (!options_.faults.empty()) core::fault::arm_spec(options_.faults);
+
+  const bool indexed = options_.clock == Clock::kIndexed;
+  const double gap = options_.inter_run_gap_s;
+  // Under the indexed clock a record's timestamp is a pure function of
+  // its plan index; under the accumulated clock it is the threaded
+  // simulated `now`.  One lambda so both execution paths agree.
+  const auto stamp = [&](double now, std::size_t run_index) {
+    return indexed
+               ? options_.start_time_s + static_cast<double>(run_index) * gap
+               : now;
+  };
+
   std::vector<std::string> factor_names;
   factor_names.reserve(plan.factors().size());
   for (const auto& f : plan.factors()) factor_names.push_back(f.name());
-  sink.begin(factor_names, metric_names_, plan.size());
+  sink.begin(factor_names, metric_names_, count);
   SinkCloser closer(sink);  // finalizes the sink even on failure
 
-  const std::vector<PlannedRun>& order = plan.runs();
-  const std::size_t n = order.size();
+  const std::size_t n = count;
   const std::size_t batch_size = std::max<std::size_t>(options_.sink_batch, 1);
   const std::size_t threads = parallelism(n);
 
   if (threads <= 1) {
     // Sequential: the simulated clock threads through the measurement, so
-    // time-dependent simulations see true timestamps.
+    // time-dependent simulations see true timestamps (accumulated clock;
+    // the indexed clock's timestamps are position-determined either way).
     const MeasureFn measure = factory(0);
     Rng engine_rng(options_.seed);
+    engine_rng.discard(first);  // runs [0, first) each drew one seed
     double now = options_.start_time_s;
     std::vector<RawRecord> batch;
     batch.reserve(std::min(batch_size, n));
-    for (const auto& planned : order) {
+    for (std::size_t j = first; j < first + count; ++j) {
+      const PlannedRun& planned = order[j];
       Rng run_rng = engine_rng.split();
-      MeasureContext ctx{now, planned.run_index, &run_rng, 0};
+      const double t = stamp(now, planned.run_index);
+      MeasureContext ctx{t, planned.run_index, &run_rng, 0};
       MeasureResult result = measure(planned, ctx);
       if (result.metrics.size() != metric_names_.size()) {
         throw std::runtime_error("Engine: measurement width mismatch");
       }
-      append_record(planned, std::move(result), now, options_.inter_run_gap_s,
-                    batch);
+      append_record(planned, std::move(result), t, now, gap, batch);
       if (batch.size() >= batch_size) {
+        CAL_FAULT_POINT("engine.window");
         sink.consume(std::move(batch));
         batch.clear();
         batch.reserve(std::min(batch_size, n));
       }
     }
-    if (!batch.empty()) sink.consume(std::move(batch));
+    if (!batch.empty()) {
+      CAL_FAULT_POINT("engine.window");
+      sink.consume(std::move(batch));
+    }
     closer.disarm();
     sink.close();
     return;
   }
 
-  // Parallel: execute the plan window by window (one window = one sink
+  // Parallel: execute the range window by window (one window = one sink
   // batch) on the persistent pool, merging each window in plan order and
   // rebuilding the sequential clock from the returned durations across
   // windows.  The resident state is one window of results + one batch of
@@ -296,20 +333,23 @@ void Engine::run(const Plan& plan, const MeasureFactory& factory,
   const std::vector<MeasureFn> measures = build_measures(factory, threads);
   PoolLease lease(options_, threads);
   Rng engine_rng(options_.seed);
+  engine_rng.discard(first);
   double now = options_.start_time_s;
   std::vector<std::uint64_t> seeds;
   std::vector<MeasureResult> results;
-  for (std::size_t begin = 0; begin < n; begin += batch_size) {
-    const std::size_t end = std::min(begin + batch_size, n);
+  for (std::size_t begin = first; begin < first + n; begin += batch_size) {
+    const std::size_t end = std::min(begin + batch_size, first + n);
     draw_seeds(engine_rng, end - begin, seeds);
     execute_window(lease.next_window_pool(), order, begin, end, seeds,
                    /*sequence_is_position=*/false, measures, results);
     std::vector<RawRecord> batch;
     batch.reserve(end - begin);
     for (std::size_t j = begin; j < end; ++j) {
-      append_record(order[j], std::move(results[j - begin]), now,
-                    options_.inter_run_gap_s, batch);
+      const double t = stamp(now, order[j].run_index);
+      append_record(order[j], std::move(results[j - begin]), t, now, gap,
+                    batch);
     }
+    CAL_FAULT_POINT("engine.window");
     sink.consume(std::move(batch));
   }
   closer.disarm();
@@ -333,6 +373,7 @@ RawTable Engine::run(const Plan& plan, const MeasureFn& measure) const {
 
 OpaqueSummary Engine::run_opaque(const Plan& plan,
                                  const MeasureFactory& factory) const {
+  if (!options_.faults.empty()) core::fault::arm_spec(options_.faults);
   // Sequential sweep: sort by cell index, replicates back-to-back --
   // exactly the order of the pseudo-code in the paper's Fig. 2.
   std::vector<PlannedRun> order = plan.runs();

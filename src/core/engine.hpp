@@ -56,6 +56,23 @@
 
 namespace cal {
 
+/// How records get their timestamps.
+///
+///   kAccumulated -- the original model: the simulated clock advances by
+///       each run's measured duration plus the inter-run gap, so run i's
+///       timestamp depends on every preceding run.  Right for
+///       time-dependent simulations; impossible to reproduce from a
+///       plan slice alone.
+///   kIndexed -- timestamp_s = start_time_s + run_index * inter_run_gap_s,
+///       a pure function of the plan index.  This is the distributed-
+///       campaign clock: machines executing different partitions share
+///       no wall clock, and a partition must stamp its records without
+///       knowing how long the rest of the plan took.  Sequence-vs-time
+///       perturbation plots keep working (order is what they need).
+///       Partitioned execution (Engine::run_range with first > 0)
+///       requires it.
+enum class Clock { kAccumulated, kIndexed };
+
 /// Context handed to the measurement function for one run.
 struct MeasureContext {
   double now_s = 0.0;        ///< simulated wall-clock time at run start
@@ -142,6 +159,14 @@ class Engine {
     /// one-worker pool leaves the engine on the sequential path (which
     /// also serves time-dependent measurements).
     std::shared_ptr<core::WorkerPool> pool;
+    /// Timestamp model (see Clock).  kIndexed is required for
+    /// partitioned execution and ignored by run_opaque (which archives
+    /// no timestamps).
+    Clock clock = Clock::kAccumulated;
+    /// Fault-injection spec armed (core::fault::arm_spec) at the start
+    /// of every run()/run_range()/run_opaque() call.  Empty = none.
+    /// Only fires in builds with CALIPERS_FAULT_INJECTION.
+    std::string faults;
   };
 
   explicit Engine(std::vector<std::string> metric_names)
@@ -173,6 +198,18 @@ class Engine {
   void run(const Plan& plan, const MeasureFn& measure, RecordSink& sink) const;
   void run(const Plan& plan, const MeasureFactory& factory,
            RecordSink& sink) const;
+
+  /// Partitioned streaming execution: runs plan order positions
+  /// [first, first + count) only, delivering their plan-ordered batches
+  /// to `sink`.  Records are bit-identical to the corresponding slice of
+  /// a full run at any thread count: run i's random stream is the i-th
+  /// engine-stream split regardless of the range executed.  first > 0
+  /// requires Options::clock == Clock::kIndexed (the accumulated clock
+  /// depends on every preceding run's duration) and throws
+  /// std::invalid_argument otherwise.  run(plan, factory, sink) is
+  /// run_range(plan, factory, sink, 0, plan.size()).
+  void run_range(const Plan& plan, const MeasureFactory& factory,
+                 RecordSink& sink, std::size_t first, std::size_t count) const;
 
   /// Opaque mode: sorts runs by cell index (sequential sweep), streams
   /// every measurement into online per-cell Welford accumulators, and

@@ -1,0 +1,171 @@
+#include "core/farm.hpp"
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <exception>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+namespace cal::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Pending {
+  PlanPartition partition;
+  std::size_t attempts = 0;   ///< dispatches already made
+  Clock::time_point ready{};  ///< backoff deadline for the next dispatch
+};
+
+void note(const FarmOptions& options, const std::string& message) {
+  if (options.log) options.log(message);
+}
+
+unsigned backoff_ms(const FarmOptions& options, std::size_t retry) {
+  // retry is 1-based; cap both the shift and the product.
+  const unsigned shift = static_cast<unsigned>(std::min<std::size_t>(retry, 16) - 1);
+  const unsigned long ms =
+      static_cast<unsigned long>(options.backoff_base_ms) << shift;
+  return static_cast<unsigned>(
+      std::min<unsigned long>(ms, options.backoff_cap_ms));
+}
+
+/// The forked child's entire life: run the job, report, vanish.  _exit
+/// (not exit) so the parent's atexit/static-destructor state is never
+/// run twice.
+[[noreturn]] void child_main(
+    const PlanPartition& part,
+    const std::function<void(const PlanPartition&)>& job) {
+  try {
+    job(part);
+    _exit(0);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "partition %zu: %s\n", part.index, e.what());
+    _exit(1);
+  } catch (...) {
+    std::fprintf(stderr, "partition %zu: unknown error\n", part.index);
+    _exit(1);
+  }
+}
+
+}  // namespace
+
+FarmResult run_partition_farm(
+    const std::vector<PlanPartition>& partitions,
+    const std::function<void(const PlanPartition&)>& job,
+    const std::function<bool(const PlanPartition&)>& completed,
+    const FarmOptions& options) {
+  if (options.attempt_budget == 0) {
+    throw std::invalid_argument("run_partition_farm: attempt_budget must be >= 1");
+  }
+  const std::size_t max_parallel = options.max_parallel == 0
+                                       ? std::max<std::size_t>(partitions.size(), 1)
+                                       : options.max_parallel;
+
+  FarmResult result;
+  std::deque<Pending> pending;
+  for (const PlanPartition& part : partitions) {
+    // Restartability: work a previous coordinator already finished is
+    // recognized, not redone.
+    if (completed(part)) {
+      note(options, "partition " + std::to_string(part.index) +
+                        " already complete, skipping");
+      continue;
+    }
+    pending.push_back({part, 0, Clock::now()});
+  }
+
+  std::map<pid_t, Pending> running;
+  const auto settle = [&](Pending p, int exit_code) {
+    FarmAttempt attempt;
+    attempt.partition = p.partition.index;
+    attempt.attempt = p.attempts;
+    attempt.exit_code = exit_code;
+    attempt.completed = exit_code == 0 && completed(p.partition);
+    result.attempts.push_back(attempt);
+    if (attempt.completed) return;
+    const std::string why =
+        exit_code < 0 ? "killed by signal " + std::to_string(-exit_code)
+        : exit_code > 0
+            ? "exited with code " + std::to_string(exit_code)
+            : "exited clean but its output is missing";
+    if (p.attempts >= options.attempt_budget) {
+      note(options, "partition " + std::to_string(p.partition.index) +
+                        " attempt " + std::to_string(p.attempts) + " " + why +
+                        "; budget spent, giving up");
+      result.incomplete.push_back(p.partition);
+      return;
+    }
+    const unsigned delay = backoff_ms(options, p.attempts);
+    note(options, "partition " + std::to_string(p.partition.index) +
+                      " attempt " + std::to_string(p.attempts) + " " + why +
+                      "; retrying in " + std::to_string(delay) + " ms");
+    ++result.redispatches;
+    p.ready = Clock::now() + std::chrono::milliseconds(delay);
+    pending.push_back(std::move(p));
+  };
+
+  while (!pending.empty() || !running.empty()) {
+    // Dispatch everything whose backoff has elapsed, up to the cap.
+    const auto now = Clock::now();
+    for (std::size_t i = 0; i < pending.size() && running.size() < max_parallel;) {
+      if (pending[i].ready > now) {
+        ++i;
+        continue;
+      }
+      Pending p = std::move(pending[i]);
+      pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(i));
+      ++p.attempts;
+      const pid_t pid = fork();
+      if (pid < 0) {
+        // Treat a failed fork like a failed attempt: backoff and retry.
+        settle(std::move(p), 127);
+        continue;
+      }
+      if (pid == 0) child_main(p.partition, job);
+      note(options, "partition " + std::to_string(p.partition.index) +
+                        " attempt " + std::to_string(p.attempts) +
+                        " dispatched (pid " + std::to_string(pid) + ")");
+      running.emplace(pid, std::move(p));
+    }
+
+    if (!running.empty()) {
+      int status = 0;
+      const pid_t pid = waitpid(-1, &status, 0);
+      if (pid < 0) {
+        if (errno == EINTR) continue;
+        throw std::runtime_error(std::string("run_partition_farm: waitpid: ") +
+                                 std::strerror(errno));
+      }
+      const auto it = running.find(pid);
+      if (it == running.end()) continue;  // not one of ours
+      Pending p = std::move(it->second);
+      running.erase(it);
+      const int exit_code = WIFSIGNALED(status) ? -WTERMSIG(status)
+                            : WIFEXITED(status) ? WEXITSTATUS(status)
+                                                : 126;
+      settle(std::move(p), exit_code);
+    } else if (!pending.empty()) {
+      // Everything left is in backoff; sleep until the earliest deadline.
+      auto earliest = pending.front().ready;
+      for (const Pending& p : pending) earliest = std::min(earliest, p.ready);
+      std::this_thread::sleep_until(earliest);
+    }
+  }
+
+  result.complete = result.incomplete.empty();
+  return result;
+}
+
+}  // namespace cal::core

@@ -1,0 +1,73 @@
+#pragma once
+// Process farm: crash-isolated execution of plan partitions.
+//
+// run_partition_farm forks one child process per partition (at most
+// FarmOptions::max_parallel in flight), runs the caller's job callback
+// inside the child, and supervises: a child that exits non-zero -- or
+// is killed outright, SIGKILL included -- is re-dispatched with capped
+// exponential backoff until its attempt budget is spent.  Fork-level
+// isolation is the point: a partition job that crashes mid-write takes
+// down its own process, not the coordinator, and the bbx staging
+// discipline means it leaves only `*.tmp` debris behind.
+//
+// Success is judged by the `completed` callback (typically "does the
+// partial bundle exist and read back?"), not by the exit status alone:
+// a child that reported success but whose bundle is missing counts as
+// failed, and a pre-existing bundle (a previous coordinator's work)
+// counts as done without dispatching at all -- which is what makes the
+// coordinator itself restartable.
+//
+// The farm degrades gracefully: partitions that exhaust their budget
+// are reported in FarmResult::incomplete rather than thrown, so the
+// caller can still merge what succeeded (bbx_merge with allow_gaps)
+// and tell the user exactly which plan ranges are missing.
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/partition.hpp"
+
+namespace cal::core {
+
+struct FarmOptions {
+  /// Children in flight at once; 0 = one per partition.
+  std::size_t max_parallel = 0;
+  /// Total attempts per partition (first try + retries).
+  std::size_t attempt_budget = 3;
+  /// Backoff before retry k (1-based) is base * 2^(k-1), capped.
+  unsigned backoff_base_ms = 50;
+  unsigned backoff_cap_ms = 2000;
+  /// Optional progress logger ("partition 2 attempt 1 died: signal 9").
+  std::function<void(const std::string&)> log;
+};
+
+/// One child dispatch and how it ended.
+struct FarmAttempt {
+  std::size_t partition = 0;
+  std::size_t attempt = 0;  ///< 1-based
+  /// Child exit status: 0 = clean, > 0 = exit code, < 0 = -signal.
+  int exit_code = 0;
+  bool completed = false;  ///< `completed` callback accepted the result
+};
+
+struct FarmResult {
+  bool complete = false;               ///< every partition completed
+  std::size_t redispatches = 0;        ///< attempts beyond the first
+  std::vector<FarmAttempt> attempts;   ///< every dispatch, in finish order
+  std::vector<PlanPartition> incomplete;  ///< budget-exhausted partitions
+};
+
+/// Executes `job(partition)` in a forked child per partition.  The job
+/// either returns (child exits 0) or throws (child prints the error to
+/// stderr and exits 1); the child never returns to the caller's code.
+/// `completed(partition)` decides whether a partition's output actually
+/// exists -- checked before dispatch (skip) and after every attempt.
+FarmResult run_partition_farm(
+    const std::vector<PlanPartition>& partitions,
+    const std::function<void(const PlanPartition&)>& job,
+    const std::function<bool(const PlanPartition&)>& completed,
+    const FarmOptions& options = {});
+
+}  // namespace cal::core

@@ -1,0 +1,262 @@
+#include "core/fault.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <stdexcept>
+#include <thread>
+
+namespace cal::core::fault {
+
+namespace {
+
+struct Point {
+  Action action = Action::kNone;
+  std::uint64_t after = 1;
+  unsigned delay_ms = 0;
+  std::uint64_t hits = 0;
+  bool armed = false;
+};
+
+/// Function-local statics so the registry is usable during static init
+/// (a test fixture arming in a global constructor must not race the
+/// registry's own construction).
+std::mutex& registry_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::map<std::string, Point>& registry() {
+  static std::map<std::string, Point> r;
+  return r;
+}
+
+/// Armed-point count; the disarmed fast path is one relaxed load.
+std::atomic<std::size_t> g_armed{0};
+std::atomic<bool> g_env_loaded{false};
+std::once_flag g_env_once;
+
+Action parse_action_name(const std::string& name, const std::string& spec) {
+  if (name == "crash") return Action::kCrash;
+  if (name == "error") return Action::kError;
+  if (name == "short_write") return Action::kShortWrite;
+  if (name == "enospc") return Action::kEnospc;
+  if (name == "delay") return Action::kDelay;
+  throw std::invalid_argument("fault spec '" + spec + "': unknown action '" +
+                              name + "'");
+}
+
+std::uint64_t parse_count(const std::string& text, const std::string& spec,
+                          const char* what) {
+  if (text.empty() ||
+      text.find_first_not_of("0123456789") != std::string::npos) {
+    throw std::invalid_argument("fault spec '" + spec + "': " + what +
+                                " is not a non-negative integer");
+  }
+  return std::stoull(text);
+}
+
+/// Locked arming core shared by arm() and the env loader (which must
+/// not re-enter the public API from inside its call_once).
+void arm_locked(const std::string& point, Action action, std::uint64_t after,
+                unsigned delay_ms) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  Point& p = registry()[point];
+  if (!p.armed && action != Action::kNone) {
+    g_armed.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (p.armed && action == Action::kNone) {
+    g_armed.fetch_sub(1, std::memory_order_relaxed);
+  }
+  p.action = action;
+  p.after = after == 0 ? 1 : after;
+  p.delay_ms = delay_ms;
+  p.hits = 0;
+  p.armed = action != Action::kNone;
+}
+
+/// Parses one `point=action[:MS][@N]` entry.
+void apply_entry(const std::string& entry, const std::string& spec) {
+  const std::size_t eq = entry.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    throw std::invalid_argument("fault spec '" + spec +
+                                "': expected point=action entries");
+  }
+  const std::string point = entry.substr(0, eq);
+  std::string rhs = entry.substr(eq + 1);
+  std::uint64_t after = 1;
+  if (const std::size_t at = rhs.find('@'); at != std::string::npos) {
+    after = parse_count(rhs.substr(at + 1), spec, "@N trigger");
+    rhs.erase(at);
+  }
+  unsigned delay_ms = 0;
+  if (const std::size_t colon = rhs.find(':'); colon != std::string::npos) {
+    delay_ms = static_cast<unsigned>(
+        parse_count(rhs.substr(colon + 1), spec, ":MS delay"));
+    rhs.erase(colon);
+  }
+  const Action action = parse_action_name(rhs, spec);
+  if (delay_ms != 0 && action != Action::kDelay) {
+    throw std::invalid_argument("fault spec '" + spec +
+                                "': only delay takes a :MS argument");
+  }
+  arm_locked(point, action, after, delay_ms);
+}
+
+void apply_spec(const std::string& spec) {
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    std::size_t end = spec.find(';', begin);
+    if (end == std::string::npos) end = spec.size();
+    std::size_t from = begin, to = end;
+    while (from < to && spec[from] == ' ') ++from;
+    while (to > from && spec[to - 1] == ' ') --to;
+    if (to > from) apply_entry(spec.substr(from, to - from), spec);
+    begin = end + 1;
+  }
+}
+
+/// Loads CAL_FAULTS once; malformed env specs abort loudly (silently
+/// ignoring an operator's injection request would fake test coverage).
+void ensure_env_loaded() {
+  if (g_env_loaded.load(std::memory_order_acquire)) return;
+  std::call_once(g_env_once, [] {
+    if (const char* env = std::getenv("CAL_FAULTS"); env != nullptr && *env) {
+      apply_spec(env);
+    }
+    g_env_loaded.store(true, std::memory_order_release);
+  });
+}
+
+[[noreturn]] void die() {
+  // SIGKILL: the process vanishes without unwinding or flushing --
+  // exactly the crash the coordinator must recover from.
+  std::raise(SIGKILL);
+  std::abort();  // unreachable; SIGKILL cannot be caught or ignored
+}
+
+struct Decision {
+  Action action = Action::kNone;
+  unsigned delay_ms = 0;
+};
+
+/// Records the hit and returns the action to execute (kNone below the
+/// @N threshold or when the point is unarmed).
+Decision decide(const char* point) {
+  ensure_env_loaded();
+  if (g_armed.load(std::memory_order_relaxed) == 0) return {};
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  Point& p = registry()[point];
+  ++p.hits;
+  if (!p.armed || p.hits < p.after) return {};
+  return {p.action, p.delay_ms};
+}
+
+[[noreturn]] void throw_injected(const char* point, Action action) {
+  if (action == Action::kEnospc) {
+    throw std::runtime_error(std::string("injected fault at '") + point +
+                             "': No space left on device");
+  }
+  if (action == Action::kShortWrite) {
+    throw std::runtime_error(std::string("injected fault at '") + point +
+                             "': short write");
+  }
+  throw std::runtime_error(std::string("injected fault at '") + point +
+                           "': I/O error");
+}
+
+}  // namespace
+
+bool compiled_in() noexcept {
+#if defined(CALIPERS_FAULT_INJECTION)
+  return true;
+#else
+  return false;
+#endif
+}
+
+void arm(const std::string& point, Action action, std::uint64_t after,
+         unsigned delay_ms) {
+  ensure_env_loaded();
+  arm_locked(point, action, after, delay_ms);
+}
+
+void arm_spec(const std::string& spec) {
+  ensure_env_loaded();
+  apply_spec(spec);
+}
+
+void disarm(const std::string& point) {
+  ensure_env_loaded();
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  const auto it = registry().find(point);
+  if (it != registry().end() && it->second.armed) {
+    it->second.armed = false;
+    it->second.action = Action::kNone;
+    g_armed.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void reset() {
+  ensure_env_loaded();
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  std::size_t armed = 0;
+  for (const auto& [name, p] : registry()) armed += p.armed ? 1 : 0;
+  g_armed.fetch_sub(armed, std::memory_order_relaxed);
+  registry().clear();
+}
+
+std::uint64_t hits(const std::string& point) {
+  ensure_env_loaded();
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  const auto it = registry().find(point);
+  return it == registry().end() ? 0 : it->second.hits;
+}
+
+void trip(const char* point) {
+  const Decision d = decide(point);
+  switch (d.action) {
+    case Action::kNone:
+      return;
+    case Action::kDelay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(d.delay_ms));
+      return;
+    case Action::kCrash:
+      die();
+    case Action::kError:
+    case Action::kShortWrite:  // no write to shorten at a control seam
+    case Action::kEnospc:
+      throw_injected(point, d.action);
+  }
+}
+
+void checked_write(const char* point, std::ostream& out, const char* data,
+                   std::size_t size) {
+  const Decision d = decide(point);
+  switch (d.action) {
+    case Action::kDelay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(d.delay_ms));
+      [[fallthrough]];
+    case Action::kNone:
+      out.write(data, static_cast<std::streamsize>(size));
+      return;
+    case Action::kCrash:
+    case Action::kShortWrite:
+      // Tear the write: half the bytes reach the file, so the frame on
+      // disk is genuinely torn -- what bbx_fsck must cope with.
+      out.write(data, static_cast<std::streamsize>(size / 2));
+      out.flush();
+      if (d.action == Action::kCrash) die();
+      throw_injected(point, d.action);
+    case Action::kError:
+    case Action::kEnospc:
+      // The write fails outright: nothing reaches the stream.
+      throw_injected(point, d.action);
+  }
+}
+
+}  // namespace cal::core::fault

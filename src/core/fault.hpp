@@ -1,0 +1,97 @@
+#pragma once
+// Failpoint registry: deterministic fault injection at archive and
+// worker-pool seams, for testing the crash-recovery story for real
+// instead of assuming it.
+//
+// A seam in the code declares a named failpoint:
+//
+//   CAL_FAULT_POINT("engine.window");                  // control seam
+//   CAL_FAULT_WRITE("bbx.flush_block", out, p, n);     // write seam
+//
+// and tests (or an operator, via the CAL_FAULTS environment variable /
+// Engine::Options::faults) arm what should go wrong there:
+//
+//   core::fault::arm_spec("bbx.flush_block=crash@2");  // SIGKILL on the
+//                                                      // 2nd block flush
+//
+// Actions: `crash` (SIGKILL, no unwinding -- a write seam first tears
+// the write in half, so the file is also torn), `error` (throws a
+// generic injected I/O error), `short_write` (write seams persist half
+// the bytes, then throw), `enospc` (throws a no-space error without
+// writing), `delay:MS` (sleeps, then proceeds).  An `@N` suffix makes
+// the action fire from the N-th hit of the point onwards (1-based);
+// without it the first hit fires.
+//
+// Cost: the macros compile to nothing (resp. a plain stream write) when
+// the library is built without CALIPERS_FAULT_INJECTION, so a production
+// build carries zero overhead and no behavioral difference.  When
+// compiled in, an unarmed registry costs one relaxed atomic load per
+// hit.  The registry functions themselves always exist (and are cheap
+// no-ops against an empty registry), so tests can probe
+// `compiled_in()` and skip crash scenarios on injection-free builds.
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace cal::core::fault {
+
+/// What an armed failpoint does when it fires.
+enum class Action {
+  kNone,        ///< disarmed / pass-through
+  kCrash,       ///< raise SIGKILL (write seams tear the write first)
+  kError,       ///< throw a generic injected I/O error
+  kShortWrite,  ///< write seams persist half the bytes, then throw
+  kEnospc,      ///< throw "No space left on device" without writing
+  kDelay,       ///< sleep delay_ms, then proceed normally
+};
+
+/// Whether the library was compiled with CALIPERS_FAULT_INJECTION --
+/// i.e. whether armed faults can actually fire.  Tests gate on this.
+bool compiled_in() noexcept;
+
+/// Arms `point`: from the `after`-th hit onwards (1-based) every hit
+/// fires `action`.  Re-arming replaces the previous arming and resets
+/// the point's hit counter.
+void arm(const std::string& point, Action action, std::uint64_t after = 1,
+         unsigned delay_ms = 0);
+
+/// Arms from a spec string: `point=action[:MS][@N]` entries separated by
+/// `;` (e.g. "bbx.flush_block=enospc@2;csv.write=short_write").  Throws
+/// std::invalid_argument on malformed specs.  The CAL_FAULTS environment
+/// variable is read through the same grammar, once, lazily.
+void arm_spec(const std::string& spec);
+
+/// Disarms one point (its hit counter survives until reset()).
+void disarm(const std::string& point);
+
+/// Disarms everything and zeroes all hit counters.
+void reset();
+
+/// Hits recorded for `point`.  Hits are only counted while at least one
+/// point is armed (the disarmed fast path skips the registry entirely).
+std::uint64_t hits(const std::string& point);
+
+/// Backend of CAL_FAULT_POINT: records a hit and executes the armed
+/// action, if any.  kShortWrite degrades to kError at a control seam.
+void trip(const char* point);
+
+/// Backend of CAL_FAULT_WRITE: like trip(), but the armed action can
+/// manipulate the write itself -- kShortWrite/kCrash persist only
+/// `size / 2` bytes (then throw resp. SIGKILL), kEnospc writes nothing.
+/// With no armed action this is exactly `out.write(data, size)`.
+void checked_write(const char* point, std::ostream& out, const char* data,
+                   std::size_t size);
+
+}  // namespace cal::core::fault
+
+#if defined(CALIPERS_FAULT_INJECTION)
+#define CAL_FAULT_POINT(point) ::cal::core::fault::trip(point)
+#define CAL_FAULT_WRITE(point, out, data, size) \
+  ::cal::core::fault::checked_write((point), (out), (data), (size))
+#else
+#define CAL_FAULT_POINT(point) ((void)0)
+#define CAL_FAULT_WRITE(point, out, data, size) \
+  (out).write((data), static_cast<std::streamsize>(size))
+#endif

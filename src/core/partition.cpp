@@ -1,0 +1,41 @@
+#include "core/partition.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cal {
+
+std::vector<PlanPartition> partition_plan(std::size_t plan_runs,
+                                          std::size_t parts,
+                                          std::size_t block_records) {
+  if (parts == 0) {
+    throw std::invalid_argument("partition_plan: parts must be >= 1");
+  }
+  if (block_records == 0) {
+    throw std::invalid_argument("partition_plan: block_records must be >= 1");
+  }
+  // Split the *block grid*, not the run range: block boundaries are the
+  // finest cut that keeps every partial bundle's shard bytes identical
+  // to the corresponding slice of a single-process archive.
+  const std::size_t blocks =
+      plan_runs == 0 ? 0 : (plan_runs + block_records - 1) / block_records;
+  const std::size_t n = std::max<std::size_t>(
+      std::min(parts, std::max<std::size_t>(blocks, 1)), 1);
+
+  std::vector<PlanPartition> out;
+  out.reserve(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    const std::size_t first_block = blocks * p / n;
+    const std::size_t end_block = blocks * (p + 1) / n;
+    PlanPartition part;
+    part.index = p;
+    part.parts = n;
+    part.first_run = first_block * block_records;
+    part.run_count =
+        std::min(end_block * block_records, plan_runs) - part.first_run;
+    out.push_back(part);
+  }
+  return out;
+}
+
+}  // namespace cal

@@ -1,0 +1,45 @@
+#pragma once
+// Plan partitioning: the unit of distributed campaign execution.
+//
+// A PlanPartition is a contiguous run-index range [first_run, end_run())
+// of a Plan, executable as an independent job: per-run random streams
+// are pre-split from the engine seed by run index (Rng::split_at), so a
+// partition's records do not depend on which process -- or how many --
+// executed the rest of the plan.  Each partition streams its range into
+// its own bbx *partial bundle* (Campaign::run_partition_to_dir), and
+// io::archive::bbx_merge concatenates the partial bundles back into a
+// bundle byte-identical to a single-process run.
+//
+// Byte-identity needs partition boundaries to fall on bbx block
+// boundaries (a block never spans two writers), which is why
+// partition_plan takes the archive's block_records: partitions are
+// whole-block ranges, as evenly sized as the block grid allows.
+
+#include <cstddef>
+#include <vector>
+
+namespace cal {
+
+/// One contiguous slice of a plan's execution order.
+struct PlanPartition {
+  std::size_t index = 0;      ///< partition ordinal (0-based)
+  std::size_t parts = 1;      ///< total partitions in the split
+  std::size_t first_run = 0;  ///< first plan run index (inclusive)
+  std::size_t run_count = 0;  ///< number of runs in this partition
+
+  std::size_t end_run() const noexcept { return first_run + run_count; }
+
+  friend bool operator==(const PlanPartition&, const PlanPartition&) = default;
+};
+
+/// Splits `plan_runs` runs into at most `parts` contiguous partitions
+/// whose boundaries are multiples of `block_records` (the bbx block
+/// size), covering every run exactly once.  Fewer partitions come back
+/// when the plan has fewer blocks than `parts` -- a partition is never
+/// empty.  Throws std::invalid_argument when parts or block_records is
+/// zero.
+std::vector<PlanPartition> partition_plan(std::size_t plan_runs,
+                                          std::size_t parts,
+                                          std::size_t block_records);
+
+}  // namespace cal

@@ -1,0 +1,227 @@
+#include "io/archive/bbx_fsck.hpp"
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "io/archive/bbx_writer.hpp"
+#include "io/archive/block_codec.hpp"
+#include "io/archive/crc32.hpp"
+#include "io/archive/manifest.hpp"
+#include "io/archive/wire.hpp"
+
+namespace cal::io::archive {
+
+namespace {
+
+/// Loads the bundle's index: the published manifest when there is one,
+/// else the staged `*.tmp` one a crashed finalize left behind (it is
+/// fully written before any rename, so it indexes every flushed block).
+Manifest load_any_manifest(const std::string& dir, bool& staged) {
+  const std::string final_path =
+      dir + "/" + std::string(Manifest::file_name());
+  const std::string staged_path = final_path + ".tmp";
+  if (std::ifstream in(final_path, std::ios::binary); in) {
+    staged = false;
+    return Manifest::parse(in);
+  }
+  if (std::ifstream in(staged_path, std::ios::binary); in) {
+    staged = true;
+    return Manifest::parse(in);
+  }
+  throw std::runtime_error(
+      "bbx_fsck: '" + dir +
+      "' has no manifest, published or staged -- nothing to verify the "
+      "shards against");
+}
+
+/// Reads shard `s` (published name, else staged) fully into memory.
+/// nullopt when neither file exists.
+std::optional<std::string> load_shard(const std::string& dir, std::size_t s) {
+  const std::string final_path = dir + "/" + Manifest::shard_file_name(s);
+  for (const std::string& path : {final_path, final_path + ".tmp"}) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) continue;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+  }
+  return std::nullopt;
+}
+
+/// Verifies one indexed block against its shard bytes.  Empty string =
+/// valid; otherwise a one-line description of what is wrong.
+std::string verify_block(const std::vector<std::optional<std::string>>& shards,
+                         const BlockInfo& b, std::size_t index) {
+  const std::string tag = "block " + std::to_string(index) + " (shard " +
+                          std::to_string(b.shard) + ", offset " +
+                          std::to_string(b.offset) + "): ";
+  if (b.shard >= shards.size() || !shards[b.shard].has_value()) {
+    return tag + "shard file missing";
+  }
+  const std::string& data = *shards[b.shard];
+  if (data.size() < sizeof kShardMagic ||
+      std::memcmp(data.data(), kShardMagic, sizeof kShardMagic) != 0) {
+    return tag + "shard has no bbx magic";
+  }
+  if (b.offset + 12 > data.size() ||
+      b.offset + 12 + b.stored_bytes > data.size()) {
+    return tag + "frame runs past end of shard (truncated at " +
+           std::to_string(data.size()) + " bytes)";
+  }
+  ByteReader header(data.data() + b.offset, 12);
+  const std::uint32_t stored = header.u32le();
+  const std::uint32_t raw = header.u32le();
+  const std::uint32_t crc = header.u32le();
+  if (stored != b.stored_bytes || raw != b.raw_bytes || crc != b.crc32) {
+    return tag + "frame header disagrees with the manifest index";
+  }
+  const char* payload = data.data() + b.offset + 12;
+  if (crc32(payload, stored) != crc) {
+    return tag + "checksum mismatch (payload corrupted)";
+  }
+  try {
+    block_decompress(payload, stored, raw);
+  } catch (const std::exception& e) {
+    return tag + "payload does not decompress: " + e.what();
+  }
+  return {};
+}
+
+}  // namespace
+
+FsckReport bbx_fsck(const std::string& dir) {
+  FsckReport report;
+  Manifest m = load_any_manifest(dir, report.manifest_staged);
+  report.shard_count = m.shard_count;
+  report.blocks_indexed = m.blocks.size();
+
+  std::vector<std::optional<std::string>> shards;
+  shards.reserve(m.shard_count);
+  for (std::size_t s = 0; s < m.shard_count; ++s) {
+    shards.push_back(load_shard(dir, s));
+  }
+
+  bool prefix_intact = true;
+  std::uint64_t records = 0;
+  for (std::size_t i = 0; i < m.blocks.size(); ++i) {
+    const std::string problem = verify_block(shards, m.blocks[i], i);
+    if (!problem.empty()) {
+      report.problems.push_back(problem);
+      prefix_intact = false;
+      continue;
+    }
+    ++report.blocks_valid;
+    records += m.blocks[i].records;
+    if (prefix_intact) {
+      ++report.prefix_blocks;
+      report.prefix_records += m.blocks[i].records;
+    }
+  }
+  if (report.blocks_valid == m.blocks.size() && records != m.total_records) {
+    report.problems.push_back(
+        "manifest total_records " + std::to_string(m.total_records) +
+        " does not match the " + std::to_string(records) +
+        " records its blocks index");
+  }
+  report.ok = report.problems.empty();
+  return report;
+}
+
+FsckReport bbx_salvage(const std::string& dir, const std::string& out_dir) {
+  if (std::filesystem::weakly_canonical(dir) ==
+      std::filesystem::weakly_canonical(out_dir)) {
+    throw std::invalid_argument(
+        "bbx_salvage: out_dir must differ from the damaged bundle");
+  }
+  const FsckReport report = bbx_fsck(dir);
+  if (report.prefix_blocks == 0 && report.blocks_indexed > 0) {
+    throw std::runtime_error(
+        "bbx_salvage: '" + dir +
+        "' has no valid block prefix -- nothing recoverable");
+  }
+
+  bool staged = false;
+  Manifest src = load_any_manifest(dir, staged);
+  std::vector<std::optional<std::string>> shards;
+  for (std::size_t s = 0; s < src.shard_count; ++s) {
+    shards.push_back(load_shard(dir, s));
+  }
+
+  // Rebuild the prefix as a fresh bundle: same shard assignment, frames
+  // copied verbatim, offsets recomputed for the compacted files.
+  Manifest out;
+  out.factor_names = src.factor_names;
+  out.metric_names = src.metric_names;
+  out.shard_count = src.shard_count;
+  out.block_records = src.block_records;
+  out.total_records = report.prefix_records;
+  const bool zones_complete = src.zones.size() == src.blocks.size();
+
+  std::filesystem::create_directories(out_dir);
+  std::vector<std::ofstream> outs;
+  std::vector<std::uint64_t> out_len(src.shard_count, 8);
+  for (std::size_t s = 0; s < src.shard_count; ++s) {
+    const std::string path =
+        out_dir + "/" + Manifest::shard_file_name(s) + ".tmp";
+    auto& o = outs.emplace_back(path, std::ios::binary | std::ios::trunc);
+    if (!o) {
+      throw std::runtime_error("bbx_salvage: cannot create '" + path + "'");
+    }
+    o.write(kShardMagic, sizeof kShardMagic);
+  }
+  for (std::size_t i = 0; i < report.prefix_blocks; ++i) {
+    const BlockInfo& b = src.blocks[i];
+    const std::string& data = *shards[b.shard];
+    BlockInfo nb = b;
+    nb.offset = out_len[b.shard];
+    outs[b.shard].write(data.data() + b.offset,
+                        static_cast<std::streamsize>(12 + b.stored_bytes));
+    out_len[b.shard] += 12 + b.stored_bytes;
+    out.blocks.push_back(nb);
+    if (zones_complete) out.zones.push_back(src.zones[i]);
+  }
+  for (std::size_t s = 0; s < outs.size(); ++s) {
+    outs[s].flush();
+    if (!outs[s]) {
+      throw std::runtime_error("bbx_salvage: write failed on shard " +
+                               std::to_string(s));
+    }
+    outs[s].close();
+  }
+
+  out.extra = src.extra;
+  out.extra.emplace_back(
+      "salvaged_prefix", std::to_string(report.prefix_blocks) + "/" +
+                             std::to_string(report.blocks_indexed) +
+                             " blocks");
+
+  const std::string staged_manifest =
+      out_dir + "/" + std::string(Manifest::file_name()) + ".tmp";
+  {
+    std::ofstream o(staged_manifest, std::ios::binary | std::ios::trunc);
+    if (!o) {
+      throw std::runtime_error("bbx_salvage: cannot create '" +
+                               staged_manifest + "'");
+    }
+    out.write(o);
+    o.flush();
+    if (!o) {
+      throw std::runtime_error("bbx_salvage: manifest write failed");
+    }
+  }
+  for (std::size_t s = 0; s < src.shard_count; ++s) {
+    const std::string name = Manifest::shard_file_name(s);
+    std::filesystem::rename(out_dir + "/" + name + ".tmp",
+                            out_dir + "/" + name);
+  }
+  std::filesystem::rename(staged_manifest,
+                          out_dir + "/" + std::string(Manifest::file_name()));
+  return report;
+}
+
+}  // namespace cal::io::archive

@@ -1,0 +1,52 @@
+#pragma once
+// bbx_fsck: verification and salvage of damaged bundles.
+//
+// A campaign that crashed mid-write leaves one of two shapes on disk:
+//
+//   * staged debris -- every file still under its `*.tmp` name (the
+//     finalize renames never ran), possibly with the last frame torn;
+//   * a published bundle whose shards were later truncated or corrupted
+//     (disk trouble after the fact).
+//
+// bbx_fsck() walks whichever manifest exists (final, or the staged
+// `manifest.bbx.json.tmp` -- the staged manifest is fully written
+// before any rename, so it indexes everything that was flushed) and
+// verifies every block frame on disk: readable, header consistent with
+// the index, checksum intact, payload decompressible.  bbx_salvage()
+// then recovers the longest valid *prefix* of the block sequence into a
+// fresh, complete bundle -- a prefix, not a subset, so the salvaged
+// bundle is exactly "the campaign up to the crash point" with no holes
+// an analysis could silently fall into.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cal::io::archive {
+
+struct FsckReport {
+  bool ok = false;              ///< every indexed block verified
+  bool manifest_staged = false; ///< index came from manifest.bbx.json.tmp
+  std::size_t shard_count = 0;
+  std::size_t blocks_indexed = 0;   ///< blocks the manifest claims
+  std::size_t blocks_valid = 0;     ///< blocks that verified, any position
+  std::size_t prefix_blocks = 0;    ///< longest valid prefix (salvageable)
+  std::uint64_t prefix_records = 0; ///< records in that prefix
+  std::vector<std::string> problems;  ///< one line per defect found
+};
+
+/// Verifies the bundle (or crash debris) at `dir` without modifying
+/// anything.  Throws std::runtime_error only when no manifest -- final
+/// or staged -- exists to verify against; every other defect lands in
+/// the report.
+FsckReport bbx_fsck(const std::string& dir);
+
+/// Salvages the longest valid block prefix of `dir` into a complete,
+/// published bundle at `out_dir` (which must differ from `dir`), and
+/// returns the fsck report of what was recovered.  The salvaged bundle
+/// records its provenance in the manifest extra `salvaged_prefix`.
+/// Throws when there is no manifest to index from, when nothing at all
+/// is recoverable, or on write failure; nothing is published on throw.
+FsckReport bbx_salvage(const std::string& dir, const std::string& out_dir);
+
+}  // namespace cal::io::archive

@@ -1,0 +1,258 @@
+#include "io/archive/bbx_merge.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include "core/fault.hpp"
+#include "io/archive/bbx_writer.hpp"
+#include "io/archive/manifest.hpp"
+
+namespace cal::io::archive {
+
+namespace {
+
+struct Part {
+  std::string dir;
+  Manifest manifest;
+};
+
+std::uint64_t first_sequence_of(const Part& part) {
+  return part.manifest.blocks.empty() ? 0
+                                      : part.manifest.blocks.front().first_sequence;
+}
+
+/// Validates one partial against the shared layout: plan-ordered,
+/// block-aligned, internally contiguous blocks on the global round-robin
+/// shard assignment.
+void validate_layout(const Part& part, const Manifest& ref) {
+  const Manifest& m = part.manifest;
+  if (m.factor_names != ref.factor_names ||
+      m.metric_names != ref.metric_names) {
+    throw std::runtime_error("bbx_merge: '" + part.dir +
+                             "' has a different schema");
+  }
+  if (m.shard_count != ref.shard_count ||
+      m.block_records != ref.block_records) {
+    throw std::runtime_error(
+        "bbx_merge: '" + part.dir +
+        "' has different shard_count/block_records layout");
+  }
+  std::uint64_t expected = first_sequence_of(part);
+  for (const BlockInfo& b : m.blocks) {
+    if (b.first_sequence != expected) {
+      throw std::runtime_error("bbx_merge: '" + part.dir +
+                               "' has non-contiguous blocks");
+    }
+    if (b.first_sequence % m.block_records != 0) {
+      throw std::runtime_error(
+          "bbx_merge: '" + part.dir +
+          "' block at sequence " + std::to_string(b.first_sequence) +
+          " is not block-aligned (partial bundles must start on a block "
+          "boundary)");
+    }
+    const std::size_t global_block = b.first_sequence / m.block_records;
+    if (b.shard != global_block % m.shard_count) {
+      throw std::runtime_error(
+          "bbx_merge: '" + part.dir + "' block " +
+          std::to_string(global_block) +
+          " is on the wrong shard (was the partial written with "
+          "first_block set?)");
+    }
+    expected += b.records;
+  }
+}
+
+/// A shard file's size must equal exactly what its indexed frames
+/// account for: shorter means truncation, longer means trailing garbage
+/// the index does not know about.  Either way the partial needs fsck,
+/// not merging.
+void validate_shard_sizes(const Part& part) {
+  const Manifest& m = part.manifest;
+  std::vector<std::uint64_t> expected(m.shard_count, 8);
+  for (const BlockInfo& b : m.blocks) {
+    expected[b.shard] += 12 + b.stored_bytes;
+  }
+  for (std::size_t s = 0; s < m.shard_count; ++s) {
+    const std::string path = part.dir + "/" + Manifest::shard_file_name(s);
+    std::error_code ec;
+    const std::uintmax_t actual = std::filesystem::file_size(path, ec);
+    if (ec) {
+      throw std::runtime_error("bbx_merge: cannot stat '" + path + "': " +
+                               ec.message());
+    }
+    if (actual != expected[s]) {
+      throw std::runtime_error(
+          "bbx_merge: '" + path + "' is " + std::to_string(actual) +
+          " bytes but its manifest accounts for " +
+          std::to_string(expected[s]) +
+          " -- truncated or torn partial; run bbx_fsck to salvage it");
+    }
+  }
+}
+
+/// Appends everything after the 8-byte magic of `path` to `out`,
+/// verifying the magic on the way.
+void append_tail(const std::string& path, std::ofstream& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("bbx_merge: cannot open '" + path + "'");
+  }
+  char magic[sizeof kShardMagic];
+  if (!in.read(magic, sizeof magic) ||
+      std::memcmp(magic, kShardMagic, sizeof magic) != 0) {
+    throw std::runtime_error("bbx_merge: '" + path +
+                             "' is not a bbx shard (bad magic)");
+  }
+  std::string buf(1 << 20, '\0');
+  while (in) {
+    in.read(buf.data(), static_cast<std::streamsize>(buf.size()));
+    const std::streamsize got = in.gcount();
+    if (got > 0) {
+      CAL_FAULT_WRITE("merge.write_shard", out, buf.data(),
+                      static_cast<std::size_t>(got));
+    }
+  }
+  if (!out) {
+    throw std::runtime_error("bbx_merge: write failed appending '" + path +
+                             "'");
+  }
+}
+
+}  // namespace
+
+MergeReport bbx_merge(const std::vector<std::string>& part_dirs,
+                      const std::string& out_dir, MergeOptions options) {
+  if (part_dirs.empty()) {
+    throw std::runtime_error("bbx_merge: no partial bundles given");
+  }
+
+  std::vector<Part> parts;
+  parts.reserve(part_dirs.size());
+  for (const std::string& dir : part_dirs) {
+    parts.push_back({dir, Manifest::load(dir)});
+  }
+  // Plan order, whatever order the coordinator listed them in.
+  std::stable_sort(parts.begin(), parts.end(),
+                   [](const Part& a, const Part& b) {
+                     return first_sequence_of(a) < first_sequence_of(b);
+                   });
+
+  const Manifest& ref = parts.front().manifest;
+  for (const Part& part : parts) {
+    validate_layout(part, ref);
+    validate_shard_sizes(part);
+  }
+
+  // Cross-partial contiguity: the merged plan coverage must be one
+  // contiguous prefix-to-end range unless gaps were explicitly allowed.
+  MergeReport report;
+  report.parts = parts.size();
+  std::uint64_t expected_seq = 0;
+  for (const Part& part : parts) {
+    if (part.manifest.blocks.empty()) continue;
+    const std::uint64_t found = first_sequence_of(part);
+    if (found < expected_seq) {
+      throw std::runtime_error("bbx_merge: '" + part.dir +
+                               "' overlaps the preceding partial at sequence " +
+                               std::to_string(found));
+    }
+    if (found > expected_seq) {
+      if (!options.allow_gaps) {
+        throw std::runtime_error(
+            "bbx_merge: plan runs [" + std::to_string(expected_seq) + ", " +
+            std::to_string(found) +
+            ") are missing (pass allow_gaps to merge a degraded campaign)");
+      }
+      report.gaps.push_back({expected_seq, found - expected_seq});
+    }
+    const BlockInfo& last = part.manifest.blocks.back();
+    expected_seq = last.first_sequence + last.records;
+  }
+
+  // Assemble the merged index before writing a byte: offsets rebase to
+  // the output shard lengths, everything else is carried verbatim.
+  Manifest merged;
+  merged.factor_names = ref.factor_names;
+  merged.metric_names = ref.metric_names;
+  merged.shard_count = ref.shard_count;
+  merged.block_records = ref.block_records;
+  bool zones_complete = true;
+  std::vector<std::uint64_t> out_len(ref.shard_count, 8);
+  for (const Part& part : parts) {
+    const Manifest& m = part.manifest;
+    if (m.zones.size() != m.blocks.size()) zones_complete = false;
+    for (const BlockInfo& b : m.blocks) {
+      BlockInfo nb = b;
+      nb.offset = out_len[b.shard] + (b.offset - 8);
+      merged.blocks.push_back(nb);
+      merged.total_records += b.records;
+    }
+    for (const BlockStats& z : m.zones) merged.zones.push_back(z);
+    std::vector<std::uint64_t> tail(ref.shard_count, 0);
+    for (const BlockInfo& b : m.blocks) tail[b.shard] += 12 + b.stored_bytes;
+    for (std::size_t s = 0; s < ref.shard_count; ++s) out_len[s] += tail[s];
+  }
+  if (!zones_complete) merged.zones.clear();
+  report.blocks = merged.blocks.size();
+  report.records = merged.total_records;
+
+  // Provenance: the first partial's campaign metadata minus its
+  // partition-scoped entries, plus what the merge itself knows.
+  for (const auto& [key, value] : ref.extra) {
+    if (key.rfind("partition_", 0) == 0) continue;
+    merged.extra.emplace_back(key, value);
+  }
+  merged.extra.emplace_back("merged_parts", std::to_string(parts.size()));
+  if (!report.gaps.empty()) {
+    merged.extra.emplace_back("merged_gaps",
+                              std::to_string(report.gaps.size()));
+  }
+
+  // Write: staged shard files (magic + partial tails in plan order),
+  // staged manifest, then rename shards first, manifest last.
+  std::filesystem::create_directories(out_dir);
+  for (std::size_t s = 0; s < ref.shard_count; ++s) {
+    const std::string name = Manifest::shard_file_name(s);
+    const std::string staged = out_dir + "/" + name + ".tmp";
+    std::ofstream out(staged, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("bbx_merge: cannot create '" + staged + "'");
+    }
+    out.write(kShardMagic, sizeof kShardMagic);
+    for (const Part& part : parts) {
+      append_tail(part.dir + "/" + Manifest::shard_file_name(s), out);
+    }
+    out.flush();
+    if (!out) {
+      throw std::runtime_error("bbx_merge: flush failed on '" + staged + "'");
+    }
+  }
+  const std::string staged_manifest =
+      out_dir + "/" + std::string(Manifest::file_name()) + ".tmp";
+  {
+    std::ofstream out(staged_manifest, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("bbx_merge: cannot create '" + staged_manifest +
+                               "'");
+    }
+    merged.write(out);
+    out.flush();
+    if (!out) {
+      throw std::runtime_error("bbx_merge: manifest write failed");
+    }
+  }
+  for (std::size_t s = 0; s < ref.shard_count; ++s) {
+    const std::string name = Manifest::shard_file_name(s);
+    std::filesystem::rename(out_dir + "/" + name + ".tmp",
+                            out_dir + "/" + name);
+  }
+  std::filesystem::rename(staged_manifest,
+                          out_dir + "/" + std::string(Manifest::file_name()));
+  return report;
+}
+
+}  // namespace cal::io::archive

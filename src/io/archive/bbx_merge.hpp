@@ -1,0 +1,59 @@
+#pragma once
+// bbx_merge: deterministic concatenation of partial bundles.
+//
+// A distributed campaign executes each PlanPartition as an independent
+// job streaming into its own *partial bundle* (a complete, finalized
+// bbx bundle covering one contiguous block range of the plan).  Merging
+// is manifest-level surgery: every shard of the output is the magic
+// header followed by the corresponding shard tails of the partials in
+// plan order, and the block index is the concatenation of the partials'
+// indices with offsets rebased.  No block is re-encoded, re-compressed,
+// or even decoded -- which is what makes the merged bundle byte-
+// identical (shard bytes and block index alike) to a single-process run
+// of the same plan, seed, and archive options under Clock::kIndexed.
+//
+// Safety: every partial is validated before a byte is written -- schema
+// and layout must agree across partials, blocks must be plan-ordered
+// and (unless MergeOptions::allow_gaps) contiguous, each block's shard
+// must match the global round-robin assignment, and each shard file's
+// size must equal exactly what its frames account for (a truncated
+// partial fails with a pointer to bbx_fsck rather than producing a
+// bundle that indexes past EOF).  The output is staged `*.tmp` and
+// renamed manifest-last, like every bbx writer.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cal::io::archive {
+
+struct MergeOptions {
+  /// Accept missing plan ranges between partials (a degraded campaign:
+  /// some partitions never completed).  The merged bundle indexes only
+  /// the blocks that exist; each hole is reported as a MergeGap.  When
+  /// false (default), any discontinuity throws.
+  bool allow_gaps = false;
+};
+
+/// One missing plan range discovered between consecutive partials.
+struct MergeGap {
+  std::uint64_t first_sequence = 0;  ///< first missing run index
+  std::uint64_t record_count = 0;    ///< missing run count
+};
+
+struct MergeReport {
+  std::size_t parts = 0;          ///< partial bundles merged
+  std::size_t blocks = 0;         ///< blocks in the merged index
+  std::uint64_t records = 0;      ///< records in the merged bundle
+  std::vector<MergeGap> gaps;     ///< holes accepted via allow_gaps
+};
+
+/// Merges the partial bundles at `part_dirs` (any order; they are
+/// sorted by plan position) into a complete bundle at `out_dir`.
+/// Throws std::runtime_error on schema mismatch, truncation, layout
+/// violations, or -- without MergeOptions::allow_gaps -- missing plan
+/// ranges; nothing is published on failure.
+MergeReport bbx_merge(const std::vector<std::string>& part_dirs,
+                      const std::string& out_dir, MergeOptions options = {});
+
+}  // namespace cal::io::archive

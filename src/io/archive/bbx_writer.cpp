@@ -5,9 +5,11 @@
 #include <exception>
 #include <filesystem>
 #include <set>
+#include <sstream>
 #include <stdexcept>
 #include <utility>
 
+#include "core/fault.hpp"
 #include "io/archive/block_codec.hpp"
 #include "io/archive/column_codec.hpp"
 #include "io/archive/crc32.hpp"
@@ -169,8 +171,10 @@ void BbxWriter::flush_block() {
   const std::string stored = block_compress(scratch_raw_);
 
   BlockInfo info;
-  info.shard = static_cast<std::uint32_t>(manifest_.blocks.size() %
-                                          options_.shards);
+  // Round-robin by *global* block index: a partial bundle's blocks land
+  // on the same shards a single-process writer would have used.
+  info.shard = static_cast<std::uint32_t>(
+      (options_.first_block + manifest_.blocks.size()) % options_.shards);
   info.offset = shard_offsets_[info.shard];
   info.stored_bytes = static_cast<std::uint32_t>(stored.size());
   info.raw_bytes = static_cast<std::uint32_t>(scratch_raw_.size());
@@ -188,7 +192,7 @@ void BbxWriter::flush_block() {
   frame.append(stored);
 
   std::ofstream& out = shards_[info.shard];
-  out.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+  CAL_FAULT_WRITE("bbx.flush_block", out, frame.data(), frame.size());
   if (!out) {
     throw std::runtime_error("BbxWriter: write failed on shard " +
                              std::to_string(info.shard));
@@ -238,7 +242,13 @@ void BbxWriter::close() {
       throw std::runtime_error("BbxWriter: cannot create '" + manifest_path +
                                "'");
     }
-    manifest_.write(out);
+    // Serialize to memory first so the failpoint sees one write seam
+    // covering the whole manifest (a torn manifest is a torn file, not a
+    // syntactically valid half-index).
+    std::ostringstream image;
+    manifest_.write(image);
+    const std::string bytes = image.str();
+    CAL_FAULT_WRITE("bbx.write_manifest", out, bytes.data(), bytes.size());
     out.flush();
     if (!out) {
       throw std::runtime_error("BbxWriter: manifest write failed");
@@ -255,10 +265,12 @@ void BbxWriter::close() {
     // bundle's completeness marker, so it must never appear before every
     // shard it indexes is in place.
     for (std::size_t s = 0; s < shards_.size(); ++s) {
+      CAL_FAULT_POINT("bbx.rename_shard");
       const std::string name = Manifest::shard_file_name(s);
       std::filesystem::rename(dir_ + "/" + staged_name(name),
                               dir_ + "/" + name);
     }
+    CAL_FAULT_POINT("bbx.publish_manifest");
     std::filesystem::rename(manifest_path,
                             dir_ + "/" + std::string(Manifest::file_name()));
   }

@@ -39,6 +39,13 @@ struct BbxWriterOptions {
   std::size_t shards = 1;          ///< shard files (>= 1)
   std::size_t block_records = 4096;  ///< records per block (>= 1)
   bool atomic = true;              ///< stage *.tmp, rename on close()
+  /// Global index of this writer's first block.  A partial bundle
+  /// (one plan partition of a distributed campaign) sets this to
+  /// first_run / block_records so its blocks land on the same shards --
+  /// round-robin by *global* block index -- as the corresponding blocks
+  /// of a single-process run, which is what lets bbx_merge concatenate
+  /// shard tails byte-identically.  0 for a whole-campaign writer.
+  std::size_t first_block = 0;
 };
 
 class BbxWriter final : public RecordSink {

@@ -40,6 +40,8 @@ struct BlockInfo {
   std::uint32_t crc32 = 0;         ///< checksum of the stored payload
   std::uint64_t first_sequence = 0;
   std::uint32_t records = 0;
+
+  friend bool operator==(const BlockInfo&, const BlockInfo&) = default;
 };
 
 /// Zone-map entry: what one block holds in one column.  Numeric stats

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/fault.hpp"
+
 namespace cal::io {
 
 CsvStreamSink::CsvStreamSink(const std::string& path, Options options)
@@ -46,8 +48,7 @@ void CsvStreamSink::writer_loop() {
       lock.unlock();
       std::exception_ptr failure;
       try {
-        out_->write(back_.data(),
-                    static_cast<std::streamsize>(back_.size()));
+        CAL_FAULT_WRITE("csv.write", *out_, back_.data(), back_.size());
         if (!*out_) {
           throw std::runtime_error("CsvStreamSink: write failed");
         }
@@ -133,6 +134,7 @@ void CsvStreamSink::close() {
   }
   if (writer_.joinable()) writer_.join();
   rethrow_if_failed();
+  CAL_FAULT_POINT("csv.close");
   out_->flush();
   if (!*out_) throw std::runtime_error("CsvStreamSink: flush failed");
 }

@@ -1,0 +1,143 @@
+// Failpoint registry unit suite: arming, the spec grammar, hit
+// thresholds, and the write-seam semantics (short writes, ENOSPC).
+// The registry functions exist on every build, so nothing here needs
+// CALIPERS_FAULT_INJECTION -- only the macro seams do.
+
+#include "core/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace f = cal::core::fault;
+
+namespace {
+
+class FaultRegistry : public ::testing::Test {
+ protected:
+  void SetUp() override { f::reset(); }
+  void TearDown() override { f::reset(); }
+};
+
+TEST_F(FaultRegistry, DisarmedPointsPassThrough) {
+  EXPECT_NO_THROW(f::trip("nothing.armed"));
+  std::ostringstream out;
+  const std::string payload = "all twelve by";
+  f::checked_write("nothing.armed", out, payload.data(), payload.size());
+  EXPECT_EQ(out.str(), payload);
+  // The disarmed fast path skips the registry: no hits recorded.
+  EXPECT_EQ(f::hits("nothing.armed"), 0u);
+}
+
+TEST_F(FaultRegistry, ErrorFiresFromTheArmedThresholdOnwards) {
+  f::arm("p", f::Action::kError, 3);
+  EXPECT_NO_THROW(f::trip("p"));
+  EXPECT_NO_THROW(f::trip("p"));
+  EXPECT_THROW(f::trip("p"), std::runtime_error);
+  EXPECT_THROW(f::trip("p"), std::runtime_error);  // every hit after N
+  EXPECT_EQ(f::hits("p"), 4u);
+  // Unarmed points still count hits while the registry is armed.
+  f::trip("bystander");
+  EXPECT_EQ(f::hits("bystander"), 1u);
+}
+
+TEST_F(FaultRegistry, SpecGrammarArmsMultiplePoints) {
+  f::arm_spec("a=error@2; b=delay:1; c=enospc");
+  EXPECT_NO_THROW(f::trip("a"));
+  EXPECT_THROW(f::trip("a"), std::runtime_error);
+  EXPECT_NO_THROW(f::trip("b"));  // delays 1ms, then proceeds
+  try {
+    f::trip("c");
+    FAIL() << "enospc did not fire";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("No space left on device"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("c"), std::string::npos);
+  }
+}
+
+TEST_F(FaultRegistry, MalformedSpecsThrow) {
+  for (const char* bad : {"a", "a=", "=error", "a=bogus", "a=error@",
+                          "a=error@x", "a=delay:", "a=delay:x"}) {
+    EXPECT_THROW(f::arm_spec(bad), std::invalid_argument) << bad;
+  }
+  // A malformed entry must not leave earlier entries half-armed.
+  f::reset();
+  EXPECT_THROW(f::arm_spec("ok=error;broken=bogus"), std::invalid_argument);
+}
+
+TEST_F(FaultRegistry, ShortWriteTearsTheWriteInHalf) {
+  f::arm("w", f::Action::kShortWrite);
+  std::ostringstream out;
+  const std::string payload = "0123456789abcdef";
+  EXPECT_THROW(f::checked_write("w", out, payload.data(), payload.size()),
+               std::runtime_error);
+  EXPECT_EQ(out.str(), payload.substr(0, payload.size() / 2))
+      << "a short write must persist exactly half the bytes";
+  // At a control seam, short_write degrades to a plain error.
+  EXPECT_THROW(f::trip("w"), std::runtime_error);
+}
+
+TEST_F(FaultRegistry, EnospcWritesNothing) {
+  f::arm("w", f::Action::kEnospc);
+  std::ostringstream out;
+  const std::string payload = "should never land";
+  EXPECT_THROW(f::checked_write("w", out, payload.data(), payload.size()),
+               std::runtime_error);
+  EXPECT_TRUE(out.str().empty());
+}
+
+TEST_F(FaultRegistry, ThresholdAppliesToWriteSeams) {
+  f::arm("w", f::Action::kEnospc, 3);
+  std::ostringstream out;
+  const std::string chunk = "chunk!";
+  f::checked_write("w", out, chunk.data(), chunk.size());
+  f::checked_write("w", out, chunk.data(), chunk.size());
+  EXPECT_THROW(f::checked_write("w", out, chunk.data(), chunk.size()),
+               std::runtime_error);
+  EXPECT_EQ(out.str(), chunk + chunk);
+}
+
+TEST_F(FaultRegistry, DelayProceedsNormally) {
+  f::arm("w", f::Action::kDelay, 1, 5);
+  std::ostringstream out;
+  const std::string payload = "slow but intact";
+  const auto before = std::chrono::steady_clock::now();
+  f::checked_write("w", out, payload.data(), payload.size());
+  const auto elapsed = std::chrono::steady_clock::now() - before;
+  EXPECT_EQ(out.str(), payload);
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            5);
+}
+
+TEST_F(FaultRegistry, DisarmAndRearmResetTheCounter) {
+  f::arm("p", f::Action::kError, 2);
+  EXPECT_NO_THROW(f::trip("p"));
+  f::disarm("p");
+  EXPECT_NO_THROW(f::trip("p"));
+  EXPECT_NO_THROW(f::trip("p"));
+  // Re-arming resets the hit counter: two more safe hits before firing.
+  f::arm("p", f::Action::kError, 3);
+  EXPECT_NO_THROW(f::trip("p"));
+  EXPECT_NO_THROW(f::trip("p"));
+  EXPECT_THROW(f::trip("p"), std::runtime_error);
+}
+
+TEST_F(FaultRegistry, ResetClearsEverything) {
+  f::arm("p", f::Action::kError);
+  f::reset();
+  EXPECT_NO_THROW(f::trip("p"));
+  EXPECT_EQ(f::hits("p"), 0u);
+}
+
+TEST_F(FaultRegistry, MacroSeamsAreCompiledIntoThisBuild) {
+  // The test binaries inherit CALIPERS_FAULT_INJECTION from the library
+  // target; this guards against the definition silently going PRIVATE.
+  EXPECT_TRUE(f::compiled_in());
+}
+
+}  // namespace

@@ -1,0 +1,302 @@
+// Partitioned-execution unit suite: partition_plan's block-grid split,
+// Engine::run_range slice equivalence, the indexed clock, and the
+// partial-bundle -> bbx_merge round trip that must reproduce a
+// single-process bundle byte for byte.
+
+#include "core/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "core/design.hpp"
+#include "core/engine.hpp"
+#include "core/metadata.hpp"
+#include "core/record_sink.hpp"
+#include "io/archive/bbx_merge.hpp"
+#include "io/archive/bbx_reader.hpp"
+#include "io/archive/manifest.hpp"
+
+namespace cal {
+namespace {
+
+namespace ar = io::archive;
+
+Plan small_plan(std::uint64_t seed, std::size_t reps = 16) {
+  return DesignBuilder(seed)
+      .add(Factor::levels("size", {Value(1024), Value(4096), Value(16384)}))
+      .add(Factor::levels("op", {Value("read"), Value("write")}))
+      .replications(reps)
+      .randomize(true)
+      .build();
+}
+
+MeasureResult noisy_measure(const PlannedRun& run, MeasureContext& ctx) {
+  const double base = run.values[0].as_real() *
+                      (run.values[1].as_string() == "read" ? 1.0 : 0.5);
+  const double value = base * ctx.rng->lognormal_factor(0.3);
+  return MeasureResult{{value, value * 0.25}, value * 1e-7};
+}
+
+Engine indexed_engine(std::size_t threads = 1) {
+  Engine::Options options;
+  options.seed = 97;
+  options.threads = threads;
+  options.clock = Clock::kIndexed;
+  return Engine({"time_us", "aux"}, options);
+}
+
+const MeasureFactory kFactory = [](std::size_t) {
+  return MeasureFn(noisy_measure);
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(static_cast<bool>(in)) << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// --- partition_plan ---------------------------------------------------------
+
+TEST(PartitionPlan, CoversEveryRunExactlyOnceOnBlockBoundaries) {
+  for (const auto& [runs, parts, block] :
+       std::vector<std::tuple<std::size_t, std::size_t, std::size_t>>{
+           {96, 4, 16}, {100, 3, 16}, {1, 4, 16}, {4096, 7, 64},
+           {17, 2, 16}, {96, 96, 16}}) {
+    const std::vector<PlanPartition> out = partition_plan(runs, parts, block);
+    ASSERT_FALSE(out.empty());
+    std::size_t next = 0;
+    for (std::size_t p = 0; p < out.size(); ++p) {
+      EXPECT_EQ(out[p].index, p);
+      EXPECT_EQ(out[p].parts, out.size());
+      EXPECT_EQ(out[p].first_run, next) << "gap or overlap at partition " << p;
+      EXPECT_GT(out[p].run_count, 0u) << "empty partition " << p;
+      EXPECT_EQ(out[p].first_run % block, 0u)
+          << "partition " << p << " not block-aligned";
+      next = out[p].end_run();
+    }
+    EXPECT_EQ(next, runs) << "runs=" << runs << " parts=" << parts;
+  }
+}
+
+TEST(PartitionPlan, ClampsPartCountToBlockCount) {
+  // 3 blocks cannot feed 8 partitions: expect 3, never an empty one.
+  const auto out = partition_plan(48, 8, 16);
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(PartitionPlan, ZeroArgumentsThrow) {
+  EXPECT_THROW(partition_plan(96, 0, 16), std::invalid_argument);
+  EXPECT_THROW(partition_plan(96, 4, 0), std::invalid_argument);
+}
+
+// --- Engine::run_range ------------------------------------------------------
+
+TEST(RunRange, SlicesAreBitIdenticalToTheFullRun) {
+  const Plan plan = small_plan(71);
+  const Engine engine = indexed_engine();
+  const RawTable full = engine.run(plan, kFactory);
+
+  for (const PlanPartition& part : partition_plan(plan.size(), 3, 16)) {
+    TableSink sink;
+    engine.run_range(plan, kFactory, sink, part.first_run, part.run_count);
+    const RawTable slice = sink.take();
+    ASSERT_EQ(slice.size(), part.run_count);
+    for (std::size_t k = 0; k < slice.size(); ++k) {
+      const RawRecord& a = slice.records()[k];
+      const RawRecord& b = full.records()[part.first_run + k];
+      EXPECT_EQ(a.sequence, b.sequence);
+      EXPECT_EQ(a.timestamp_s, b.timestamp_s);
+      EXPECT_EQ(a.factors, b.factors);
+      EXPECT_EQ(a.metrics, b.metrics);
+    }
+  }
+}
+
+TEST(RunRange, IndexedClockIsAPureFunctionOfTheRunIndex) {
+  const Plan plan = small_plan(7, 8);
+  Engine::Options options;
+  options.seed = 11;
+  options.clock = Clock::kIndexed;
+  options.start_time_s = 100.0;
+  options.inter_run_gap_s = 0.5;
+  const Engine engine({"m"}, options);
+  const RawTable table =
+      engine.run(plan, [](const PlannedRun&, MeasureContext&) {
+        return MeasureResult{{1.0}, 123.0};  // elapsed must NOT matter
+      });
+  for (const RawRecord& rec : table.records()) {
+    EXPECT_DOUBLE_EQ(rec.timestamp_s,
+                     100.0 + static_cast<double>(rec.sequence) * 0.5);
+  }
+}
+
+TEST(RunRange, IndexedClockIsThreadCountInvariant) {
+  const Plan plan = small_plan(19, 8);
+  const RawTable seq = indexed_engine(1).run(plan, kFactory);
+  const RawTable par = indexed_engine(4).run(plan, kFactory);
+  ASSERT_EQ(seq.size(), par.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_EQ(seq.records()[i].timestamp_s, par.records()[i].timestamp_s);
+    EXPECT_EQ(seq.records()[i].metrics, par.records()[i].metrics);
+  }
+}
+
+TEST(RunRange, AccumulatedClockRejectsNonZeroFirst) {
+  const Plan plan = small_plan(3, 4);
+  Engine::Options options;  // default clock: kAccumulated
+  options.seed = 5;
+  const Engine engine({"time_us", "aux"}, options);
+  TableSink sink;
+  EXPECT_THROW(engine.run_range(plan, kFactory, sink, 8, 8),
+               std::invalid_argument);
+  // Full range stays fine: it is exactly run().
+  TableSink full;
+  engine.run_range(plan, kFactory, full, 0, plan.size());
+  EXPECT_EQ(full.take().size(), plan.size());
+}
+
+TEST(RunRange, OutOfRangeThrows) {
+  const Plan plan = small_plan(3, 4);
+  const Engine engine = indexed_engine();
+  TableSink sink;
+  EXPECT_THROW(engine.run_range(plan, kFactory, sink, plan.size() + 1, 0),
+               std::out_of_range);
+  EXPECT_THROW(engine.run_range(plan, kFactory, sink, 0, plan.size() + 1),
+               std::out_of_range);
+}
+
+// --- partial bundles + merge ------------------------------------------------
+
+class PartitionCampaign : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = std::filesystem::temp_directory_path() / "calipers_partition_test";
+    std::filesystem::remove_all(root_);
+    std::filesystem::create_directories(root_);
+  }
+  void TearDown() override { std::filesystem::remove_all(root_); }
+  std::filesystem::path root_;
+};
+
+TEST_F(PartitionCampaign, MergedPartialsAreByteIdenticalToSingleProcess) {
+  const Plan plan = small_plan(71);  // 96 runs
+  Metadata md;
+  md.set("benchmark", std::string("core_partition_test"));
+  const Campaign campaign(plan, indexed_engine(), md);
+  ArchiveOptions archive;
+  archive.format = ArchiveFormat::kBbx;
+  archive.shards = 3;
+  archive.block_records = 16;
+
+  const std::string ref_dir = (root_ / "reference").string();
+  campaign.run_to_dir(kFactory, ref_dir, archive);
+
+  std::vector<std::string> part_dirs;
+  for (const PlanPartition& part : partition_plan(plan.size(), 4, 16)) {
+    const std::string dir =
+        (root_ / ("part-" + std::to_string(part.index))).string();
+    campaign.run_partition_to_dir(kFactory, dir, part, archive);
+    part_dirs.push_back(dir);
+  }
+  const std::string merged_dir = (root_ / "merged").string();
+  const ar::MergeReport report = ar::bbx_merge(part_dirs, merged_dir);
+  EXPECT_EQ(report.parts, part_dirs.size());
+  EXPECT_EQ(report.records, plan.size());
+  EXPECT_TRUE(report.gaps.empty());
+
+  // The acceptance bar: shard bytes and the manifest block index (and
+  // zone maps) are identical to the single-process bundle.
+  const ar::Manifest ref = ar::Manifest::load(ref_dir);
+  const ar::Manifest merged = ar::Manifest::load(merged_dir);
+  EXPECT_EQ(merged.blocks, ref.blocks);
+  EXPECT_EQ(merged.zones, ref.zones);
+  EXPECT_EQ(merged.total_records, ref.total_records);
+  for (std::size_t s = 0; s < archive.shards; ++s) {
+    const std::string name = ar::Manifest::shard_file_name(s);
+    EXPECT_EQ(read_file(merged_dir + "/" + name),
+              read_file(ref_dir + "/" + name))
+        << name << " diverges from the single-process shard";
+  }
+
+  // And the merged bundle decodes to the same records.
+  const RawTable ref_table = ar::BbxReader(ref_dir).read_all();
+  const RawTable merged_table = ar::BbxReader(merged_dir).read_all();
+  ASSERT_EQ(merged_table.size(), ref_table.size());
+  for (std::size_t i = 0; i < ref_table.size(); ++i) {
+    EXPECT_EQ(merged_table.records()[i].metrics,
+              ref_table.records()[i].metrics);
+  }
+}
+
+TEST_F(PartitionCampaign, PartitionRequiresIndexedClockAndBbx) {
+  const Plan plan = small_plan(5, 8);
+  Metadata md;
+  ArchiveOptions archive;
+  archive.format = ArchiveFormat::kBbx;
+  archive.block_records = 16;
+  const PlanPartition part{0, 2, 16, 16};
+
+  Engine::Options accumulated;
+  accumulated.seed = 97;
+  const Campaign wrong_clock(plan, Engine({"time_us", "aux"}, accumulated),
+                             md);
+  EXPECT_THROW(wrong_clock.run_partition_to_dir(
+                   kFactory, (root_ / "p").string(), part, archive),
+               std::invalid_argument);
+
+  const Campaign ok(plan, indexed_engine(), md);
+  ArchiveOptions csv;
+  csv.format = ArchiveFormat::kCsv;
+  EXPECT_THROW(
+      ok.run_partition_to_dir(kFactory, (root_ / "p").string(), part, csv),
+      std::invalid_argument);
+  const PlanPartition misaligned{0, 2, 7, 16};
+  EXPECT_THROW(ok.run_partition_to_dir(kFactory, (root_ / "p").string(),
+                                       misaligned, archive),
+               std::invalid_argument);
+}
+
+TEST_F(PartitionCampaign, MergeWithoutGapsRejectsMissingPartition) {
+  const Plan plan = small_plan(71);
+  Metadata md;
+  const Campaign campaign(plan, indexed_engine(), md);
+  ArchiveOptions archive;
+  archive.format = ArchiveFormat::kBbx;
+  archive.shards = 2;
+  archive.block_records = 16;
+
+  const auto partitions = partition_plan(plan.size(), 3, 16);
+  std::vector<std::string> part_dirs;
+  for (const PlanPartition& part : partitions) {
+    if (part.index == 1) continue;  // simulate a lost partition
+    const std::string dir =
+        (root_ / ("part-" + std::to_string(part.index))).string();
+    campaign.run_partition_to_dir(kFactory, dir, part, archive);
+    part_dirs.push_back(dir);
+  }
+  EXPECT_THROW(ar::bbx_merge(part_dirs, (root_ / "merged").string()),
+               std::runtime_error);
+
+  ar::MergeOptions allow;
+  allow.allow_gaps = true;
+  const ar::MergeReport report =
+      ar::bbx_merge(part_dirs, (root_ / "merged").string(), allow);
+  ASSERT_EQ(report.gaps.size(), 1u);
+  EXPECT_EQ(report.gaps[0].first_sequence, partitions[1].first_run);
+  EXPECT_EQ(report.gaps[0].record_count, partitions[1].run_count);
+  // The degraded bundle still decodes.
+  const RawTable table =
+      ar::BbxReader((root_ / "merged").string()).read_all();
+  EXPECT_EQ(table.size(), plan.size() - partitions[1].run_count);
+}
+
+}  // namespace
+}  // namespace cal

@@ -1,0 +1,350 @@
+// Kill-recovery acceptance suite (label: fault).  The headline scenario:
+// a partition child is SIGKILLed mid-block-write (via an armed
+// failpoint), the farm re-dispatches it, and the merged bundle is
+// byte-identical -- shard files and manifest block index -- to a
+// single-process Campaign::run_to_dir of the same plan and seed.  Plus
+// bbx_fsck/bbx_salvage on deterministically truncated shards, and the
+// farm's budget-exhaustion / restartability contracts.
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "core/design.hpp"
+#include "core/engine.hpp"
+#include "core/farm.hpp"
+#include "core/fault.hpp"
+#include "core/metadata.hpp"
+#include "core/partition.hpp"
+#include "io/archive/bbx_fsck.hpp"
+#include "io/archive/bbx_merge.hpp"
+#include "io/archive/bbx_reader.hpp"
+#include "io/archive/manifest.hpp"
+
+namespace cal {
+namespace {
+
+namespace ar = io::archive;
+namespace f = core::fault;
+namespace fs = std::filesystem;
+
+Plan farm_plan(std::uint64_t seed) {
+  return DesignBuilder(seed)
+      .add(Factor::levels("size", {Value(1024), Value(4096), Value(16384),
+                                   Value(65536)}))
+      .add(Factor::levels("op", {Value("read"), Value("write")}))
+      .replications(16)  // 128 runs -> 8 blocks of 16
+      .randomize(true)
+      .build();
+}
+
+MeasureResult noisy_measure(const PlannedRun& run, MeasureContext& ctx) {
+  const double value =
+      run.values[0].as_real() * ctx.rng->lognormal_factor(0.25);
+  return MeasureResult{{value, value * 0.125}, value * 1e-7};
+}
+
+const MeasureFactory kFactory = [](std::size_t) {
+  return MeasureFn(noisy_measure);
+};
+
+Engine indexed_engine() {
+  Engine::Options options;
+  options.seed = 2017 * 31 + 7;
+  options.clock = Clock::kIndexed;
+  return Engine({"time_us", "aux"}, options);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(static_cast<bool>(in)) << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+class FarmRecovery : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    f::reset();
+    root_ = fs::temp_directory_path() / "calipers_farm_recovery_test";
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+  }
+  void TearDown() override {
+    f::reset();
+    fs::remove_all(root_);
+  }
+
+  std::string part_dir(std::size_t index) const {
+    return (root_ / ("part-" + std::to_string(index))).string();
+  }
+
+  std::filesystem::path root_;
+};
+
+TEST_F(FarmRecovery, SigkilledChildIsRedispatchedAndMergeIsByteIdentical) {
+  if (!f::compiled_in()) {
+    GTEST_SKIP() << "library built without CALIPERS_FAULT_INJECTION";
+  }
+  const Plan plan = farm_plan(2017);
+  Metadata md;
+  md.set("benchmark", std::string("farm_recovery_test"));
+  const Campaign campaign(plan, indexed_engine(), md);
+  ArchiveOptions archive;
+  archive.format = ArchiveFormat::kBbx;
+  archive.shards = 3;
+  archive.block_records = 16;
+
+  const std::string ref_dir = (root_ / "reference").string();
+  campaign.run_to_dir(kFactory, ref_dir, archive);
+
+  const std::vector<PlanPartition> partitions =
+      partition_plan(plan.size(), 4, archive.block_records);
+  ASSERT_EQ(partitions.size(), 4u);
+
+  // First attempt of partition 1 arms a SIGKILL on its second block
+  // flush -- in the CHILD, after fork, so the coordinator never sees the
+  // registry change.  The marker file makes the crash one-shot.
+  const std::string marker = (root_ / "chaos-fired").string();
+  const auto job = [&](const PlanPartition& part) {
+    if (part.index == 1 && !fs::exists(marker)) {
+      std::ofstream(marker) << "armed\n";
+      f::arm_spec("bbx.flush_block=crash@2");
+    }
+    campaign.run_partition_to_dir(kFactory, part_dir(part.index), part,
+                                  archive);
+  };
+  const auto completed = [&](const PlanPartition& part) {
+    return ar::BbxReader::is_bundle(part_dir(part.index));
+  };
+
+  core::FarmOptions options;
+  options.attempt_budget = 3;
+  options.backoff_base_ms = 1;  // keep the test fast
+  const core::FarmResult farm =
+      core::run_partition_farm(partitions, job, completed, options);
+
+  EXPECT_TRUE(farm.complete);
+  EXPECT_TRUE(farm.incomplete.empty());
+  EXPECT_GE(farm.redispatches, 1u);
+  bool saw_sigkill = false;
+  for (const core::FarmAttempt& attempt : farm.attempts) {
+    if (attempt.partition == 1 && attempt.exit_code == -SIGKILL) {
+      saw_sigkill = true;
+      EXPECT_FALSE(attempt.completed);
+    }
+  }
+  EXPECT_TRUE(saw_sigkill) << "the chaos child was not killed by SIGKILL";
+  // The crash must not have fired in the coordinator's registry.
+  EXPECT_EQ(f::hits("bbx.flush_block"), 0u);
+
+  std::vector<std::string> part_dirs;
+  for (const PlanPartition& part : partitions) {
+    part_dirs.push_back(part_dir(part.index));
+  }
+  const std::string merged_dir = (root_ / "merged").string();
+  const ar::MergeReport report = ar::bbx_merge(part_dirs, merged_dir);
+  EXPECT_TRUE(report.gaps.empty());
+  EXPECT_EQ(report.records, plan.size());
+
+  // Acceptance: shard bytes and the manifest block index are identical
+  // to the single-process bundle of the same plan and seed.
+  const ar::Manifest ref = ar::Manifest::load(ref_dir);
+  const ar::Manifest merged = ar::Manifest::load(merged_dir);
+  EXPECT_EQ(merged.blocks, ref.blocks);
+  EXPECT_EQ(merged.zones, ref.zones);
+  EXPECT_EQ(merged.total_records, ref.total_records);
+  for (std::size_t s = 0; s < archive.shards; ++s) {
+    const std::string name = ar::Manifest::shard_file_name(s);
+    EXPECT_EQ(read_file(merged_dir + "/" + name),
+              read_file(ref_dir + "/" + name))
+        << name << " diverges after kill + redispatch";
+  }
+}
+
+TEST_F(FarmRecovery, BudgetExhaustionDegradesGracefully) {
+  // A partition whose job always dies ends up in `incomplete` after
+  // exactly attempt_budget attempts; the others still finish, and a
+  // gap-tolerant merge of the survivors works.
+  const Plan plan = farm_plan(5);
+  Metadata md;
+  const Campaign campaign(plan, indexed_engine(), md);
+  ArchiveOptions archive;
+  archive.format = ArchiveFormat::kBbx;
+  archive.shards = 2;
+  archive.block_records = 16;
+
+  const std::vector<PlanPartition> partitions =
+      partition_plan(plan.size(), 4, archive.block_records);
+  const auto job = [&](const PlanPartition& part) {
+    if (part.index == 2) throw std::runtime_error("injected: always fails");
+    campaign.run_partition_to_dir(kFactory, part_dir(part.index), part,
+                                  archive);
+  };
+  const auto completed = [&](const PlanPartition& part) {
+    return ar::BbxReader::is_bundle(part_dir(part.index));
+  };
+  core::FarmOptions options;
+  options.attempt_budget = 2;
+  options.backoff_base_ms = 1;
+  const core::FarmResult farm =
+      core::run_partition_farm(partitions, job, completed, options);
+
+  EXPECT_FALSE(farm.complete);
+  ASSERT_EQ(farm.incomplete.size(), 1u);
+  EXPECT_EQ(farm.incomplete[0].index, 2u);
+  std::size_t failed_attempts = 0;
+  for (const core::FarmAttempt& attempt : farm.attempts) {
+    if (attempt.partition == 2) {
+      ++failed_attempts;
+      EXPECT_EQ(attempt.exit_code, 1);  // job threw, child exited 1
+    }
+  }
+  EXPECT_EQ(failed_attempts, options.attempt_budget);
+
+  std::vector<std::string> done;
+  for (const PlanPartition& part : partitions) {
+    if (part.index != 2) done.push_back(part_dir(part.index));
+  }
+  ar::MergeOptions mopts;
+  mopts.allow_gaps = true;
+  const ar::MergeReport report =
+      ar::bbx_merge(done, (root_ / "merged").string(), mopts);
+  ASSERT_EQ(report.gaps.size(), 1u);
+  EXPECT_EQ(report.gaps[0].first_sequence, partitions[2].first_run);
+  EXPECT_EQ(report.gaps[0].record_count, partitions[2].run_count);
+}
+
+TEST_F(FarmRecovery, PreExistingBundlesAreNotRedispatched) {
+  // Restartability: partials from a previous coordinator count as done.
+  const Plan plan = farm_plan(9);
+  Metadata md;
+  const Campaign campaign(plan, indexed_engine(), md);
+  ArchiveOptions archive;
+  archive.format = ArchiveFormat::kBbx;
+  archive.shards = 2;
+  archive.block_records = 16;
+  const std::vector<PlanPartition> partitions =
+      partition_plan(plan.size(), 2, archive.block_records);
+  campaign.run_partition_to_dir(kFactory, part_dir(0), partitions[0],
+                                archive);
+
+  std::size_t dispatched = 0;
+  const auto job = [&](const PlanPartition& part) {
+    campaign.run_partition_to_dir(kFactory, part_dir(part.index), part,
+                                  archive);
+  };
+  const auto completed = [&](const PlanPartition& part) {
+    return ar::BbxReader::is_bundle(part_dir(part.index));
+  };
+  core::FarmOptions options;
+  options.backoff_base_ms = 1;
+  const core::FarmResult farm =
+      core::run_partition_farm(partitions, job, completed, options);
+  EXPECT_TRUE(farm.complete);
+  for (const core::FarmAttempt& attempt : farm.attempts) {
+    EXPECT_NE(attempt.partition, 0u) << "completed partition re-dispatched";
+    ++dispatched;
+  }
+  EXPECT_EQ(dispatched, 1u);
+}
+
+TEST_F(FarmRecovery, FsckSalvagesTheCompletePrefixOfATruncatedShard) {
+  const Plan plan = farm_plan(13);
+  Metadata md;
+  const Campaign campaign(plan, indexed_engine(), md);
+  ArchiveOptions archive;
+  archive.format = ArchiveFormat::kBbx;
+  archive.shards = 2;
+  archive.block_records = 16;
+  const std::string dir = (root_ / "bundle").string();
+  campaign.run_to_dir(kFactory, dir, archive);
+  const RawTable reference = ar::BbxReader(dir).read_all();
+
+  // Deterministic damage: cut the shard holding global block 5 a few
+  // bytes into that block's frame.  Blocks 0..4 stay intact, so the
+  // longest complete prefix is exactly 5 blocks (80 records).
+  const ar::Manifest manifest = ar::Manifest::load(dir);
+  ASSERT_EQ(manifest.blocks.size(), 8u);
+  const ar::BlockInfo& victim = manifest.blocks[5];
+  const std::string shard_path =
+      dir + "/" + ar::Manifest::shard_file_name(victim.shard);
+  fs::resize_file(shard_path, victim.offset + 5);
+
+  const ar::FsckReport fsck = ar::bbx_fsck(dir);
+  EXPECT_FALSE(fsck.ok);
+  EXPECT_EQ(fsck.blocks_indexed, 8u);
+  EXPECT_EQ(fsck.prefix_blocks, 5u);
+  EXPECT_EQ(fsck.prefix_records, 5u * archive.block_records);
+  EXPECT_FALSE(fsck.problems.empty());
+
+  const std::string out = (root_ / "salvaged").string();
+  const ar::FsckReport salvage = ar::bbx_salvage(dir, out);
+  EXPECT_EQ(salvage.prefix_blocks, 5u);
+  ASSERT_TRUE(ar::BbxReader::is_bundle(out));
+  // The salvaged bundle is valid end to end...
+  const ar::FsckReport clean = ar::bbx_fsck(out);
+  EXPECT_TRUE(clean.ok);
+  // ...and decodes to exactly the complete prefix of the original.
+  const RawTable rescued = ar::BbxReader(out).read_all();
+  ASSERT_EQ(rescued.size(), fsck.prefix_records);
+  for (std::size_t i = 0; i < rescued.size(); ++i) {
+    EXPECT_EQ(rescued.records()[i].sequence,
+              reference.records()[i].sequence);
+    EXPECT_EQ(rescued.records()[i].metrics, reference.records()[i].metrics);
+  }
+}
+
+TEST_F(FarmRecovery, FsckAcceptsAnIntactBundleAndStagedManifests) {
+  const Plan plan = farm_plan(21);
+  Metadata md;
+  const Campaign campaign(plan, indexed_engine(), md);
+  ArchiveOptions archive;
+  archive.format = ArchiveFormat::kBbx;
+  archive.shards = 2;
+  archive.block_records = 16;
+  const std::string dir = (root_ / "bundle").string();
+  campaign.run_to_dir(kFactory, dir, archive);
+
+  ar::FsckReport report = ar::bbx_fsck(dir);
+  EXPECT_TRUE(report.ok);
+  EXPECT_FALSE(report.manifest_staged);
+  EXPECT_EQ(report.blocks_valid, report.blocks_indexed);
+
+  // A crash between the shard renames and the manifest publish leaves
+  // manifest.bbx.json.tmp -- fsck must still verify (and salvage from)
+  // the staged index.
+  const std::string manifest =
+      dir + "/" + std::string(ar::Manifest::file_name());
+  fs::rename(manifest, manifest + ".tmp");
+  report = ar::bbx_fsck(dir);
+  EXPECT_TRUE(report.manifest_staged);
+  EXPECT_EQ(report.blocks_valid, report.blocks_indexed);
+
+  const std::string out = (root_ / "salvaged").string();
+  ar::bbx_salvage(dir, out);
+  EXPECT_TRUE(ar::BbxReader::is_bundle(out));
+  EXPECT_EQ(ar::BbxReader(out).read_all().size(), plan.size());
+}
+
+TEST_F(FarmRecovery, SalvageRefusesInPlaceOperation) {
+  const Plan plan = farm_plan(33);
+  Metadata md;
+  const Campaign campaign(plan, indexed_engine(), md);
+  ArchiveOptions archive;
+  archive.format = ArchiveFormat::kBbx;
+  archive.block_records = 16;
+  const std::string dir = (root_ / "bundle").string();
+  campaign.run_to_dir(kFactory, dir, archive);
+  EXPECT_THROW(ar::bbx_salvage(dir, dir), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cal

@@ -1,0 +1,221 @@
+// Fault-injection matrix (label: fault): injected errors, short writes
+// and ENOSPC at every archive/engine seam must propagate to the caller
+// AND must never leave behind a bundle that read_dir would accept --
+// "readable but wrong" is the one unacceptable outcome.
+//
+// Crash (SIGKILL) actions cannot run in-process; they are exercised via
+// forked children in farm_recovery_test.cpp.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "core/design.hpp"
+#include "core/engine.hpp"
+#include "core/fault.hpp"
+#include "core/metadata.hpp"
+#include "core/partition.hpp"
+#include "io/archive/bbx_merge.hpp"
+#include "io/archive/bbx_reader.hpp"
+#include "io/archive/manifest.hpp"
+
+namespace cal {
+namespace {
+
+namespace f = core::fault;
+namespace fs = std::filesystem;
+
+Plan small_plan(std::uint64_t seed) {
+  return DesignBuilder(seed)
+      .add(Factor::levels("size", {Value(1024), Value(4096), Value(16384)}))
+      .add(Factor::levels("op", {Value("read"), Value("write")}))
+      .replications(16)  // 96 runs -> 6 blocks of 16
+      .randomize(true)
+      .build();
+}
+
+MeasureResult noisy_measure(const PlannedRun& run, MeasureContext& ctx) {
+  const double value =
+      run.values[0].as_real() * ctx.rng->lognormal_factor(0.3);
+  return MeasureResult{{value, value * 0.25}, value * 1e-7};
+}
+
+const MeasureFactory kFactory = [](std::size_t) {
+  return MeasureFn(noisy_measure);
+};
+
+class FaultInjection : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!f::compiled_in()) {
+      GTEST_SKIP() << "library built without CALIPERS_FAULT_INJECTION";
+    }
+    f::reset();
+    root_ = fs::temp_directory_path() / "calipers_fault_injection_test";
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+  }
+  void TearDown() override {
+    f::reset();
+    fs::remove_all(root_);
+  }
+
+  Campaign make_campaign(const std::string& faults) const {
+    Engine::Options options;
+    options.seed = 97;
+    options.clock = Clock::kIndexed;
+    options.sink_batch = 32;  // 96 runs -> 3 engine.window hits
+    options.faults = faults;  // armed at run entry, in this process
+    Metadata md;
+    md.set("benchmark", std::string("fault_injection_test"));
+    return Campaign(small_plan(71), Engine({"time_us", "aux"}, options), md);
+  }
+
+  std::filesystem::path root_;
+};
+
+TEST_F(FaultInjection, EverySeamPropagatesAndLeavesNoAcceptableBundle) {
+  struct Case {
+    const char* spec;
+    ArchiveFormat format;
+  };
+  const std::vector<Case> cases = {
+      {"bbx.flush_block=error", ArchiveFormat::kBbx},
+      {"bbx.flush_block=enospc@2", ArchiveFormat::kBbx},
+      {"bbx.flush_block=short_write@3", ArchiveFormat::kBbx},
+      {"bbx.write_manifest=error", ArchiveFormat::kBbx},
+      {"bbx.write_manifest=short_write", ArchiveFormat::kBbx},
+      {"bbx.rename_shard=error", ArchiveFormat::kBbx},
+      {"bbx.publish_manifest=error", ArchiveFormat::kBbx},
+      {"engine.window=error@3", ArchiveFormat::kBbx},
+      {"csv.write=enospc", ArchiveFormat::kCsv},
+      {"csv.write=short_write", ArchiveFormat::kCsv},
+      {"csv.close=error", ArchiveFormat::kCsv},
+      {"engine.window=error@2", ArchiveFormat::kCsv},
+  };
+  std::size_t id = 0;
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.spec);
+    f::reset();  // the previous case's arming must not leak into this one
+    const std::string dir = (root_ / ("case-" + std::to_string(id++))).string();
+    const Campaign campaign = make_campaign(c.spec);
+    ArchiveOptions archive;
+    archive.format = c.format;
+    archive.shards = 2;
+    archive.block_records = 16;
+
+    EXPECT_THROW(campaign.run_to_dir(kFactory, dir, archive),
+                 std::runtime_error)
+        << "injected fault did not propagate";
+
+    // No readable-but-wrong bundle: nothing got finalized, so read_dir
+    // must refuse the directory outright.
+    EXPECT_FALSE(fs::exists(dir + "/plan.csv"));
+    EXPECT_FALSE(fs::exists(dir + "/metadata.txt"));
+    EXPECT_FALSE(fs::exists(dir + "/results.csv"));
+    EXPECT_FALSE(io::archive::BbxReader::is_bundle(dir));
+    EXPECT_THROW(CampaignResult::read_dir(dir), std::runtime_error);
+  }
+}
+
+TEST_F(FaultInjection, FailedBbxRunLeavesOnlyStagedDebris) {
+  const std::string dir = (root_ / "debris").string();
+  const Campaign campaign = make_campaign("bbx.flush_block=error@4");
+  ArchiveOptions archive;
+  archive.format = ArchiveFormat::kBbx;
+  archive.shards = 2;
+  archive.block_records = 16;
+  EXPECT_THROW(campaign.run_to_dir(kFactory, dir, archive),
+               std::runtime_error);
+  // The staged plan and shard files exist (the run got well past begin),
+  // but only under their *.tmp names.
+  EXPECT_TRUE(fs::exists(dir + "/plan.csv.tmp"));
+  bool staged_shard = false;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    EXPECT_TRUE(name.ends_with(".tmp")) << "finalized file left behind: "
+                                        << name;
+    staged_shard = staged_shard || name.starts_with("shard-");
+  }
+  EXPECT_TRUE(staged_shard);
+}
+
+TEST_F(FaultInjection, ReadDirDiagnosesInterruptedFinalize) {
+  // A published bundle whose manifest gets demoted back to its staged
+  // name models a crash between the shard renames and the manifest
+  // rename: plan.csv is there, results are not, debris is.
+  const std::string dir = (root_ / "interrupted").string();
+  const Campaign campaign = make_campaign("");
+  ArchiveOptions archive;
+  archive.format = ArchiveFormat::kBbx;
+  archive.shards = 2;
+  archive.block_records = 16;
+  campaign.run_to_dir(kFactory, dir, archive);
+  const std::string manifest =
+      dir + "/" + std::string(io::archive::Manifest::file_name());
+  fs::rename(manifest, manifest + ".tmp");
+
+  try {
+    CampaignResult::read_dir(dir);
+    FAIL() << "read_dir accepted an interrupted bundle";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("incomplete"), std::string::npos) << what;
+    EXPECT_NE(what.find("bbx_fsck"), std::string::npos) << what;
+  }
+}
+
+TEST_F(FaultInjection, MergeDiskFullPublishesNothing) {
+  // Build two clean partials, then hit ENOSPC while concatenating shard
+  // tails: the merge must throw and the output directory must not
+  // become a bundle (staging only, manifest never published).
+  const Campaign campaign = make_campaign("");
+  ArchiveOptions archive;
+  archive.format = ArchiveFormat::kBbx;
+  archive.shards = 2;
+  archive.block_records = 16;
+  std::vector<std::string> part_dirs;
+  for (const PlanPartition& part :
+       partition_plan(campaign.plan().size(), 2, archive.block_records)) {
+    const std::string dir =
+        (root_ / ("part-" + std::to_string(part.index))).string();
+    campaign.run_partition_to_dir(kFactory, dir, part, archive);
+    part_dirs.push_back(dir);
+  }
+  const std::string merged = (root_ / "merged").string();
+  f::arm_spec("merge.write_shard=enospc@2");
+  EXPECT_THROW(io::archive::bbx_merge(part_dirs, merged),
+               std::runtime_error);
+  f::reset();
+  EXPECT_FALSE(io::archive::BbxReader::is_bundle(merged));
+  // The partials are untouched: the merge can simply be re-run.
+  const io::archive::MergeReport report =
+      io::archive::bbx_merge(part_dirs, merged);
+  EXPECT_EQ(report.records, campaign.plan().size());
+  EXPECT_TRUE(io::archive::BbxReader::is_bundle(merged));
+}
+
+TEST_F(FaultInjection, CsvDiskFullLeavesNoResultsFile) {
+  // Satellite check: CsvStreamSink propagates disk-full from its writer
+  // thread and the bundle directory never gains a results.csv.
+  const std::string dir = (root_ / "csv-enospc").string();
+  const Campaign campaign = make_campaign("csv.write=enospc");
+  ArchiveOptions archive;
+  archive.format = ArchiveFormat::kCsv;
+  try {
+    campaign.run_to_dir(kFactory, dir, archive);
+    FAIL() << "disk-full did not propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("No space left on device"),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_FALSE(fs::exists(dir + "/results.csv"));
+  EXPECT_THROW(CampaignResult::read_dir(dir), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cal
