@@ -4,6 +4,9 @@
 //                  [--where EXPR] [--threads T] [--csv <path|->]
 //   campaign_query <bundle-dir> [--where EXPR] [--select c1,c2]
 //                  [--threads T] [--csv <path|->]
+//   campaign_query <bundle-name> --server <unix:/path | tcp:PORT>
+//                  [query flags] [--csv <path|->]
+//   campaign_query --server <addr> --shutdown
 //
 // With --agg the query aggregates (grouped by --group-by factors) and
 // prints a table -- or writes aggregate CSV with --csv.  Without --agg it
@@ -11,6 +14,12 @@
 // as a raw-results CSV (--csv, '-' = stdout).  Either way the predicate
 // is pruned against the bundle's zone maps first, so a selective query
 // touches only the blocks that can match.
+//
+// With --server the same query goes to a running campaign_serve daemon
+// instead: the first argument names a bundle in the daemon's catalog,
+// and the CSV that comes back is byte-identical to what the local path
+// writes (--threads is then the daemon's concern, not the client's).
+// --shutdown asks the daemon to exit.
 //
 // Expression syntax (see src/query/expr.hpp):
 //   size == 1024 && op != "pingpong" || sequence < 10000
@@ -28,6 +37,7 @@
 #include "io/archive/bbx_reader.hpp"
 #include "io/table_fmt.hpp"
 #include "query/engine.hpp"
+#include "serve/client.hpp"
 
 using namespace cal;
 using examples::UsageError;
@@ -38,7 +48,22 @@ constexpr const char* kUsage =
     "usage: campaign_query <bundle-dir> [--where EXPR]\n"
     "         [--group-by f1,f2 --agg count,mean:metric,...]\n"
     "         [--select col1,col2] [--threads T] [--csv <path|->]\n"
+    "       campaign_query <bundle-name> --server <unix:/path|tcp:PORT>\n"
+    "         [query flags] [--csv <path|->]\n"
+    "       campaign_query --server <addr> --shutdown\n"
     "  aggregates: count, sum:m, mean:m, sd:m, min:m, max:m\n";
+
+serve::QueryClient connect_server(const std::string& addr) {
+  if (addr.rfind("unix:", 0) == 0) {
+    return serve::QueryClient::connect_unix(addr.substr(5));
+  }
+  if (addr.rfind("tcp:", 0) == 0) {
+    return serve::QueryClient::connect_tcp(
+        static_cast<int>(examples::parse_size_flag("--server",
+                                                   addr.substr(4))));
+  }
+  throw UsageError("--server expects unix:<path> or tcp:<port>");
+}
 
 std::vector<std::string> split_list(const std::string& text) {
   std::vector<std::string> out;
@@ -62,12 +87,19 @@ void print_scan(const query::ScanStats& scan) {
 int main(int argc, char** argv) {
   return examples::cli_guard("campaign_query", kUsage, [&]() -> int {
     if (argc < 2) throw UsageError("");
-    const std::string bundle_dir = argv[1];
-    std::string where_text, csv_path;
-    std::vector<std::string> group_by, select;
+    std::string bundle_dir;
+    int first_flag = 2;
+    if (argv[1][0] == '-') {
+      first_flag = 1;  // the --server --shutdown form has no bundle
+    } else {
+      bundle_dir = argv[1];
+    }
+    std::string where_text, csv_path, server_addr;
+    std::vector<std::string> group_by, select, agg_texts;
     std::vector<query::Aggregate> aggregates;
     std::size_t threads = 1;
-    for (int i = 2; i < argc; ++i) {
+    bool shutdown = false;
+    for (int i = first_flag; i < argc; ++i) {
       const std::string arg = argv[i];
       const auto next = [&]() -> std::string {
         if (i + 1 >= argc) throw UsageError(arg + " requires an argument");
@@ -84,14 +116,22 @@ int main(int argc, char** argv) {
           const auto agg = query::parse_aggregate(item);
           if (!agg) throw UsageError("unknown aggregate '" + item + "'");
           aggregates.push_back(*agg);
+          agg_texts.push_back(item);
         }
       } else if (arg == "--threads") {
         threads = examples::parse_size_flag(arg, next());
       } else if (arg == "--csv") {
         csv_path = next();
+      } else if (arg == "--server") {
+        server_addr = next();
+      } else if (arg == "--shutdown") {
+        shutdown = true;
       } else {
         throw UsageError("unknown flag '" + arg + "'");
       }
+    }
+    if (shutdown && server_addr.empty()) {
+      throw UsageError("--shutdown needs --server");
     }
     if (aggregates.empty() && !group_by.empty()) {
       throw UsageError(
@@ -100,6 +140,43 @@ int main(int argc, char** argv) {
     if (!aggregates.empty() && !select.empty()) {
       throw UsageError("--select only applies to row queries (drop --agg)");
     }
+
+    if (!server_addr.empty()) {
+      serve::QueryClient client = connect_server(server_addr);
+      serve::Request request;
+      if (shutdown) {
+        request.kind = serve::RequestKind::kShutdown;
+      } else {
+        if (bundle_dir.empty()) {
+          throw UsageError("name the catalog bundle to query");
+        }
+        request.bundle = bundle_dir;
+        request.where = where_text;
+        if (!aggregates.empty()) {
+          request.kind = serve::RequestKind::kAggregate;
+          request.group_by = group_by;
+          request.aggregates = agg_texts;
+        } else {
+          request.kind = serve::RequestKind::kMaterialize;
+          request.select = select;
+        }
+      }
+      const serve::Response response = client.call(request);
+      if (response.status != serve::Status::kOk) {
+        throw std::runtime_error(response.body);
+      }
+      if (csv_path.empty() || csv_path == "-") {
+        std::cout << response.body;
+      } else {
+        std::ofstream out(csv_path, std::ios::binary | std::ios::trunc);
+        if (!out) {
+          throw std::runtime_error("cannot create '" + csv_path + "'");
+        }
+        out << response.body;
+      }
+      return 0;
+    }
+    if (bundle_dir.empty()) throw UsageError("");
 
     const io::archive::BbxReader reader(bundle_dir);
     const query::BundleQuery bundle(reader);

@@ -1,0 +1,14 @@
+#!/usr/bin/env sh
+# Builds and runs the serving bench (query-server daemon with decoded-
+# block cache and request coalescing vs cold single-shot queries),
+# leaving BENCH_serve.json at the repo root so successive PRs can track
+# the warm-cache speedup, byte-identity matrix and coalescing checks.
+#
+#   scripts/bench_serve.sh [build-dir]
+set -e
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build}"
+
+cmake -B "$BUILD" -S "$ROOT" >/dev/null
+cmake --build "$BUILD" --target bench_serve >/dev/null
+"$BUILD/bench/bench_serve" "$ROOT/BENCH_serve.json"

@@ -3,7 +3,7 @@
 #
 #   scripts/check.sh              # full suite (unit + property + acceptance)
 #   scripts/check.sh --fast       # unit-labelled tests only (quick loop)
-#   scripts/check.sh --sanitize   # ASan+UBSan build, unit + fault labels
+#   scripts/check.sh --sanitize   # ASan+UBSan build, unit+fault+integration
 #   scripts/check.sh [--fast] -R core_engine   # extra args go to ctest
 #
 # Build directory defaults to ./build (./build-asan for --sanitize);
@@ -18,9 +18,10 @@ if [ "$1" = "--fast" ]; then
   LABEL_ARGS="-L unit"
   shift
 elif [ "$1" = "--sanitize" ]; then
-  # The crash-recovery story only counts if it holds with the memory
-  # checkers watching: fault-injection + unit suites under ASan/UBSan.
-  LABEL_ARGS="-L unit|fault"
+  # The crash-recovery and serving stories only count if they hold with
+  # the memory checkers watching: fault-injection, unit, and the full
+  # campaign->archive->daemon integration suite under ASan/UBSan.
+  LABEL_ARGS="-L unit|fault|integration"
   CMAKE_ARGS="-DCMAKE_BUILD_TYPE=Debug -DCALIPERS_SANITIZE=ON"
   DEFAULT_BUILD="$ROOT/build-asan"
   shift

@@ -1,0 +1,110 @@
+#include "query/block_source.hpp"
+
+#include <stdexcept>
+
+#include "io/archive/column_codec.hpp"
+
+namespace cal::query {
+
+namespace ar = io::archive;
+
+void ColumnSet::merge(const ColumnSet& other) {
+  seq |= other.seq;
+  cell |= other.cell;
+  rep |= other.rep;
+  ts |= other.ts;
+  for (std::size_t i = 0; i < factors.size(); ++i) {
+    factors[i] |= other.factors[i];
+  }
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    metrics[i] |= other.metrics[i];
+  }
+}
+
+std::vector<std::uint32_t> ColumnSet::column_ids() const {
+  std::vector<std::uint32_t> ids;
+  if (seq) ids.push_back(0);
+  if (cell) ids.push_back(1);
+  if (rep) ids.push_back(2);
+  if (ts) ids.push_back(3);
+  for (std::size_t f = 0; f < factors.size(); ++f) {
+    if (factors[f]) ids.push_back(static_cast<std::uint32_t>(4 + f));
+  }
+  for (std::size_t m = 0; m < metrics.size(); ++m) {
+    if (metrics[m]) {
+      ids.push_back(static_cast<std::uint32_t>(4 + factors.size() + m));
+    }
+  }
+  return ids;
+}
+
+DecodedColumns decode_columns(const std::string& raw, const ColumnSet& needs,
+                              std::size_t records, std::size_t n_factors,
+                              std::size_t n_metrics) {
+  DecodedColumns d;
+  d.records = records;
+  // The scan loop runs to the manifest's record count; a decoded column
+  // of any other length means the manifest and the block image disagree
+  // (tampering the PR-4 corruption tests promise a clear error for), so
+  // check every column before it can be indexed out of bounds.
+  const auto checked = [records](auto column) {
+    if (column.size() != records) {
+      throw std::runtime_error(
+          "query: block decoded to " + std::to_string(column.size()) +
+          " records but the manifest declares " + std::to_string(records));
+    }
+    using T = decltype(column);
+    return std::make_shared<const T>(std::move(column));
+  };
+  if (needs.seq) {
+    d.seq = checked(ar::decode_index_column(raw, n_factors, n_metrics, 0));
+  }
+  if (needs.cell) {
+    d.cell = checked(ar::decode_index_column(raw, n_factors, n_metrics, 1));
+  }
+  if (needs.rep) {
+    d.rep = checked(ar::decode_index_column(raw, n_factors, n_metrics, 2));
+  }
+  if (needs.ts) {
+    d.ts = checked(ar::decode_timestamp_column(raw, n_factors, n_metrics));
+  }
+  d.factors.resize(n_factors);
+  d.metrics.resize(n_metrics);
+  for (std::size_t f = 0; f < n_factors; ++f) {
+    if (f < needs.factors.size() && needs.factors[f]) {
+      d.factors[f] =
+          checked(ar::decode_factor_column(raw, n_factors, n_metrics, f));
+    }
+  }
+  for (std::size_t m = 0; m < n_metrics; ++m) {
+    if (m < needs.metrics.size() && needs.metrics[m]) {
+      d.metrics[m] =
+          checked(ar::decode_metric_column(raw, n_factors, n_metrics, m));
+    }
+  }
+  return d;
+}
+
+void DirectBlockSource::scan(
+    const std::vector<std::size_t>& blocks,
+    const std::vector<ColumnSet>& needs, core::WorkerPool* pool,
+    const std::function<void(std::size_t, const DecodedColumns&)>& body)
+    const {
+  if (needs.size() != blocks.size()) {
+    throw std::invalid_argument(
+        "query: scan needs one ColumnSet per block");
+  }
+  const ar::Manifest& manifest = reader_.manifest();
+  const std::size_t n_factors = manifest.factor_names.size();
+  const std::size_t n_metrics = manifest.metric_names.size();
+  reader_.scan_blocks(
+      blocks, pool,
+      [&](std::size_t ordinal, std::size_t block, const std::string& raw) {
+        body(ordinal,
+             decode_columns(raw, needs[ordinal],
+                            manifest.blocks[block].records, n_factors,
+                            n_metrics));
+      });
+}
+
+}  // namespace cal::query

@@ -1,0 +1,108 @@
+#pragma once
+// Block-provider seam of the query engine.
+//
+// BundleQuery used to fetch + decode block columns inline, which meant a
+// decoded column died with the query that decoded it -- every CLI
+// invocation, and every query of a long-lived server, re-decoded the
+// same blocks from scratch.  BlockSource is the hook that fixes that:
+// the scan asks a source for "these blocks, these columns per block",
+// and the source decides where the decoded columns come from.
+//
+//   DirectBlockSource    decodes from the bundle's shard files on every
+//                        scan (exactly the old inline behavior -- the
+//                        single-shot CLI path, byte-identical by
+//                        construction since both sources share
+//                        decode_columns());
+//   serve::CachingBlockSource
+//                        consults an LRU decoded-column cache first and
+//                        only touches the shards for columns the cache
+//                        does not hold (see src/serve/).
+//
+// Columns travel as shared_ptr vectors so a cache can hand the same
+// decoded column to many concurrent scans without copying; a scan never
+// mutates what it is handed.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/value.hpp"
+#include "core/worker_pool.hpp"
+#include "io/archive/bbx_reader.hpp"
+
+namespace cal::query {
+
+/// Which columns of a block a scan needs.  Column identifiers follow the
+/// block-image (and zone-map) order: 0 sequence, 1 cell, 2 replicate,
+/// 3 timestamp, 4+f factor f, 4+n_factors+m metric m.
+struct ColumnSet {
+  bool seq = false, cell = false, rep = false, ts = false;
+  std::vector<char> factors;  ///< per factor index
+  std::vector<char> metrics;  ///< per metric index
+
+  ColumnSet() = default;
+  ColumnSet(std::size_t n_factors, std::size_t n_metrics)
+      : factors(n_factors, 0), metrics(n_metrics, 0) {}
+
+  void merge(const ColumnSet& other);
+
+  /// Unified column ids of every requested column, ascending.
+  std::vector<std::uint32_t> column_ids() const;
+};
+
+/// The decoded columns of one block (only those a scan asked for; the
+/// rest are null).  Every present column holds exactly `records` values.
+struct DecodedColumns {
+  std::size_t records = 0;
+  std::shared_ptr<const std::vector<std::size_t>> seq, cell, rep;
+  std::shared_ptr<const std::vector<double>> ts;
+  std::vector<std::shared_ptr<const std::vector<Value>>> factors;
+  std::vector<std::shared_ptr<const std::vector<double>>> metrics;
+};
+
+/// Decodes the requested columns out of a block's raw image -- the one
+/// decode path every source shares.  Throws when a column decodes to a
+/// record count other than `records` (manifest / image disagreement).
+DecodedColumns decode_columns(const std::string& raw, const ColumnSet& needs,
+                              std::size_t records, std::size_t n_factors,
+                              std::size_t n_metrics);
+
+/// Where a scan's decoded columns come from.
+class BlockSource {
+ public:
+  virtual ~BlockSource() = default;
+
+  /// Fetches + decodes the requested columns of every listed block
+  /// (manifest block indices, any subset) and calls
+  /// `body(ordinal, columns)` -- `ordinal` is the position within
+  /// `blocks`, `needs[ordinal]` the columns that must be present.
+  /// Parallel over `pool` when provided; `body` may run concurrently and
+  /// must only touch per-ordinal state.  Failures propagate in ordinal
+  /// order, like every block-parallel path.
+  virtual void scan(const std::vector<std::size_t>& blocks,
+                    const std::vector<ColumnSet>& needs,
+                    core::WorkerPool* pool,
+                    const std::function<void(std::size_t ordinal,
+                                             const DecodedColumns& columns)>&
+                        body) const = 0;
+};
+
+/// The no-cache source: every scan decodes from the bundle's shards.
+class DirectBlockSource final : public BlockSource {
+ public:
+  /// Borrows the reader; it must outlive the source.
+  explicit DirectBlockSource(const io::archive::BbxReader& reader)
+      : reader_(reader) {}
+
+  void scan(const std::vector<std::size_t>& blocks,
+            const std::vector<ColumnSet>& needs, core::WorkerPool* pool,
+            const std::function<void(std::size_t, const DecodedColumns&)>&
+                body) const override;
+
+ private:
+  const io::archive::BbxReader& reader_;
+};
+
+}  // namespace cal::query

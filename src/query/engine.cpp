@@ -9,7 +9,6 @@
 #include <unordered_map>
 #include <utility>
 
-#include "io/archive/column_codec.hpp"
 #include "io/csv.hpp"
 #include "stats/descriptive.hpp"
 
@@ -273,43 +272,25 @@ Tri zone_eval(const Node& node, const ar::BlockStats& stats,
 }
 
 // --- block decode, driven by what the query needs ---------------------------
+// Column sets and decoded columns are the public ColumnSet /
+// DecodedColumns of query/block_source.hpp: the same structures a
+// caching BlockSource keys and serves, so every scan -- single-shot CLI
+// or server -- goes through one decode path.
 
-struct Needs {
-  bool seq = false, cell = false, rep = false, ts = false;
-  std::vector<char> factors;  ///< per factor index
-  std::vector<char> metrics;  ///< per metric index
-
-  explicit Needs(std::size_t n_factors, std::size_t n_metrics)
-      : factors(n_factors, 0), metrics(n_metrics, 0) {}
-
-  void add(const BoundRef& ref) {
-    switch (ref.col) {
-      case Col::kSeq: seq = true; break;
-      case Col::kCell: cell = true; break;
-      case Col::kRep: rep = true; break;
-      case Col::kTs: ts = true; break;
-      case Col::kFactor: factors[ref.index] = 1; break;
-      case Col::kMetric: metrics[ref.index] = 1; break;
-    }
+void add_ref(ColumnSet& needs, const BoundRef& ref) {
+  switch (ref.col) {
+    case Col::kSeq: needs.seq = true; break;
+    case Col::kCell: needs.cell = true; break;
+    case Col::kRep: needs.rep = true; break;
+    case Col::kTs: needs.ts = true; break;
+    case Col::kFactor: needs.factors[ref.index] = 1; break;
+    case Col::kMetric: needs.metrics[ref.index] = 1; break;
   }
+}
 
-  void add_all(const Needs& other) {
-    seq |= other.seq;
-    cell |= other.cell;
-    rep |= other.rep;
-    ts |= other.ts;
-    for (std::size_t i = 0; i < factors.size(); ++i) {
-      factors[i] |= other.factors[i];
-    }
-    for (std::size_t i = 0; i < metrics.size(); ++i) {
-      metrics[i] |= other.metrics[i];
-    }
-  }
-};
-
-void collect_needs(const Node& node, Needs& needs) {
+void collect_needs(const Node& node, ColumnSet& needs) {
   switch (node.kind) {
-    case Node::Kind::kCmp: needs.add(node.ref); break;
+    case Node::Kind::kCmp: add_ref(needs, node.ref); break;
     case Node::Kind::kAnd:
     case Node::Kind::kOr:
       collect_needs(*node.lhs, needs);
@@ -320,94 +301,150 @@ void collect_needs(const Node& node, Needs& needs) {
   }
 }
 
-/// The decoded columns of one block (only those a query asked for).
-struct Decoded {
-  std::size_t n = 0;
-  std::vector<std::size_t> seq, cell, rep;
-  std::vector<double> ts;
-  std::vector<std::vector<Value>> factors;
-  std::vector<std::vector<double>> metrics;
-};
-
-Decoded decode_needed(const std::string& raw, const Needs& needs,
-                      std::size_t n_records, std::size_t n_factors,
-                      std::size_t n_metrics) {
-  Decoded d;
-  d.n = n_records;
-  // The scan loop runs to the manifest's record count; a decoded column
-  // of any other length means the manifest and the block image disagree
-  // (tampering the PR-4 corruption tests promise a clear error for), so
-  // check every column before it can be indexed out of bounds.
-  const auto checked = [n_records](auto column) {
-    if (column.size() != n_records) {
-      throw std::runtime_error(
-          "query: block decoded to " + std::to_string(column.size()) +
-          " records but the manifest declares " + std::to_string(n_records));
-    }
-    return column;
-  };
-  if (needs.seq) {
-    d.seq = checked(ar::decode_index_column(raw, n_factors, n_metrics, 0));
-  }
-  if (needs.cell) {
-    d.cell = checked(ar::decode_index_column(raw, n_factors, n_metrics, 1));
-  }
-  if (needs.rep) {
-    d.rep = checked(ar::decode_index_column(raw, n_factors, n_metrics, 2));
-  }
-  if (needs.ts) {
-    d.ts = checked(ar::decode_timestamp_column(raw, n_factors, n_metrics));
-  }
-  d.factors.resize(n_factors);
-  d.metrics.resize(n_metrics);
-  for (std::size_t f = 0; f < n_factors; ++f) {
-    if (needs.factors[f]) {
-      d.factors[f] =
-          checked(ar::decode_factor_column(raw, n_factors, n_metrics, f));
-    }
-  }
-  for (std::size_t m = 0; m < n_metrics; ++m) {
-    if (needs.metrics[m]) {
-      d.metrics[m] =
-          checked(ar::decode_metric_column(raw, n_factors, n_metrics, m));
-    }
-  }
-  return d;
-}
-
-bool eval(const Node& node, const Decoded& d, std::size_t i) {
-  switch (node.kind) {
-    case Node::Kind::kConst: return node.truth;
-    case Node::Kind::kCmp:
-      switch (node.ref.col) {
-        case Col::kSeq:
-          return value_compare(
-              Value(static_cast<std::int64_t>(d.seq[i])), node.op,
-              node.literal);
-        case Col::kCell:
-          return value_compare(
-              Value(static_cast<std::int64_t>(d.cell[i])), node.op,
-              node.literal);
-        case Col::kRep:
-          return value_compare(
-              Value(static_cast<std::int64_t>(d.rep[i])), node.op,
-              node.literal);
-        case Col::kTs:
-          return value_compare(Value(d.ts[i]), node.op, node.literal);
-        case Col::kFactor:
-          return value_compare(d.factors[node.ref.index][i], node.op,
-                               node.literal);
-        case Col::kMetric:
-          return value_compare(Value(d.metrics[node.ref.index][i]), node.op,
-                               node.literal);
-      }
-      return false;
-    case Node::Kind::kAnd: return eval(*node.lhs, d, i) && eval(*node.rhs, d, i);
-    case Node::Kind::kOr: return eval(*node.lhs, d, i) || eval(*node.rhs, d, i);
-    case Node::Kind::kNot: return !eval(*node.lhs, d, i);
+bool int_compare(std::int64_t a, CmpOp op, std::int64_t b) {
+  switch (op) {
+    case CmpOp::kEq: return a == b;
+    case CmpOp::kNe: return a != b;
+    case CmpOp::kLt: return a < b;
+    case CmpOp::kLe: return a <= b;
+    case CmpOp::kGt: return a > b;
+    case CmpOp::kGe: return a >= b;
   }
   return false;
 }
+
+/// One comparison node as a tight loop over its column.  `refine` is
+/// the column-level analogue of && short-circuiting: only records whose
+/// mask entry is still set are compared (and cleared on mismatch), so a
+/// selective left conjunct spares the right one most of its work.
+template <bool refine>
+void cmp_mask(const Node& node, const DecodedColumns& d,
+              std::vector<char>& mask) {
+  const std::size_t n = d.records;
+  const CmpOp op = node.op;
+  const Value& lit = node.literal;
+  const auto apply = [&](auto&& cmp_at) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if constexpr (refine) {
+        if (mask[i]) mask[i] = cmp_at(i);
+      } else {
+        mask[i] = cmp_at(i);
+      }
+    }
+  };
+  switch (node.ref.col) {
+    case Col::kSeq:
+      apply([&](std::size_t i) {
+        return value_compare(Value(static_cast<std::int64_t>((*d.seq)[i])),
+                             op, lit);
+      });
+      return;
+    case Col::kCell:
+      apply([&](std::size_t i) {
+        return value_compare(Value(static_cast<std::int64_t>((*d.cell)[i])),
+                             op, lit);
+      });
+      return;
+    case Col::kRep:
+      apply([&](std::size_t i) {
+        return value_compare(Value(static_cast<std::int64_t>((*d.rep)[i])),
+                             op, lit);
+      });
+      return;
+    case Col::kTs:
+      apply([&](std::size_t i) {
+        return value_compare(Value((*d.ts)[i]), op, lit);
+      });
+      return;
+    case Col::kFactor: {
+      const std::vector<Value>& col = *d.factors[node.ref.index];
+      if (lit.is_int()) {
+        // The common `factor == literal` shape on an integer level set:
+        // hoist the literal and compare unboxed.
+        const std::int64_t b = lit.as_int();
+        apply([&](std::size_t i) {
+          const Value& v = col[i];
+          return v.is_int() ? int_compare(v.as_int(), op, b)
+                            : value_compare(v, op, lit);
+        });
+        return;
+      }
+      apply([&](std::size_t i) { return value_compare(col[i], op, lit); });
+      return;
+    }
+    case Col::kMetric: {
+      const std::vector<double>& col = *d.metrics[node.ref.index];
+      apply([&](std::size_t i) {
+        return value_compare(Value(col[i]), op, lit);
+      });
+      return;
+    }
+  }
+}
+
+void eval_mask(const Node& node, const DecodedColumns& d,
+               std::vector<char>& mask);
+
+/// Clears mask entries whose record does not also match `node`, without
+/// re-examining records an earlier conjunct already rejected.
+void refine_mask(const Node& node, const DecodedColumns& d,
+                 std::vector<char>& mask) {
+  switch (node.kind) {
+    case Node::Kind::kConst:
+      if (!node.truth) std::fill(mask.begin(), mask.end(), char{0});
+      return;
+    case Node::Kind::kCmp:
+      cmp_mask<true>(node, d, mask);
+      return;
+    case Node::Kind::kAnd:
+      refine_mask(*node.lhs, d, mask);
+      refine_mask(*node.rhs, d, mask);
+      return;
+    default: {  // kOr / kNot: no per-record guard, intersect a sub-mask
+      std::vector<char> sub;
+      eval_mask(node, d, sub);
+      for (std::size_t i = 0; i < d.records; ++i) mask[i] &= sub[i];
+      return;
+    }
+  }
+}
+
+/// Column-at-a-time predicate evaluation over one decoded block: fills
+/// `mask` with one 0/1 entry per record.  Match-identical to walking
+/// the node tree once per record (&&/|| carry no side effects, so the
+/// evaluation order is free), but each comparison runs as a tight loop
+/// over its column -- on a cached warm scan this is where the per-query
+/// time goes.
+void eval_mask(const Node& node, const DecodedColumns& d,
+               std::vector<char>& mask) {
+  const std::size_t n = d.records;
+  mask.resize(n);
+  switch (node.kind) {
+    case Node::Kind::kConst:
+      std::fill(mask.begin(), mask.end(), static_cast<char>(node.truth));
+      return;
+    case Node::Kind::kCmp:
+      cmp_mask<false>(node, d, mask);
+      return;
+    case Node::Kind::kAnd:
+      eval_mask(*node.lhs, d, mask);
+      refine_mask(*node.rhs, d, mask);
+      return;
+    case Node::Kind::kOr: {
+      eval_mask(*node.lhs, d, mask);
+      std::vector<char> rhs;
+      eval_mask(*node.rhs, d, rhs);
+      for (std::size_t i = 0; i < n; ++i) mask[i] |= rhs[i];
+      return;
+    }
+    case Node::Kind::kNot: {
+      eval_mask(*node.lhs, d, mask);
+      for (std::size_t i = 0; i < n; ++i) mask[i] = !mask[i];
+      return;
+    }
+  }
+}
+
 
 // --- the shared plan: prune, then scan surviving blocks --------------------
 
@@ -441,6 +478,22 @@ BlockPlan plan_blocks(const ar::Manifest& manifest, const Node* predicate) {
   }
   plan.stats.blocks_scanned = plan.blocks.size();
   return plan;
+}
+
+/// Per-ordinal column sets of a planned scan: the query's output needs,
+/// plus the predicate's needs wherever the zone map left the block
+/// uncertain (a certain block never decodes predicate columns).
+std::vector<ColumnSet> scan_needs(const BlockPlan& plan,
+                                  const ColumnSet& out_needs,
+                                  const ColumnSet& pred_needs,
+                                  bool have_predicate) {
+  std::vector<ColumnSet> needs(plan.blocks.size(), out_needs);
+  if (have_predicate) {
+    for (std::size_t i = 0; i < plan.blocks.size(); ++i) {
+      if (!plan.certain[i]) needs[i].merge(pred_needs);
+    }
+  }
+  return needs;
 }
 
 NodePtr compile_where(const ExprPtr& where, const Schema& schema) {
@@ -584,31 +637,29 @@ QueryResult BundleQuery::aggregate(const QuerySpec& spec,
   const NodePtr predicate = compile_where(spec.where, schema);
   const BlockPlan plan = plan_blocks(manifest, predicate.get());
 
-  Needs pred_needs(n_factors, n_metrics);
+  ColumnSet pred_needs(n_factors, n_metrics);
   if (predicate) collect_needs(*predicate, pred_needs);
-  Needs out_needs(n_factors, n_metrics);
+  ColumnSet out_needs(n_factors, n_metrics);
   for (const std::size_t f : group_idx) out_needs.factors[f] = 1;
   for (const std::size_t m : agg_metric_idx) out_needs.metrics[m] = 1;
 
   using Partial = GroupedPartial<AggAcc>;
   std::vector<Partial> slots(plan.blocks.size());
-  reader_.scan_blocks(
-      plan.blocks, pool,
-      [&](std::size_t ordinal, std::size_t block, const std::string& raw) {
-        const bool certain = plan.certain[ordinal] != 0;
-        Needs needs = out_needs;
-        if (predicate && !certain) needs.add_all(pred_needs);
-        const Decoded d =
-            decode_needed(raw, needs, manifest.blocks[block].records,
-                          n_factors, n_metrics);
+  source().scan(
+      plan.blocks,
+      scan_needs(plan, out_needs, pred_needs, predicate != nullptr), pool,
+      [&](std::size_t ordinal, const DecodedColumns& d) {
+        const bool filter = predicate && plan.certain[ordinal] == 0;
+        std::vector<char> mask;
+        if (filter) eval_mask(*predicate, d, mask);
         Partial& partial = slots[ordinal];
         std::vector<Value> key;
-        for (std::size_t i = 0; i < d.n; ++i) {
-          if (predicate && !certain && !eval(*predicate, d, i)) continue;
+        for (std::size_t i = 0; i < d.records; ++i) {
+          if (filter && !mask[i]) continue;
           key.clear();
           key.reserve(group_idx.size());
           for (const std::size_t f : group_idx) {
-            key.push_back(d.factors[f][i]);
+            key.push_back((*d.factors[f])[i]);
           }
           AggAcc& acc = partial.slot(std::move(key));
           if (acc.metrics.size() != agg_metric_idx.size()) {
@@ -616,7 +667,7 @@ QueryResult BundleQuery::aggregate(const QuerySpec& spec,
           }
           ++acc.rows;
           for (std::size_t m = 0; m < agg_metric_idx.size(); ++m) {
-            acc.metrics[m].add(d.metrics[agg_metric_idx[m]][i]);
+            acc.metrics[m].add((*d.metrics[agg_metric_idx[m]])[i]);
           }
         }
       });
@@ -714,39 +765,37 @@ RawTable BundleQuery::materialize(const ExprPtr& where,
   const NodePtr predicate = compile_where(where, schema);
   const BlockPlan plan = plan_blocks(manifest, predicate.get());
 
-  Needs out_needs(n_factors, n_metrics);
+  ColumnSet out_needs(n_factors, n_metrics);
   out_needs.seq = out_needs.cell = out_needs.rep = out_needs.ts = true;
   for (const std::size_t f : factor_sel) out_needs.factors[f] = 1;
   for (const std::size_t m : metric_sel) out_needs.metrics[m] = 1;
-  Needs pred_needs(n_factors, n_metrics);
+  ColumnSet pred_needs(n_factors, n_metrics);
   if (predicate) collect_needs(*predicate, pred_needs);
 
   std::vector<std::vector<RawRecord>> slots(plan.blocks.size());
   std::uint64_t matched = 0;
-  reader_.scan_blocks(
-      plan.blocks, pool,
-      [&](std::size_t ordinal, std::size_t block, const std::string& raw) {
-        const bool certain = plan.certain[ordinal] != 0;
-        Needs needs = out_needs;
-        if (predicate && !certain) needs.add_all(pred_needs);
-        const Decoded d =
-            decode_needed(raw, needs, manifest.blocks[block].records,
-                          n_factors, n_metrics);
+  source().scan(
+      plan.blocks,
+      scan_needs(plan, out_needs, pred_needs, predicate != nullptr), pool,
+      [&](std::size_t ordinal, const DecodedColumns& d) {
+        const bool filter = predicate && plan.certain[ordinal] == 0;
+        std::vector<char> mask;
+        if (filter) eval_mask(*predicate, d, mask);
         std::vector<RawRecord>& out = slots[ordinal];
-        for (std::size_t i = 0; i < d.n; ++i) {
-          if (predicate && !certain && !eval(*predicate, d, i)) continue;
+        for (std::size_t i = 0; i < d.records; ++i) {
+          if (filter && !mask[i]) continue;
           RawRecord record;
-          record.sequence = d.seq[i];
-          record.cell_index = d.cell[i];
-          record.replicate = d.rep[i];
-          record.timestamp_s = d.ts[i];
+          record.sequence = (*d.seq)[i];
+          record.cell_index = (*d.cell)[i];
+          record.replicate = (*d.rep)[i];
+          record.timestamp_s = (*d.ts)[i];
           record.factors.reserve(factor_sel.size());
           for (const std::size_t f : factor_sel) {
-            record.factors.push_back(d.factors[f][i]);
+            record.factors.push_back((*d.factors[f])[i]);
           }
           record.metrics.reserve(metric_sel.size());
           for (const std::size_t m : metric_sel) {
-            record.metrics.push_back(d.metrics[m][i]);
+            record.metrics.push_back((*d.metrics[m])[i]);
           }
           out.push_back(std::move(record));
         }
@@ -791,11 +840,11 @@ std::vector<stats::Group> BundleQuery::group_samples(
   const NodePtr predicate = compile_where(where, schema);
   const BlockPlan plan = plan_blocks(manifest, predicate.get());
 
-  Needs out_needs(n_factors, n_metrics);
+  ColumnSet out_needs(n_factors, n_metrics);
   out_needs.seq = true;
   for (const std::size_t f : group_idx) out_needs.factors[f] = 1;
   out_needs.metrics[metric_ref->index] = 1;
-  Needs pred_needs(n_factors, n_metrics);
+  ColumnSet pred_needs(n_factors, n_metrics);
   if (predicate) collect_needs(*predicate, pred_needs);
 
   struct SampleAcc {
@@ -804,27 +853,25 @@ std::vector<stats::Group> BundleQuery::group_samples(
   };
   using Partial = GroupedPartial<SampleAcc>;
   std::vector<Partial> slots(plan.blocks.size());
-  reader_.scan_blocks(
-      plan.blocks, pool,
-      [&](std::size_t ordinal, std::size_t block, const std::string& raw) {
-        const bool certain = plan.certain[ordinal] != 0;
-        Needs needs = out_needs;
-        if (predicate && !certain) needs.add_all(pred_needs);
-        const Decoded d =
-            decode_needed(raw, needs, manifest.blocks[block].records,
-                          n_factors, n_metrics);
+  source().scan(
+      plan.blocks,
+      scan_needs(plan, out_needs, pred_needs, predicate != nullptr), pool,
+      [&](std::size_t ordinal, const DecodedColumns& d) {
+        const bool filter = predicate && plan.certain[ordinal] == 0;
+        std::vector<char> mask;
+        if (filter) eval_mask(*predicate, d, mask);
         Partial& partial = slots[ordinal];
         std::vector<Value> key;
-        for (std::size_t i = 0; i < d.n; ++i) {
-          if (predicate && !certain && !eval(*predicate, d, i)) continue;
+        for (std::size_t i = 0; i < d.records; ++i) {
+          if (filter && !mask[i]) continue;
           key.clear();
           key.reserve(group_idx.size());
           for (const std::size_t f : group_idx) {
-            key.push_back(d.factors[f][i]);
+            key.push_back((*d.factors[f])[i]);
           }
           SampleAcc& acc = partial.slot(std::move(key));
-          acc.samples.push_back(d.metrics[metric_ref->index][i]);
-          acc.sequence.push_back(d.seq[i]);
+          acc.samples.push_back((*d.metrics[metric_ref->index])[i]);
+          acc.sequence.push_back((*d.seq)[i]);
         }
       });
 

@@ -33,6 +33,7 @@
 #include "core/record.hpp"
 #include "core/worker_pool.hpp"
 #include "io/archive/bbx_reader.hpp"
+#include "query/block_source.hpp"
 #include "query/expr.hpp"
 #include "stats/group.hpp"
 
@@ -90,9 +91,18 @@ struct QueryResult {
 class BundleQuery {
  public:
   /// Borrows the reader (and its manifest); the reader must outlive the
-  /// query object.
+  /// query object.  Decoded columns come from the reader's shards on
+  /// every scan (a DirectBlockSource).
   explicit BundleQuery(const io::archive::BbxReader& reader)
-      : reader_(reader) {}
+      : reader_(reader), direct_(reader) {}
+
+  /// Same, but decoded columns come from `source` -- the block-provider
+  /// hook a serving layer uses to substitute a decoded-column cache (see
+  /// serve::CachingBlockSource).  Both reader and source must outlive
+  /// the query object; results are byte-identical to the direct path for
+  /// any source that honors the BlockSource contract.
+  BundleQuery(const io::archive::BbxReader& reader, const BlockSource* source)
+      : reader_(reader), direct_(reader), source_(source) {}
 
   /// Filter -> group -> aggregate without materializing records.
   QueryResult aggregate(const QuerySpec& spec,
@@ -119,7 +129,13 @@ class BundleQuery {
       ScanStats* scan = nullptr) const;
 
  private:
+  const BlockSource& source() const noexcept {
+    return source_ ? *source_ : direct_;
+  }
+
   const io::archive::BbxReader& reader_;
+  DirectBlockSource direct_;
+  const BlockSource* source_ = nullptr;
 };
 
 }  // namespace cal::query

@@ -1,0 +1,154 @@
+#include "serve/block_cache.hpp"
+
+namespace cal::serve {
+
+std::size_t column_bytes(const std::vector<std::size_t>& column) {
+  return column.size() * sizeof(std::size_t);
+}
+
+std::size_t column_bytes(const std::vector<double>& column) {
+  return column.size() * sizeof(double);
+}
+
+std::size_t column_bytes(const std::vector<Value>& column) {
+  std::size_t bytes = column.size() * sizeof(Value);
+  for (const Value& v : column) {
+    if (v.is_string()) bytes += v.as_string().size();
+  }
+  return bytes;
+}
+
+BlockCache::BlockCache(Options options) : options_(options) {}
+
+std::shared_ptr<const CachedColumn> BlockCache::get(const Key& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end() || !it->second || it->second->pending) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  if (it->second->retained) {
+    lru_.splice(lru_.begin(), lru_, it->second->lru);
+  }
+  return it->second->column;
+}
+
+std::shared_ptr<const CachedColumn> BlockCache::get_or_begin(const Key& key,
+                                                             bool* owner) {
+  *owner = false;
+  if (!options_.enabled) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.misses;
+    *owner = true;
+    return nullptr;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    if (it->second->pending) {
+      ++stats_.coalesced;
+      return nullptr;  // another thread is decoding this column
+    }
+    ++stats_.hits;
+    if (it->second->retained) {
+      lru_.splice(lru_.begin(), lru_, it->second->lru);
+    }
+    return it->second->column;
+  }
+  ++stats_.misses;
+  entries_.emplace(key, std::make_shared<Entry>());
+  *owner = true;
+  return nullptr;
+}
+
+std::shared_ptr<const CachedColumn> BlockCache::wait(const Key& key) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return nullptr;
+  // Hold the entry across the wait: insert() may drop an unretained
+  // entry from the map right after resolving it, but the value stays
+  // reachable through this shared_ptr.
+  const std::shared_ptr<Entry> entry = it->second;
+  resolved_cv_.wait(lock, [&] { return !entry->pending; });
+  return entry->column;
+}
+
+void BlockCache::insert(const Key& key, CachedColumn column) {
+  if (!options_.enabled) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end() && !it->second->pending) {
+    return;  // already resolved by someone else; first value wins
+  }
+  if (it == entries_.end()) {
+    it = entries_.emplace(key, std::make_shared<Entry>()).first;
+  }
+  const std::shared_ptr<Entry> entry = it->second;
+  const std::size_t bytes = column.bytes;
+  entry->column = std::make_shared<const CachedColumn>(std::move(column));
+  entry->pending = false;
+  ++stats_.inserts;
+  resolved_cv_.notify_all();
+
+  if (bytes > options_.byte_budget) {
+    // Wider than the whole budget: waiters got the value, nothing is
+    // retained.  The entry leaves the map; live wait() calls keep the
+    // Entry object alive through their shared_ptr.
+    ++stats_.rejected;
+    entries_.erase(it);
+    return;
+  }
+  entry->lru = lru_.insert(lru_.begin(), key);
+  entry->retained = true;
+  stats_.bytes += bytes;
+  ++stats_.entries;
+  shrink_locked();
+}
+
+void BlockCache::abandon(const Key& key) {
+  if (!options_.enabled) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end() || !it->second->pending) return;
+  const std::shared_ptr<Entry> entry = it->second;
+  entry->pending = false;  // column stays null: waiters retry
+  entries_.erase(it);
+  ++stats_.abandoned;
+  resolved_cv_.notify_all();
+}
+
+void BlockCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second->pending) {
+      ++it;  // in-flight decodes resolve normally
+    } else {
+      it = entries_.erase(it);
+    }
+  }
+  lru_.clear();
+  stats_.bytes = 0;
+  stats_.entries = 0;
+}
+
+BlockCache::Stats BlockCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void BlockCache::shrink_locked() {
+  while (stats_.bytes > options_.byte_budget && !lru_.empty()) {
+    const Key victim = lru_.back();
+    const auto it = entries_.find(victim);
+    if (it != entries_.end() && it->second->retained) {
+      stats_.bytes -= it->second->column->bytes;
+      --stats_.entries;
+      ++stats_.evictions;
+      entries_.erase(it);
+    }
+    lru_.pop_back();
+  }
+}
+
+}  // namespace cal::serve

@@ -1,0 +1,57 @@
+#include "serve/catalog.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <stdexcept>
+#include <utility>
+
+namespace cal::serve {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+void check_name(const std::string& name) {
+  if (name.empty() || name == "." || name == ".." ||
+      name.find('/') != std::string::npos ||
+      name.find('\\') != std::string::npos ||
+      name.find("..") != std::string::npos) {
+    throw std::invalid_argument("serve: unsafe bundle name: \"" + name +
+                                "\"");
+  }
+}
+
+}  // namespace
+
+BundleCatalog::BundleCatalog(std::string root,
+                             BlockCache::Options cache_options)
+    : root_(std::move(root)), cache_(cache_options) {}
+
+const BundleCatalog::Bundle& BundleCatalog::open(const std::string& name) {
+  check_name(name);
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = bundles_.find(name);
+  if (it != bundles_.end()) return *it->second;
+  auto bundle = std::make_unique<Bundle>();
+  bundle->id = next_id_++;
+  bundle->reader =
+      std::make_unique<io::archive::BbxReader>(root_ + "/" + name);
+  bundle->source = std::make_unique<CachingBlockSource>(*bundle->reader,
+                                                        &cache_, bundle->id);
+  return *bundles_.emplace(name, std::move(bundle)).first->second;
+}
+
+std::vector<std::string> BundleCatalog::list() const {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const fs::directory_entry& entry : fs::directory_iterator(root_, ec)) {
+    if (!entry.is_directory(ec)) continue;
+    if (fs::exists(entry.path() / "manifest.bbx.json", ec)) {
+      names.push_back(entry.path().filename().string());
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace cal::serve

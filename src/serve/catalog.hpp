@@ -1,0 +1,66 @@
+#pragma once
+// Bundle catalog of the serving layer.
+//
+// A server exposes a directory of bbx bundles ("the catalog root"): each
+// immediate subdirectory holding a manifest.bbx.json is one servable
+// bundle, addressed by its directory name.  BundleCatalog opens bundles
+// lazily -- the first request for a name pays the manifest parse -- and
+// wires every bundle to the one shared BlockCache through its own
+// CachingBlockSource, so cache byte pressure is global across bundles
+// while keys stay disjoint (each bundle gets a distinct id).
+//
+// Bundle names arrive over the wire, so the catalog rejects anything
+// that could escape the root: empty names, path separators, and "..".
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "io/archive/bbx_reader.hpp"
+#include "serve/block_cache.hpp"
+#include "serve/cached_source.hpp"
+
+namespace cal::serve {
+
+class BundleCatalog {
+ public:
+  /// One opened bundle: the reader (manifest + shards) and its
+  /// cache-backed source.  Stable for the catalog's lifetime.
+  struct Bundle {
+    std::uint64_t id = 0;
+    std::unique_ptr<io::archive::BbxReader> reader;
+    std::unique_ptr<CachingBlockSource> source;
+  };
+
+  /// Serves bundles under `root`; decoded columns share one cache with
+  /// `cache_options`.
+  explicit BundleCatalog(std::string root,
+                         BlockCache::Options cache_options =
+                             BlockCache::Options());
+
+  /// The bundle called `name` (a subdirectory of the root), opened on
+  /// first use.  Throws std::invalid_argument for unsafe names and
+  /// whatever BbxReader throws for missing/corrupt bundles.
+  /// Thread-safe; the returned reference stays valid for the catalog's
+  /// lifetime.
+  const Bundle& open(const std::string& name);
+
+  /// Directory names under the root that look like bbx bundles
+  /// (contain a manifest.bbx.json), sorted.
+  std::vector<std::string> list() const;
+
+  const std::string& root() const noexcept { return root_; }
+  BlockCache& cache() noexcept { return cache_; }
+
+ private:
+  std::string root_;
+  BlockCache cache_;
+  std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Bundle>> bundles_;
+  std::uint64_t next_id_ = 0;
+};
+
+}  // namespace cal::serve

@@ -1,0 +1,87 @@
+#include "serve/client.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace cal::serve {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error("serve: " + what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+QueryClient QueryClient::connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw std::invalid_argument("serve: socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket(AF_UNIX)");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
+      0) {
+    ::close(fd);
+    throw_errno("connect('" + path + "')");
+  }
+  return QueryClient(fd);
+}
+
+QueryClient QueryClient::connect_tcp(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket(AF_INET)");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
+      0) {
+    ::close(fd);
+    throw_errno("connect(tcp " + std::to_string(port) + ")");
+  }
+  return QueryClient(fd);
+}
+
+QueryClient::QueryClient(QueryClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)) {}
+
+QueryClient& QueryClient::operator=(QueryClient&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+QueryClient::~QueryClient() { close(); }
+
+void QueryClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Response QueryClient::call(const Request& request) {
+  if (fd_ < 0) throw std::logic_error("serve: client is closed");
+  write_frame(fd_, encode_request(request));
+  const std::optional<std::string> payload = read_frame(fd_);
+  if (!payload) {
+    throw std::runtime_error(
+        "serve: server closed the connection before responding");
+  }
+  return decode_response(*payload);
+}
+
+}  // namespace cal::serve

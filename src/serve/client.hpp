@@ -1,0 +1,42 @@
+#pragma once
+// Blocking client of the query server: one connection, one request in
+// flight at a time.  Used by `campaign_query --server`, the load
+// generator in bench/bench_serve, and the serve tests.
+
+#include <string>
+
+#include "serve/protocol.hpp"
+
+namespace cal::serve {
+
+class QueryClient {
+ public:
+  /// Connects to a server's unix socket / loopback TCP port; throws on
+  /// connection failure.
+  static QueryClient connect_unix(const std::string& path);
+  static QueryClient connect_tcp(int port);
+
+  QueryClient(QueryClient&& other) noexcept;
+  QueryClient& operator=(QueryClient&& other) noexcept;
+  QueryClient(const QueryClient&) = delete;
+  QueryClient& operator=(const QueryClient&) = delete;
+  ~QueryClient();
+
+  /// Round-trips one request.  Throws on transport failure (including a
+  /// server that closed the connection mid-exchange); request-level
+  /// failures come back as Status::kError.
+  Response call(const Request& request);
+
+  /// The raw connected socket -- for tests that speak the wire protocol
+  /// by hand (malformed frames, mid-request disconnects).
+  int fd() const noexcept { return fd_; }
+
+  void close();
+
+ private:
+  explicit QueryClient(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+};
+
+}  // namespace cal::serve

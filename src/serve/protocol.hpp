@@ -1,0 +1,88 @@
+#pragma once
+// Wire protocol of the query server.
+//
+// Frames reuse the bbx byte primitives (io/archive/wire.hpp): a frame is
+//
+//   [u32le magic "CALQ"] [u32le payload_len] [payload]
+//
+// with payload_len capped at kMaxFrameBytes, so a garbage or hostile
+// length can never drive an allocation.  Inside the payload every string
+// is varint-length-prefixed and every list is varint-counted -- the same
+// encoding the archive uses.
+//
+// Requests carry the query layer's existing text grammar (query::expr
+// for predicates, "mean:time_us" aggregate specs) rather than a parallel
+// binary AST: the server compiles exactly what the CLI compiles, which
+// is what keeps server responses byte-identical to single-shot
+// `campaign_query` output.  Responses are a status byte plus a body --
+// the CSV the query layer already emits, or an error message.
+//
+// Decoding is strict: unknown kinds, truncated payloads, and trailing
+// bytes all throw (a ProtocolError), and the transport helpers throw on
+// short frames, bad magic, and oversized lengths.  A clean EOF between
+// frames is the one non-error end: read_frame returns nullopt.
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace cal::serve {
+
+/// "CALQ" little-endian.
+inline constexpr std::uint32_t kFrameMagic = 0x514c4143u;
+/// Largest accepted payload; responses above this fail the request.
+inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+/// Protocol violations (malformed frames or payloads).  The server
+/// closes the connection on these; request-level failures travel back as
+/// kError responses instead.
+struct ProtocolError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+enum class RequestKind : std::uint8_t {
+  kPing = 0,        ///< liveness; empty response body
+  kAggregate = 1,   ///< filter -> group -> aggregate, CSV body
+  kMaterialize = 2, ///< filter -> project, CSV body
+  kList = 3,        ///< catalog bundle names, one per line
+  kStats = 4,       ///< cache + server counters, "name,value" CSV
+  kShutdown = 5,    ///< stop the server after responding
+};
+
+struct Request {
+  RequestKind kind = RequestKind::kPing;
+  std::string bundle;                   ///< catalog bundle name
+  std::string where;                    ///< query::expr text ("" = all)
+  std::vector<std::string> group_by;    ///< aggregate: factor names
+  std::vector<std::string> aggregates;  ///< aggregate: "count", "mean:m"
+  std::vector<std::string> select;      ///< materialize: columns ("" = all)
+};
+
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kError = 1,  ///< body is the error message
+};
+
+struct Response {
+  Status status = Status::kOk;
+  std::string body;
+};
+
+/// Payload codecs (frame header not included).  decode_* throw
+/// ProtocolError on malformed input, including trailing bytes.
+std::string encode_request(const Request& request);
+Request decode_request(const std::string& payload);
+std::string encode_response(const Response& response);
+Response decode_response(const std::string& payload);
+
+/// Blocking transport over a connected socket fd.  read_frame returns
+/// the payload, or nullopt on clean EOF at a frame boundary; it throws
+/// ProtocolError on bad magic / oversized length / mid-frame EOF and
+/// std::runtime_error on socket errors.  write_frame throws on any
+/// short write (the peer vanished).
+std::optional<std::string> read_frame(int fd);
+void write_frame(int fd, const std::string& payload);
+
+}  // namespace cal::serve
