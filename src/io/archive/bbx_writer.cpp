@@ -24,6 +24,7 @@ namespace {
 /// interval pruning anyway).
 template <typename Values>
 ColumnStats numeric_stats(const Values& values) {
+  if (values.empty()) return ColumnStats{};  // no front() to seed from
   ColumnStats stats;
   stats.kind = ColumnStats::Kind::kNumeric;
   stats.min = stats.max = static_cast<double>(values.front());
@@ -41,6 +42,7 @@ ColumnStats numeric_stats(const Values& values) {
 /// (capped at kZoneMaxLevels distinct levels), kNone for mixed blocks.
 ColumnStats factor_stats(const std::vector<RawRecord>& records,
                          std::size_t col) {
+  if (records.empty()) return ColumnStats{};  // no front() to seed from
   bool any_numeric = false, any_string = false;
   for (const RawRecord& r : records) {
     (r.factors[col].is_string() ? any_string : any_numeric) = true;
@@ -71,8 +73,10 @@ ColumnStats factor_stats(const std::vector<RawRecord>& records,
   return ColumnStats{};
 }
 
-BlockStats block_stats(const std::vector<RawRecord>& records,
-                       std::size_t n_factors, std::size_t n_metrics) {
+}  // namespace
+
+BlockStats compute_block_stats(const std::vector<RawRecord>& records,
+                               std::size_t n_factors, std::size_t n_metrics) {
   BlockStats stats;
   stats.columns.reserve(4 + n_factors + n_metrics);
   std::vector<double> scratch(records.size());
@@ -99,8 +103,6 @@ BlockStats block_stats(const std::vector<RawRecord>& records,
   }
   return stats;
 }
-
-}  // namespace
 
 BbxWriter::BbxWriter(std::string dir, Options options)
     : dir_(std::move(dir)), options_(options) {
@@ -200,9 +202,9 @@ void BbxWriter::flush_block() {
   shard_offsets_[info.shard] += frame.size();
   records_ += pending_.size();
   manifest_.blocks.push_back(info);
-  manifest_.zones.push_back(block_stats(pending_,
-                                        manifest_.factor_names.size(),
-                                        manifest_.metric_names.size()));
+  manifest_.zones.push_back(compute_block_stats(
+      pending_, manifest_.factor_names.size(),
+      manifest_.metric_names.size()));
   pending_.clear();
 }
 

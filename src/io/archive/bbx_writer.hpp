@@ -35,6 +35,13 @@ namespace cal::io::archive {
 inline constexpr char kShardMagic[8] = {'b', 'b', 'x', 's',
                                         'h', 'd', '0', '1'};
 
+/// Zone-map statistics of one block's records (what the writer stores
+/// in Manifest::zones).  Empty input yields all-kNone columns -- a zone
+/// that prunes nothing -- rather than reading a front() that is not
+/// there; exposed so the degenerate cases stay testable.
+BlockStats compute_block_stats(const std::vector<RawRecord>& records,
+                               std::size_t n_factors, std::size_t n_metrics);
+
 struct BbxWriterOptions {
   std::size_t shards = 1;          ///< shard files (>= 1)
   std::size_t block_records = 4096;  ///< records per block (>= 1)

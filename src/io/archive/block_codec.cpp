@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "simd/dispatch.hpp"
+
 namespace cal::io::archive {
 
 namespace {
@@ -115,9 +117,15 @@ std::string block_decompress(const char* payload, std::size_t payload_size,
                              std::to_string(codec));
   }
 
-  std::string out;
-  out.reserve(expected_raw_size);
+  // Pre-sized output: every write lands at a known position, so the
+  // literal copies are straight memcpys and match copies go through the
+  // dispatched lz_match_copy kernel (chunked, overlap-aware) instead of
+  // a per-byte push_back.  Bounds are validated against the declared
+  // size before any write, exactly as the byte-at-a-time loop did.
+  std::string out(expected_raw_size, '\0');
+  std::size_t written = 0;
   std::size_t pos = 0;
+  const simd::Kernels& kernels = simd::kernels();
   while (pos < size) {
     const auto token = static_cast<std::uint8_t>(p[pos++]);
     std::size_t lit_len = token >> 4;
@@ -125,7 +133,11 @@ std::string block_decompress(const char* payload, std::size_t payload_size,
     if (pos + lit_len > size) {
       throw std::runtime_error("bbx: LZ literals truncated");
     }
-    out.append(p + pos, lit_len);
+    if (written + lit_len > expected_raw_size) {
+      throw std::runtime_error("bbx: LZ output exceeds declared size");
+    }
+    std::memcpy(out.data() + written, p + pos, lit_len);
+    written += lit_len;
     pos += lit_len;
     if (pos == size) break;  // final literals-only sequence
 
@@ -138,18 +150,16 @@ std::string block_decompress(const char* payload, std::size_t payload_size,
     std::size_t match_len = (token & 0x0f);
     if (match_len == 15) match_len = read_length(p, size, pos, match_len);
     match_len += kMinMatch;
-    if (offset == 0 || offset > out.size()) {
+    if (offset == 0 || offset > written) {
       throw std::runtime_error("bbx: LZ match offset out of range");
     }
-    if (out.size() + match_len > expected_raw_size) {
+    if (written + match_len > expected_raw_size) {
       throw std::runtime_error("bbx: LZ output exceeds declared size");
     }
-    // Byte-by-byte copy: overlapping matches (offset < length) replicate
-    // the run, which is exactly the LZ semantics for repeated patterns.
-    std::size_t src = out.size() - offset;
-    for (std::size_t k = 0; k < match_len; ++k) out.push_back(out[src + k]);
+    kernels.lz_match_copy(out.data() + written, offset, match_len);
+    written += match_len;
   }
-  if (out.size() != expected_raw_size) {
+  if (written != expected_raw_size) {
     throw std::runtime_error("bbx: block decoded to wrong size");
   }
   return out;

@@ -1,15 +1,17 @@
 #include "io/archive/column_codec.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <unordered_map>
 
-#include "io/archive/wire.hpp"
+#include "simd/dispatch.hpp"
 
 namespace cal::io::archive {
 
 namespace {
 
-// Factor-column encodings (one tag byte per column per block).
+// Factor-column encodings (one tag byte per column per block); the
+// public FactorTag mirrors these values.
 enum : unsigned char {
   kColInt = 0,     // zigzag-delta varints
   kColReal = 1,    // raw LE doubles
@@ -27,13 +29,32 @@ void encode_delta_column(std::string& out, const RawRecord* records,
   }
 }
 
-std::vector<std::size_t> decode_delta_column(ByteReader& r, std::size_t n) {
-  std::vector<std::size_t> out(n);
-  std::int64_t prev = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    prev += r.svarint();
-    out[i] = static_cast<std::size_t>(prev);
+/// Streams a delta-varint payload through the dispatched kernel into
+/// the running prefix values (two's-complement bit patterns).
+void decode_delta_payload(ByteReader& r, std::size_t n, std::uint64_t* out) {
+  const std::size_t used = simd::kernels().delta_varint_decode(
+      reinterpret_cast<const unsigned char*>(r.cursor()), r.remaining(), n,
+      out);
+  if (used == simd::kDecodeError) {
+    throw std::runtime_error("bbx: corrupt varint in delta column");
   }
+  r.skip(used);
+}
+
+std::vector<std::size_t> decode_delta_column(ByteReader& r, std::size_t n) {
+  static_assert(sizeof(std::size_t) == sizeof(std::uint64_t),
+                "bbx delta columns assume 64-bit size_t");
+  std::vector<std::size_t> out(n);
+  decode_delta_payload(r, n, reinterpret_cast<std::uint64_t*>(out.data()));
+  return out;
+}
+
+/// Bulk-decodes n raw LE doubles (bounds-checked borrow, then one
+/// dispatched pass instead of eight single-byte loads per value).
+std::vector<double> decode_f64_column(ByteReader& r, std::size_t n) {
+  std::vector<double> out(n);
+  const char* src = r.bytes(n * sizeof(double));
+  simd::kernels().f64le_decode(src, n, out.data());
   return out;
 }
 
@@ -129,16 +150,20 @@ std::vector<Value> decode_factor_payload(ByteReader& r, std::size_t n) {
   const std::uint8_t tag = r.u8();
   switch (tag) {
     case kColInt: {
-      std::int64_t prev = 0;
+      std::vector<std::uint64_t> scratch(n);
+      decode_delta_payload(r, n, scratch.data());
       for (std::size_t i = 0; i < n; ++i) {
-        prev += r.svarint();
-        out.emplace_back(prev);
+        out.emplace_back(static_cast<std::int64_t>(scratch[i]));
       }
       break;
     }
-    case kColReal:
-      for (std::size_t i = 0; i < n; ++i) out.emplace_back(r.f64le());
+    case kColReal: {
+      std::vector<double> scratch(n);
+      const char* src = r.bytes(n * sizeof(double));
+      simd::kernels().f64le_decode(src, n, scratch.data());
+      for (std::size_t i = 0; i < n; ++i) out.emplace_back(scratch[i]);
       break;
+    }
     case kColString: {
       const std::vector<std::string> dict = read_dictionary(r);
       for (std::size_t i = 0; i < n; ++i) {
@@ -177,48 +202,230 @@ std::vector<Value> decode_factor_payload(ByteReader& r, std::size_t n) {
   return out;
 }
 
-/// Parsed block header plus a cursor positioned at the first column.
-struct BlockLayout {
-  std::size_t records = 0;
-  std::size_t n_factors = 0;
-  std::size_t n_metrics = 0;
-  std::vector<std::size_t> column_bytes;  // bookkeeping + factors + metrics
-  std::size_t payload_start = 0;          // byte offset of column 0
-};
-
-BlockLayout read_layout(const std::string& raw, std::size_t n_factors,
-                        std::size_t n_metrics) {
-  ByteReader r(raw);
-  BlockLayout layout;
-  layout.records = r.varint();
-  layout.n_factors = r.varint();
-  layout.n_metrics = r.varint();
-  if (layout.n_factors != n_factors || layout.n_metrics != n_metrics) {
-    throw std::runtime_error("bbx: block schema does not match manifest");
+/// value_compare's numeric branch, unboxed: IEEE compare, NaN on either
+/// side satisfies only kNe.
+bool real_cmp(double a, MaskOp op, double b) {
+  switch (op) {
+    case MaskOp::kEq: return a == b;
+    case MaskOp::kNe: return a != b;
+    case MaskOp::kLt: return a < b;
+    case MaskOp::kLe: return a <= b;
+    case MaskOp::kGt: return a > b;
+    case MaskOp::kGe: return a >= b;
   }
-  const std::size_t columns = 4 + n_factors + n_metrics;
-  layout.column_bytes.reserve(columns);
-  for (std::size_t c = 0; c < columns; ++c) {
-    layout.column_bytes.push_back(r.varint());
-  }
-  layout.payload_start = r.position();
-  std::size_t total = layout.payload_start;
-  for (const std::size_t bytes : layout.column_bytes) total += bytes;
-  if (total != raw.size()) {
-    throw std::runtime_error("bbx: block column sizes disagree with image");
-  }
-  return layout;
+  return false;
 }
 
-/// Cursor over one column's payload.
-ByteReader column_reader(const std::string& raw, const BlockLayout& layout,
-                         std::size_t column) {
-  std::size_t start = layout.payload_start;
-  for (std::size_t c = 0; c < column; ++c) start += layout.column_bytes[c];
-  return ByteReader(raw.data() + start, layout.column_bytes[column]);
+/// value_compare's string branch: lexicographic.
+bool string_cmp(const std::string& a, MaskOp op, const std::string& b) {
+  const int c = a.compare(b);
+  switch (op) {
+    case MaskOp::kEq: return c == 0;
+    case MaskOp::kNe: return c != 0;
+    case MaskOp::kLt: return c < 0;
+    case MaskOp::kLe: return c <= 0;
+    case MaskOp::kGt: return c > 0;
+    case MaskOp::kGe: return c >= 0;
+  }
+  return false;
+}
+
+simd::Cmp to_simd(MaskOp op) {
+  return static_cast<simd::Cmp>(static_cast<int>(op));
 }
 
 }  // namespace
+
+// --- BlockView --------------------------------------------------------------
+
+BlockView::BlockView(const std::string& raw, std::size_t n_factors,
+                     std::size_t n_metrics)
+    : raw_(&raw), n_factors_(n_factors), n_metrics_(n_metrics) {
+  ByteReader r(raw);
+  records_ = r.varint();
+  const std::size_t image_factors = r.varint();
+  const std::size_t image_metrics = r.varint();
+  if (image_factors != n_factors || image_metrics != n_metrics) {
+    throw std::runtime_error("bbx: block schema does not match manifest");
+  }
+  const std::size_t columns = 4 + n_factors + n_metrics;
+  column_bytes_.reserve(columns);
+  for (std::size_t c = 0; c < columns; ++c) {
+    column_bytes_.push_back(r.varint());
+  }
+  payload_start_ = r.position();
+  std::size_t total = payload_start_;
+  for (const std::size_t bytes : column_bytes_) total += bytes;
+  if (total != raw.size()) {
+    throw std::runtime_error("bbx: block column sizes disagree with image");
+  }
+}
+
+ByteReader BlockView::column(std::size_t id) const {
+  if (id >= column_bytes_.size()) {
+    throw std::out_of_range("bbx: column id out of range");
+  }
+  std::size_t start = payload_start_;
+  for (std::size_t c = 0; c < id; ++c) start += column_bytes_[c];
+  return ByteReader(raw_->data() + start, column_bytes_[id]);
+}
+
+FactorTag BlockView::factor_tag(std::size_t f) const {
+  if (f >= n_factors_) {
+    throw std::out_of_range("bbx: factor index out of range");
+  }
+  ByteReader r = column(4 + f);
+  const std::uint8_t tag = r.u8();
+  if (tag > static_cast<std::uint8_t>(FactorTag::kMixed)) {
+    throw std::runtime_error("bbx: unknown factor column encoding " +
+                             std::to_string(tag));
+  }
+  return static_cast<FactorTag>(tag);
+}
+
+std::vector<std::size_t> BlockView::index_column(std::size_t which) const {
+  if (which > 2) {
+    throw std::out_of_range("bbx: bookkeeping index column out of range");
+  }
+  ByteReader r = column(which);
+  return decode_delta_column(r, records_);
+}
+
+std::vector<double> BlockView::timestamp_column() const {
+  ByteReader r = column(3);
+  return decode_f64_column(r, records_);
+}
+
+std::vector<Value> BlockView::factor_column(std::size_t f) const {
+  if (f >= n_factors_) {
+    throw std::out_of_range("bbx: factor index out of range");
+  }
+  ByteReader r = column(4 + f);
+  return decode_factor_payload(r, records_);
+}
+
+std::vector<double> BlockView::metric_column(std::size_t m) const {
+  if (m >= n_metrics_) {
+    throw std::out_of_range("bbx: metric index out of range");
+  }
+  ByteReader r = column(4 + n_factors_ + m);
+  return decode_f64_column(r, records_);
+}
+
+void BlockView::eval_int_payload(ByteReader r, MaskOp op,
+                                 const Value& literal,
+                                 std::vector<char>& mask) const {
+  // "Running-prefix bounds": the delta varints stream through the
+  // dispatched decoder into unboxed prefix values -- no Value is ever
+  // constructed -- and the compare runs as one vector pass.
+  std::vector<std::uint64_t> scratch(records_);
+  decode_delta_payload(r, records_, scratch.data());
+  if (literal.is_int()) {
+    simd::kernels().cmp_mask_i64(
+        reinterpret_cast<const std::int64_t*>(scratch.data()), records_,
+        to_simd(op), literal.as_int(), mask.data(), false);
+    return;
+  }
+  // Int column against a real literal: value_compare widens both sides
+  // to double, so do exactly that (never truncate the literal).
+  const double lit = literal.as_real();
+  for (std::size_t i = 0; i < records_; ++i) {
+    const double v =
+        static_cast<double>(static_cast<std::int64_t>(scratch[i]));
+    mask[i] = real_cmp(v, op, lit);
+  }
+}
+
+void BlockView::eval_real_payload(ByteReader r, MaskOp op,
+                                  const Value& literal,
+                                  std::vector<char>& mask) const {
+  const char* src = r.bytes(records_ * sizeof(double));
+  simd::kernels().cmp_mask_f64(src, records_, to_simd(op),
+                               literal.as_real(), mask.data(), false);
+}
+
+void BlockView::eval_string_payload(ByteReader r, MaskOp op,
+                                    const Value& literal,
+                                    std::vector<char>& mask) const {
+  // Dictionary truth table: compare the literal against each distinct
+  // level once, then map the per-record codes -- the strings themselves
+  // are never materialized.
+  const std::vector<std::string> dict = read_dictionary(r);
+  std::vector<char> truth(dict.size());
+  for (std::size_t k = 0; k < dict.size(); ++k) {
+    truth[k] = string_cmp(dict[k], op, literal.as_string());
+  }
+  for (std::size_t i = 0; i < records_; ++i) {
+    const std::uint64_t idx = r.varint();
+    if (idx >= dict.size()) {
+      throw std::runtime_error("bbx: dictionary index out of range");
+    }
+    mask[i] = truth[idx];
+  }
+}
+
+bool BlockView::eval_column_mask(std::size_t column_id, MaskOp op,
+                                 const Value& literal,
+                                 std::vector<char>& mask) const {
+  mask.resize(records_);
+  const auto fill_kind_mismatch = [&] {
+    // value_compare across kinds: only != holds.
+    std::fill(mask.begin(), mask.end(),
+              static_cast<char>(op == MaskOp::kNe));
+  };
+  if (column_id < 3) {
+    if (literal.is_string()) {
+      fill_kind_mismatch();
+      return true;
+    }
+    eval_int_payload(column(column_id), op, literal, mask);
+    return true;
+  }
+  if (column_id == 3 || column_id >= 4 + n_factors_) {
+    if (column_id != 3 && column_id - 4 - n_factors_ >= n_metrics_) {
+      throw std::out_of_range("bbx: column id out of range");
+    }
+    if (literal.is_string()) {
+      fill_kind_mismatch();
+      return true;
+    }
+    eval_real_payload(column(column_id), op, literal, mask);
+    return true;
+  }
+  const std::size_t f = column_id - 4;
+  ByteReader r = column(4 + f);
+  const auto tag = static_cast<FactorTag>(r.u8());
+  switch (tag) {
+    case FactorTag::kInt:
+      if (literal.is_string()) {
+        fill_kind_mismatch();
+        return true;
+      }
+      eval_int_payload(r, op, literal, mask);
+      return true;
+    case FactorTag::kReal:
+      if (literal.is_string()) {
+        fill_kind_mismatch();
+        return true;
+      }
+      eval_real_payload(r, op, literal, mask);
+      return true;
+    case FactorTag::kString:
+      if (!literal.is_string()) {
+        fill_kind_mismatch();
+        return true;
+      }
+      eval_string_payload(r, op, literal, mask);
+      return true;
+    case FactorTag::kMixed:
+      // Per-value kind tags: the decoded path handles these.
+      return false;
+  }
+  throw std::runtime_error("bbx: unknown factor column encoding " +
+                           std::to_string(static_cast<unsigned>(tag)));
+}
+
+// --- whole-block and free-function projections ------------------------------
 
 std::string encode_block(const RawRecord* records, std::size_t n,
                          std::size_t n_factors, std::size_t n_metrics) {
@@ -256,37 +463,33 @@ std::string encode_block(const RawRecord* records, std::size_t n,
 std::vector<RawRecord> decode_block(const std::string& raw,
                                     std::size_t n_factors,
                                     std::size_t n_metrics) {
-  const BlockLayout layout = read_layout(raw, n_factors, n_metrics);
-  const std::size_t n = layout.records;
+  const BlockView view(raw, n_factors, n_metrics);
+  const std::size_t n = view.records();
 
-  ByteReader seq_r = column_reader(raw, layout, 0);
-  ByteReader cell_r = column_reader(raw, layout, 1);
-  ByteReader rep_r = column_reader(raw, layout, 2);
-  ByteReader ts_r = column_reader(raw, layout, 3);
-  const std::vector<std::size_t> sequence = decode_delta_column(seq_r, n);
-  const std::vector<std::size_t> cell = decode_delta_column(cell_r, n);
-  const std::vector<std::size_t> replicate = decode_delta_column(rep_r, n);
+  const std::vector<std::size_t> sequence = view.index_column(0);
+  const std::vector<std::size_t> cell = view.index_column(1);
+  const std::vector<std::size_t> replicate = view.index_column(2);
+  const std::vector<double> timestamps = view.timestamp_column();
 
   std::vector<RawRecord> records(n);
   for (std::size_t i = 0; i < n; ++i) {
     records[i].sequence = sequence[i];
     records[i].cell_index = cell[i];
     records[i].replicate = replicate[i];
-    records[i].timestamp_s = ts_r.f64le();
+    records[i].timestamp_s = timestamps[i];
     records[i].factors.reserve(n_factors);
     records[i].metrics.resize(n_metrics);
   }
   for (std::size_t f = 0; f < n_factors; ++f) {
-    ByteReader col_r = column_reader(raw, layout, 4 + f);
-    std::vector<Value> column = decode_factor_payload(col_r, n);
+    std::vector<Value> column = view.factor_column(f);
     for (std::size_t i = 0; i < n; ++i) {
       records[i].factors.push_back(std::move(column[i]));
     }
   }
   for (std::size_t m = 0; m < n_metrics; ++m) {
-    ByteReader col_r = column_reader(raw, layout, 4 + n_factors + m);
+    const std::vector<double> column = view.metric_column(m);
     for (std::size_t i = 0; i < n; ++i) {
-      records[i].metrics[m] = col_r.f64le();
+      records[i].metrics[m] = column[i];
     }
   }
   return records;
@@ -296,55 +499,27 @@ std::vector<std::size_t> decode_index_column(const std::string& raw,
                                              std::size_t n_factors,
                                              std::size_t n_metrics,
                                              std::size_t which) {
-  if (which > 2) {
-    throw std::out_of_range("bbx: bookkeeping index column out of range");
-  }
-  const BlockLayout layout = read_layout(raw, n_factors, n_metrics);
-  ByteReader col_r = column_reader(raw, layout, which);
-  return decode_delta_column(col_r, layout.records);
+  return BlockView(raw, n_factors, n_metrics).index_column(which);
 }
 
 std::vector<double> decode_timestamp_column(const std::string& raw,
                                             std::size_t n_factors,
                                             std::size_t n_metrics) {
-  const BlockLayout layout = read_layout(raw, n_factors, n_metrics);
-  ByteReader col_r = column_reader(raw, layout, 3);
-  std::vector<double> out;
-  out.reserve(layout.records);
-  for (std::size_t i = 0; i < layout.records; ++i) {
-    out.push_back(col_r.f64le());
-  }
-  return out;
+  return BlockView(raw, n_factors, n_metrics).timestamp_column();
 }
 
 std::vector<Value> decode_factor_column(const std::string& raw,
                                         std::size_t n_factors,
                                         std::size_t n_metrics,
                                         std::size_t factor_index) {
-  if (factor_index >= n_factors) {
-    throw std::out_of_range("bbx: factor index out of range");
-  }
-  const BlockLayout layout = read_layout(raw, n_factors, n_metrics);
-  ByteReader col_r = column_reader(raw, layout, 4 + factor_index);
-  return decode_factor_payload(col_r, layout.records);
+  return BlockView(raw, n_factors, n_metrics).factor_column(factor_index);
 }
 
 std::vector<double> decode_metric_column(const std::string& raw,
                                          std::size_t n_factors,
                                          std::size_t n_metrics,
                                          std::size_t metric_index) {
-  if (metric_index >= n_metrics) {
-    throw std::out_of_range("bbx: metric index out of range");
-  }
-  const BlockLayout layout = read_layout(raw, n_factors, n_metrics);
-  ByteReader col_r =
-      column_reader(raw, layout, 4 + n_factors + metric_index);
-  std::vector<double> out;
-  out.reserve(layout.records);
-  for (std::size_t i = 0; i < layout.records; ++i) {
-    out.push_back(col_r.f64le());
-  }
-  return out;
+  return BlockView(raw, n_factors, n_metrics).metric_column(metric_index);
 }
 
 }  // namespace cal::io::archive

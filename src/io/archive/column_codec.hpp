@@ -30,8 +30,72 @@
 
 #include "core/record.hpp"
 #include "core/value.hpp"
+#include "io/archive/wire.hpp"
 
 namespace cal::io::archive {
+
+/// Per-block factor column encodings (the tag byte).
+enum class FactorTag : unsigned char {
+  kInt = 0,     ///< zigzag-delta varints
+  kReal = 1,    ///< raw LE doubles
+  kString = 2,  ///< dictionary + per-record indices
+  kMixed = 3,   ///< per-value kind tag; strings share the dictionary
+};
+
+/// Comparison ops of encoded-domain predicate evaluation; numerically
+/// identical to query::value_compare (exact int64 when both sides are
+/// ints, IEEE double compare otherwise -- NaN satisfies only kNe -- and
+/// lexicographic for strings).
+enum class MaskOp : unsigned char { kEq = 0, kNe, kLt, kLe, kGt, kGe };
+
+/// One block image with its header parsed once: column byte ranges,
+/// record count, and per-column decode -- the projection entry point
+/// the per-column free functions below share.  Borrows `raw`; the
+/// image must outlive the view.
+class BlockView {
+ public:
+  BlockView(const std::string& raw, std::size_t n_factors,
+            std::size_t n_metrics);
+
+  std::size_t records() const noexcept { return records_; }
+
+  /// Encoding tag of factor column `f` (peeked, nothing decoded).
+  FactorTag factor_tag(std::size_t f) const;
+
+  /// Per-column projections (unified ids are implicit in the names).
+  std::vector<std::size_t> index_column(std::size_t which) const;
+  std::vector<double> timestamp_column() const;
+  std::vector<Value> factor_column(std::size_t f) const;
+  std::vector<double> metric_column(std::size_t m) const;
+
+  /// Encoded-domain predicate evaluation: fills mask[i] = (record i's
+  /// `column_id` value OP literal) straight off the encoded bytes --
+  /// delta varints stream through a running prefix, f64 columns are
+  /// compared in place, string-dictionary columns compare the literal
+  /// against each distinct level once and map the per-record codes.
+  /// Returns false (mask unspecified) when the column's block encoding
+  /// defeats encoded evaluation (mixed factor columns): the caller
+  /// falls back to decoded evaluation.  Column ids: 0 sequence, 1 cell,
+  /// 2 replicate, 3 timestamp, 4+f factor f, 4+n_factors+m metric m.
+  bool eval_column_mask(std::size_t column_id, MaskOp op,
+                        const Value& literal, std::vector<char>& mask) const;
+
+ private:
+  ByteReader column(std::size_t id) const;
+  void eval_int_payload(ByteReader r, MaskOp op, const Value& literal,
+                        std::vector<char>& mask) const;
+  void eval_real_payload(ByteReader r, MaskOp op, const Value& literal,
+                         std::vector<char>& mask) const;
+  void eval_string_payload(ByteReader r, MaskOp op, const Value& literal,
+                           std::vector<char>& mask) const;
+
+  const std::string* raw_;
+  std::size_t records_ = 0;
+  std::size_t n_factors_ = 0;
+  std::size_t n_metrics_ = 0;
+  std::size_t payload_start_ = 0;
+  std::vector<std::size_t> column_bytes_;
+};
 
 /// Encodes records[0, n) into a block image.  Record widths must agree
 /// with `n_factors`/`n_metrics` (the writer validated them on consume).

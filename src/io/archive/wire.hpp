@@ -115,10 +115,22 @@ class ByteReader {
     std::uint64_t v = 0;
     for (int shift = 0; shift < 64; shift += 7) {
       const std::uint8_t byte = u8();
+      if (shift == 63 && byte > 1) {
+        // Bits past 2^64 would silently wrap into the low word.
+        throw std::runtime_error("bbx: varint overflows 64 bits");
+      }
       v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
-      if (!(byte & 0x80)) return v;
+      if (!(byte & 0x80)) {
+        if (byte == 0 && shift != 0) {
+          // A zero terminator after continuation bytes encodes the
+          // value non-canonically; the writer never emits it, so it
+          // only appears in corrupt or adversarial input.
+          throw std::runtime_error("bbx: non-canonical varint");
+        }
+        return v;
+      }
     }
-    throw std::runtime_error("bbx: varint longer than 64 bits");
+    throw std::runtime_error("bbx: varint longer than 10 bytes");
   }
 
   std::int64_t svarint() { return unzigzag(varint()); }
@@ -129,6 +141,15 @@ class ByteReader {
     const char* p = data_ + pos_;
     pos_ += n;
     return p;
+  }
+
+  /// The unread byte range, for bulk kernels that report their own
+  /// consumption; pair with skip().
+  const char* cursor() const noexcept { return data_ + pos_; }
+
+  void skip(std::size_t n) {
+    need(n);
+    pos_ += n;
   }
 
  private:

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "io/archive/column_codec.hpp"
+#include "simd/dispatch.hpp"
 
 namespace cal::query {
 
@@ -85,6 +86,42 @@ DecodedColumns decode_columns(const std::string& raw, const ColumnSet& needs,
   return d;
 }
 
+void BlockSource::scan_filtered(
+    const std::vector<std::size_t>& blocks,
+    const std::vector<ColumnSet>& out_needs,
+    const std::vector<char>& uncertain, const MaskProgram* program,
+    core::WorkerPool* pool,
+    const std::function<void(std::size_t, const DecodedColumns&,
+                             const std::vector<char>*)>& body) const {
+  if (program == nullptr) {
+    scan(blocks, out_needs, pool,
+         [&](std::size_t ordinal, const DecodedColumns& d) {
+           body(ordinal, d, nullptr);
+         });
+    return;
+  }
+  if (uncertain.size() != blocks.size()) {
+    throw std::invalid_argument(
+        "query: scan_filtered needs one uncertainty flag per block");
+  }
+  // No raw images here: decode the union of output + predicate columns
+  // and evaluate decoded.  Cached sources keep their column reuse.
+  std::vector<ColumnSet> merged = out_needs;
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    if (uncertain[i]) merged[i].merge(program->needs());
+  }
+  scan(blocks, merged, pool,
+       [&](std::size_t ordinal, const DecodedColumns& d) {
+         if (!uncertain[ordinal]) {
+           body(ordinal, d, nullptr);
+           return;
+         }
+         std::vector<char> mask;
+         program->eval_decoded(d, mask);
+         body(ordinal, d, &mask);
+       });
+}
+
 void DirectBlockSource::scan(
     const std::vector<std::size_t>& blocks,
     const std::vector<ColumnSet>& needs, core::WorkerPool* pool,
@@ -104,6 +141,63 @@ void DirectBlockSource::scan(
              decode_columns(raw, needs[ordinal],
                             manifest.blocks[block].records, n_factors,
                             n_metrics));
+      });
+}
+
+void DirectBlockSource::scan_filtered(
+    const std::vector<std::size_t>& blocks,
+    const std::vector<ColumnSet>& out_needs,
+    const std::vector<char>& uncertain, const MaskProgram* program,
+    core::WorkerPool* pool,
+    const std::function<void(std::size_t, const DecodedColumns&,
+                             const std::vector<char>*)>& body) const {
+  if (program == nullptr) {
+    BlockSource::scan_filtered(blocks, out_needs, uncertain, program, pool,
+                               body);
+    return;
+  }
+  if (out_needs.size() != blocks.size() ||
+      uncertain.size() != blocks.size()) {
+    throw std::invalid_argument(
+        "query: scan_filtered needs one ColumnSet and uncertainty flag "
+        "per block");
+  }
+  const ar::Manifest& manifest = reader_.manifest();
+  const std::size_t n_factors = manifest.factor_names.size();
+  const std::size_t n_metrics = manifest.metric_names.size();
+  reader_.scan_blocks(
+      blocks, pool,
+      [&](std::size_t ordinal, std::size_t block, const std::string& raw) {
+        const std::size_t records = manifest.blocks[block].records;
+        if (!uncertain[ordinal]) {
+          body(ordinal,
+               decode_columns(raw, out_needs[ordinal], records, n_factors,
+                              n_metrics),
+               nullptr);
+          return;
+        }
+        std::vector<char> mask;
+        if (program->eval_encoded(raw, records, mask)) {
+          // Predicate settled without decoding anything.  A block no
+          // record of which survives never decodes its output columns
+          // at all -- this is where pruned-to-kSome blocks get cheap.
+          if (simd::kernels().mask_count(mask.data(), mask.size()) == 0) {
+            return;
+          }
+          body(ordinal,
+               decode_columns(raw, out_needs[ordinal], records, n_factors,
+                              n_metrics),
+               &mask);
+          return;
+        }
+        // Encoded evaluation defeated (mixed-kind factor column):
+        // decode the union and evaluate over decoded columns instead.
+        ColumnSet merged = out_needs[ordinal];
+        merged.merge(program->needs());
+        const DecodedColumns d =
+            decode_columns(raw, merged, records, n_factors, n_metrics);
+        program->eval_decoded(d, mask);
+        body(ordinal, d, &mask);
       });
 }
 

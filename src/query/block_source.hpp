@@ -69,6 +69,30 @@ DecodedColumns decode_columns(const std::string& raw, const ColumnSet& needs,
                               std::size_t records, std::size_t n_factors,
                               std::size_t n_metrics);
 
+/// A query predicate compiled for per-block evaluation.  The engine
+/// builds one per query; sources use it to evaluate the filter before
+/// (or instead of) materializing the scan's output columns.
+class MaskProgram {
+ public:
+  virtual ~MaskProgram() = default;
+
+  /// The columns the predicate reads.
+  virtual const ColumnSet& needs() const = 0;
+
+  /// Evaluates the predicate straight off the encoded block image into
+  /// `mask` (one char per record, 1 = passes).  Returns false -- mask
+  /// contents unspecified -- when some encoding in the image defeats
+  /// encoded evaluation (mixed-kind factor columns); the caller then
+  /// falls back to eval_decoded over decoded columns.
+  virtual bool eval_encoded(const std::string& raw, std::size_t records,
+                            std::vector<char>& mask) const = 0;
+
+  /// Evaluates the predicate over decoded columns (which must include
+  /// needs()).  Byte-identical to eval_encoded where both apply.
+  virtual void eval_decoded(const DecodedColumns& columns,
+                            std::vector<char>& mask) const = 0;
+};
+
 /// Where a scan's decoded columns come from.
 class BlockSource {
  public:
@@ -87,6 +111,26 @@ class BlockSource {
                     const std::function<void(std::size_t ordinal,
                                              const DecodedColumns& columns)>&
                         body) const = 0;
+
+  /// Predicate-aware scan: decodes `out_needs[ordinal]` for each block
+  /// and calls `body(ordinal, columns, mask)` where `mask` is the
+  /// predicate's per-record verdict -- nullptr means every record
+  /// passes (the block's zone map was certain, `uncertain[ordinal]`
+  /// false, or `program` null).  A source may skip `body` entirely for
+  /// blocks whose mask comes out all-zero; callers must treat an
+  /// uncalled ordinal as matching nothing.  The default implementation
+  /// decodes the union of output + predicate columns and evaluates
+  /// decoded; sources that see raw images may instead evaluate in the
+  /// encoded domain and decode output columns only for surviving
+  /// blocks.
+  virtual void scan_filtered(
+      const std::vector<std::size_t>& blocks,
+      const std::vector<ColumnSet>& out_needs,
+      const std::vector<char>& uncertain, const MaskProgram* program,
+      core::WorkerPool* pool,
+      const std::function<void(std::size_t ordinal,
+                               const DecodedColumns& columns,
+                               const std::vector<char>* mask)>& body) const;
 };
 
 /// The no-cache source: every scan decodes from the bundle's shards.
@@ -100,6 +144,20 @@ class DirectBlockSource final : public BlockSource {
             const std::vector<ColumnSet>& needs, core::WorkerPool* pool,
             const std::function<void(std::size_t, const DecodedColumns&)>&
                 body) const override;
+
+  /// Encoded-domain override: evaluates the predicate on the raw block
+  /// image, skips decode + body for blocks no record of which survives,
+  /// and decodes only `out_needs` (not the predicate's columns) for the
+  /// rest.  Falls back to the decode-union path per block when the
+  /// image defeats encoded evaluation.
+  void scan_filtered(
+      const std::vector<std::size_t>& blocks,
+      const std::vector<ColumnSet>& out_needs,
+      const std::vector<char>& uncertain, const MaskProgram* program,
+      core::WorkerPool* pool,
+      const std::function<void(std::size_t, const DecodedColumns&,
+                               const std::vector<char>*)>& body)
+      const override;
 
  private:
   const io::archive::BbxReader& reader_;

@@ -9,7 +9,9 @@
 #include <unordered_map>
 #include <utility>
 
+#include "io/archive/column_codec.hpp"
 #include "io/csv.hpp"
+#include "simd/dispatch.hpp"
 #include "stats/descriptive.hpp"
 
 namespace cal::query {
@@ -313,16 +315,61 @@ bool int_compare(std::int64_t a, CmpOp op, std::int64_t b) {
   return false;
 }
 
-/// One comparison node as a tight loop over its column.  `refine` is
-/// the column-level analogue of && short-circuiting: only records whose
-/// mask entry is still set are compared (and cleared on mismatch), so a
-/// selective left conjunct spares the right one most of its work.
+/// value_compare's numeric branch, unboxed: plain IEEE double compare
+/// (NaN on either side satisfies only kNe).
+bool real_compare(double a, CmpOp op, double b) {
+  switch (op) {
+    case CmpOp::kEq: return a == b;
+    case CmpOp::kNe: return a != b;
+    case CmpOp::kLt: return a < b;
+    case CmpOp::kLe: return a <= b;
+    case CmpOp::kGt: return a > b;
+    case CmpOp::kGe: return a >= b;
+  }
+  return false;
+}
+
+simd::Cmp to_simd(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq: return simd::Cmp::kEq;
+    case CmpOp::kNe: return simd::Cmp::kNe;
+    case CmpOp::kLt: return simd::Cmp::kLt;
+    case CmpOp::kLe: return simd::Cmp::kLe;
+    case CmpOp::kGt: return simd::Cmp::kGt;
+    case CmpOp::kGe: return simd::Cmp::kGe;
+  }
+  return simd::Cmp::kEq;
+}
+
+ar::MaskOp to_mask_op(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq: return ar::MaskOp::kEq;
+    case CmpOp::kNe: return ar::MaskOp::kNe;
+    case CmpOp::kLt: return ar::MaskOp::kLt;
+    case CmpOp::kLe: return ar::MaskOp::kLe;
+    case CmpOp::kGt: return ar::MaskOp::kGt;
+    case CmpOp::kGe: return ar::MaskOp::kGe;
+  }
+  return ar::MaskOp::kEq;
+}
+
+/// One comparison node over its column.  `refine` is the column-level
+/// analogue of && short-circuiting: only records whose mask entry is
+/// still set are compared (and cleared on mismatch), so a selective
+/// left conjunct spares the right one most of its work.  Plain numeric
+/// columns go through the dispatched compare kernels; factor columns
+/// hoist the literal out of the loop and compare unboxed whenever the
+/// literal is numeric -- int levels against a real literal widen BOTH
+/// sides to double (exactly value_compare's rule; truncating the
+/// literal to int would part ways with the boxed path at literals like
+/// 2^53 + 1 that no double represents).
 template <bool refine>
 void cmp_mask(const Node& node, const DecodedColumns& d,
               std::vector<char>& mask) {
   const std::size_t n = d.records;
   const CmpOp op = node.op;
   const Value& lit = node.literal;
+  const simd::Kernels& kernels = simd::kernels();
   const auto apply = [&](auto&& cmp_at) {
     for (std::size_t i = 0; i < n; ++i) {
       if constexpr (refine) {
@@ -332,53 +379,62 @@ void cmp_mask(const Node& node, const DecodedColumns& d,
       }
     }
   };
+  // Bookkeeping index columns hold non-negative int64-range values in
+  // size_t slots; compare them in the integer domain when the literal
+  // is an int, in the double domain (both sides widened) otherwise.
+  const auto index_column = [&](const std::vector<std::size_t>& col) {
+    static_assert(sizeof(std::size_t) == sizeof(std::int64_t),
+                  "index columns reinterpret as int64");
+    if (lit.is_int()) {
+      kernels.cmp_mask_i64(reinterpret_cast<const std::int64_t*>(col.data()),
+                           n, to_simd(op), lit.as_int(), mask.data(),
+                           refine);
+      return;
+    }
+    const double b = lit.as_real();
+    apply([&](std::size_t i) {
+      return real_compare(
+          static_cast<double>(static_cast<std::int64_t>(col[i])), op, b);
+    });
+  };
   switch (node.ref.col) {
-    case Col::kSeq:
-      apply([&](std::size_t i) {
-        return value_compare(Value(static_cast<std::int64_t>((*d.seq)[i])),
-                             op, lit);
-      });
-      return;
-    case Col::kCell:
-      apply([&](std::size_t i) {
-        return value_compare(Value(static_cast<std::int64_t>((*d.cell)[i])),
-                             op, lit);
-      });
-      return;
-    case Col::kRep:
-      apply([&](std::size_t i) {
-        return value_compare(Value(static_cast<std::int64_t>((*d.rep)[i])),
-                             op, lit);
-      });
-      return;
+    case Col::kSeq: index_column(*d.seq); return;
+    case Col::kCell: index_column(*d.cell); return;
+    case Col::kRep: index_column(*d.rep); return;
     case Col::kTs:
-      apply([&](std::size_t i) {
-        return value_compare(Value((*d.ts)[i]), op, lit);
-      });
+      kernels.cmp_mask_f64(d.ts->data(), n, to_simd(op), lit.as_real(),
+                           mask.data(), refine);
       return;
     case Col::kFactor: {
       const std::vector<Value>& col = *d.factors[node.ref.index];
       if (lit.is_int()) {
-        // The common `factor == literal` shape on an integer level set:
-        // hoist the literal and compare unboxed.
         const std::int64_t b = lit.as_int();
         apply([&](std::size_t i) {
           const Value& v = col[i];
-          return v.is_int() ? int_compare(v.as_int(), op, b)
-                            : value_compare(v, op, lit);
+          if (v.is_int()) return int_compare(v.as_int(), op, b);
+          if (v.is_string()) return op == CmpOp::kNe;
+          return real_compare(v.as_real(), op, static_cast<double>(b));
+        });
+        return;
+      }
+      if (!lit.is_string()) {
+        const double b = lit.as_real();
+        apply([&](std::size_t i) {
+          const Value& v = col[i];
+          if (v.is_string()) return op == CmpOp::kNe;
+          return real_compare(
+              v.is_int() ? static_cast<double>(v.as_int()) : v.as_real(),
+              op, b);
         });
         return;
       }
       apply([&](std::size_t i) { return value_compare(col[i], op, lit); });
       return;
     }
-    case Col::kMetric: {
-      const std::vector<double>& col = *d.metrics[node.ref.index];
-      apply([&](std::size_t i) {
-        return value_compare(Value(col[i]), op, lit);
-      });
+    case Col::kMetric:
+      kernels.cmp_mask_f64(d.metrics[node.ref.index]->data(), n,
+                           to_simd(op), lit.as_real(), mask.data(), refine);
       return;
-    }
   }
 }
 
@@ -403,7 +459,7 @@ void refine_mask(const Node& node, const DecodedColumns& d,
     default: {  // kOr / kNot: no per-record guard, intersect a sub-mask
       std::vector<char> sub;
       eval_mask(node, d, sub);
-      for (std::size_t i = 0; i < d.records; ++i) mask[i] &= sub[i];
+      simd::kernels().mask_and(mask.data(), sub.data(), d.records);
       return;
     }
   }
@@ -434,16 +490,99 @@ void eval_mask(const Node& node, const DecodedColumns& d,
       eval_mask(*node.lhs, d, mask);
       std::vector<char> rhs;
       eval_mask(*node.rhs, d, rhs);
-      for (std::size_t i = 0; i < n; ++i) mask[i] |= rhs[i];
+      simd::kernels().mask_or(mask.data(), rhs.data(), n);
       return;
     }
     case Node::Kind::kNot: {
       eval_mask(*node.lhs, d, mask);
-      for (std::size_t i = 0; i < n; ++i) mask[i] = !mask[i];
+      simd::kernels().mask_not(mask.data(), n);
       return;
     }
   }
 }
+
+// --- encoded-domain predicate evaluation ------------------------------------
+
+/// Evaluates `node` against the encoded block image.  Returns false
+/// when any reachable comparison's column encoding defeats encoded
+/// evaluation (the caller falls back to decoded evaluation); on true,
+/// `mask` holds the same verdicts eval_mask would produce.
+bool eval_encoded_node(const Node& node, const ar::BlockView& view,
+                       std::size_t n_factors, std::vector<char>& mask) {
+  const std::size_t n = view.records();
+  switch (node.kind) {
+    case Node::Kind::kConst:
+      mask.assign(n, static_cast<char>(node.truth));
+      return true;
+    case Node::Kind::kCmp:
+      return view.eval_column_mask(zone_column(node.ref, n_factors),
+                                   to_mask_op(node.op), node.literal, mask);
+    case Node::Kind::kAnd: {
+      if (!eval_encoded_node(*node.lhs, view, n_factors, mask)) return false;
+      // Column-level short circuit: a dead mask stays dead.
+      if (simd::kernels().mask_count(mask.data(), n) == 0) return true;
+      std::vector<char> rhs;
+      if (!eval_encoded_node(*node.rhs, view, n_factors, rhs)) return false;
+      simd::kernels().mask_and(mask.data(), rhs.data(), n);
+      return true;
+    }
+    case Node::Kind::kOr: {
+      if (!eval_encoded_node(*node.lhs, view, n_factors, mask)) return false;
+      std::vector<char> rhs;
+      if (!eval_encoded_node(*node.rhs, view, n_factors, rhs)) return false;
+      simd::kernels().mask_or(mask.data(), rhs.data(), n);
+      return true;
+    }
+    case Node::Kind::kNot:
+      if (!eval_encoded_node(*node.lhs, view, n_factors, mask)) return false;
+      simd::kernels().mask_not(mask.data(), n);
+      return true;
+  }
+  return false;
+}
+
+/// The engine's MaskProgram: one compiled predicate tree, evaluable in
+/// both domains.  eval_encoded needs only the block's raw image --
+/// predicate columns are never decoded -- so a block the zone map left
+/// uncertain costs its encoded predicate columns plus the output
+/// columns of surviving records, nothing more.
+class CompiledPredicate final : public MaskProgram {
+ public:
+  CompiledPredicate(NodePtr node, std::size_t n_factors,
+                    std::size_t n_metrics)
+      : node_(std::move(node)),
+        needs_(n_factors, n_metrics),
+        n_factors_(n_factors),
+        n_metrics_(n_metrics) {
+    collect_needs(*node_, needs_);
+  }
+
+  const Node* node() const { return node_.get(); }
+
+  const ColumnSet& needs() const override { return needs_; }
+
+  bool eval_encoded(const std::string& raw, std::size_t records,
+                    std::vector<char>& mask) const override {
+    const ar::BlockView view(raw, n_factors_, n_metrics_);
+    if (view.records() != records) {
+      throw std::runtime_error(
+          "query: block decoded to " + std::to_string(view.records()) +
+          " records but the manifest declares " + std::to_string(records));
+    }
+    return eval_encoded_node(*node_, view, n_factors_, mask);
+  }
+
+  void eval_decoded(const DecodedColumns& columns,
+                    std::vector<char>& mask) const override {
+    eval_mask(*node_, columns, mask);
+  }
+
+ private:
+  NodePtr node_;
+  ColumnSet needs_;
+  std::size_t n_factors_;
+  std::size_t n_metrics_;
+};
 
 
 // --- the shared plan: prune, then scan surviving blocks --------------------
@@ -480,28 +619,29 @@ BlockPlan plan_blocks(const ar::Manifest& manifest, const Node* predicate) {
   return plan;
 }
 
-/// Per-ordinal column sets of a planned scan: the query's output needs,
-/// plus the predicate's needs wherever the zone map left the block
-/// uncertain (a certain block never decodes predicate columns).
-std::vector<ColumnSet> scan_needs(const BlockPlan& plan,
-                                  const ColumnSet& out_needs,
-                                  const ColumnSet& pred_needs,
+/// Per surviving block: must the predicate still be evaluated?  (The
+/// zone map already decided certain blocks.)
+std::vector<char> uncertain_flags(const BlockPlan& plan,
                                   bool have_predicate) {
-  std::vector<ColumnSet> needs(plan.blocks.size(), out_needs);
+  std::vector<char> uncertain(plan.blocks.size(), 0);
   if (have_predicate) {
     for (std::size_t i = 0; i < plan.blocks.size(); ++i) {
-      if (!plan.certain[i]) needs[i].merge(pred_needs);
+      uncertain[i] = !plan.certain[i];
     }
   }
-  return needs;
+  return uncertain;
 }
 
-NodePtr compile_where(const ExprPtr& where, const Schema& schema) {
+std::unique_ptr<CompiledPredicate> compile_where(const ExprPtr& where,
+                                                 const Schema& schema,
+                                                 std::size_t n_factors,
+                                                 std::size_t n_metrics) {
   if (!where) return nullptr;
   NodePtr node = compile(*where, schema);
   // A predicate folded to constant-true is no predicate at all.
   if (node->kind == Node::Kind::kConst && node->truth) return nullptr;
-  return node;
+  return std::make_unique<CompiledPredicate>(std::move(node), n_factors,
+                                             n_metrics);
 }
 
 /// Group accumulator map shared by aggregate() and group_samples():
@@ -634,28 +774,53 @@ QueryResult BundleQuery::aggregate(const QuerySpec& spec,
     }
   }
 
-  const NodePtr predicate = compile_where(spec.where, schema);
-  const BlockPlan plan = plan_blocks(manifest, predicate.get());
+  const std::unique_ptr<CompiledPredicate> predicate =
+      compile_where(spec.where, schema, n_factors, n_metrics);
+  const BlockPlan plan =
+      plan_blocks(manifest, predicate ? predicate->node() : nullptr);
 
-  ColumnSet pred_needs(n_factors, n_metrics);
-  if (predicate) collect_needs(*predicate, pred_needs);
   ColumnSet out_needs(n_factors, n_metrics);
   for (const std::size_t f : group_idx) out_needs.factors[f] = 1;
   for (const std::size_t m : agg_metric_idx) out_needs.metrics[m] = 1;
 
+  const simd::Kernels& kernels = simd::kernels();
   using Partial = GroupedPartial<AggAcc>;
   std::vector<Partial> slots(plan.blocks.size());
-  source().scan(
-      plan.blocks,
-      scan_needs(plan, out_needs, pred_needs, predicate != nullptr), pool,
-      [&](std::size_t ordinal, const DecodedColumns& d) {
-        const bool filter = predicate && plan.certain[ordinal] == 0;
-        std::vector<char> mask;
-        if (filter) eval_mask(*predicate, d, mask);
+  source().scan_filtered(
+      plan.blocks, std::vector<ColumnSet>(plan.blocks.size(), out_needs),
+      uncertain_flags(plan, predicate != nullptr), predicate.get(), pool,
+      [&](std::size_t ordinal, const DecodedColumns& d,
+          const std::vector<char>* mask) {
         Partial& partial = slots[ordinal];
+        if (group_idx.empty()) {
+          // Ungrouped: fold each metric column in one batched kernel
+          // pass.  The fold keeps the per-record recurrence and the
+          // per-block partials still merge in plan order, so the
+          // result is byte-identical to the per-record loop.
+          const std::size_t matched =
+              mask ? kernels.mask_count(mask->data(), d.records)
+                   : d.records;
+          if (matched == 0) return;
+          AggAcc& acc = partial.slot({});
+          acc.metrics.resize(agg_metric_idx.size());
+          acc.rows = matched;
+          for (std::size_t m = 0; m < agg_metric_idx.size(); ++m) {
+            simd::WelfordBatch batch;
+            kernels.welford_fold(d.metrics[agg_metric_idx[m]]->data(),
+                                 mask ? mask->data() : nullptr, d.records,
+                                 &batch);
+            MetricAcc& out = acc.metrics[m];
+            out.sum = batch.sum;
+            out.min = batch.min;
+            out.max = batch.max;
+            out.welford =
+                stats::Welford::from_moments(batch.n, batch.mean, batch.m2);
+          }
+          return;
+        }
         std::vector<Value> key;
         for (std::size_t i = 0; i < d.records; ++i) {
-          if (filter && !mask[i]) continue;
+          if (mask && !(*mask)[i]) continue;
           key.clear();
           key.reserve(group_idx.size());
           for (const std::size_t f : group_idx) {
@@ -762,28 +927,26 @@ RawTable BundleQuery::materialize(const ExprPtr& where,
     }
   }
 
-  const NodePtr predicate = compile_where(where, schema);
-  const BlockPlan plan = plan_blocks(manifest, predicate.get());
+  const std::unique_ptr<CompiledPredicate> predicate =
+      compile_where(where, schema, n_factors, n_metrics);
+  const BlockPlan plan =
+      plan_blocks(manifest, predicate ? predicate->node() : nullptr);
 
   ColumnSet out_needs(n_factors, n_metrics);
   out_needs.seq = out_needs.cell = out_needs.rep = out_needs.ts = true;
   for (const std::size_t f : factor_sel) out_needs.factors[f] = 1;
   for (const std::size_t m : metric_sel) out_needs.metrics[m] = 1;
-  ColumnSet pred_needs(n_factors, n_metrics);
-  if (predicate) collect_needs(*predicate, pred_needs);
 
   std::vector<std::vector<RawRecord>> slots(plan.blocks.size());
   std::uint64_t matched = 0;
-  source().scan(
-      plan.blocks,
-      scan_needs(plan, out_needs, pred_needs, predicate != nullptr), pool,
-      [&](std::size_t ordinal, const DecodedColumns& d) {
-        const bool filter = predicate && plan.certain[ordinal] == 0;
-        std::vector<char> mask;
-        if (filter) eval_mask(*predicate, d, mask);
+  source().scan_filtered(
+      plan.blocks, std::vector<ColumnSet>(plan.blocks.size(), out_needs),
+      uncertain_flags(plan, predicate != nullptr), predicate.get(), pool,
+      [&](std::size_t ordinal, const DecodedColumns& d,
+          const std::vector<char>* mask) {
         std::vector<RawRecord>& out = slots[ordinal];
         for (std::size_t i = 0; i < d.records; ++i) {
-          if (filter && !mask[i]) continue;
+          if (mask && !(*mask)[i]) continue;
           RawRecord record;
           record.sequence = (*d.seq)[i];
           record.cell_index = (*d.cell)[i];
@@ -837,15 +1000,15 @@ std::vector<stats::Group> BundleQuery::group_samples(
                             "' is not a metric of the bundle");
   }
 
-  const NodePtr predicate = compile_where(where, schema);
-  const BlockPlan plan = plan_blocks(manifest, predicate.get());
+  const std::unique_ptr<CompiledPredicate> predicate =
+      compile_where(where, schema, n_factors, n_metrics);
+  const BlockPlan plan =
+      plan_blocks(manifest, predicate ? predicate->node() : nullptr);
 
   ColumnSet out_needs(n_factors, n_metrics);
   out_needs.seq = true;
   for (const std::size_t f : group_idx) out_needs.factors[f] = 1;
   out_needs.metrics[metric_ref->index] = 1;
-  ColumnSet pred_needs(n_factors, n_metrics);
-  if (predicate) collect_needs(*predicate, pred_needs);
 
   struct SampleAcc {
     std::vector<double> samples;
@@ -853,17 +1016,15 @@ std::vector<stats::Group> BundleQuery::group_samples(
   };
   using Partial = GroupedPartial<SampleAcc>;
   std::vector<Partial> slots(plan.blocks.size());
-  source().scan(
-      plan.blocks,
-      scan_needs(plan, out_needs, pred_needs, predicate != nullptr), pool,
-      [&](std::size_t ordinal, const DecodedColumns& d) {
-        const bool filter = predicate && plan.certain[ordinal] == 0;
-        std::vector<char> mask;
-        if (filter) eval_mask(*predicate, d, mask);
+  source().scan_filtered(
+      plan.blocks, std::vector<ColumnSet>(plan.blocks.size(), out_needs),
+      uncertain_flags(plan, predicate != nullptr), predicate.get(), pool,
+      [&](std::size_t ordinal, const DecodedColumns& d,
+          const std::vector<char>* mask) {
         Partial& partial = slots[ordinal];
         std::vector<Value> key;
         for (std::size_t i = 0; i < d.records; ++i) {
-          if (filter && !mask[i]) continue;
+          if (mask && !(*mask)[i]) continue;
           key.clear();
           key.reserve(group_idx.size());
           for (const std::size_t f : group_idx) {

@@ -91,10 +91,13 @@ void BlockCache::insert(const Key& key, CachedColumn column) {
   ++stats_.inserts;
   resolved_cv_.notify_all();
 
-  if (bytes > options_.byte_budget) {
-    // Wider than the whole budget: waiters got the value, nothing is
-    // retained.  The entry leaves the map; live wait() calls keep the
-    // Entry object alive through their shared_ptr.
+  if (bytes > options_.byte_budget || options_.byte_budget == 0) {
+    // Wider than the whole budget (or a retain-nothing budget, which
+    // must reject even zero-byte columns): waiters got the value,
+    // nothing is retained, and stats_.bytes is never charged -- the
+    // entry leaves the map without ever touching the LRU list, so
+    // shrink_locked() cannot meet it.  Live wait() calls keep the Entry
+    // object alive through their shared_ptr.
     ++stats_.rejected;
     entries_.erase(it);
     return;

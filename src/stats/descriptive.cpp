@@ -94,6 +94,15 @@ void Welford::add(double x) noexcept {
   m2_ += delta * (x - mean_);
 }
 
+Welford Welford::from_moments(std::size_t n, double mean,
+                              double m2) noexcept {
+  Welford w;
+  w.n_ = n;
+  w.mean_ = mean;
+  w.m2_ = m2;
+  return w;
+}
+
 void Welford::merge(const Welford& other) noexcept {
   if (other.n_ == 0) return;
   if (n_ == 0) {

@@ -50,6 +50,12 @@ class Welford {
  public:
   void add(double x) noexcept;
 
+  /// Rehydrates an accumulator from externally tracked moments.  The
+  /// moments must come from add()'s exact recurrence (the SIMD
+  /// welford_fold kernels keep it), or determinism guarantees lapse.
+  static Welford from_moments(std::size_t n, double mean,
+                              double m2) noexcept;
+
   /// Folds another accumulator in (Chan's parallel update), as if every
   /// sample of `other` had been add()ed after this accumulator's own.
   /// Deterministic: merging the same partials in the same order always

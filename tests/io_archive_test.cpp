@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <random>
 #include <sstream>
 #include <string>
@@ -58,6 +59,64 @@ TEST(ArchiveWire, ReaderThrowsOnTruncation) {
   ar::put_u32le(buf, 7);
   ar::ByteReader r(buf.data(), 3);  // one byte short
   EXPECT_THROW(r.u32le(), std::runtime_error);
+}
+
+TEST(ArchiveWire, VarintRejectsMalformedEncodings) {
+  // Fuzz-style adversarial varints the writer never emits.  Each must
+  // surface as a clear error, not wrap silently or read out of bounds.
+  const auto rejects = [](std::string bytes) {
+    ar::ByteReader r(bytes);
+    EXPECT_THROW(r.varint(), std::runtime_error) << "bytes: " << bytes.size();
+  };
+  // Continuation runs past any canonical 64-bit encoding.
+  rejects(std::string(11, '\x80'));
+  rejects(std::string(16, '\xff'));
+  // Tenth byte carries bits past 2^64 (> 1 at shift 63).
+  rejects(std::string(9, '\x80') + '\x02');
+  rejects(std::string(9, '\xff') + '\x7f');
+  // Non-canonical zero terminator after continuation bytes.
+  rejects(std::string("\x80\x00", 2));
+  rejects(std::string("\xff\xff\x00", 3));
+  // Truncated mid-varint (continuation bit set on the last byte).
+  rejects(std::string("\x80", 1));
+  rejects(std::string(5, '\xb7'));
+}
+
+TEST(ArchiveWire, VarintAcceptsCanonicalBoundaryEncodings) {
+  {
+    // Ten bytes, top byte == 1: exactly 2^63 -- legal and canonical.
+    std::string bytes = std::string(9, '\x80');
+    bytes += '\x01';
+    ar::ByteReader r(bytes);
+    EXPECT_EQ(r.varint(), std::uint64_t{1} << 63);
+    EXPECT_TRUE(r.done());
+  }
+  {
+    // All value bits set: UINT64_MAX, the widest canonical varint.
+    std::string bytes = std::string(9, '\xff');
+    bytes += '\x01';
+    ar::ByteReader r(bytes);
+    EXPECT_EQ(r.varint(), std::numeric_limits<std::uint64_t>::max());
+    EXPECT_TRUE(r.done());
+  }
+  {
+    // A lone zero byte is the canonical encoding of 0.
+    const std::string bytes(1, '\x00');
+    ar::ByteReader r(bytes);
+    EXPECT_EQ(r.varint(), 0u);
+  }
+}
+
+TEST(ArchiveWriter, ZeroRecordBlockStatsDegradeToEmptyZones) {
+  // Regression: numeric_stats/factor_stats used to seed min/max from
+  // values.front() before checking for emptiness.  Zero records must
+  // yield all-kNone zones (prune nothing), not undefined behavior.
+  const ar::BlockStats stats = ar::compute_block_stats({}, 2, 3);
+  ASSERT_EQ(stats.columns.size(), 4u + 2u + 3u);
+  for (const ar::ColumnStats& column : stats.columns) {
+    EXPECT_EQ(column.kind, ar::ColumnStats::Kind::kNone);
+    EXPECT_TRUE(column.levels.empty());
+  }
 }
 
 // --- crc32 ------------------------------------------------------------------

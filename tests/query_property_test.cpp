@@ -9,8 +9,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <random>
 #include <sstream>
 #include <string>
@@ -21,6 +23,7 @@
 #include "io/archive/bbx_reader.hpp"
 #include "io/archive/bbx_writer.hpp"
 #include "query/engine.hpp"
+#include "simd/dispatch.hpp"
 #include "stats/descriptive.hpp"
 #include "stats/group.hpp"
 
@@ -265,6 +268,169 @@ TEST(QueryProperty, ZoneMapsPruneWithoutDivergence) {
   // pruned blocks in every trial, but assert weakly (>= 6/8) so one
   // pathological plan cannot flake the suite.
   EXPECT_GE(trials_with_pruning, 6u);
+  std::filesystem::remove_all(dir);
+}
+
+// An int factor compared against a *real* literal must follow
+// value_compare exactly: the stored level widens to double, the literal
+// is never truncated to int64.  The levels here sit where that
+// distinction is observable -- 2^53 and 2^53 + 1 widen to the same
+// double, and small ints straddle fractional bounds like 2.5.  Each
+// predicate runs both through the encoded-domain evaluator (plain int
+// column) and through the decoded cmp_mask path (forced by AND-ing a
+// mixed-kind factor the encoded evaluator refuses), at every dispatch
+// level this machine supports.
+TEST(QueryProperty, IntFactorRealLiteralBoundariesMatchValueCompare) {
+  const std::int64_t big = std::int64_t{1} << 53;  // 9007199254740992
+  DesignBuilder builder(7);
+  builder.add(Factor::levels(
+      "n", {Value(big), Value(big + 1), Value(big + 3), Value(std::int64_t{2}),
+            Value(std::int64_t{3})}));
+  builder.add(Factor::levels("mix", {Value(std::int64_t{1}), Value("x")}));
+  const Plan plan = builder.replications(5).randomize(true).build();
+
+  Engine::Options eopts;
+  eopts.seed = 99;
+  const auto measure = [](const PlannedRun&, MeasureContext&) {
+    return MeasureResult{{1.0}, 0.0};
+  };
+  const RawTable reference = Engine({"m"}, eopts).run(plan, measure);
+
+  const auto dir =
+      std::filesystem::temp_directory_path() / "calipers_query_boundary";
+  std::filesystem::remove_all(dir);
+  ar::BbxWriterOptions wopts;
+  wopts.shards = 2;
+  wopts.block_records = 7;
+  {
+    ar::BbxWriter sink(dir.string(), wopts);
+    Engine({"m"}, eopts).run(plan, measure, sink);
+  }
+  const ar::BbxReader reader(dir.string());
+  const query::BundleQuery bundle(reader);
+
+  struct Case {
+    query::CmpOp op;
+    double literal;
+  };
+  const Case cases[] = {
+      {query::CmpOp::kEq, 9007199254740993.0},  // rounds to (double)big
+      {query::CmpOp::kEq, static_cast<double>(big)},
+      {query::CmpOp::kNe, static_cast<double>(big)},
+      {query::CmpOp::kGe, 2.5},  // truncating to 2 would admit level 2
+      {query::CmpOp::kLt, 2.5},
+      {query::CmpOp::kLe, 9007199254740992.5},
+      {query::CmpOp::kGt, static_cast<double>(big)},
+  };
+
+  std::vector<simd::Level> levels = {simd::Level::kScalar};
+  if (simd::best_supported() != simd::Level::kScalar) {
+    levels.push_back(simd::best_supported());
+  }
+  const simd::Level before = simd::active_level();
+  for (const simd::Level level : levels) {
+    simd::set_level(level);
+    for (const Case& c : cases) {
+      const Value literal(c.literal);
+      std::size_t expected = 0;
+      for (const RawRecord& r : reference.records()) {
+        if (query::value_compare(r.factors[0], c.op, literal)) ++expected;
+      }
+      const query::ExprPtr base =
+          query::Expr::cmp({query::ColumnKind::kNamed, "n"}, c.op, literal);
+      // "mix != zzz" is true for every record (kind mismatch admits only
+      // kNe), but its mixed-kind column defeats encoded evaluation, so
+      // the whole block falls back to the decoded predicate path.
+      const query::ExprPtr decoded_route = query::Expr::logical_and(
+          query::Expr::cmp({query::ColumnKind::kNamed, "mix"},
+                           query::CmpOp::kNe, Value("zzz")),
+          query::Expr::cmp({query::ColumnKind::kNamed, "n"}, c.op, literal));
+      EXPECT_EQ(bundle.materialize(base).size(), expected)
+          << "encoded path, op " << static_cast<int>(c.op) << " literal "
+          << c.literal << " level " << simd::to_string(level);
+      EXPECT_EQ(bundle.materialize(decoded_route).size(), expected)
+          << "decoded path, op " << static_cast<int>(c.op) << " literal "
+          << c.literal << " level " << simd::to_string(level);
+    }
+  }
+  simd::set_level(before);
+  std::filesystem::remove_all(dir);
+}
+
+MeasureResult nan_bearing_measure(const PlannedRun& run, MeasureContext& ctx) {
+  MeasureResult r = noisy_measure(run, ctx);
+  // Sprinkle NaN into the second metric: aggregates and CSV output over
+  // it must still be byte-identical across dispatch levels.
+  if (run.run_index % 13 == 5) {
+    r.metrics[1] = std::numeric_limits<double>::quiet_NaN();
+  }
+  return r;
+}
+
+// The SIMD dispatch matrix: every (level, worker-count) combination must
+// produce byte-identical aggregate and materialize CSVs for randomized
+// plans and predicates, including NaN-bearing metric columns.
+TEST(QueryProperty, DispatchLevelsProduceByteIdenticalResults) {
+  std::vector<simd::Level> levels = {simd::Level::kScalar};
+  for (const simd::Level l : {simd::Level::kSse42, simd::Level::kAvx2}) {
+    if (l <= simd::best_supported()) levels.push_back(l);
+  }
+  const simd::Level before = simd::active_level();
+  std::mt19937_64 rng(424242);
+  const auto dir =
+      std::filesystem::temp_directory_path() / "calipers_query_dispatch";
+  for (int trial = 0; trial < 4; ++trial) {
+    const Plan plan = random_plan(rng);
+    std::filesystem::remove_all(dir);
+    ar::BbxWriterOptions wopts;
+    wopts.shards = 3;
+    wopts.block_records = 23;
+    {
+      ar::BbxWriter sink(dir.string(), wopts);
+      make_engine().run(plan, nan_bearing_measure, sink);
+    }
+
+    query::QuerySpec spec;
+    spec.where = random_predicate(rng, plan);
+    spec.group_by = {"size", "op"};
+    spec.aggregates = {query::Aggregate{query::AggKind::kCount, ""},
+                       *query::parse_aggregate("mean:time_us"),
+                       *query::parse_aggregate("mean:inv"),
+                       *query::parse_aggregate("sd:inv"),
+                       *query::parse_aggregate("min:inv"),
+                       *query::parse_aggregate("max:inv")};
+
+    const ar::BbxReader reader(dir.string());
+    const query::BundleQuery bundle(reader);
+
+    std::string agg_base, mat_base;
+    for (const simd::Level level : levels) {
+      simd::set_level(level);
+      for (const std::size_t workers : {std::size_t{1}, std::size_t{2},
+                                        std::size_t{8}}) {
+        core::WorkerPool pool(workers, "query-disp");
+        core::WorkerPool* p = workers > 1 ? &pool : nullptr;
+        std::ostringstream agg, mat;
+        bundle.aggregate(spec, p).write_csv(agg);
+        bundle.materialize(spec.where, {}, p).write_csv(mat);
+        if (agg_base.empty()) {
+          agg_base = agg.str();
+          mat_base = mat.str();
+        } else {
+          EXPECT_EQ(agg.str(), agg_base)
+              << "aggregate CSV diverged: trial " << trial << " level "
+              << simd::to_string(level) << " workers " << workers
+              << " predicate " << spec.where->to_string();
+          EXPECT_EQ(mat.str(), mat_base)
+              << "materialize CSV diverged: trial " << trial << " level "
+              << simd::to_string(level) << " workers " << workers
+              << " predicate " << spec.where->to_string();
+        }
+      }
+    }
+    simd::set_level(before);
+  }
+  simd::set_level(before);
   std::filesystem::remove_all(dir);
 }
 

@@ -109,6 +109,58 @@ TEST(BlockCache, EntryWiderThanBudgetServesWaitersButIsNotRetained) {
   EXPECT_EQ(cache.get(key_of(7)), nullptr);  // not retained
 }
 
+TEST(BlockCache, OverBudgetInsertsNeverChargeTheBudget) {
+  // Regression: an over-budget insert must leave no accounting residue
+  // behind -- bytes uncharged, nothing on the LRU list for shrink to
+  // spin on -- and later retained inserts must keep evicting normally.
+  BlockCache::Options options;
+  options.byte_budget = 2 * 80;  // room for two 10-double columns
+  BlockCache cache(options);
+
+  bool owner = false;
+  cache.get_or_begin(key_of(1), &owner);
+  cache.insert(key_of(1), real_column(10));    // retained, 80 bytes
+  cache.get_or_begin(key_of(2), &owner);
+  cache.insert(key_of(2), real_column(1000));  // 8000 bytes: rejected
+  cache.get_or_begin(key_of(3), &owner);
+  cache.insert(key_of(3), real_column(10));    // retained
+  cache.get_or_begin(key_of(4), &owner);
+  cache.insert(key_of(4), real_column(10));    // retained, evicts key 1
+
+  const BlockCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.inserts, 4u);
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.bytes, 160u);
+  EXPECT_EQ(cache.get(key_of(1)), nullptr);  // evicted
+  EXPECT_EQ(cache.get(key_of(2)), nullptr);  // never retained
+  EXPECT_NE(cache.get(key_of(3)), nullptr);
+  EXPECT_NE(cache.get(key_of(4)), nullptr);
+}
+
+TEST(BlockCache, ZeroBudgetRetainsNothingIncludingZeroByteColumns) {
+  // byte_budget = 0 documents "retention disabled"; a zero-byte column
+  // (a zero-record block's) must not slip past the budget check and
+  // accumulate as immortal entries.
+  BlockCache::Options options;
+  options.byte_budget = 0;
+  BlockCache cache(options);
+
+  for (std::uint32_t b = 0; b < 4; ++b) {
+    bool owner = false;
+    cache.get_or_begin(key_of(b), &owner);
+    ASSERT_TRUE(owner);
+    cache.insert(key_of(b), real_column(0));  // 0 accounting bytes
+  }
+  const BlockCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.inserts, 4u);
+  EXPECT_EQ(stats.rejected, 4u);
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.bytes, 0u);
+  EXPECT_EQ(cache.get(key_of(0)), nullptr);
+}
+
 TEST(BlockCache, DisabledCacheAlwaysGrantsOwnershipAndDropsInserts) {
   BlockCache::Options options;
   options.enabled = false;
