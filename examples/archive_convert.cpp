@@ -105,6 +105,9 @@ int bbx2csv(const std::string& bundle_dir, const std::string& csv_path,
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (examples::handle_version_flag("archive_convert", argc, argv)) {
+    return examples::kExitOk;
+  }
   return examples::cli_guard("archive_convert", kUsage, [&]() -> int {
     if (argc < 4) throw UsageError("");
     const std::string mode = argv[1];

@@ -99,6 +99,9 @@ int do_salvage(const std::vector<std::string>& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (examples::handle_version_flag("bbx_tool", argc, argv)) {
+    return examples::kExitOk;
+  }
   return examples::cli_guard("bbx_tool", kUsage, [&]() -> int {
     if (argc < 2) throw UsageError("");
     const std::string mode = argv[1];

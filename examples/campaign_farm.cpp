@@ -48,7 +48,7 @@ namespace {
 constexpr const char* kUsage =
     "usage: campaign_farm <out-dir> [--parts N] [--reps R] [--shards S]\n"
     "         [--block B] [--max-parallel M] [--attempts K] [--seed X]\n"
-    "         [--chaos-kill]\n";
+    "         [--chaos-kill] [--trace <path>] [--version]\n";
 
 Plan demo_plan(std::uint64_t seed, std::size_t reps) {
   return DesignBuilder(seed)
@@ -76,16 +76,25 @@ std::string part_dir_name(const std::string& root, std::size_t index) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (examples::handle_version_flag("campaign_farm", argc, argv)) {
+    return examples::kExitOk;
+  }
   return examples::cli_guard("campaign_farm", kUsage, [&]() -> int {
     if (argc < 2) throw UsageError("");
     const std::string out_dir = argv[1];
     std::size_t parts = 4, reps = 64, shards = 2, block = 64;
     std::size_t max_parallel = 0, attempts = 3, seed = 2017;
     bool chaos_kill = false;
+    std::string trace_path;
     for (int i = 2; i < argc; ++i) {
       const std::string arg = argv[i];
       if (arg == "--chaos-kill") {
         chaos_kill = true;
+        continue;
+      }
+      if (arg == "--trace") {
+        if (i + 1 >= argc) throw UsageError(arg + " requires a value");
+        trace_path = argv[++i];
         continue;
       }
       std::size_t* target = nullptr;
@@ -104,6 +113,10 @@ int main(int argc, char** argv) {
       throw UsageError(
           "--chaos-kill needs a CALIPERS_FAULT_INJECTION build");
     }
+    // Parent-only flush: forked children exit via _exit inside the farm
+    // and never run this guard's destructor, so the trace that lands on
+    // disk is the coordinator's (dispatch/retry/merge spans).
+    examples::TraceGuard trace_guard(trace_path);
 
     const Plan plan = demo_plan(seed, reps);
     Engine::Options eopts;

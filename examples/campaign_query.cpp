@@ -51,7 +51,10 @@ constexpr const char* kUsage =
     "       campaign_query <bundle-name> --server <unix:/path|tcp:PORT>\n"
     "         [query flags] [--csv <path|->]\n"
     "       campaign_query --server <addr> --shutdown\n"
-    "  aggregates: count, sum:m, mean:m, sd:m, min:m, max:m\n";
+    "       campaign_query --server <addr> --metrics\n"
+    "  aggregates: count, sum:m, mean:m, sd:m, min:m, max:m\n"
+    "  --trace <path> writes a Chrome trace-event JSON of this run\n"
+    "  --version prints build info\n";
 
 serve::QueryClient connect_server(const std::string& addr) {
   if (addr.rfind("unix:", 0) == 0) {
@@ -85,6 +88,9 @@ void print_scan(const query::ScanStats& scan) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (examples::handle_version_flag("campaign_query", argc, argv)) {
+    return examples::kExitOk;
+  }
   return examples::cli_guard("campaign_query", kUsage, [&]() -> int {
     if (argc < 2) throw UsageError("");
     std::string bundle_dir;
@@ -94,11 +100,11 @@ int main(int argc, char** argv) {
     } else {
       bundle_dir = argv[1];
     }
-    std::string where_text, csv_path, server_addr;
+    std::string where_text, csv_path, server_addr, trace_path;
     std::vector<std::string> group_by, select, agg_texts;
     std::vector<query::Aggregate> aggregates;
     std::size_t threads = 1;
-    bool shutdown = false;
+    bool shutdown = false, metrics = false;
     for (int i = first_flag; i < argc; ++i) {
       const std::string arg = argv[i];
       const auto next = [&]() -> std::string {
@@ -126,6 +132,10 @@ int main(int argc, char** argv) {
         server_addr = next();
       } else if (arg == "--shutdown") {
         shutdown = true;
+      } else if (arg == "--metrics") {
+        metrics = true;
+      } else if (arg == "--trace") {
+        trace_path = next();
       } else {
         throw UsageError("unknown flag '" + arg + "'");
       }
@@ -133,6 +143,10 @@ int main(int argc, char** argv) {
     if (shutdown && server_addr.empty()) {
       throw UsageError("--shutdown needs --server");
     }
+    if (metrics && server_addr.empty()) {
+      throw UsageError("--metrics needs --server");
+    }
+    examples::TraceGuard trace_guard(trace_path);
     if (aggregates.empty() && !group_by.empty()) {
       throw UsageError(
           "--group-by needs --agg (or use --select to project rows)");
@@ -146,6 +160,8 @@ int main(int argc, char** argv) {
       serve::Request request;
       if (shutdown) {
         request.kind = serve::RequestKind::kShutdown;
+      } else if (metrics) {
+        request.kind = serve::RequestKind::kMetrics;
       } else {
         if (bundle_dir.empty()) {
           throw UsageError("name the catalog bundle to query");

@@ -28,7 +28,8 @@ namespace {
 
 constexpr const char* kUsage =
     "usage: campaign_serve <catalog-dir> (--socket <path> | --tcp <port>)\n"
-    "         [--workers N] [--cache-mb MB] [--no-cache] [--no-coalesce]\n";
+    "         [--workers N] [--cache-mb MB] [--no-cache] [--no-coalesce]\n"
+    "         [--trace <path>] [--version]\n";
 
 serve::QueryServer* g_server = nullptr;
 
@@ -41,10 +42,14 @@ void handle_signal(int) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (examples::handle_version_flag("campaign_serve", argc, argv)) {
+    return examples::kExitOk;
+  }
   return examples::cli_guard("campaign_serve", kUsage, [&]() -> int {
     if (argc < 2) throw UsageError("");
     const std::string catalog_dir = argv[1];
     serve::ServerOptions options;
+    std::string trace_path;
     for (int i = 2; i < argc; ++i) {
       const std::string arg = argv[i];
       const auto next = [&]() -> std::string {
@@ -65,6 +70,8 @@ int main(int argc, char** argv) {
         options.cache.enabled = false;
       } else if (arg == "--no-coalesce") {
         options.coalesce_requests = false;
+      } else if (arg == "--trace") {
+        trace_path = next();
       } else {
         throw UsageError("unknown flag '" + arg + "'");
       }
@@ -72,6 +79,7 @@ int main(int argc, char** argv) {
     if (options.socket_path.empty() && options.tcp_port < 0) {
       throw UsageError("configure --socket and/or --tcp");
     }
+    examples::TraceGuard trace_guard(trace_path);
 
     serve::QueryServer server(catalog_dir, options);
     server.start();

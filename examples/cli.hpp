@@ -21,6 +21,9 @@
 #include <string>
 #include <utility>
 
+#include "core/build_info.hpp"
+#include "obs/trace.hpp"
+
 namespace cal::examples {
 
 inline constexpr int kExitOk = 0;
@@ -49,6 +52,43 @@ inline int cli_guard(const char* tool, const char* usage,
     return kExitFailure;
   }
 }
+
+/// Shared `--version` handling: when any argument is --version, prints
+/// the build identity line (git describe, compiler, build type, active
+/// SIMD level) and returns true -- the tool should exit kExitOk.
+inline bool handle_version_flag(const char* tool, int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--version") {
+      std::cout << core::build_info_line(tool) << "\n";
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Shared `--trace <path>` handling: arms span tracing for the guard's
+/// lifetime and flushes Chrome trace-event JSON to `path` on the way
+/// out (empty path = inert).  Place one inside the cli_guard body so a
+/// failing tool still writes the trace of what it got through.
+class TraceGuard {
+ public:
+  explicit TraceGuard(std::string path) : path_(std::move(path)) {
+    if (!path_.empty()) obs::trace::start();
+  }
+  ~TraceGuard() {
+    if (path_.empty()) return;
+    try {
+      obs::trace::flush_json_file(path_);
+    } catch (const std::exception& e) {
+      std::cerr << "trace: " << e.what() << "\n";
+    }
+  }
+  TraceGuard(const TraceGuard&) = delete;
+  TraceGuard& operator=(const TraceGuard&) = delete;
+
+ private:
+  std::string path_;
+};
 
 /// Parses a non-negative integer flag value; throws UsageError naming
 /// the flag otherwise.

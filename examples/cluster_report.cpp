@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "cli.hpp"
 #include "benchlib/whitebox/mem_calibration.hpp"
 #include "benchlib/whitebox/net_calibration.hpp"
 #include "core/worker_pool.hpp"
@@ -99,6 +100,9 @@ query::ExprPtr size_range(const char* factor, double lo, double hi) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (examples::handle_version_flag("cluster_report", argc, argv)) {
+    return examples::kExitOk;
+  }
   std::string archive_to;  // empty = report only, no persisted bundles
   ArchiveOptions archive;
   archive.shards = 2;

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "cli.hpp"
 #include "benchlib/whitebox/mem_calibration.hpp"
 #include "io/archive/bbx_reader.hpp"
 #include "io/archive/bbx_writer.hpp"
@@ -30,7 +31,8 @@ namespace {
 
 int usage(const std::string& problem) {
   std::cerr << "usage: memory_campaign [machine] [threads] "
-               "[--stream-to <path>] [--archive-format csv|bbx]\n";
+               "[--stream-to <path>] [--archive-format csv|bbx] "
+               "[--trace <path>] [--version]\n";
   if (!problem.empty()) std::cerr << "  " << problem << "\n";
   return 2;
 }
@@ -38,10 +40,14 @@ int usage(const std::string& problem) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (examples::handle_version_flag("memory_campaign", argc, argv)) {
+    return examples::kExitOk;
+  }
   std::string name = "i7-2600";
   // Engine worker threads (0 = all hardware).
   std::size_t threads = 0;
   std::string stream_to;  // empty = accumulate the RawTable in memory
+  std::string trace_path;
   ArchiveFormat format = ArchiveFormat::kCsv;
 
   std::vector<std::string> positional;
@@ -50,6 +56,9 @@ int main(int argc, char** argv) {
     if (arg == "--stream-to") {
       if (i + 1 >= argc) return usage("--stream-to requires a path argument");
       stream_to = argv[++i];
+    } else if (arg == "--trace") {
+      if (i + 1 >= argc) return usage("--trace requires a path argument");
+      trace_path = argv[++i];
     } else if (arg == "--archive-format") {
       if (i + 1 >= argc) return usage("--archive-format requires csv or bbx");
       const auto parsed = parse_archive_format(argv[++i]);
@@ -75,6 +84,7 @@ int main(int argc, char** argv) {
     }
   }
 
+  examples::TraceGuard trace_guard(trace_path);
   sim::MachineSpec machine = sim::machines::core_i7_2600();
   for (const auto& candidate : sim::machines::all()) {
     if (candidate.name == name) machine = candidate;

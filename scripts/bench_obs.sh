@@ -1,0 +1,14 @@
+#!/usr/bin/env sh
+# Builds and runs the observability bench (disarmed per-event cost,
+# workload overhead estimate, armed end-to-end trace), leaving
+# BENCH_obs.json and BENCH_obs_trace.json at the repo root so successive
+# PRs can track the telemetry layer's cost.
+#
+#   scripts/bench_obs.sh [build-dir]
+set -e
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build}"
+
+cmake -B "$BUILD" -S "$ROOT" >/dev/null
+cmake --build "$BUILD" --target bench_obs >/dev/null
+"$BUILD/bench/bench_obs" "$ROOT/BENCH_obs.json"

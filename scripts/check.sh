@@ -4,10 +4,11 @@
 #   scripts/check.sh              # full suite (unit + property + acceptance)
 #   scripts/check.sh --fast       # unit-labelled tests only (quick loop)
 #   scripts/check.sh --sanitize   # ASan+UBSan build, unit+fault+integration
+#   scripts/check.sh --tsan       # TSan build, unit+fault, telemetry armed
 #   scripts/check.sh [--fast] -R core_engine   # extra args go to ctest
 #
-# Build directory defaults to ./build (./build-asan for --sanitize);
-# override with BUILD_DIR=...
+# Build directory defaults to ./build (./build-asan for --sanitize,
+# ./build-tsan for --tsan); override with BUILD_DIR=...
 set -e
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 
@@ -24,6 +25,19 @@ elif [ "$1" = "--sanitize" ]; then
   LABEL_ARGS="-L unit|fault|integration"
   CMAKE_ARGS="-DCMAKE_BUILD_TYPE=Debug -DCALIPERS_SANITIZE=ON"
   DEFAULT_BUILD="$ROOT/build-asan"
+  shift
+elif [ "$1" = "--tsan" ]; then
+  # Telemetry is only lock-free-by-construction if ThreadSanitizer
+  # agrees: run the unit and fault suites with the metrics registry and
+  # the trace rings armed, so every relaxed-atomic counter bump and
+  # release-published trace slot is exercised under the checker.
+  LABEL_ARGS="-L unit|fault"
+  CMAKE_ARGS="-DCMAKE_BUILD_TYPE=Debug -DCALIPERS_TSAN=ON"
+  DEFAULT_BUILD="$ROOT/build-tsan"
+  CAL_METRICS=on
+  export CAL_METRICS
+  CAL_TRACE="${BUILD_DIR:-$ROOT/build-tsan}/tsan_trace.json"
+  export CAL_TRACE
   shift
 fi
 BUILD="${BUILD_DIR:-$DEFAULT_BUILD}"

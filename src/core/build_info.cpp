@@ -1,0 +1,43 @@
+#include "core/build_info.hpp"
+
+#include "simd/dispatch.hpp"
+
+namespace cal::core {
+
+std::string build_version() {
+#ifdef CALIPERS_GIT_DESCRIBE
+  return CALIPERS_GIT_DESCRIBE;
+#else
+  return "unknown";
+#endif
+}
+
+std::string build_compiler() {
+#if defined(__clang__)
+  return "clang " __clang_version__;
+#elif defined(__GNUC__)
+  return "gcc " + std::to_string(__GNUC__) + "." +
+         std::to_string(__GNUC_MINOR__) + "." +
+         std::to_string(__GNUC_PATCHLEVEL__);
+#else
+  return "unknown";
+#endif
+}
+
+std::string build_type() {
+#if defined(CALIPERS_BUILD_TYPE)
+  return CALIPERS_BUILD_TYPE;
+#elif defined(NDEBUG)
+  return "Release";
+#else
+  return "Debug";
+#endif
+}
+
+std::string build_info_line(const std::string& tool) {
+  return tool + " " + build_version() + " (" + build_compiler() + ", " +
+         build_type() + ", simd=" + simd::to_string(simd::active_level()) +
+         ")";
+}
+
+}  // namespace cal::core

@@ -1,0 +1,29 @@
+#pragma once
+// Build identity of the running binary, for `--version` output and bug
+// reports: the git revision the tree was configured from, the compiler
+// that built it, the build type, and the SIMD dispatch level this
+// machine actually selected at load time (which no build-time constant
+// can know).
+//
+// The git revision is a compile definition scoped to build_info.cpp
+// alone (see CMakeLists.txt), so touching the revision recompiles one
+// translation unit, not the library.
+
+#include <string>
+
+namespace cal::core {
+
+/// Git describe of the configured source tree ("unknown" outside git).
+std::string build_version();
+
+/// Compiler name + version the library was built with.
+std::string build_compiler();
+
+/// "Release", "Debug", ... from CMake (NDEBUG-derived fallback).
+std::string build_type();
+
+/// The canonical one-line `--version` text:
+///   <tool> <git describe> (<compiler>, <build type>, simd=<level>)
+std::string build_info_line(const std::string& tool);
+
+}  // namespace cal::core

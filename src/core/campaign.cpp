@@ -145,7 +145,21 @@ CampaignResult CampaignResult::read_dir(const std::string& dir) {
 Campaign::Campaign(Plan plan, Engine engine, Metadata metadata)
     : plan_(std::move(plan)),
       engine_(std::move(engine)),
-      metadata_(std::move(metadata)) {}
+      metadata_(std::move(metadata)),
+      window_stats_(std::make_shared<WindowStats>()) {
+  engine_.attach_window_stats(window_stats_);
+}
+
+void Campaign::stamp_window_stats(Metadata& md) const {
+  const WindowStats& ws = *window_stats_;
+  if (ws.windows == 0) return;  // opaque mode / nothing ran
+  md.set("window_count", static_cast<std::int64_t>(ws.windows));
+  md.set("window_wall_s", ws.wall_s);
+  md.set("window_wall_min_s", ws.min_window_s);
+  md.set("window_wall_max_s", ws.max_window_s);
+  md.set("worker_busy_s", ws.busy_s);
+  md.set("worker_occupancy", ws.occupancy());
+}
 
 Metadata Campaign::finished_metadata(bool streamed) const {
   Metadata md = metadata_;
@@ -180,8 +194,9 @@ CampaignResult Campaign::run(const MeasureFn& measure) const {
 
 CampaignResult Campaign::run(const MeasureFactory& factory) const {
   RawTable table = engine_.run(plan_, factory);
-  return CampaignResult{plan_, std::move(table),
-                        finished_metadata(/*streamed=*/false)};
+  Metadata md = finished_metadata(/*streamed=*/false);
+  stamp_window_stats(md);
+  return CampaignResult{plan_, std::move(table), std::move(md)};
 }
 
 StreamedCampaign Campaign::run(const MeasureFn& measure,
@@ -193,7 +208,9 @@ StreamedCampaign Campaign::run(const MeasureFn& measure,
 StreamedCampaign Campaign::run(const MeasureFactory& factory,
                                RecordSink& sink) const {
   engine_.run(plan_, factory, sink);
-  return StreamedCampaign{plan_, finished_metadata(/*streamed=*/true)};
+  Metadata md = finished_metadata(/*streamed=*/true);
+  stamp_window_stats(md);
+  return StreamedCampaign{plan_, std::move(md)};
 }
 
 StreamedCampaign Campaign::run_to_dir(const MeasureFactory& factory,
@@ -294,6 +311,9 @@ StreamedCampaign Campaign::run_partition_to_dir(
   }
   engine_.run_range(plan_, factory, sink, partition.first_run,
                     partition.run_count);
+  // The manifest extras froze when run_range close()d the sink; the
+  // returned metadata still carries this partition's telemetry.
+  stamp_window_stats(stamped);
   return StreamedCampaign{plan_, std::move(stamped)};
 }
 

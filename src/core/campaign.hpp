@@ -122,9 +122,17 @@ class Campaign {
   /// resolved worker count, streamed flag).
   Metadata finished_metadata(bool streamed) const;
 
+  /// Appends the last run's execution telemetry (per-window wall-clock,
+  /// worker-pool occupancy) to `md`.  Only meaningful *after* a run;
+  /// the pre-run manifest stamping of run_to_dir skips it.
+  void stamp_window_stats(Metadata& md) const;
+
   Plan plan_;
   Engine engine_;
   Metadata metadata_;
+  /// Collector the constructor attaches to engine_, so every campaign
+  /// run records window telemetry into its bundle metadata.
+  std::shared_ptr<WindowStats> window_stats_;
 };
 
 }  // namespace cal

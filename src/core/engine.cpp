@@ -1,6 +1,7 @@
 #include "core/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <ostream>
 #include <stdexcept>
@@ -9,9 +10,30 @@
 
 #include "core/fault.hpp"
 #include "io/csv.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace cal {
 namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+double seconds_between(SteadyClock::time_point a,
+                       SteadyClock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+/// Folds one finished window into the attached collector.
+void note_window(WindowStats* stats, std::size_t runs, double wall_s) {
+  if (stats == nullptr) return;
+  if (stats->windows == 0 || wall_s < stats->min_window_s) {
+    stats->min_window_s = wall_s;
+  }
+  stats->max_window_s = std::max(stats->max_window_s, wall_s);
+  stats->windows += 1;
+  stats->runs += runs;
+  stats->wall_s += wall_s;
+}
 
 /// Draws the next `n` child seeds from the engine stream.  Drawing them
 /// through one long-lived Rng keeps the global invariant of the parallel
@@ -224,8 +246,10 @@ void Engine::execute_window(core::WorkerPool& pool,
                             const std::vector<std::uint64_t>& seeds,
                             bool sequence_is_position,
                             const std::vector<MeasureFn>& measures,
-                            std::vector<MeasureResult>& results) const {
+                            std::vector<MeasureResult>& results,
+                            std::vector<double>* worker_busy_s) const {
   results.resize(end - begin);
+  CAL_SPAN("engine.window");
   // Round-robin sharding (worker w takes window positions w, w + width,
   // ...): deterministic -- no work stealing -- and interleaved assignment
   // spreads expensive neighbouring runs; randomized plans have no cost
@@ -239,7 +263,10 @@ void Engine::execute_window(core::WorkerPool& pool,
     MeasureContext ctx{options_.start_time_s,
                        sequence_is_position ? j : order[j].run_index, &run_rng,
                        w};
+    const bool timed = worker_busy_s != nullptr;
+    const auto t0 = timed ? SteadyClock::now() : SteadyClock::time_point{};
     MeasureResult result = measures[w](order[j], ctx);
+    if (timed) (*worker_busy_s)[w] += seconds_between(t0, SteadyClock::now());
     if (result.metrics.size() != metric_names_.size()) {
       throw std::runtime_error("Engine: measurement width mismatch");
     }
@@ -289,6 +316,12 @@ void Engine::run_range(const Plan& plan, const MeasureFactory& factory,
   const std::size_t batch_size = std::max<std::size_t>(options_.sink_batch, 1);
   const std::size_t threads = parallelism(n);
 
+  WindowStats* const stats = options_.window_stats.get();
+  if (stats != nullptr) {
+    *stats = WindowStats{};
+    stats->threads = threads;
+  }
+
   if (threads <= 1) {
     // Sequential: the simulated clock threads through the measurement, so
     // time-dependent simulations see true timestamps (accumulated clock;
@@ -299,27 +332,42 @@ void Engine::run_range(const Plan& plan, const MeasureFactory& factory,
     double now = options_.start_time_s;
     std::vector<RawRecord> batch;
     batch.reserve(std::min(batch_size, n));
+    auto window_t0 = SteadyClock::now();
+    const auto flush = [&] {
+      const std::size_t runs = batch.size();
+      CAL_COUNT("engine.windows", 1);
+      CAL_COUNT("engine.runs", runs);
+      CAL_FAULT_POINT("engine.window");
+      {
+        CAL_SPAN("engine.sink");
+        CAL_TIME_SCOPE("engine.sink_seconds");
+        sink.consume(std::move(batch));
+      }
+      note_window(stats, runs, seconds_between(window_t0, SteadyClock::now()));
+      window_t0 = SteadyClock::now();
+    };
     for (std::size_t j = first; j < first + count; ++j) {
       const PlannedRun& planned = order[j];
       Rng run_rng = engine_rng.split();
       const double t = stamp(now, planned.run_index);
       MeasureContext ctx{t, planned.run_index, &run_rng, 0};
+      const auto t0 =
+          stats != nullptr ? SteadyClock::now() : SteadyClock::time_point{};
       MeasureResult result = measure(planned, ctx);
+      if (stats != nullptr) {
+        stats->busy_s += seconds_between(t0, SteadyClock::now());
+      }
       if (result.metrics.size() != metric_names_.size()) {
         throw std::runtime_error("Engine: measurement width mismatch");
       }
       append_record(planned, std::move(result), t, now, gap, batch);
       if (batch.size() >= batch_size) {
-        CAL_FAULT_POINT("engine.window");
-        sink.consume(std::move(batch));
+        flush();
         batch.clear();
         batch.reserve(std::min(batch_size, n));
       }
     }
-    if (!batch.empty()) {
-      CAL_FAULT_POINT("engine.window");
-      sink.consume(std::move(batch));
-    }
+    if (!batch.empty()) flush();
     closer.disarm();
     sink.close();
     return;
@@ -337,11 +385,17 @@ void Engine::run_range(const Plan& plan, const MeasureFactory& factory,
   double now = options_.start_time_s;
   std::vector<std::uint64_t> seeds;
   std::vector<MeasureResult> results;
+  std::vector<double> worker_busy_s(stats != nullptr ? threads : 0, 0.0);
   for (std::size_t begin = first; begin < first + n; begin += batch_size) {
     const std::size_t end = std::min(begin + batch_size, first + n);
     draw_seeds(engine_rng, end - begin, seeds);
-    execute_window(lease.next_window_pool(), order, begin, end, seeds,
-                   /*sequence_is_position=*/false, measures, results);
+    const auto window_t0 = SteadyClock::now();
+    {
+      CAL_TIME_SCOPE("engine.window_seconds");
+      execute_window(lease.next_window_pool(), order, begin, end, seeds,
+                     /*sequence_is_position=*/false, measures, results,
+                     stats != nullptr ? &worker_busy_s : nullptr);
+    }
     std::vector<RawRecord> batch;
     batch.reserve(end - begin);
     for (std::size_t j = begin; j < end; ++j) {
@@ -349,8 +403,19 @@ void Engine::run_range(const Plan& plan, const MeasureFactory& factory,
       append_record(order[j], std::move(results[j - begin]), t, now, gap,
                     batch);
     }
+    CAL_COUNT("engine.windows", 1);
+    CAL_COUNT("engine.runs", end - begin);
     CAL_FAULT_POINT("engine.window");
-    sink.consume(std::move(batch));
+    {
+      CAL_SPAN("engine.sink");
+      CAL_TIME_SCOPE("engine.sink_seconds");
+      sink.consume(std::move(batch));
+    }
+    note_window(stats, end - begin,
+                seconds_between(window_t0, SteadyClock::now()));
+  }
+  if (stats != nullptr) {
+    for (const double busy : worker_busy_s) stats->busy_s += busy;
   }
   closer.disarm();
   sink.close();

@@ -96,6 +96,29 @@ using MeasureFn =
 /// each worker can own private mutable state (e.g. a simulator replica).
 using MeasureFactory = std::function<MeasureFn(std::size_t worker)>;
 
+/// Execution telemetry for one run()/run_range() call: per-window
+/// wall-clock and worker busy time, collected only when a collector is
+/// attached (Options::window_stats -- Campaign attaches one so archived
+/// bundles carry it).  A "window" is one sink batch: the unit the
+/// parallel path schedules and merges.  Occupancy is measured busy time
+/// over the pool's capacity for the measured wall time -- 1.0 means
+/// every worker measured for the full window, lower means merge/sink
+/// stalls or load imbalance.
+struct WindowStats {
+  std::size_t windows = 0;     ///< sink batches executed
+  std::size_t runs = 0;        ///< measurements executed
+  std::size_t threads = 0;     ///< workers the call sharded over
+  double wall_s = 0.0;         ///< summed per-window wall-clock
+  double min_window_s = 0.0;   ///< fastest window
+  double max_window_s = 0.0;   ///< slowest window
+  double busy_s = 0.0;         ///< summed per-run measurement wall-clock
+
+  double occupancy() const noexcept {
+    const double capacity = wall_s * static_cast<double>(threads);
+    return capacity > 0.0 ? busy_s / capacity : 0.0;
+  }
+};
+
 /// Per-cell summary produced by the opaque execution mode.
 struct OpaqueCellSummary {
   std::vector<Value> factors;
@@ -167,6 +190,10 @@ class Engine {
     /// of every run()/run_range()/run_opaque() call.  Empty = none.
     /// Only fires in builds with CALIPERS_FAULT_INJECTION.
     std::string faults;
+    /// Optional execution-telemetry collector, reset and refilled by
+    /// every run()/run_range() call.  Costs two steady-clock reads per
+    /// run when attached, nothing when null (the default).
+    std::shared_ptr<WindowStats> window_stats;
   };
 
   explicit Engine(std::vector<std::string> metric_names)
@@ -177,6 +204,13 @@ class Engine {
     return metric_names_;
   }
   const Options& options() const noexcept { return options_; }
+
+  /// Installs (or clears) the execution-telemetry collector after
+  /// construction -- Campaign attaches its own so every campaign run
+  /// records per-window wall-clock and pool occupancy into metadata.
+  void attach_window_stats(std::shared_ptr<WindowStats> stats) {
+    options_.window_stats = std::move(stats);
+  }
 
   /// Resolves an Options::threads request (0 -> hardware concurrency).
   static std::size_t resolve_threads(std::size_t requested) noexcept;
@@ -233,13 +267,16 @@ class Engine {
   /// order[begin + k].  `sequence_is_position` selects which index the
   /// context reports: the position in `order` (opaque sweep) or the
   /// run's own plan index (white-box mode).  Throws the lowest-position
-  /// failure of the window; the pool stays reusable.
+  /// failure of the window; the pool stays reusable.  When
+  /// `worker_busy_s` is non-null (one slot per worker) each run's
+  /// measurement wall-clock is accumulated into its worker's slot.
   void execute_window(core::WorkerPool& pool,
                       const std::vector<PlannedRun>& order, std::size_t begin,
                       std::size_t end, const std::vector<std::uint64_t>& seeds,
                       bool sequence_is_position,
                       const std::vector<MeasureFn>& measures,
-                      std::vector<MeasureResult>& results) const;
+                      std::vector<MeasureResult>& results,
+                      std::vector<double>* worker_busy_s = nullptr) const;
 
   std::vector<std::string> metric_names_;
   Options options_;

@@ -16,6 +16,8 @@
 #include <string>
 #include <thread>
 
+#include "obs/metrics.hpp"
+
 namespace cal::core {
 
 namespace {
@@ -105,6 +107,7 @@ FarmResult run_partition_farm(
                         " attempt " + std::to_string(p.attempts) + " " + why +
                         "; budget spent, giving up");
       result.incomplete.push_back(p.partition);
+      CAL_COUNT("farm.exhausted", 1);
       return;
     }
     const unsigned delay = backoff_ms(options, p.attempts);
@@ -112,6 +115,7 @@ FarmResult run_partition_farm(
                       " attempt " + std::to_string(p.attempts) + " " + why +
                       "; retrying in " + std::to_string(delay) + " ms");
     ++result.redispatches;
+    CAL_COUNT("farm.retries", 1);
     p.ready = Clock::now() + std::chrono::milliseconds(delay);
     pending.push_back(std::move(p));
   };
@@ -134,6 +138,7 @@ FarmResult run_partition_farm(
         continue;
       }
       if (pid == 0) child_main(p.partition, job);
+      CAL_COUNT("farm.dispatches", 1);
       note(options, "partition " + std::to_string(p.partition.index) +
                         " attempt " + std::to_string(p.attempts) +
                         " dispatched (pid " + std::to_string(pid) + ")");

@@ -1,5 +1,7 @@
 #include "core/worker_pool.hpp"
 
+#include "obs/trace.hpp"
+
 #include <algorithm>
 #include <optional>
 #include <stdexcept>
@@ -39,6 +41,9 @@ WorkerPool::WorkerPool(std::size_t threads, std::string name)
     for (std::size_t w = 0; w < count; ++w) {
       threads_.emplace_back([this, w] {
         set_current_thread_name(name_, w);
+        // Full (untruncated) pool/worker label for trace output, so
+        // Perfetto tracks carry the pool topology.
+        obs::trace::set_thread_name(name_ + "/" + std::to_string(w));
         worker_loop(w);
       });
     }

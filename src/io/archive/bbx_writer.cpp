@@ -10,6 +10,8 @@
 #include <utility>
 
 #include "core/fault.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "io/archive/block_codec.hpp"
 #include "io/archive/column_codec.hpp"
 #include "io/archive/crc32.hpp"
@@ -167,10 +169,18 @@ void BbxWriter::consume(std::vector<RawRecord> batch) {
 
 void BbxWriter::flush_block() {
   if (pending_.empty()) return;
-  scratch_raw_ = encode_block(pending_.data(), pending_.size(),
-                              manifest_.factor_names.size(),
-                              manifest_.metric_names.size());
-  const std::string stored = block_compress(scratch_raw_);
+  CAL_SPAN("bbx.flush_block");
+  {
+    CAL_TIME_SCOPE("bbx.encode_seconds");
+    scratch_raw_ = encode_block(pending_.data(), pending_.size(),
+                                manifest_.factor_names.size(),
+                                manifest_.metric_names.size());
+  }
+  std::string stored;
+  {
+    CAL_TIME_SCOPE("bbx.compress_seconds");
+    stored = block_compress(scratch_raw_);
+  }
 
   BlockInfo info;
   // Round-robin by *global* block index: a partial bundle's blocks land
@@ -180,7 +190,14 @@ void BbxWriter::flush_block() {
   info.offset = shard_offsets_[info.shard];
   info.stored_bytes = static_cast<std::uint32_t>(stored.size());
   info.raw_bytes = static_cast<std::uint32_t>(scratch_raw_.size());
-  info.crc32 = crc32(stored.data(), stored.size());
+  {
+    CAL_TIME_SCOPE("bbx.crc_seconds");
+    info.crc32 = crc32(stored.data(), stored.size());
+  }
+  CAL_COUNT("bbx.blocks_flushed", 1);
+  CAL_COUNT("bbx.records_flushed", pending_.size());
+  CAL_COUNT("bbx.bytes_raw", scratch_raw_.size());
+  CAL_COUNT("bbx.bytes_stored", stored.size());
   info.first_sequence = pending_.front().sequence;
   info.records = static_cast<std::uint32_t>(pending_.size());
 

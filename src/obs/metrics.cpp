@@ -1,0 +1,189 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+namespace cal::obs::metrics {
+
+namespace {
+
+/// Function-local statics so the registry is usable during static init
+/// (an instrumentation site hit from a global constructor must not race
+/// the registry's own construction).  Instruments are held by
+/// unique_ptr so the references handed out stay stable across rehashes
+/// and reset().
+std::mutex& registry_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+struct Registry {
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+std::atomic<bool> g_enabled{false};
+std::atomic<bool> g_killed{false};
+std::atomic<bool> g_env_loaded{false};
+std::once_flag g_env_once;
+
+/// Loads CAL_METRICS once: "off"/"0" pins the registry disarmed for the
+/// process (kill switch beats any later arm()), "on"/"1" arms eagerly.
+void ensure_env_loaded() noexcept {
+  if (g_env_loaded.load(std::memory_order_acquire)) return;
+  std::call_once(g_env_once, [] {
+    if (const char* env = std::getenv("CAL_METRICS");
+        env != nullptr && *env != '\0') {
+      if (std::strcmp(env, "off") == 0 || std::strcmp(env, "0") == 0) {
+        g_killed.store(true, std::memory_order_relaxed);
+        g_enabled.store(false, std::memory_order_relaxed);
+      } else if (std::strcmp(env, "on") == 0 || std::strcmp(env, "1") == 0) {
+        g_enabled.store(true, std::memory_order_relaxed);
+      }
+    }
+    g_env_loaded.store(true, std::memory_order_release);
+  });
+}
+
+std::string prometheus_name(const std::string& name) {
+  std::string out = "cal_";
+  out.reserve(name.size() + 4);
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void append_f64(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9f", v);
+  out += buf;
+}
+
+}  // namespace
+
+bool enabled() noexcept {
+  ensure_env_loaded();
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+void arm() {
+  ensure_env_loaded();
+  if (g_killed.load(std::memory_order_relaxed)) return;
+  g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void disarm() {
+  ensure_env_loaded();
+  g_enabled.store(false, std::memory_order_relaxed);
+}
+
+bool kill_switch() noexcept {
+  ensure_env_loaded();
+  return g_killed.load(std::memory_order_relaxed);
+}
+
+Counter& counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  auto& slot = registry().counters[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  auto& slot = registry().gauges[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  auto& slot = registry().histograms[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+void reset() {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  for (auto& [name, c] : registry().counters) c->reset_value();
+  for (auto& [name, g] : registry().gauges) g->reset_value();
+  for (auto& [name, h] : registry().histograms) h->reset_value();
+}
+
+Snapshot snapshot() {
+  Snapshot snap;
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  // std::map iteration is already name-sorted; the snapshot inherits
+  // the deterministic order.
+  for (const auto& [name, c] : registry().counters) {
+    snap.counters.emplace_back(name, c->value());
+  }
+  for (const auto& [name, g] : registry().gauges) {
+    snap.gauges.emplace_back(name, g->value());
+  }
+  for (const auto& [name, h] : registry().histograms) {
+    Snapshot::HistogramValue v;
+    v.name = name;
+    for (std::size_t i = 0; i <= Histogram::kBuckets; ++i) {
+      v.buckets[i] = h->bucket(i);
+    }
+    v.count = h->count();
+    v.sum_ns = h->sum_ns();
+    snap.histograms.push_back(std::move(v));
+  }
+  return snap;
+}
+
+std::string render_text(const Snapshot& snap) {
+  std::string out;
+  for (const auto& [name, value] : snap.counters) {
+    const std::string p = prometheus_name(name);
+    out += "# TYPE " + p + " counter\n";
+    out += p + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string p = prometheus_name(name);
+    out += "# TYPE " + p + " gauge\n";
+    out += p + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& h : snap.histograms) {
+    const std::string p = prometheus_name(h.name);
+    out += "# TYPE " + p + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i <= Histogram::kBuckets; ++i) {
+      cumulative += h.buckets[i];
+      out += p + "_bucket{le=\"";
+      if (i == Histogram::kBuckets) {
+        out += "+Inf";
+      } else {
+        // Bucket i holds samples < 2^i microseconds; render the upper
+        // bound in seconds.
+        append_f64(out, static_cast<double>(std::uint64_t{1} << i) * 1e-6);
+      }
+      out += "\"} " + std::to_string(cumulative) + "\n";
+    }
+    out += p + "_sum ";
+    append_f64(out, static_cast<double>(h.sum_ns) * 1e-9);
+    out += "\n" + p + "_count " + std::to_string(h.count) + "\n";
+  }
+  return out;
+}
+
+std::string render_text() { return render_text(snapshot()); }
+
+}  // namespace cal::obs::metrics

@@ -1,0 +1,210 @@
+#pragma once
+
+/// Process-wide telemetry registry: named counters, gauges, and
+/// fixed-bucket latency histograms backed by relaxed atomics.
+///
+/// The discipline mirrors core::fault: instrumentation sites compile to
+/// a single relaxed load while the registry is disarmed, so the hot
+/// paths (engine windows, block decode, frame I/O) pay nothing
+/// measurable until somebody asks for telemetry.  Arming is
+/// programmatic (`arm()`, done by the serve daemon and the `--trace`
+/// CLIs) or via the `CAL_METRICS` environment variable:
+///
+///   CAL_METRICS=on    arm at first instrumentation hit
+///   CAL_METRICS=off   kill switch: arm() becomes a no-op for the
+///                     whole process, instrumentation stays disarmed
+///
+/// Snapshots are deterministic: instruments sorted by name, values
+/// rendered with a stable format (`render_text` is Prometheus-style
+/// text exposition), so two snapshots of identical state are
+/// byte-identical.
+///
+/// Instrument handles returned by counter()/gauge()/histogram() are
+/// stable for the life of the process; `reset()` zeroes values but
+/// never invalidates a handle, so the `static` caching in the macros
+/// below stays sound.
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cal::obs::metrics {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset_value() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t n) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset_value() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed-bucket latency histogram: power-of-two buckets in
+/// microseconds (<1us, <2us, ... <16.8s) plus an overflow bucket, with
+/// total count and nanosecond sum for mean recovery.  Fixed buckets
+/// keep record_ns() allocation-free and the rendering deterministic.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 25;  ///< 2^0 .. 2^24 us, then +Inf
+
+  void record_ns(std::uint64_t ns) noexcept {
+    const std::uint64_t us = ns / 1000;
+    std::size_t bucket = 0;
+    while (bucket < kBuckets && us >= (std::uint64_t{1} << bucket)) ++bucket;
+    buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_ns_.fetch_add(ns, std::memory_order_relaxed);
+  }
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sum_ns() const noexcept {
+    return sum_ns_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bucket(std::size_t i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  void reset_value() noexcept {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_ns_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets + 1]{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_ns_{0};
+};
+
+/// Disarmed fast path: one relaxed load (after the one-time lazy
+/// CAL_METRICS read, itself guarded by an acquire load).
+bool enabled() noexcept;
+
+/// Arms the registry process-wide.  No-op when CAL_METRICS=off.
+void arm();
+/// Disarms; instruments keep their values until reset().
+void disarm();
+/// True when CAL_METRICS=off pinned the registry disarmed for good.
+bool kill_switch() noexcept;
+
+/// Registry lookup-or-create; the returned reference is stable for the
+/// process lifetime (instruments are never destroyed, only zeroed).
+Counter& counter(const std::string& name);
+Gauge& gauge(const std::string& name);
+Histogram& histogram(const std::string& name);
+
+/// Zeroes every registered instrument's value (handles stay valid).
+void reset();
+
+/// Deterministic snapshot: every list sorted by instrument name.
+struct Snapshot {
+  struct HistogramValue {
+    std::string name;
+    std::uint64_t buckets[Histogram::kBuckets + 1];
+    std::uint64_t count;
+    std::uint64_t sum_ns;
+  };
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
+  std::vector<HistogramValue> histograms;
+};
+Snapshot snapshot();
+
+/// Prometheus-style text exposition of a snapshot.  Dotted registry
+/// names map to `cal_` + underscores (engine.windows ->
+/// cal_engine_windows); ordering and formatting are deterministic.
+std::string render_text(const Snapshot& snap);
+std::string render_text();  ///< render_text(snapshot())
+
+/// RAII latency timer feeding a Histogram; pass nullptr to disarm.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* h) noexcept : h_(h) {
+    if (h_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() {
+    if (h_ != nullptr) {
+      const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now() - start_)
+                          .count();
+      h_->record_ns(static_cast<std::uint64_t>(ns < 0 ? 0 : ns));
+    }
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* h_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace cal::obs::metrics
+
+#ifndef CAL_OBS_CONCAT
+#define CAL_OBS_CONCAT_INNER(a, b) a##b
+#define CAL_OBS_CONCAT(a, b) CAL_OBS_CONCAT_INNER(a, b)
+#endif
+
+/// Bumps counter `name` by `n` when armed; one relaxed load otherwise.
+/// `name` must be a string literal (it seeds a function-local static on
+/// the first armed hit, so the registry map is walked at most once per
+/// instrumentation site).
+#define CAL_COUNT(name, n)                                                   \
+  do {                                                                       \
+    if (::cal::obs::metrics::enabled()) {                                    \
+      static ::cal::obs::metrics::Counter& CAL_OBS_CONCAT(cal_obs_counter_,  \
+                                                          __LINE__) =        \
+          ::cal::obs::metrics::counter(name);                                \
+      CAL_OBS_CONCAT(cal_obs_counter_, __LINE__)                             \
+          .add(static_cast<std::uint64_t>(n));                               \
+    }                                                                        \
+  } while (0)
+
+/// Sets gauge `name` to `v` when armed.
+#define CAL_GAUGE_SET(name, v)                                               \
+  do {                                                                       \
+    if (::cal::obs::metrics::enabled()) {                                    \
+      static ::cal::obs::metrics::Gauge& CAL_OBS_CONCAT(cal_obs_gauge_,      \
+                                                        __LINE__) =          \
+          ::cal::obs::metrics::gauge(name);                                  \
+      CAL_OBS_CONCAT(cal_obs_gauge_, __LINE__)                               \
+          .set(static_cast<std::int64_t>(v));                                \
+    }                                                                        \
+  } while (0)
+
+/// RAII-times the enclosing scope into histogram `name` when armed;
+/// one relaxed load + a null ScopedTimer otherwise.
+#define CAL_TIME_SCOPE(name)                                                 \
+  ::cal::obs::metrics::ScopedTimer CAL_OBS_CONCAT(cal_obs_timer_, __LINE__)( \
+      ::cal::obs::metrics::enabled()                                         \
+          ? [] {                                                             \
+              static ::cal::obs::metrics::Histogram& h =                     \
+                  ::cal::obs::metrics::histogram(name);                      \
+              return &h;                                                     \
+            }()                                                              \
+          : nullptr)

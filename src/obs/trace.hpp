@@ -1,0 +1,98 @@
+#pragma once
+
+/// Lightweight span tracing: RAII `Span` objects record into per-thread
+/// lock-free ring buffers, drained on demand into Chrome trace-event
+/// JSON (the `{"traceEvents":[...]}` format Perfetto and
+/// chrome://tracing load directly).
+///
+/// Discipline matches obs::metrics: a disarmed Span constructor is one
+/// relaxed load and no allocation — a thread's buffer is only created
+/// on its first *armed* record.  Arming is programmatic (`start()`,
+/// wired to the CLIs' `--trace <path>` flag) or via the environment:
+///
+///   CAL_TRACE=out.json   arm at first hit and flush to out.json at
+///                        process exit
+///
+/// Buffers are bounded (kCapacity events per thread); once full, new
+/// events are dropped and counted rather than overwriting published
+/// slots, so the flusher never races a wrapping writer.  Each slot is
+/// written by its owning thread and then published with a release
+/// store; the flusher acquire-loads the publish mark before reading,
+/// which is the whole synchronization story (ThreadSanitizer-clean by
+/// construction).
+///
+/// Thread names: `set_thread_name` tags the calling thread (the
+/// `core::WorkerPool` names its workers `<pool>/<index>` through this)
+/// and the flusher emits Chrome `thread_name` metadata events so
+/// Perfetto's track labels match the pool topology.
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace cal::obs::trace {
+
+/// Events each thread can buffer before dropping (24 B/event).
+inline constexpr std::size_t kCapacity = 1 << 16;
+
+/// Disarmed fast path: one relaxed load (after lazy CAL_TRACE read).
+bool enabled() noexcept;
+
+void start();  ///< arm tracing process-wide
+void stop();   ///< disarm; buffered events stay flushable
+
+/// Names the calling thread for trace output.  Cheap and always safe
+/// to call, armed or not; the name sticks for the thread's lifetime.
+void set_thread_name(const std::string& name);
+
+/// Records one complete span on the calling thread's ring buffer.
+/// `name` must be a string literal (the pointer is stored, not copied).
+void record(const char* name, std::uint64_t start_ns, std::uint64_t dur_ns);
+
+/// Nanoseconds since the process's trace epoch (steady clock).
+std::uint64_t now_ns() noexcept;
+
+/// Drains every thread's unflushed events into Chrome trace-event
+/// JSON.  Incremental: a second flush emits only events recorded since
+/// the first.  Thread metadata (names, ids) is re-emitted every flush
+/// so each output file stands alone.
+void flush_json(std::ostream& out);
+void flush_json_file(const std::string& path);
+
+/// Events dropped so far because a thread's buffer filled up.
+std::uint64_t dropped();
+
+/// RAII span: measures construction-to-destruction and records it on
+/// the owning thread's buffer.  Armed-ness is latched at construction
+/// so a span open across a stop() still closes cleanly.
+class Span {
+ public:
+  explicit Span(const char* name) noexcept : name_(name) {
+    if (enabled()) {
+      armed_ = true;
+      start_ns_ = now_ns();
+    }
+  }
+  ~Span() {
+    if (armed_) record(name_, start_ns_, now_ns() - start_ns_);
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;
+  std::uint64_t start_ns_ = 0;
+  bool armed_ = false;
+};
+
+}  // namespace cal::obs::trace
+
+#ifndef CAL_OBS_CONCAT
+#define CAL_OBS_CONCAT_INNER(a, b) a##b
+#define CAL_OBS_CONCAT(a, b) CAL_OBS_CONCAT_INNER(a, b)
+#endif
+
+/// Traces the enclosing scope as a complete span named `name`.
+#define CAL_SPAN(name) \
+  ::cal::obs::trace::Span CAL_OBS_CONCAT(cal_obs_span_, __LINE__)(name)

@@ -3,6 +3,8 @@
 #include <stdexcept>
 
 #include "io/archive/column_codec.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "simd/dispatch.hpp"
 
 namespace cal::query {
@@ -42,6 +44,11 @@ std::vector<std::uint32_t> ColumnSet::column_ids() const {
 DecodedColumns decode_columns(const std::string& raw, const ColumnSet& needs,
                               std::size_t records, std::size_t n_factors,
                               std::size_t n_metrics) {
+  // The one decode chokepoint both the direct and the cached block
+  // sources funnel through: every block decode shows up here.
+  CAL_SPAN("query.decode_block");
+  CAL_TIME_SCOPE("query.decode_seconds");
+  CAL_COUNT("query.blocks_decoded", 1);
   DecodedColumns d;
   d.records = records;
   // The scan loop runs to the manifest's record count; a decoded column

@@ -11,6 +11,8 @@
 
 #include "io/archive/column_codec.hpp"
 #include "io/csv.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "simd/dispatch.hpp"
 #include "stats/descriptive.hpp"
 
@@ -619,6 +621,18 @@ BlockPlan plan_blocks(const ar::Manifest& manifest, const Node* predicate) {
   return plan;
 }
 
+/// Folds one query's final ScanStats into the telemetry registry, so
+/// the ad-hoc per-query struct and the process-wide counters always
+/// agree (`cal_query_*` is the running sum of every query's ScanStats).
+void note_scan_stats(const ScanStats& stats) {
+  CAL_COUNT("query.scans", 1);
+  CAL_COUNT("query.blocks_total", stats.blocks_total);
+  CAL_COUNT("query.blocks_pruned", stats.blocks_pruned);
+  CAL_COUNT("query.blocks_scanned", stats.blocks_scanned);
+  CAL_COUNT("query.records_scanned", stats.records_scanned);
+  CAL_COUNT("query.records_matched", stats.records_matched);
+}
+
 /// Per surviving block: must the predicate still be evaluated?  (The
 /// zone map already decided certain blocks.)
 std::vector<char> uncertain_flags(const BlockPlan& plan,
@@ -731,6 +745,8 @@ void QueryResult::write_csv(std::ostream& out) const {
 
 QueryResult BundleQuery::aggregate(const QuerySpec& spec,
                                    core::WorkerPool* pool) const {
+  CAL_SPAN("query.aggregate");
+  CAL_TIME_SCOPE("query.scan_seconds");
   const ar::Manifest& manifest = reader_.manifest();
   const std::size_t n_factors = manifest.factor_names.size();
   const std::size_t n_metrics = manifest.metric_names.size();
@@ -890,6 +906,7 @@ QueryResult BundleQuery::aggregate(const QuerySpec& spec,
     }
     result.rows.push_back(std::move(row));
   }
+  note_scan_stats(result.scan);
   return result;
 }
 
@@ -897,6 +914,8 @@ RawTable BundleQuery::materialize(const ExprPtr& where,
                                   const std::vector<std::string>& columns,
                                   core::WorkerPool* pool,
                                   ScanStats* scan) const {
+  CAL_SPAN("query.materialize");
+  CAL_TIME_SCOPE("query.scan_seconds");
   const ar::Manifest& manifest = reader_.manifest();
   const std::size_t n_factors = manifest.factor_names.size();
   const std::size_t n_metrics = manifest.metric_names.size();
@@ -969,10 +988,10 @@ RawTable BundleQuery::materialize(const ExprPtr& where,
     matched += block.size();
     table.append_batch(std::move(block));
   }
-  if (scan) {
-    *scan = plan.stats;
-    scan->records_matched = matched;
-  }
+  ScanStats final_stats = plan.stats;
+  final_stats.records_matched = matched;
+  note_scan_stats(final_stats);
+  if (scan) *scan = final_stats;
   return table;
 }
 
@@ -980,6 +999,8 @@ std::vector<stats::Group> BundleQuery::group_samples(
     const ExprPtr& where, const std::vector<std::string>& group_by,
     const std::string& metric, core::WorkerPool* pool,
     ScanStats* scan) const {
+  CAL_SPAN("query.group_samples");
+  CAL_TIME_SCOPE("query.scan_seconds");
   const ar::Manifest& manifest = reader_.manifest();
   const std::size_t n_factors = manifest.factor_names.size();
   const std::size_t n_metrics = manifest.metric_names.size();
@@ -1083,10 +1104,10 @@ std::vector<stats::Group> BundleQuery::group_samples(
     }
     out.push_back(std::move(group));
   }
-  if (scan) {
-    *scan = plan.stats;
-    scan->records_matched = matched;
-  }
+  ScanStats final_stats = plan.stats;
+  final_stats.records_matched = matched;
+  note_scan_stats(final_stats);
+  if (scan) *scan = final_stats;
   return out;
 }
 

@@ -1,5 +1,7 @@
 #include "serve/block_cache.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace cal::serve {
 
 std::size_t column_bytes(const std::vector<std::size_t>& column) {
@@ -25,9 +27,11 @@ std::shared_ptr<const CachedColumn> BlockCache::get(const Key& key) {
   const auto it = entries_.find(key);
   if (it == entries_.end() || !it->second || it->second->pending) {
     ++stats_.misses;
+    CAL_COUNT("serve.cache.misses", 1);
     return nullptr;
   }
   ++stats_.hits;
+  CAL_COUNT("serve.cache.hits", 1);
   if (it->second->retained) {
     lru_.splice(lru_.begin(), lru_, it->second->lru);
   }
@@ -40,6 +44,7 @@ std::shared_ptr<const CachedColumn> BlockCache::get_or_begin(const Key& key,
   if (!options_.enabled) {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.misses;
+    CAL_COUNT("serve.cache.misses", 1);
     *owner = true;
     return nullptr;
   }
@@ -48,15 +53,18 @@ std::shared_ptr<const CachedColumn> BlockCache::get_or_begin(const Key& key,
   if (it != entries_.end()) {
     if (it->second->pending) {
       ++stats_.coalesced;
+      CAL_COUNT("serve.cache.coalesced", 1);
       return nullptr;  // another thread is decoding this column
     }
     ++stats_.hits;
+    CAL_COUNT("serve.cache.hits", 1);
     if (it->second->retained) {
       lru_.splice(lru_.begin(), lru_, it->second->lru);
     }
     return it->second->column;
   }
   ++stats_.misses;
+  CAL_COUNT("serve.cache.misses", 1);
   entries_.emplace(key, std::make_shared<Entry>());
   *owner = true;
   return nullptr;
@@ -89,6 +97,7 @@ void BlockCache::insert(const Key& key, CachedColumn column) {
   entry->column = std::make_shared<const CachedColumn>(std::move(column));
   entry->pending = false;
   ++stats_.inserts;
+  CAL_COUNT("serve.cache.inserts", 1);
   resolved_cv_.notify_all();
 
   if (bytes > options_.byte_budget || options_.byte_budget == 0) {
@@ -99,6 +108,7 @@ void BlockCache::insert(const Key& key, CachedColumn column) {
     // shrink_locked() cannot meet it.  Live wait() calls keep the Entry
     // object alive through their shared_ptr.
     ++stats_.rejected;
+    CAL_COUNT("serve.cache.rejected", 1);
     entries_.erase(it);
     return;
   }
@@ -118,6 +128,7 @@ void BlockCache::abandon(const Key& key) {
   entry->pending = false;  // column stays null: waiters retry
   entries_.erase(it);
   ++stats_.abandoned;
+  CAL_COUNT("serve.cache.abandoned", 1);
   resolved_cv_.notify_all();
 }
 
@@ -148,6 +159,7 @@ void BlockCache::shrink_locked() {
       stats_.bytes -= it->second->column->bytes;
       --stats_.entries;
       ++stats_.evictions;
+      CAL_COUNT("serve.cache.evictions", 1);
       entries_.erase(it);
     }
     lru_.pop_back();

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "core/fault.hpp"
+#include "obs/trace.hpp"
 
 namespace cal::serve {
 
@@ -99,6 +100,7 @@ void CachingBlockSource::scan(
   if (needs.size() != blocks.size()) {
     throw std::invalid_argument("serve: scan needs one ColumnSet per block");
   }
+  CAL_SPAN("serve.cached_scan");
   const io::archive::Manifest& manifest = reader_.manifest();
   const std::size_t n_factors = manifest.factor_names.size();
   const std::size_t n_metrics = manifest.metric_names.size();
@@ -174,7 +176,11 @@ void CachingBlockSource::scan(
     for (const std::uint32_t id : w.pending) {
       const BlockCache::Key key{bundle_,
                                 static_cast<std::uint32_t>(w.block), id};
-      std::shared_ptr<const CachedColumn> col = cache_->wait(key);
+      std::shared_ptr<const CachedColumn> col;
+      {
+        CAL_SPAN("serve.cache.wait");
+        col = cache_->wait(key);
+      }
       while (!col) {
         bool owner = false;
         col = cache_->get_or_begin(key, &owner);

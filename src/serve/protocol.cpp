@@ -8,6 +8,7 @@
 
 #include "core/fault.hpp"
 #include "io/archive/wire.hpp"
+#include "obs/metrics.hpp"
 
 namespace cal::serve {
 
@@ -116,7 +117,7 @@ Request decode_request(const std::string& payload) {
     wire::ByteReader in(payload);
     Request request;
     const std::uint8_t kind = in.u8();
-    if (kind > static_cast<std::uint8_t>(RequestKind::kShutdown)) {
+    if (kind > static_cast<std::uint8_t>(RequestKind::kMetrics)) {
       throw ProtocolError("serve: unknown request kind " +
                           std::to_string(kind));
     }
@@ -176,6 +177,8 @@ std::optional<std::string> read_frame(int fd) {
   }
   std::string payload(length, '\0');
   if (length > 0) read_exact(fd, payload.data(), length, nullptr);
+  CAL_COUNT("serve.frames_read", 1);
+  CAL_COUNT("serve.frame_bytes_read", sizeof header + payload.size());
   return payload;
 }
 
@@ -189,6 +192,8 @@ void write_frame(int fd, const std::string& payload) {
   wire::put_u32le(header, static_cast<std::uint32_t>(payload.size()));
   write_all(fd, header.data(), header.size());
   if (!payload.empty()) write_all(fd, payload.data(), payload.size());
+  CAL_COUNT("serve.frames_written", 1);
+  CAL_COUNT("serve.frame_bytes_written", header.size() + payload.size());
 }
 
 }  // namespace cal::serve

@@ -49,6 +49,7 @@ enum class RequestKind : std::uint8_t {
   kList = 3,        ///< catalog bundle names, one per line
   kStats = 4,       ///< cache + server counters, "name,value" CSV
   kShutdown = 5,    ///< stop the server after responding
+  kMetrics = 6,     ///< Prometheus text exposition of the obs registry
 };
 
 struct Request {

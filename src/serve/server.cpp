@@ -13,6 +13,8 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "query/engine.hpp"
 #include "query/expr.hpp"
 
@@ -87,6 +89,10 @@ void QueryServer::start() {
     throw std::invalid_argument(
         "serve: configure a unix socket path and/or a tcp port");
   }
+  // A daemon always meters itself: the registry is process-wide, and the
+  // metrics request kind / Prometheus exposition are only useful when the
+  // counters actually tick.  CAL_METRICS=off still wins (kill switch).
+  obs::metrics::arm();
   if (options_.workers > 1) {
     pool_ = std::make_unique<core::WorkerPool>(options_.workers, "serve");
   }
@@ -99,6 +105,7 @@ void QueryServer::start() {
     listen_fds_.push_back(listen_tcp(options_.tcp_port, &bound_tcp_port_));
   }
   running_ = true;
+  start_time_ = std::chrono::steady_clock::now();
   for (const int fd : listen_fds_) {
     accept_threads_.emplace_back([this, fd] { accept_loop(fd); });
   }
@@ -205,9 +212,15 @@ void QueryServer::serve_connection(int fd) {
 }
 
 Response QueryServer::execute(const Request& request) {
+  CAL_SPAN("serve.request");
+  CAL_COUNT("serve.requests", 1);
   {
     std::lock_guard<std::mutex> lock(state_mu_);
     ++counters_.requests;
+    const auto kind = static_cast<std::size_t>(request.kind);
+    if (kind < sizeof counters_.by_kind / sizeof counters_.by_kind[0]) {
+      ++counters_.by_kind[kind];
+    }
   }
   Response response = dispatch(request);
   if (response.status == Status::kError) {
@@ -235,6 +248,7 @@ Response QueryServer::dispatch(const Request& request) {
         std::lock_guard<std::mutex> state(state_mu_);
         ++counters_.coalesced;
       }
+      CAL_COUNT("serve.requests_coalesced", 1);
       flight_cv_.wait(lock, [&] { return flight->done; });
       return flight->response;
     }
@@ -267,15 +281,49 @@ Response QueryServer::run_query(const Request& request) {
         }
         return {Status::kOk, body};
       }
+      case RequestKind::kMetrics:
+        // The whole process-wide registry, Prometheus text exposition:
+        // deterministic ordering (sorted names) by construction.
+        return {Status::kOk, obs::metrics::render_text()};
       case RequestKind::kStats: {
         const BlockCache::Stats cache = catalog_.cache().stats();
         const Counters c = counters();
+        double uptime_s;
+        {
+          std::lock_guard<std::mutex> lock(state_mu_);
+          uptime_s = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start_time_)
+                         .count();
+        }
         std::ostringstream out;
         out << "counter,value\n"
+            << "uptime_s," << uptime_s << "\n"
             << "connections," << c.connections << "\n"
             << "requests," << c.requests << "\n"
             << "errors," << c.errors << "\n"
             << "coalesced_requests," << c.coalesced << "\n"
+            << "requests_ping,"
+            << c.by_kind[static_cast<std::size_t>(RequestKind::kPing)]
+            << "\n"
+            << "requests_aggregate,"
+            << c.by_kind[static_cast<std::size_t>(RequestKind::kAggregate)]
+            << "\n"
+            << "requests_materialize,"
+            << c.by_kind[static_cast<std::size_t>(
+                   RequestKind::kMaterialize)]
+            << "\n"
+            << "requests_list,"
+            << c.by_kind[static_cast<std::size_t>(RequestKind::kList)]
+            << "\n"
+            << "requests_stats,"
+            << c.by_kind[static_cast<std::size_t>(RequestKind::kStats)]
+            << "\n"
+            << "requests_shutdown,"
+            << c.by_kind[static_cast<std::size_t>(RequestKind::kShutdown)]
+            << "\n"
+            << "requests_metrics,"
+            << c.by_kind[static_cast<std::size_t>(RequestKind::kMetrics)]
+            << "\n"
             << "cache_hits," << cache.hits << "\n"
             << "cache_misses," << cache.misses << "\n"
             << "cache_coalesced," << cache.coalesced << "\n"

@@ -30,6 +30,7 @@
 // not fill; see serve/cached_source.hpp).
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -60,6 +61,9 @@ class QueryServer {
     std::uint64_t requests = 0;
     std::uint64_t errors = 0;      ///< kError responses sent
     std::uint64_t coalesced = 0;   ///< requests served by another's run
+    /// Per-kind request counts, indexed by RequestKind's numeric value
+    /// (kPing..kMetrics).
+    std::uint64_t by_kind[7] = {};
   };
 
   QueryServer(std::string catalog_root, ServerOptions options);
@@ -124,6 +128,9 @@ class QueryServer {
   std::vector<std::thread> conn_threads_;
   int bound_tcp_port_ = -1;
   Counters counters_;
+  /// Construction time, reset by start(); the kStats uptime_s baseline.
+  std::chrono::steady_clock::time_point start_time_ =
+      std::chrono::steady_clock::now();
 };
 
 }  // namespace cal::serve

@@ -5,6 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
 
 namespace cal {
 namespace {
@@ -67,6 +70,74 @@ TEST_F(CampaignTest, WriteAndReadDirRoundTrip) {
 TEST_F(CampaignTest, ReadMissingDirThrows) {
   EXPECT_THROW(CampaignResult::read_dir((dir_ / "nope").string()),
                std::runtime_error);
+}
+
+TEST_F(CampaignTest, MetadataCarriesWindowTelemetry) {
+  const CampaignResult result = run_simple_campaign();
+  ASSERT_TRUE(result.metadata.contains("window_count"));
+  ASSERT_TRUE(result.metadata.contains("window_wall_s"));
+  ASSERT_TRUE(result.metadata.contains("window_wall_min_s"));
+  ASSERT_TRUE(result.metadata.contains("window_wall_max_s"));
+  ASSERT_TRUE(result.metadata.contains("worker_busy_s"));
+  ASSERT_TRUE(result.metadata.contains("worker_occupancy"));
+
+  const double wall = std::stod(*result.metadata.get("window_wall_s"));
+  const double min_w = std::stod(*result.metadata.get("window_wall_min_s"));
+  const double max_w = std::stod(*result.metadata.get("window_wall_max_s"));
+  EXPECT_GE(wall, 0.0);
+  EXPECT_LE(min_w, max_w);
+  EXPECT_LE(max_w, wall + 1e-9);
+  EXPECT_GE(std::stoll(*result.metadata.get("window_count")), 1);
+}
+
+TEST_F(CampaignTest, ParallelRunReportsPlausibleOccupancy) {
+  Plan plan = DesignBuilder(5)
+                  .add(Factor::levels("size", {Value(8), Value(16),
+                                               Value(32), Value(64)}))
+                  .replications(8)
+                  .build();
+  Engine::Options options;
+  options.threads = 4;
+  Engine engine({"time_us"}, options);
+  const CampaignResult result =
+      Campaign(std::move(plan), std::move(engine), Metadata())
+          .run([](const PlannedRun& run, MeasureContext&) {
+            // Spin a little so busy time is measurable against wall.
+            volatile double acc = 0;
+            for (int i = 0; i < 20000; ++i) acc = acc + i * 1e-9;
+            const double t = run.values[0].as_real() + acc * 0;
+            return MeasureResult{{t}, t * 1e-6};
+          });
+  ASSERT_TRUE(result.metadata.contains("worker_occupancy"));
+  const double occupancy =
+      std::stod(*result.metadata.get("worker_occupancy"));
+  // busy_s sums per-worker measure time over wall * threads: above zero
+  // whenever anything ran, and never past 1 + scheduling noise.
+  EXPECT_GT(occupancy, 0.0);
+  EXPECT_LE(occupancy, 1.5);
+  EXPECT_GT(std::stod(*result.metadata.get("worker_busy_s")), 0.0);
+}
+
+TEST_F(CampaignTest, StreamedBundleMetadataCarriesWindowTelemetry) {
+  Plan plan = DesignBuilder(9)
+                  .add(Factor::levels("size", {Value(8), Value(16)}))
+                  .replications(4)
+                  .build();
+  const Campaign campaign(std::move(plan), Engine({"time_us"}), Metadata());
+  campaign.run_to_dir(
+      [](std::size_t) {
+        return MeasureFn([](const PlannedRun& run, MeasureContext&) {
+          const double t = run.values[0].as_real();
+          return MeasureResult{{t}, t * 1e-6};
+        });
+      },
+      dir_.string());
+  std::ifstream in(dir_ / "metadata.txt");
+  ASSERT_TRUE(in.good());
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("window_count"), std::string::npos);
+  EXPECT_NE(text.find("worker_occupancy"), std::string::npos);
 }
 
 }  // namespace

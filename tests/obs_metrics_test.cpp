@@ -1,0 +1,122 @@
+// Unit suite for the obs::metrics registry: arming discipline, stable
+// instrument references, deterministic snapshots and Prometheus text
+// rendering, and histogram bucketing.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace cal::obs::metrics {
+namespace {
+
+class ObsMetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (kill_switch()) GTEST_SKIP() << "CAL_METRICS=off";
+    arm();
+    reset();
+  }
+  void TearDown() override {
+    if (!kill_switch()) reset();
+  }
+};
+
+TEST_F(ObsMetricsTest, DisarmedMacrosAreInert) {
+  disarm();
+  CAL_COUNT("obs_test.inert", 5);
+  arm();
+  // The counter may exist from a previous macro hit in this process;
+  // either way the disarmed add must not have landed.
+  for (const auto& c : snapshot().counters) {
+    if (c.first == "obs_test.inert") EXPECT_EQ(c.second, 0u);
+  }
+}
+
+TEST_F(ObsMetricsTest, CountersAccumulateAndReferencesAreStable) {
+  Counter& a = counter("obs_test.a");
+  Counter& again = counter("obs_test.a");
+  EXPECT_EQ(&a, &again);
+  a.add(3);
+  again.add(4);
+  EXPECT_EQ(a.value(), 7u);
+  reset();
+  EXPECT_EQ(a.value(), 0u);  // reset zeroes, never invalidates
+}
+
+TEST_F(ObsMetricsTest, SnapshotNamesAreSorted) {
+  counter("obs_test.z").add(1);
+  counter("obs_test.a").add(1);
+  gauge("obs_test.m").set(-2);
+  histogram("obs_test.h").record_ns(1500);
+  const Snapshot snap = snapshot();
+  std::vector<std::string> names;
+  for (const auto& c : snap.counters) names.push_back(c.first);
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  bool found_gauge = false;
+  for (const auto& g : snap.gauges) {
+    if (g.first == "obs_test.m") {
+      found_gauge = true;
+      EXPECT_EQ(g.second, -2);
+    }
+  }
+  EXPECT_TRUE(found_gauge);
+}
+
+TEST_F(ObsMetricsTest, RenderTextIsDeterministicAndPrometheusShaped) {
+  counter("obs_test.requests").add(42);
+  histogram("obs_test.latency_seconds").record_ns(2500);
+  const std::string one = render_text();
+  const std::string two = render_text();
+  EXPECT_EQ(one, two);
+  EXPECT_NE(one.find("# TYPE cal_obs_test_requests counter"),
+            std::string::npos);
+  EXPECT_NE(one.find("cal_obs_test_requests 42"), std::string::npos);
+  EXPECT_NE(one.find("cal_obs_test_latency_seconds_count 1"),
+            std::string::npos);
+  EXPECT_NE(one.find("le=\"+Inf\""), std::string::npos);
+}
+
+TEST_F(ObsMetricsTest, HistogramBucketsArePowerOfTwoMicroseconds) {
+  Histogram& h = histogram("obs_test.buckets");
+  h.record_ns(500);        // < 1 us -> bucket 0
+  h.record_ns(1'000);      // 1 us   -> bucket 1 (bucket i holds < 2^i us)
+  h.record_ns(3'000'000);  // 3 ms = 3000 us -> bucket 12 (< 4096 us)
+  const Snapshot snap = snapshot();
+  for (const auto& hv : snap.histograms) {
+    if (hv.name != "obs_test.buckets") continue;
+    std::uint64_t total = 0;
+    for (const std::uint64_t b : hv.buckets) total += b;
+    EXPECT_EQ(total, 3u);
+    EXPECT_EQ(hv.count, 3u);
+    EXPECT_EQ(hv.sum_ns, 500u + 1'000u + 3'000'000u);
+    EXPECT_EQ(hv.buckets[0], 1u);
+    EXPECT_EQ(hv.buckets[1], 1u);
+    EXPECT_EQ(hv.buckets[12], 1u);
+    return;
+  }
+  FAIL() << "histogram not in snapshot";
+}
+
+TEST_F(ObsMetricsTest, ConcurrentIncrementsAreLossless) {
+  Counter& c = counter("obs_test.mt");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) CAL_COUNT("obs_test.mt", 1);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.value(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+}  // namespace
+}  // namespace cal::obs::metrics

@@ -10,9 +10,13 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <cstring>
 #include <filesystem>
+#include <map>
 #include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -20,6 +24,7 @@
 #include "io/archive/bbx_reader.hpp"
 #include "io/archive/bbx_writer.hpp"
 #include "io/archive/wire.hpp"
+#include "obs/metrics.hpp"
 #include "query/engine.hpp"
 #include "serve/client.hpp"
 #include "serve/server.hpp"
@@ -161,6 +166,19 @@ class QueryServerTest : public ::testing::Test {
   std::unique_ptr<QueryServer> server_;
 };
 
+/// Parses one "name,value" row out of a kStats CSV body; fails the
+/// calling test when the row is absent.
+std::string stats_row(const std::string& body, const std::string& name) {
+  const std::string needle = "\n" + name + ",";
+  const auto at = body.find(needle);
+  if (at == std::string::npos) {
+    ADD_FAILURE() << "stats body has no row '" << name << "':\n" << body;
+    return "";
+  }
+  const auto start = at + needle.size();
+  return body.substr(start, body.find('\n', start) - start);
+}
+
 TEST_F(QueryServerTest, PingListAndStatsAnswerOverBothTransports) {
   QueryClient unix_client = connect();
   EXPECT_EQ(unix_client.call(Request{}).status, Status::kOk);
@@ -176,6 +194,94 @@ TEST_F(QueryServerTest, PingListAndStatsAnswerOverBothTransports) {
   EXPECT_EQ(response.status, Status::kOk);
   EXPECT_NE(response.body.find("counter,value"), std::string::npos);
   EXPECT_NE(response.body.find("cache_hits,"), std::string::npos);
+
+  // Per-kind accounting: exactly one ping, one list, and the stats
+  // request itself (counted before its body renders).  Uptime is a real
+  // non-negative number of seconds.
+  EXPECT_EQ(stats_row(response.body, "requests_ping"), "1");
+  EXPECT_EQ(stats_row(response.body, "requests_list"), "1");
+  EXPECT_EQ(stats_row(response.body, "requests_stats"), "1");
+  EXPECT_EQ(stats_row(response.body, "requests_aggregate"), "0");
+  EXPECT_EQ(stats_row(response.body, "requests_materialize"), "0");
+  EXPECT_EQ(stats_row(response.body, "requests_metrics"), "0");
+  EXPECT_EQ(stats_row(response.body, "requests"), "3");
+  EXPECT_GE(std::stod(stats_row(response.body, "uptime_s")), 0.0);
+}
+
+/// Parses one `cal_<name> <value>` sample out of a Prometheus text
+/// exposition; -1 when absent.
+std::int64_t prom_value(const std::string& body, const std::string& name) {
+  const std::string needle = "\n" + name + " ";
+  const auto at = body.find(needle);
+  if (at == std::string::npos) return -1;
+  return std::stoll(body.substr(at + needle.size()));
+}
+
+TEST_F(QueryServerTest,
+       MetricsExpositionMatchesScanStatsAndCacheCountersOnAGoldenWorkload) {
+  if (!obs::metrics::enabled()) GTEST_SKIP() << "CAL_METRICS=off";
+  obs::metrics::reset();
+
+  QueryClient client = connect();
+  const Response aggregate = client.call(aggregate_request());
+  ASSERT_EQ(aggregate.status, Status::kOk);
+
+  Request metrics;
+  metrics.kind = RequestKind::kMetrics;
+  const Response exposition = client.call(metrics);
+  ASSERT_EQ(exposition.status, Status::kOk);
+  const std::string& body = exposition.body;
+
+  // Deterministic ordering: the exposition renders counters, then
+  // gauges, then histograms, each section walked in sorted name order.
+  std::map<std::string, std::vector<std::string>> names_by_kind;
+  for (std::size_t at = body.find("# TYPE "); at != std::string::npos;
+       at = body.find("# TYPE ", at + 1)) {
+    const std::size_t name_at = at + 7;
+    const std::size_t space = body.find(' ', name_at);
+    const std::size_t eol = body.find('\n', name_at);
+    ASSERT_NE(space, std::string::npos);
+    ASSERT_NE(eol, std::string::npos);
+    names_by_kind[body.substr(space + 1, eol - space - 1)].push_back(
+        body.substr(name_at, space - name_at));
+  }
+  ASSERT_FALSE(names_by_kind.empty());
+  for (const auto& [kind, names] : names_by_kind) {
+    EXPECT_TRUE(std::is_sorted(names.begin(), names.end()))
+        << kind << " section not sorted";
+  }
+
+  // The query counters are the running sum of every executed scan's
+  // ScanStats; after reset() that is exactly the one aggregate above,
+  // so the registry must agree with a local run of the same query.
+  const ar::BbxReader reader((root_ / "catalog" / "mem").string());
+  query::QuerySpec spec;
+  spec.where = query::parse_expr("sequence < 12");
+  spec.group_by = {"size", "op"};
+  spec.aggregates = {*query::parse_aggregate("count"),
+                     *query::parse_aggregate("mean:time_us")};
+  const query::QueryResult local = query::BundleQuery(reader).aggregate(spec);
+  EXPECT_EQ(prom_value(body, "cal_query_scans"), 1);
+  EXPECT_EQ(prom_value(body, "cal_query_blocks_total"),
+            static_cast<std::int64_t>(local.scan.blocks_total));
+  EXPECT_EQ(prom_value(body, "cal_query_blocks_pruned"),
+            static_cast<std::int64_t>(local.scan.blocks_pruned));
+  EXPECT_EQ(prom_value(body, "cal_query_blocks_scanned"),
+            static_cast<std::int64_t>(local.scan.blocks_scanned));
+  EXPECT_EQ(prom_value(body, "cal_query_records_scanned"),
+            static_cast<std::int64_t>(local.scan.records_scanned));
+  EXPECT_EQ(prom_value(body, "cal_query_records_matched"),
+            static_cast<std::int64_t>(local.scan.records_matched));
+
+  // Cache counters mirror BlockCache::stats() -- the increments sit on
+  // the same mutex-guarded lines.  No cache traffic has happened since
+  // the exposition rendered (kMetrics does not touch the cache).
+  const serve::BlockCache::Stats cache = server_->cache_stats();
+  EXPECT_EQ(prom_value(body, "cal_serve_cache_misses"),
+            static_cast<std::int64_t>(cache.misses));
+  EXPECT_EQ(prom_value(body, "cal_serve_cache_inserts"),
+            static_cast<std::int64_t>(cache.inserts));
+  EXPECT_GT(cache.inserts, 0u);
 }
 
 TEST_F(QueryServerTest, AggregateAndMaterializeMatchTheLocalPathByteForByte) {
