@@ -14,6 +14,10 @@
 // Tools wrap main's body in cli_guard and signal bad invocations by
 // throwing UsageError instead of hand-rolling exit paths.
 
+#include <signal.h>
+
+#include <atomic>
+#include <csignal>
 #include <exception>
 #include <functional>
 #include <iostream>
@@ -70,13 +74,25 @@ inline bool handle_version_flag(const char* tool, int argc, char** argv) {
 /// lifetime and flushes Chrome trace-event JSON to `path` on the way
 /// out (empty path = inert).  Place one inside the cli_guard body so a
 /// failing tool still writes the trace of what it got through.
+///
+/// A killed run keeps its trace too: the guard installs SIGINT/SIGTERM
+/// handlers that flush before the process dies, but only for signals
+/// still at their default disposition -- a tool that manages its own
+/// shutdown (campaign_serve) is left alone.  On delivery the handler
+/// flushes once, restores the default disposition and re-raises, so the
+/// parent still observes death-by-signal.
 class TraceGuard {
  public:
   explicit TraceGuard(std::string path) : path_(std::move(path)) {
-    if (!path_.empty()) obs::trace::start();
+    if (path_.empty()) return;
+    obs::trace::start();
+    active().store(this, std::memory_order_release);
+    hook(SIGINT);
+    hook(SIGTERM);
   }
   ~TraceGuard() {
     if (path_.empty()) return;
+    active().store(nullptr, std::memory_order_release);
     try {
       obs::trace::flush_json_file(path_);
     } catch (const std::exception& e) {
@@ -87,6 +103,39 @@ class TraceGuard {
   TraceGuard& operator=(const TraceGuard&) = delete;
 
  private:
+  static std::atomic<TraceGuard*>& active() {
+    static std::atomic<TraceGuard*> guard{nullptr};
+    return guard;
+  }
+
+  static void on_signal(int signo) {
+    // The flush allocates and does buffered I/O -- not async-signal-safe
+    // in the letter of the law, but the process is about to die anyway
+    // and a torn trace beats no trace.  exchange() makes the flush
+    // one-shot even if both signals land.
+    if (TraceGuard* guard = active().exchange(nullptr)) {
+      try {
+        obs::trace::flush_json_file(guard->path_);
+      } catch (...) {
+      }
+    }
+    std::signal(signo, SIG_DFL);
+    std::raise(signo);
+  }
+
+  /// Installs on_signal for `signo` iff the disposition is still
+  /// SIG_DFL, so a handler the tool installed first keeps priority.
+  static void hook(int signo) {
+    struct sigaction current = {};
+    if (sigaction(signo, nullptr, &current) != 0) return;
+    if (current.sa_handler != SIG_DFL) return;
+    struct sigaction install = {};
+    install.sa_handler = &TraceGuard::on_signal;
+    sigemptyset(&install.sa_mask);
+    install.sa_flags = 0;
+    sigaction(signo, &install, nullptr);
+  }
+
   std::string path_;
 };
 

@@ -1,0 +1,175 @@
+// pmu_report: counter-driven campaign family -- runs a size/stride
+// sweep with simulated PMU counters recorded as first-class campaign
+// metrics, archives the bundle (bbx), reads it back like an offline
+// analyst would, prints the counter-derived rates per cell, and
+// confronts the counters with a claimed machine spec through
+// stats::counter_crosscheck.
+//
+// Two modes:
+//   honest (default)      the claimed spec is the machine that ran the
+//                         campaign; exit 0 iff the cross-check PASSes.
+//   --plant-l2 <factor>   the claimed spec lies about the L2 hit
+//                         latency by <factor>; exit 0 iff the
+//                         cross-check CATCHES the lie (a missed plant
+//                         is the failure).  This is the CounterPoint
+//                         demo: an opaque timing number cannot refute a
+//                         mis-calibrated latency, counters can.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli.hpp"
+#include "benchlib/whitebox/mem_calibration.hpp"
+#include "io/table_fmt.hpp"
+#include "stats/counter_crosscheck.hpp"
+
+using namespace cal;
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: pmu_report [machine] [--plant-l2 <factor>] [--out <dir>] "
+    "[--trace <path>] [--version]\n";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (examples::handle_version_flag("pmu_report", argc, argv)) {
+    return examples::kExitOk;
+  }
+  return examples::cli_guard("pmu_report", kUsage, [&]() -> int {
+    std::string name = "i7-2600";
+    std::string out_dir = "pmu_report_results";
+    std::string trace_path;
+    double plant_l2 = 1.0;
+
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--plant-l2") {
+        if (i + 1 >= argc) {
+          throw examples::UsageError("--plant-l2 requires a factor");
+        }
+        try {
+          plant_l2 = std::stod(argv[++i]);
+        } catch (const std::exception&) {
+          throw examples::UsageError("--plant-l2 factor must be a number");
+        }
+        if (plant_l2 <= 0.0) {
+          throw examples::UsageError("--plant-l2 factor must be positive");
+        }
+      } else if (arg == "--out") {
+        if (i + 1 >= argc) {
+          throw examples::UsageError("--out requires a directory");
+        }
+        out_dir = argv[++i];
+      } else if (arg == "--trace") {
+        if (i + 1 >= argc) {
+          throw examples::UsageError("--trace requires a path");
+        }
+        trace_path = argv[++i];
+      } else if (!arg.empty() && arg[0] == '-') {
+        throw examples::UsageError("unknown flag " + arg);
+      } else {
+        name = arg;
+      }
+    }
+
+    examples::TraceGuard trace_guard(trace_path);
+    sim::MachineSpec machine = sim::machines::core_i7_2600();
+    bool found = false;
+    for (const auto& candidate : sim::machines::all()) {
+      if (candidate.name == name) {
+        machine = candidate;
+        found = true;
+      }
+    }
+    if (!found) throw examples::UsageError("unknown machine '" + name + "'");
+
+    std::cout << "PMU-counted campaign on " << machine.name << " ("
+              << machine.processor << ")\n\n";
+
+    sim::mem::MemSystemConfig config;
+    config.machine = machine;
+    config.governor = sim::cpu::GovernorKind::kPerformance;
+    config.enable_noise = false;
+    config.pool_pages = 8192;
+
+    // Size levels straddling every hierarchy regime of the machine, at a
+    // one-access-per-line stride so the counters separate the levels.
+    benchlib::MemPlanOptions plan_options;
+    const auto& caches = machine.caches;
+    plan_options.size_levels = {
+        static_cast<std::int64_t>(caches.front().size_bytes / 2)};
+    for (std::size_t i = 0; i + 1 < caches.size(); ++i) {
+      plan_options.size_levels.push_back(static_cast<std::int64_t>(
+          (caches[i].size_bytes + caches[i + 1].size_bytes) / 2));
+    }
+    plan_options.size_levels.push_back(
+        static_cast<std::int64_t>(caches.back().size_bytes * 2));
+    plan_options.strides = {16};
+    plan_options.elem_bytes = {4};
+    plan_options.unrolls = {4};
+    plan_options.nloops = {50};
+    plan_options.replications = 3;
+
+    benchlib::MemCampaignOptions campaign_options;
+    campaign_options.pmu_events.assign(sim::pmu::all_events().begin(),
+                                       sim::pmu::all_events().end());
+
+    const CampaignResult campaign = benchlib::run_mem_campaign(
+        config, benchlib::make_mem_plan(plan_options), campaign_options);
+    ArchiveOptions archive;
+    archive.format = ArchiveFormat::kBbx;
+    campaign.write_dir(out_dir, archive);
+    std::cout << campaign.table.size() << " records with "
+              << campaign_options.pmu_events.size()
+              << " pmu.* counter columns archived to " << out_dir << "/\n";
+
+    // Offline readback: everything below runs from the bundle, the way a
+    // later analyst (or the query server) would see it.
+    const CampaignResult read = CampaignResult::read_dir(out_dir);
+
+    sim::MachineSpec claimed = machine;
+    if (plant_l2 != 1.0) {
+      claimed.caches[0].miss_stall_cycles *= plant_l2;
+      std::cout << "\nPlanted lie: claimed L2 hit latency "
+                << machine.caches[0].miss_stall_cycles << " -> "
+                << claimed.caches[0].miss_stall_cycles << " cycles\n";
+    }
+
+    const stats::CrosscheckReport report =
+        stats::counter_crosscheck(read.table, claimed);
+
+    std::cout << "\nCounter-derived rates per cell (means over replicates):\n";
+    io::TextTable rates({"size", "cycles/access", "IPC", "L1 MPKI",
+                         "LLC MPKI", "eff GHz"});
+    for (const auto& r : report.rates) {
+      rates.add_row({r.factors.empty() ? "?" : r.factors[0].to_string(),
+                     io::TextTable::num(r.cycles_per_access, 2),
+                     io::TextTable::num(r.ipc, 2),
+                     io::TextTable::num(r.l1_mpki, 1),
+                     io::TextTable::num(r.llc_mpki, 1),
+                     io::TextTable::num(r.effective_ghz, 2)});
+    }
+    rates.print(std::cout);
+
+    std::cout << "\n" << report.to_text();
+
+    if (plant_l2 != 1.0) {
+      // Demo contract: the planted contradiction must be caught.
+      if (report.passed()) {
+        std::cerr << "pmu_report: planted L2 latency was NOT flagged\n";
+        return examples::kExitFailure;
+      }
+      std::cout << "\nPlanted mis-calibration caught by the counters.\n";
+      return examples::kExitOk;
+    }
+    if (!report.passed()) {
+      std::cerr << "pmu_report: honest spec failed the cross-check\n";
+      return examples::kExitFailure;
+    }
+    std::cout << "\nCounters and model agree: calibration is consistent.\n";
+    return examples::kExitOk;
+  });
+}

@@ -20,9 +20,10 @@ if [ "$1" = "--fast" ]; then
   shift
 elif [ "$1" = "--sanitize" ]; then
   # The crash-recovery and serving stories only count if they hold with
-  # the memory checkers watching: fault-injection, unit, and the full
-  # campaign->archive->daemon integration suite under ASan/UBSan.
-  LABEL_ARGS="-L unit|fault|integration"
+  # the memory checkers watching: fault-injection, unit, the full
+  # campaign->archive->daemon integration suite, and the PMU
+  # counter-determinism property under ASan/UBSan.
+  LABEL_ARGS="-L unit|fault|integration|pmu"
   CMAKE_ARGS="-DCMAKE_BUILD_TYPE=Debug -DCALIPERS_SANITIZE=ON"
   DEFAULT_BUILD="$ROOT/build-asan"
   shift
@@ -30,8 +31,9 @@ elif [ "$1" = "--tsan" ]; then
   # Telemetry is only lock-free-by-construction if ThreadSanitizer
   # agrees: run the unit and fault suites with the metrics registry and
   # the trace rings armed, so every relaxed-atomic counter bump and
-  # release-published trace slot is exercised under the checker.
-  LABEL_ARGS="-L unit|fault"
+  # release-published trace slot is exercised under the checker.  The
+  # pmu label rides along: counter seams + the obs bridge under TSan.
+  LABEL_ARGS="-L unit|fault|pmu"
   CMAKE_ARGS="-DCMAKE_BUILD_TYPE=Debug -DCALIPERS_TSAN=ON"
   DEFAULT_BUILD="$ROOT/build-tsan"
   CAL_METRICS=on

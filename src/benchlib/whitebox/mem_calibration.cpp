@@ -38,7 +38,18 @@ Plan make_mem_plan(const MemPlanOptions& options) {
 }
 
 MeasureFn mem_measure_fn(sim::mem::MemSystem& system) {
-  return [&system](const PlannedRun& run, MeasureContext& ctx) {
+  return mem_measure_fn(system, {});
+}
+
+MeasureFn mem_measure_fn(sim::mem::MemSystem& system,
+                         std::vector<sim::pmu::Event> events) {
+  if (!events.empty() && system.pmu() == nullptr) {
+    throw std::invalid_argument(
+        "mem_measure_fn: PMU events requested but the system was built "
+        "without enable_pmu");
+  }
+  return [&system, events = std::move(events)](const PlannedRun& run,
+                                               MeasureContext& ctx) {
     // Factor order is fixed by make_mem_plan; look up defensively anyway
     // by requiring the canonical widths.
     if (run.values.size() < 5) {
@@ -53,9 +64,16 @@ MeasureFn mem_measure_fn(sim::mem::MemSystem& system) {
     request.nloops = static_cast<std::size_t>(run.values[4].as_int());
 
     const auto out = system.measure(request, ctx.now_s, *ctx.rng);
-    return MeasureResult{
+    MeasureResult result{
         {out.bandwidth_mbps, out.elapsed_s, out.avg_freq_ghz, out.l1_hit_rate},
         out.elapsed_s};
+    // Counter deltas ride along as plain metric columns.  Exact below
+    // 2^53 -- far beyond any simulated run's event count.
+    result.metrics.reserve(result.metrics.size() + events.size());
+    for (const sim::pmu::Event e : events) {
+      result.metrics.push_back(static_cast<double>(out.pmu[e]));
+    }
+    return result;
   };
 }
 
@@ -74,12 +92,17 @@ Engine make_mem_engine(const MemCampaignOptions& options,
   engine_options.inter_run_gap_s = options.inter_run_gap_s;
   engine_options.threads = threading.threads;
   engine_options.pool = threading.pool;
-  return Engine(
-      {"bandwidth_mbps", "elapsed_s", "avg_freq_ghz", "l1_hit_rate"},
-      engine_options);
+  std::vector<std::string> metrics = {"bandwidth_mbps", "elapsed_s",
+                                      "avg_freq_ghz", "l1_hit_rate"};
+  metrics.reserve(metrics.size() + options.pmu_events.size());
+  for (const sim::pmu::Event e : options.pmu_events) {
+    metrics.push_back(std::string("pmu.") + sim::pmu::event_name(e));
+  }
+  return Engine(std::move(metrics), engine_options);
 }
 
-Metadata make_mem_metadata(const sim::mem::MemSystemConfig& config) {
+Metadata make_mem_metadata(const sim::mem::MemSystemConfig& config,
+                           const MemCampaignOptions& options) {
   Metadata md = Metadata::capture_build();
   md.set("benchmark", "whitebox_mem_calibration");
   md.set("machine", config.machine.name);
@@ -88,7 +111,26 @@ Metadata make_mem_metadata(const sim::mem::MemSystemConfig& config) {
   md.set("sched_policy", sim::os::to_string(config.policy));
   md.set("alloc_technique", sim::mem::to_string(config.alloc));
   md.set("system_seed", static_cast<std::uint64_t>(config.system_seed));
+  if (!options.pmu_events.empty()) {
+    std::string joined;
+    for (const sim::pmu::Event e : options.pmu_events) {
+      if (!joined.empty()) joined += ',';
+      joined += sim::pmu::event_name(e);
+    }
+    md.set("pmu_events", joined);
+  }
   return md;
+}
+
+/// PMU columns require a counting simulator; the campaign enables it on
+/// a copy of the caller's config so plain timing campaigns keep the
+/// null-pointer (disabled) seams.
+sim::mem::MemSystemConfig with_pmu_if_requested(
+    const sim::mem::MemSystemConfig& config,
+    const MemCampaignOptions& options) {
+  sim::mem::MemSystemConfig out = config;
+  if (!options.pmu_events.empty()) out.enable_pmu = true;
+  return out;
 }
 
 }  // namespace
@@ -96,8 +138,8 @@ Metadata make_mem_metadata(const sim::mem::MemSystemConfig& config) {
 CampaignResult run_mem_campaign(sim::mem::MemSystem& system, Plan plan,
                                 const MemCampaignOptions& options) {
   return Campaign(std::move(plan), make_mem_engine(options, MemThreading{}),
-                  make_mem_metadata(system.config()))
-      .run(mem_measure_fn(system));
+                  make_mem_metadata(system.config(), options))
+      .run(mem_measure_fn(system, options.pmu_events));
 }
 
 namespace {
@@ -118,10 +160,11 @@ MemThreading mem_campaign_threading(const sim::mem::MemSystemConfig& config,
 /// One identical simulator replica per worker: the engine calls the
 /// factory sequentially before the pool starts, and each worker's
 /// MemSystem is private to it afterwards.
-MeasureFactory mem_replica_factory(const sim::mem::MemSystemConfig& config) {
-  return [&config](std::size_t) {
+MeasureFactory mem_replica_factory(const sim::mem::MemSystemConfig& config,
+                                   const std::vector<sim::pmu::Event>& events) {
+  return [&config, events](std::size_t) {
     auto system = std::make_shared<sim::mem::MemSystem>(config);
-    MeasureFn measure = mem_measure_fn(*system);
+    MeasureFn measure = mem_measure_fn(*system, events);
     return [system, measure](const PlannedRun& run, MeasureContext& ctx) {
       return measure(run, ctx);
     };
@@ -132,21 +175,23 @@ MeasureFactory mem_replica_factory(const sim::mem::MemSystemConfig& config) {
 
 CampaignResult run_mem_campaign(const sim::mem::MemSystemConfig& config,
                                 Plan plan, const MemCampaignOptions& options) {
+  const sim::mem::MemSystemConfig cfg = with_pmu_if_requested(config, options);
   return Campaign(std::move(plan),
-                  make_mem_engine(options, mem_campaign_threading(config,
+                  make_mem_engine(options, mem_campaign_threading(cfg,
                                                                   options)),
-                  make_mem_metadata(config))
-      .run(mem_replica_factory(config));
+                  make_mem_metadata(cfg, options))
+      .run(mem_replica_factory(cfg, options.pmu_events));
 }
 
 StreamedCampaign run_mem_campaign(const sim::mem::MemSystemConfig& config,
                                   Plan plan, RecordSink& sink,
                                   const MemCampaignOptions& options) {
+  const sim::mem::MemSystemConfig cfg = with_pmu_if_requested(config, options);
   return Campaign(std::move(plan),
-                  make_mem_engine(options, mem_campaign_threading(config,
+                  make_mem_engine(options, mem_campaign_threading(cfg,
                                                                   options)),
-                  make_mem_metadata(config))
-      .run(mem_replica_factory(config), sink);
+                  make_mem_metadata(cfg, options))
+      .run(mem_replica_factory(cfg, options.pmu_events), sink);
 }
 
 std::vector<SizeDiagnostics> diagnose_by_size(const RawTable& table) {

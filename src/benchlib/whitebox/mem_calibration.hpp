@@ -51,9 +51,23 @@ Plan make_mem_plan(const MemPlanOptions& options);
 /// Measurement function mapping the canonical factors onto MemSystem.
 MeasureFn mem_measure_fn(sim::mem::MemSystem& system);
 
+/// As above, additionally emitting one metric per requested PMU event
+/// (after the base metrics, in `events` order).  The system must have
+/// been built with enable_pmu.
+MeasureFn mem_measure_fn(sim::mem::MemSystem& system,
+                         std::vector<sim::pmu::Event> events);
+
 struct MemCampaignOptions {
   double inter_run_gap_s = 200e-6;
   std::uint64_t engine_seed = 41;
+  /// Simulated PMU events to record as first-class campaign metrics,
+  /// named `pmu.<event>` after the base metrics.  Non-empty forces
+  /// enable_pmu on the simulator config (config-based overloads) or
+  /// requires a PMU-enabled system (the MemSystem& overload).  Counter
+  /// columns are a pure function of each run, so they stay byte-identical
+  /// at any worker count and obey the same determinism contract as the
+  /// timing metrics.
+  std::vector<sim::pmu::Event> pmu_events;
   /// Engine worker threads (1 = sequential, 0 = hardware concurrency).
   /// Only honoured by the config-based overload, which can build one
   /// simulator replica per worker.

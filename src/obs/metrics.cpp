@@ -74,6 +74,41 @@ void append_f64(std::string& out, double v) {
   out += buf;
 }
 
+/// HELP text per the exposition format: backslash and newline escaped.
+std::string escape_help(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// Deduplicates post-sanitization collisions: distinct registry names
+/// ("a.b" vs "a-b", or a counter and a gauge sharing a sanitized form)
+/// must not expose the same sample name twice.  First family keeps the
+/// base name, later colliders get a deterministic _2, _3, ... suffix --
+/// deterministic because the snapshot walks name-sorted sections in a
+/// fixed order.
+class NameDeduper {
+ public:
+  std::string unique(const std::string& registry_name) {
+    std::string p = prometheus_name(registry_name);
+    const int n = ++used_[p];
+    if (n > 1) p += "_" + std::to_string(n);
+    return p;
+  }
+
+ private:
+  std::map<std::string, int> used_;
+};
+
 }  // namespace
 
 bool enabled() noexcept {
@@ -151,18 +186,23 @@ Snapshot snapshot() {
 
 std::string render_text(const Snapshot& snap) {
   std::string out;
+  NameDeduper dedupe;
   for (const auto& [name, value] : snap.counters) {
-    const std::string p = prometheus_name(name);
+    const std::string p = dedupe.unique(name);
+    out += "# HELP " + p + " Registry counter '" + escape_help(name) + "'.\n";
     out += "# TYPE " + p + " counter\n";
     out += p + " " + std::to_string(value) + "\n";
   }
   for (const auto& [name, value] : snap.gauges) {
-    const std::string p = prometheus_name(name);
+    const std::string p = dedupe.unique(name);
+    out += "# HELP " + p + " Registry gauge '" + escape_help(name) + "'.\n";
     out += "# TYPE " + p + " gauge\n";
     out += p + " " + std::to_string(value) + "\n";
   }
   for (const auto& h : snap.histograms) {
-    const std::string p = prometheus_name(h.name);
+    const std::string p = dedupe.unique(h.name);
+    out += "# HELP " + p + " Registry histogram '" + escape_help(h.name) +
+           "'.\n";
     out += "# TYPE " + p + " histogram\n";
     std::uint64_t cumulative = 0;
     for (std::size_t i = 0; i <= Histogram::kBuckets; ++i) {

@@ -1,5 +1,6 @@
 #include "sim/cpu/core.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 namespace cal::sim::cpu {
@@ -16,7 +17,12 @@ SimCore::SimCore(const FreqSpec& freq, std::unique_ptr<Governor> governor,
 void SimCore::tick(double busy_in_window_s) {
   const double busy_fraction =
       period_s_ > 0.0 ? busy_in_window_s / period_s_ : 0.0;
+  const double before_ghz = freq_ghz_;
   freq_ghz_ = governor_->on_tick(busy_fraction, freq_ghz_, freq_);
+  if (pmu_ != nullptr) {
+    pmu_->count(pmu::Event::kGovernorTicks);
+    if (freq_ghz_ != before_ghz) pmu_->count(pmu::Event::kFreqTransitions);
+  }
   next_tick_s_ += period_s_;
   busy_accum_s_ = 0.0;
 }
@@ -35,6 +41,11 @@ void SimCore::sync_to(double now_s) {
 
 double SimCore::run(double cycles) {
   if (cycles < 0.0) throw std::invalid_argument("SimCore: negative cycles");
+  if (pmu_ != nullptr && cycles > 0.0) {
+    // The analytic cycle budget is fractional; a PMU reads whole cycles.
+    pmu_->count(pmu::Event::kCycles,
+                static_cast<std::uint64_t>(std::llround(cycles)));
+  }
   // Elapsed time is accumulated locally rather than differencing the
   // clock, so the result is bit-identical regardless of how far the
   // clock has advanced (no catastrophic cancellation at large now_s_).

@@ -11,6 +11,7 @@
 
 #include "sim/cpu/governor.hpp"
 #include "sim/machine.hpp"
+#include "sim/pmu/pmu.hpp"
 
 namespace cal::sim::cpu {
 
@@ -33,6 +34,11 @@ class SimCore {
   double current_freq_ghz() const noexcept { return freq_ghz_; }
   const Governor& governor() const noexcept { return *governor_; }
 
+  /// Routes cycle / governor-tick / frequency-transition events into a
+  /// simulated PMU file (null detaches).  Idle-gap governor ticks count
+  /// too: a real PMU sees the DVFS ramp-down between measurements.
+  void attach_pmu(pmu::PmuFile* file) noexcept { pmu_ = file; }
+
  private:
   void tick(double busy_in_window_s);
 
@@ -43,6 +49,7 @@ class SimCore {
   double period_s_ = 0.0;    ///< 0 = no ticks
   double next_tick_s_ = 0.0;
   double busy_accum_s_ = 0.0;  ///< busy time inside the current window
+  pmu::PmuFile* pmu_ = nullptr;
 };
 
 }  // namespace cal::sim::cpu

@@ -10,7 +10,12 @@
 // measured bandwidth regime.
 //
 // Governors are passive policy objects driven by SimCore, which reports
-// per-window busy fractions at each sampling tick.
+// per-window busy fractions at each sampling tick.  Governor activity is
+// PMU-observable: SimCore counts every sampling tick (kGovernorTicks)
+// and every frequency decision that changes the clock
+// (kFreqTransitions) into the attached sim::pmu::PmuFile, so a
+// counter-based analysis can see the DVFS regime an opaque timing
+// number hides (the Fig. 10 pitfall).
 
 #include <memory>
 

@@ -31,6 +31,7 @@ bool Cache::access(std::uint64_t paddr) noexcept {
     if (tags_[slot] == tag) {
       stamp_[slot] = clock_;
       ++hits_;
+      if (pmu_ != nullptr) pmu_->count(pmu_hit_);
       return true;
     }
     if (tags_[slot] == kInvalidTag) {
@@ -48,6 +49,7 @@ bool Cache::access(std::uint64_t paddr) noexcept {
   }
 
   ++misses_;
+  if (pmu_ != nullptr) pmu_->count(pmu_miss_);
   const std::size_t slot = base + victim;
   tags_[slot] = tag;
   stamp_[slot] = clock_;

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "sim/machine.hpp"
+#include "sim/pmu/pmu.hpp"
 
 namespace cal::sim::mem {
 
@@ -21,6 +22,16 @@ class Cache {
   /// Accesses the line containing `paddr`.  Returns true on hit.  On a
   /// miss the line is installed, evicting the LRU way of its set.
   bool access(std::uint64_t paddr) noexcept;
+
+  /// Routes hit/miss events into a simulated PMU file (null detaches;
+  /// the detached path costs one predictable null test per access).
+  /// The hierarchy decides which event pair this level reports as.
+  void attach_pmu(pmu::PmuFile* file, pmu::Event hit_event,
+                  pmu::Event miss_event) noexcept {
+    pmu_ = file;
+    pmu_hit_ = hit_event;
+    pmu_miss_ = miss_event;
+  }
 
   /// Invalidates everything (used between unrelated measurements).
   void flush() noexcept;
@@ -46,6 +57,9 @@ class Cache {
   std::uint64_t clock_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  pmu::PmuFile* pmu_ = nullptr;
+  pmu::Event pmu_hit_ = pmu::Event::kL1Hits;
+  pmu::Event pmu_miss_ = pmu::Event::kL1Misses;
 
   static constexpr std::uint64_t kInvalidTag = ~0ULL;
 };

@@ -1,6 +1,7 @@
 #include "sim/mem/contention.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "sim/mem/hierarchy.hpp"
@@ -9,7 +10,8 @@
 namespace cal::sim::mem {
 
 ParallelResult measure_parallel(const MachineSpec& machine,
-                                const ParallelConfig& config) {
+                                const ParallelConfig& config,
+                                pmu::Pmu* pmu) {
   const std::size_t elem = config.kernel.element_bytes;
   const std::size_t stride_bytes = config.stride_elems * elem;
   if (stride_bytes == 0 || config.size_bytes < stride_bytes) {
@@ -95,6 +97,37 @@ ParallelResult measure_parallel(const MachineSpec& machine,
   const double bytes = static_cast<double>(count) *
                        static_cast<double>(elem) *
                        static_cast<double>(config.nloops);
+
+  if (pmu != nullptr) {
+    // Symmetric threads: fold the (identical) per-thread run into each
+    // participating core's counter file.  Cache events come from the
+    // simulated passes via the hierarchy's own accounting; contention
+    // waits are the line fetches that queued when the capacity floor
+    // bound the pass.
+    const double steady_waits =
+        floor_cycles > solo_cycles ? memory_fetches : 0.0;
+    const double cold_waits = cold_floor > cold_solo ? cold_fetches : 0.0;
+    const double waits =
+        cold_waits + static_cast<double>(config.nloops - 1) * steady_waits;
+    const double instructions =
+        issue_instructions_per_access(machine.issue, config.kernel) *
+        static_cast<double>(count) * static_cast<double>(config.nloops);
+    const std::size_t cores =
+        std::min<std::size_t>(threads, pmu->cores());
+    for (std::size_t t = 0; t < cores; ++t) {
+      pmu::PmuFile& file = pmu->core(t);
+      hierarchy.attach_pmu(&file);
+      hierarchy.account_pass(cost.cold, 1);
+      hierarchy.account_pass(cost.steady, config.nloops - 1);
+      file.count(pmu::Event::kCycles,
+                 static_cast<std::uint64_t>(std::llround(total_cycles)));
+      file.count(pmu::Event::kInstructions,
+                 static_cast<std::uint64_t>(std::llround(instructions)));
+      file.count(pmu::Event::kContentionWaits,
+                 static_cast<std::uint64_t>(std::llround(waits)));
+    }
+    hierarchy.attach_pmu(nullptr);
+  }
 
   ParallelResult result;
   result.per_thread_mbps = bytes / seconds / 1e6;

@@ -15,6 +15,7 @@
 
 #include "sim/machine.hpp"
 #include "sim/mem/kernel_model.hpp"
+#include "sim/pmu/pmu.hpp"
 
 namespace cal::sim::mem {
 
@@ -39,8 +40,17 @@ struct ParallelResult {
 /// stream is simulated exactly (cold + steady pass, as in MemSystem);
 /// contention scales the stalls of the shared memory level by the excess
 /// demand.  Deterministic.
+///
+/// When `pmu` is non-null, each participating core's counter file
+/// receives the run's events: cycles, instructions, per-level cache
+/// hits/misses, memory accesses, stall cycles, and -- the
+/// contention-specific signal -- kContentionWaits, the number of line
+/// fetches that queued behind a saturated memory interface (nonzero
+/// exactly when the capacity floor binds).  Threads are symmetric, so
+/// cores 0..threads-1 get identical counts.
 ParallelResult measure_parallel(const MachineSpec& machine,
-                                const ParallelConfig& config);
+                                const ParallelConfig& config,
+                                pmu::Pmu* pmu = nullptr);
 
 /// Thread count at which the workload's aggregate bandwidth saturates
 /// (first K where adding a thread gains < 5%); machine.cores if it never

@@ -35,6 +35,40 @@ Hierarchy::Hierarchy(const MachineSpec& machine) {
   stall_ = std::move(hit_stall);
 }
 
+std::pair<pmu::Event, pmu::Event> Hierarchy::pmu_events_for_level(
+    std::size_t i) const noexcept {
+  if (i == 0) return {pmu::Event::kL1Hits, pmu::Event::kL1Misses};
+  if (i + 1 == caches_.size()) {
+    return {pmu::Event::kLlcHits, pmu::Event::kLlcMisses};
+  }
+  return {pmu::Event::kL2Hits, pmu::Event::kL2Misses};
+}
+
+void Hierarchy::attach_pmu(pmu::PmuFile* file) noexcept {
+  pmu_ = file;
+  for (std::size_t i = 0; i < caches_.size(); ++i) {
+    const auto [hit, miss] = pmu_events_for_level(i);
+    caches_[i].attach_pmu(file, hit, miss);
+  }
+}
+
+void Hierarchy::account_pass(const PassCost& cost,
+                             std::uint64_t times) noexcept {
+  if (pmu_ == nullptr || times == 0) return;
+  if (cost.hits_by_level.size() != caches_.size() + 1) return;
+  // Misses at level i are exactly the accesses that were served deeper:
+  // every access walks levels top-down until its hit level.
+  std::uint64_t deeper = cost.hits_by_level.back();
+  for (std::size_t i = caches_.size(); i-- > 0;) {
+    const auto [hit, miss] = pmu_events_for_level(i);
+    pmu_->count(hit, cost.hits_by_level[i] * times);
+    pmu_->count(miss, deeper * times);
+    deeper += cost.hits_by_level[i];
+  }
+  pmu_->count(pmu::Event::kMemAccesses, cost.hits_by_level.back() * times);
+  pmu_->count(pmu::Event::kStallCycles, cost.stall_cycles * times);
+}
+
 std::size_t Hierarchy::access(std::uint64_t paddr) noexcept {
   for (std::size_t i = 0; i < caches_.size(); ++i) {
     if (caches_[i].access(paddr)) {
@@ -84,6 +118,13 @@ void Hierarchy::stream_pass(const Buffer& buffer, std::size_t stride_bytes,
   }
   out.accesses = count;
   out.stall_cycles = static_cast<std::uint64_t>(stall);
+  if (pmu_ != nullptr) {
+    // Per-access hit/miss events were counted inside the caches; the
+    // pass-aggregate memory and stall numbers batch here (one truncation
+    // per pass, matching account_pass exactly).
+    pmu_->count(pmu::Event::kMemAccesses, out.hits_by_level.back());
+    pmu_->count(pmu::Event::kStallCycles, out.stall_cycles);
+  }
 }
 
 Hierarchy::SteadyCost Hierarchy::steady_state_cost(const Buffer& buffer,

@@ -61,12 +61,32 @@ class Hierarchy {
 
   void flush() noexcept;
 
+  /// Attaches a simulated PMU file (null detaches).  Cache levels report
+  /// per-access hit/miss events (level 0 as L1, the last level as LLC,
+  /// intermediate levels as L2 -- so on two-level machines the L2 counts
+  /// as the LLC and the kL2* events stay zero); the hierarchy itself
+  /// reports memory accesses and stall cycles per simulated pass.
+  void attach_pmu(pmu::PmuFile* file) noexcept;
+
+  /// Folds `times` repetitions of an already-simulated pass into the
+  /// attached PMU file without re-simulating it: per-level hits/misses,
+  /// memory accesses, and stall cycles are all derivable from the
+  /// PassCost.  This is the counter-exact nloops extrapolation (the
+  /// steady pass costs the same every repetition).  No-op when detached
+  /// or times == 0.
+  void account_pass(const PassCost& cost, std::uint64_t times) noexcept;
+
   std::size_t level_count() const noexcept { return caches_.size(); }
   const Cache& level(std::size_t i) const { return caches_.at(i); }
 
  private:
+  /// Event pair (hit, miss) cache level `i` reports as.
+  std::pair<pmu::Event, pmu::Event> pmu_events_for_level(
+      std::size_t i) const noexcept;
+
   std::vector<Cache> caches_;
   std::vector<double> stall_;  ///< stall per level; last entry = memory
+  pmu::PmuFile* pmu_ = nullptr;
 };
 
 }  // namespace cal::sim::mem

@@ -35,6 +35,19 @@ double issue_cycles_per_access(const IssueSpec& issue,
   return cycles;
 }
 
+double issue_instructions_per_access(const IssueSpec& issue,
+                                     const KernelConfig& kernel) {
+  if (kernel.element_bytes == 0 || kernel.unroll == 0) {
+    throw std::invalid_argument("KernelConfig: zero element size or unroll");
+  }
+  const auto load_uops = static_cast<double>(
+      (kernel.element_bytes + issue.native_vector_bytes - 1) /
+      issue.native_vector_bytes);
+  // One accumulate retires per load uop; cmp + branch + increment retire
+  // once per loop iteration, i.e. once per `unroll` accesses.
+  return 2.0 * load_uops + 3.0 / static_cast<double>(kernel.unroll);
+}
+
 double peak_l1_bandwidth_mbps(const IssueSpec& issue,
                               const KernelConfig& kernel, double freq_ghz) {
   const double cycles = issue_cycles_per_access(issue, kernel);

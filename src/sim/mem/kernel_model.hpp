@@ -35,6 +35,14 @@ struct KernelConfig {
 double issue_cycles_per_access(const IssueSpec& issue,
                                const KernelConfig& kernel);
 
+/// Retired instructions per element access: the load uops, one
+/// accumulate per load uop (the reduction), and the loop bookkeeping
+/// (compare + branch + pointer increment) amortized over the unroll
+/// factor.  Feeds the simulated PMU's kInstructions event, so
+/// counter-derived IPC/MPKI rates have a consistent denominator.
+double issue_instructions_per_access(const IssueSpec& issue,
+                                     const KernelConfig& kernel);
+
 /// Peak (all-L1) bandwidth in MB/s for the kernel at frequency freq_ghz.
 double peak_l1_bandwidth_mbps(const IssueSpec& issue,
                               const KernelConfig& kernel, double freq_ghz);

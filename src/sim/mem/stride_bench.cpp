@@ -1,6 +1,7 @@
 #include "sim/mem/stride_bench.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace cal::sim::mem {
@@ -31,6 +32,7 @@ const char* to_string(AllocTechnique technique) {
 
 MemSystem::MemSystem(MemSystemConfig config)
     : config_(std::move(config)),
+      pmu_(config_.enable_pmu ? std::make_unique<pmu::PmuFile>() : nullptr),
       system_rng_(config_.system_seed),
       allocator_(config_.pool_pages,
                  config_.page_policy.value_or(default_policy(config_.machine)),
@@ -47,6 +49,10 @@ MemSystem::MemSystem(MemSystemConfig config)
         (config_.big_block_bytes + config_.machine.page_bytes - 1) /
         config_.machine.page_bytes;
     big_block_frames_ = allocator_.allocate(pages);
+  }
+  if (pmu_) {
+    hierarchy_.attach_pmu(pmu_.get());
+    core_.attach_pmu(pmu_.get());
   }
 }
 
@@ -91,8 +97,22 @@ MeasurementOutput MemSystem::measure(const MeasurementRequest& request,
 
   // --- Cache simulation: cold pass + steady pass -----------------------
   const std::size_t count = request.size_bytes / stride_bytes;
+  pmu::PmuSnapshot pmu_begin;
+  if (pmu_) pmu_begin = pmu_->snapshot();
   hierarchy_.flush();
-  hierarchy_.steady_state_cost(buffer, stride_bytes, count, cost_scratch_);
+  if (pmu_) {
+    // Counter-exact nloops accounting: the cold pass counts per access
+    // through the cache seams; the steady probe pass is simulated with
+    // the PMU detached (the machine runs it nloops-1 times, not once),
+    // then its PassCost is folded in nloops-1 times analytically.
+    hierarchy_.stream_pass(buffer, stride_bytes, count, cost_scratch_.cold);
+    hierarchy_.attach_pmu(nullptr);
+    hierarchy_.stream_pass(buffer, stride_bytes, count, cost_scratch_.steady);
+    hierarchy_.attach_pmu(pmu_.get());
+    hierarchy_.account_pass(cost_scratch_.steady, request.nloops - 1);
+  } else {
+    hierarchy_.steady_state_cost(buffer, stride_bytes, count, cost_scratch_);
+  }
   const auto& cost = cost_scratch_;
 
   const double issue_cpe =
@@ -109,6 +129,16 @@ MeasurementOutput MemSystem::measure(const MeasurementRequest& request,
   core_.sync_to(now_s);
   const double slowdown = scheduler_.slowdown_at(now_s);
   total_cycles *= slowdown;
+  if (pmu_) {
+    pmu_->count(pmu::Event::kContextSwitches,
+                scheduler_.preemptions_at(now_s));
+    const double ipa =
+        issue_instructions_per_access(machine.issue, request.kernel);
+    pmu_->count(pmu::Event::kInstructions,
+                static_cast<std::uint64_t>(std::llround(
+                    ipa * static_cast<double>(count) *
+                    static_cast<double>(request.nloops))));
+  }
 
   // --- Clock integration under the DVFS governor -----------------------
   const double busy_s = core_.run(total_cycles);
@@ -139,6 +169,7 @@ MeasurementOutput MemSystem::measure(const MeasurementRequest& request,
   out.l1_hit_rate =
       total_acc > 0.0 ? static_cast<double>(steady_hits[0]) / total_acc : 0.0;
   out.slowdown = slowdown;
+  if (pmu_) out.pmu = pmu_->snapshot().delta_since(pmu_begin);
   return out;
 }
 

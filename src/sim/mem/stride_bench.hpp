@@ -27,6 +27,7 @@
 #include "sim/mem/kernel_model.hpp"
 #include "sim/mem/page_allocator.hpp"
 #include "sim/os/scheduler.hpp"
+#include "sim/pmu/pmu.hpp"
 
 namespace cal::sim::mem {
 
@@ -53,6 +54,11 @@ struct MemSystemConfig {
   double horizon_s = 60.0;   ///< campaign duration hint (daemon placement)
   std::uint64_t system_seed = 1;  ///< per-process/boot randomness
   bool enable_noise = true;  ///< machine's timing-noise profile
+  /// Simulated PMU counter file (sim/pmu): when on, the hierarchy, core,
+  /// scheduler, and kernel model count events into a per-system PmuFile
+  /// and measure() reports the per-measurement delta.  Off by default:
+  /// the disabled seams cost one null test each.
+  bool enable_pmu = false;
 };
 
 struct MeasurementRequest {
@@ -68,6 +74,10 @@ struct MeasurementOutput {
   double avg_freq_ghz = 0.0;    ///< diagnostic: cycles / busy time
   double l1_hit_rate = 0.0;     ///< diagnostic: steady-state pass
   double slowdown = 1.0;        ///< diagnostic: scheduler contention factor
+  /// PMU event deltas for this measurement alone (all zero unless the
+  /// system was built with enable_pmu).  A pure function of the run,
+  /// bit-identical at any engine worker count.
+  pmu::PmuSnapshot pmu{};
 };
 
 class MemSystem {
@@ -81,9 +91,12 @@ class MemSystem {
 
   const MemSystemConfig& config() const noexcept { return config_; }
   const os::Scheduler& scheduler() const noexcept { return scheduler_; }
+  /// The system's PMU counter file; null unless config.enable_pmu.
+  const pmu::PmuFile* pmu() const noexcept { return pmu_.get(); }
 
  private:
   MemSystemConfig config_;
+  std::unique_ptr<pmu::PmuFile> pmu_;
   Rng system_rng_;
   PageAllocator allocator_;
   Hierarchy hierarchy_;

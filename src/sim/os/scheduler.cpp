@@ -32,6 +32,12 @@ double Scheduler::slowdown_at(double now_s) const noexcept {
                                        : daemon_.other_slowdown;
 }
 
+std::uint64_t Scheduler::preemptions_at(double now_s) const noexcept {
+  if (!has_daemon_) return 0;
+  if (now_s < window_start_s_ || now_s >= window_end_s_) return 0;
+  return policy_ == SchedPolicy::kFifo ? 2 : 1;
+}
+
 Scheduler Scheduler::dedicated() { return Scheduler(); }
 
 }  // namespace cal::sim::os

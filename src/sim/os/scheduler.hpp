@@ -12,6 +12,8 @@
 // time.  Under kOther (CFS), the daemon preempts only negligibly; under
 // kFifo, the contention window applies its full slowdown.
 
+#include <cstdint>
+
 #include "core/rng.hpp"
 
 namespace cal::sim::os {
@@ -40,6 +42,14 @@ class Scheduler {
 
   /// Multiplicative slowdown applied to work running at time `now_s`.
   double slowdown_at(double now_s) const noexcept;
+
+  /// Involuntary context switches a measurement starting at `now_s`
+  /// experiences (the PMU-visible face of the same contention window):
+  /// under kFifo the daemon occupies the core for the window, so the
+  /// measured thread is switched out and back (2); under kOther CFS
+  /// preempts it once briefly (1); 0 outside the window or with no
+  /// daemon.  Pure function of now_s -- deterministic like slowdown_at.
+  std::uint64_t preemptions_at(double now_s) const noexcept;
 
   SchedPolicy policy() const noexcept { return policy_; }
   double window_start_s() const noexcept { return window_start_s_; }

@@ -1,0 +1,98 @@
+// TraceGuard signal discipline: a tool killed by SIGINT/SIGTERM still
+// flushes its Chrome trace before dying (and still dies by the signal,
+// so the parent sees the real termination cause), while a disposition
+// the tool installed itself is never clobbered by the guard.
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "../examples/cli.hpp"
+
+namespace cal::examples {
+namespace {
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Forks a child that runs traced work under a TraceGuard and then
+/// raises `signo`; asserts the child died by that signal and left a
+/// flushed trace containing the span.
+void expect_flush_on(int signo, const char* tag) {
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() /
+      (std::string("calipers_trace_guard_") + tag + ".json");
+  std::filesystem::remove(path);
+
+  const pid_t pid = fork();
+  ASSERT_NE(pid, -1);
+  if (pid == 0) {
+    TraceGuard guard(path.string());
+    { CAL_SPAN("guarded-work"); }
+    std::raise(signo);
+    _exit(3);  // unreachable: the handler re-raises with SIG_DFL restored
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  EXPECT_TRUE(WIFSIGNALED(status));
+  if (WIFSIGNALED(status)) EXPECT_EQ(WTERMSIG(status), signo);
+
+  const std::string trace = read_file(path);
+  EXPECT_NE(trace.find("traceEvents"), std::string::npos) << path;
+  EXPECT_NE(trace.find("guarded-work"), std::string::npos) << path;
+  std::filesystem::remove(path);
+}
+
+TEST(TraceGuardSignals, SigtermFlushesTheTraceThenDiesBySignal) {
+  expect_flush_on(SIGTERM, "sigterm");
+}
+
+TEST(TraceGuardSignals, SigintFlushesTheTraceThenDiesBySignal) {
+  expect_flush_on(SIGINT, "sigint");
+}
+
+TEST(TraceGuardSignals, ExistingDispositionIsNotClobbered) {
+  const pid_t pid = fork();
+  ASSERT_NE(pid, -1);
+  if (pid == 0) {
+    std::signal(SIGTERM, SIG_IGN);  // the tool manages its own shutdown
+    TraceGuard guard((std::filesystem::temp_directory_path() /
+                      "calipers_trace_guard_unused.json")
+                         .string());
+    std::raise(SIGTERM);  // ignored iff the guard left SIG_IGN in place
+    _exit(7);
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  EXPECT_TRUE(WIFEXITED(status));
+  if (WIFEXITED(status)) EXPECT_EQ(WEXITSTATUS(status), 7);
+}
+
+TEST(TraceGuardSignals, InertGuardInstallsNoHandlers) {
+  const pid_t pid = fork();
+  ASSERT_NE(pid, -1);
+  if (pid == 0) {
+    TraceGuard guard("");  // no --trace flag: fully inert
+    struct sigaction current = {};
+    sigaction(SIGTERM, nullptr, &current);
+    _exit(current.sa_handler == SIG_DFL ? 0 : 1);
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  EXPECT_TRUE(WIFEXITED(status));
+  if (WIFEXITED(status)) EXPECT_EQ(WEXITSTATUS(status), 0);
+}
+
+}  // namespace
+}  // namespace cal::examples

@@ -1,0 +1,142 @@
+// stats::counter_crosscheck: an honest machine spec must pass against
+// its own campaign's counters, a planted mis-calibration must be caught
+// in exactly the size regime that exercises the lie, and missing
+// counter columns must fail loudly.
+
+#include "stats/counter_crosscheck.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "benchlib/whitebox/mem_calibration.hpp"
+
+namespace cal::stats {
+namespace {
+
+sim::mem::MemSystemConfig honest_config() {
+  sim::mem::MemSystemConfig config;
+  config.machine = sim::machines::core_i7_2600();
+  config.governor = sim::cpu::GovernorKind::kPerformance;
+  config.enable_noise = false;
+  config.pool_pages = 8192;
+  config.system_seed = 99;
+  return config;
+}
+
+/// Sizes landing in each hierarchy regime of the i7-2600 (L1 32K,
+/// L2 256K, L3 8M); stride 16 x 4 B = one 64 B line per access, so
+/// every steady-state access misses L1 beyond the first regime.
+Plan crosscheck_plan() {
+  benchlib::MemPlanOptions plan_options;
+  plan_options.size_levels = {16 * 1024, 128 * 1024, 1024 * 1024,
+                              16 * 1024 * 1024};
+  plan_options.strides = {16};
+  plan_options.elem_bytes = {4};
+  plan_options.unrolls = {4};
+  plan_options.nloops = {50};
+  plan_options.replications = 3;
+  return benchlib::make_mem_plan(plan_options);
+}
+
+RawTable counting_table() {
+  benchlib::MemCampaignOptions options;
+  options.pmu_events.assign(sim::pmu::all_events().begin(),
+                            sim::pmu::all_events().end());
+  return benchlib::run_mem_campaign(honest_config(), crosscheck_plan(),
+                                    options)
+      .table;
+}
+
+TEST(CounterCrosscheck, HonestSpecPasses) {
+  const RawTable table = counting_table();
+  const CrosscheckReport report =
+      counter_crosscheck(table, honest_config().machine);
+  EXPECT_TRUE(report.passed()) << report.to_text();
+  EXPECT_EQ(report.cells, 4u);
+  EXPECT_EQ(report.findings.size(), 3 * report.cells);
+  // The counters and the timing come from the same mechanisms, so the
+  // honest accounting errors sit far below the tolerance.
+  for (const auto& f : report.findings) {
+    if (f.check == "effective_frequency") continue;
+    EXPECT_LT(f.rel_error, 0.02) << f.check << " cell " << f.cell_index;
+  }
+  // Derived rates are populated and sane: the largest buffer streams
+  // from memory, so its counter-implied cycles/access dwarf the
+  // L1-resident cell's.
+  ASSERT_EQ(report.rates.size(), 4u);
+  EXPECT_GT(report.rates.back().cycles_per_access,
+            report.rates.front().cycles_per_access);
+  EXPECT_GT(report.rates.back().llc_mpki, 0.0);
+}
+
+TEST(CounterCrosscheck, PlantedL2LatencyIsFlaggedInTheL2Regime) {
+  const RawTable table = counting_table();
+  sim::MachineSpec lying = honest_config().machine;
+  lying.caches[0].miss_stall_cycles *= 3.0;  // claimed L2 hit cost: 8 -> 24
+  const CrosscheckReport report = counter_crosscheck(table, lying);
+  EXPECT_FALSE(report.passed());
+
+  // The lie is visible exactly where L2 hits carry the stall mass: the
+  // 128K cell.  L1-resident, L3-resident, and memory-bound cells keep
+  // passing stall accounting (their stalls come from unaffected levels).
+  std::size_t flagged_stall_cells = 0;
+  for (const auto& f : report.findings) {
+    if (f.check != "stall_accounting") {
+      EXPECT_FALSE(f.flagged) << f.check << ": " << f.note;
+      continue;
+    }
+    if (f.flagged) {
+      ++flagged_stall_cells;
+      EXPECT_NE(f.note.find("size_bytes=131072"), std::string::npos)
+          << f.note;
+      EXPECT_GT(f.predicted, f.measured);
+    }
+  }
+  EXPECT_EQ(flagged_stall_cells, 1u);
+}
+
+TEST(CounterCrosscheck, WrongFrequencyRangeIsFlagged) {
+  const RawTable table = counting_table();
+  sim::MachineSpec lying = honest_config().machine;
+  lying.freq.min_ghz = 1.0;
+  lying.freq.max_ghz = 2.0;  // real campaign ran at 3.4 GHz
+  const CrosscheckReport report = counter_crosscheck(table, lying);
+  EXPECT_FALSE(report.passed());
+  for (const auto& f : report.findings) {
+    if (f.check == "effective_frequency") {
+      EXPECT_TRUE(f.flagged);
+      EXPECT_GT(f.measured, 3.0);
+    }
+  }
+}
+
+TEST(CounterCrosscheck, MissingCounterColumnsThrow) {
+  // Same campaign without PMU columns: the cross-check must refuse.
+  const RawTable bare =
+      benchlib::run_mem_campaign(honest_config(), crosscheck_plan()).table;
+  EXPECT_THROW(counter_crosscheck(bare, honest_config().machine),
+               std::invalid_argument);
+
+  sim::MachineSpec cacheless = honest_config().machine;
+  cacheless.caches.clear();
+  const RawTable table = counting_table();
+  EXPECT_THROW(counter_crosscheck(table, cacheless), std::invalid_argument);
+}
+
+TEST(CounterCrosscheck, ReportTextNamesTheVerdict) {
+  const RawTable table = counting_table();
+  const std::string pass_text =
+      counter_crosscheck(table, honest_config().machine).to_text();
+  EXPECT_NE(pass_text.find("PASS"), std::string::npos);
+
+  sim::MachineSpec lying = honest_config().machine;
+  lying.caches[0].miss_stall_cycles *= 3.0;
+  const std::string fail_text = counter_crosscheck(table, lying).to_text();
+  EXPECT_NE(fail_text.find("FAIL"), std::string::npos);
+  EXPECT_NE(fail_text.find("CONTRADICTION [stall_accounting]"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace cal::stats

@@ -18,9 +18,11 @@
 #include <vector>
 
 #include "benchlib/whitebox/mem_calibration.hpp"
+#include "benchlib/whitebox/net_calibration.hpp"
 #include "core/campaign.hpp"
 #include "serve/client.hpp"
 #include "serve/server.hpp"
+#include "sim/pmu/pmu.hpp"
 #include "stats/breakpoint.hpp"
 #include "stats/group.hpp"
 #include "stats/modes.hpp"
@@ -76,6 +78,42 @@ CampaignResult run_perturbed_campaign() {
                           campaign_options);
 }
 
+/// Noise-free LogGP calibration over the Myrinet/GM link (the Fig. 3
+/// testbed): the link spec plants latency 6.5/6.5/7.0 us and per-byte
+/// gap 0.0042/0.0048/0.0040 us across breakpoints at 16 KB and 32 KB.
+CampaignResult run_net_campaign() {
+  sim::net::NetworkSimConfig config;
+  config.link = sim::net::links::myrinet_gm();
+  config.enable_noise = false;
+  NetCalibrationOptions options;
+  options.samples_per_op = 400;
+  options.min_size = 128.0;
+  options.seed = 17;
+  return run_net_calibration(sim::net::NetworkSim(config), options);
+}
+
+/// A PMU-counted memory campaign: the pmu.* counter columns must travel
+/// the same bbx -> zone-map -> query-server path as any timing metric.
+CampaignResult run_counted_campaign() {
+  sim::mem::MemSystemConfig config;
+  config.machine = sim::machines::core_i7_2600();
+  config.governor = sim::cpu::GovernorKind::kPerformance;
+  config.enable_noise = false;
+  config.system_seed = 11;
+  MemPlanOptions plan_options;
+  plan_options.size_levels = {16 * 1024, 128 * 1024, 1024 * 1024};
+  plan_options.strides = {16};
+  plan_options.elem_bytes = {4};
+  plan_options.unrolls = {4};
+  plan_options.nloops = {20};
+  plan_options.replications = 3;
+  MemCampaignOptions campaign_options;
+  campaign_options.pmu_events.assign(sim::pmu::all_events().begin(),
+                                     sim::pmu::all_events().end());
+  return run_mem_campaign(config, make_mem_plan(plan_options),
+                          campaign_options);
+}
+
 std::vector<std::vector<std::string>> parse_csv(const std::string& text) {
   std::vector<std::vector<std::string>> rows;
   std::istringstream in(text);
@@ -101,6 +139,8 @@ class IntegrationScenarios : public ::testing::Test {
     fs::create_directories(*root_ / "catalog");
     sweep_ = new CampaignResult(run_sweep_campaign());
     perturbed_ = new CampaignResult(run_perturbed_campaign());
+    net_ = new CampaignResult(run_net_campaign());
+    counted_ = new CampaignResult(run_counted_campaign());
     ArchiveOptions archive;
     archive.format = ArchiveFormat::kBbx;
     archive.shards = 2;
@@ -108,15 +148,21 @@ class IntegrationScenarios : public ::testing::Test {
     sweep_->write_dir((*root_ / "catalog" / "sweep").string(), archive);
     perturbed_->write_dir((*root_ / "catalog" / "perturbed").string(),
                           archive);
+    net_->write_dir((*root_ / "catalog" / "net").string(), archive);
+    counted_->write_dir((*root_ / "catalog" / "counted").string(), archive);
   }
 
   static void TearDownTestSuite() {
     fs::remove_all(*root_);
     delete sweep_;
     delete perturbed_;
+    delete net_;
+    delete counted_;
     delete root_;
     sweep_ = nullptr;
     perturbed_ = nullptr;
+    net_ = nullptr;
+    counted_ = nullptr;
     root_ = nullptr;
   }
 
@@ -147,12 +193,16 @@ class IntegrationScenarios : public ::testing::Test {
   static fs::path* root_;
   static CampaignResult* sweep_;
   static CampaignResult* perturbed_;
+  static CampaignResult* net_;
+  static CampaignResult* counted_;
   std::unique_ptr<serve::QueryServer> server_;
 };
 
 fs::path* IntegrationScenarios::root_ = nullptr;
 CampaignResult* IntegrationScenarios::sweep_ = nullptr;
 CampaignResult* IntegrationScenarios::perturbed_ = nullptr;
+CampaignResult* IntegrationScenarios::net_ = nullptr;
+CampaignResult* IntegrationScenarios::counted_ = nullptr;
 
 TEST_F(IntegrationScenarios, ServedSweepRecoversTheCacheBoundaries) {
   QueryClient client = connect();
@@ -266,6 +316,133 @@ TEST_F(IntegrationScenarios, ServedRowsExposeThePlantedDaemonWindow) {
   EXPECT_TRUE(split.bimodal);
   EXPECT_GT(split.high_center / split.low_center, 3.0);
   EXPECT_TRUE(diagnose_temporal(perturbed_->table).temporally_clustered);
+}
+
+TEST_F(IntegrationScenarios, ServedNetAggregatesRecoverTheLogGpLink) {
+  QueryClient client = connect();
+  Request request;
+  request.kind = RequestKind::kAggregate;
+  request.bundle = "net";
+  request.group_by = {"op", "size_bytes"};
+  request.aggregates = {"count", "mean:time_us"};
+  const Response response = call_ok(client, request);
+
+  // Rebuild a raw table from the served rows.  Log-uniform sizes are
+  // all distinct, so every group holds exactly one observation and the
+  // served mean IS the raw measurement -- nothing was lost on the way
+  // through the archive and the socket.
+  const auto rows = parse_csv(response.body);
+  ASSERT_EQ(rows.size(), net_->table.size() + 1);
+  ASSERT_EQ(rows[0],
+            (std::vector<std::string>{"op", "size_bytes", "count",
+                                      "mean(time_us)"}));
+  RawTable served({"op", "size_bytes"}, {"time_us"});
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    ASSERT_EQ(rows[i][2], "1");
+    RawRecord record;
+    record.factors = {Value(rows[i][0]), Value(std::stod(rows[i][1]))};
+    record.metrics = {std::stod(rows[i][3])};
+    served.append(std::move(record));
+  }
+
+  // Stage-3 supervised fit at the planted protocol breakpoints.
+  const std::vector<double> breaks = {16.0 * 1024, 32.0 * 1024};
+  const NetModel model = analyze_net_calibration(served, breaks);
+  ASSERT_EQ(model.segments.size(), 3u);
+
+  // The per-byte gap G is recovered cleanly in every regime (the
+  // overhead slopes cancel out of the ping-pong slope).
+  const auto link = sim::net::links::myrinet_gm();
+  for (std::size_t s = 0; s < 3; ++s) {
+    const double truth = link.segments[s].gap_per_byte_us;
+    EXPECT_NEAR(model.segments[s].gap_per_byte_us, truth, 0.15 * truth)
+        << "segment " << s;
+  }
+  EXPECT_NEAR(model.segments[2].bandwidth_mbps,
+              1.0 / link.segments[2].gap_per_byte_us, 25.0);
+
+  // The ping-pong intercept folds the per-message gap g into L, and the
+  // rendez-vous segment adds its control-message handshake on top; the
+  // eager segments recover the planted 6.5 us latency to within g.
+  EXPECT_NEAR(model.segments[0].latency_us,
+              link.segments[0].latency_us + link.segments[0].gap_us, 0.5);
+  EXPECT_NEAR(model.segments[1].latency_us,
+              link.segments[1].latency_us + link.segments[1].gap_us, 0.8);
+  EXPECT_GT(model.segments[2].latency_us, model.segments[1].latency_us);
+
+  // Fidelity: the analysis of the served table agrees with the same
+  // analysis on the in-memory table that never left the process.
+  const NetModel reference = analyze_net_calibration(net_->table, breaks);
+  for (std::size_t s = 0; s < 3; ++s) {
+    EXPECT_NEAR(model.segments[s].latency_us,
+                reference.segments[s].latency_us,
+                1e-6 * std::abs(reference.segments[s].latency_us) + 1e-9);
+    EXPECT_NEAR(model.segments[s].gap_per_byte_us,
+                reference.segments[s].gap_per_byte_us,
+                1e-6 * reference.segments[s].gap_per_byte_us + 1e-12);
+  }
+}
+
+TEST_F(IntegrationScenarios, PmuCounterColumnsAreServedFirstClass) {
+  QueryClient client = connect();
+  Request request;
+  request.kind = RequestKind::kAggregate;
+  request.bundle = "counted";
+  request.group_by = {"size_bytes"};
+  request.aggregates = {"count", "sum:pmu.cycles", "sum:pmu.llc_misses",
+                        "mean:pmu.instructions"};
+  const Response response = call_ok(client, request);
+
+  const auto rows = parse_csv(response.body);
+  ASSERT_EQ(rows.size(), 4u);  // header + one per size level
+  ASSERT_EQ(rows[0],
+            (std::vector<std::string>{"size_bytes", "count",
+                                      "sum(pmu.cycles)",
+                                      "sum(pmu.llc_misses)",
+                                      "mean(pmu.instructions)"}));
+
+  // Reference: the same statistics straight off the in-memory table.
+  // Counter values are integral, so the served sums must match exactly
+  // regardless of accumulation order.
+  const std::size_t size_idx = counted_->table.factor_index("size_bytes");
+  const std::size_t cyc_idx = counted_->table.metric_index("pmu.cycles");
+  const std::size_t llc_idx = counted_->table.metric_index("pmu.llc_misses");
+  const std::size_t ins_idx =
+      counted_->table.metric_index("pmu.instructions");
+  std::map<std::int64_t, double> cycles, llc, instructions;
+  std::map<std::int64_t, std::size_t> count;
+  for (const auto& r : counted_->table.records()) {
+    const std::int64_t size = r.factors[size_idx].as_int();
+    cycles[size] += r.metrics[cyc_idx];
+    llc[size] += r.metrics[llc_idx];
+    instructions[size] += r.metrics[ins_idx];
+    ++count[size];
+  }
+  ASSERT_EQ(count.size(), 3u);
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    const std::int64_t size = std::stoll(rows[i][0]);
+    ASSERT_TRUE(count.count(size)) << size;
+    EXPECT_EQ(std::stoull(rows[i][1]), count[size]);
+    EXPECT_EQ(std::stod(rows[i][2]), cycles[size]);
+    EXPECT_EQ(std::stod(rows[i][3]), llc[size]);
+    EXPECT_NEAR(std::stod(rows[i][4]),
+                instructions[size] / static_cast<double>(count[size]),
+                1e-9 * instructions[size]);
+  }
+
+  // Semantic ground truth: LLC misses grow with the working set (only
+  // the cold pass misses for cache-resident buffers), and a pmu.*
+  // column works in a where-filtered query like any factor projection.
+  EXPECT_LT(llc[16 * 1024], llc[128 * 1024]);
+  EXPECT_LT(llc[128 * 1024], llc[1024 * 1024]);
+
+  Request filtered = request;
+  filtered.where = "size_bytes >= 131072";
+  const auto filtered_rows = parse_csv(call_ok(client, filtered).body);
+  ASSERT_EQ(filtered_rows.size(), 3u);  // header + the two larger sizes
+  for (std::size_t i = 1; i < filtered_rows.size(); ++i) {
+    EXPECT_GE(std::stoll(filtered_rows[i][0]), 131072);
+  }
 }
 
 TEST_F(IntegrationScenarios, WarmCacheRepeatIsByteIdentical) {

@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <regex>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -79,6 +81,69 @@ TEST_F(ObsMetricsTest, RenderTextIsDeterministicAndPrometheusShaped) {
   EXPECT_NE(one.find("cal_obs_test_latency_seconds_count 1"),
             std::string::npos);
   EXPECT_NE(one.find("le=\"+Inf\""), std::string::npos);
+}
+
+TEST_F(ObsMetricsTest, RenderTextConformsToTheExpositionFormat) {
+  counter("obs_test.conform_c").add(3);
+  gauge("obs_test.conform_g").set(-4);
+  histogram("obs_test.conform_h").record_ns(999);
+  const std::string text = render_text();
+
+  // Every line is a HELP comment, a TYPE comment, or a sample whose
+  // name and optional label block fit the Prometheus grammar.
+  const std::regex help_re(
+      R"(# HELP [a-zA-Z_:][a-zA-Z0-9_:]* .+)");
+  const std::regex type_re(
+      R"(# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram))");
+  const std::regex sample_re(
+      R"([a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_]+="[^"]*"\})? -?[0-9]+(\.[0-9]+)?)");
+  std::istringstream lines(text);
+  std::string line;
+  std::string last_comment;
+  while (std::getline(lines, line)) {
+    if (line.rfind("# HELP ", 0) == 0) {
+      EXPECT_TRUE(std::regex_match(line, help_re)) << line;
+      last_comment = "help";
+    } else if (line.rfind("# TYPE ", 0) == 0) {
+      EXPECT_TRUE(std::regex_match(line, type_re)) << line;
+      // Each family's TYPE line is introduced by its HELP line.
+      EXPECT_EQ(last_comment, "help") << line;
+      last_comment = "type";
+    } else {
+      EXPECT_TRUE(std::regex_match(line, sample_re)) << line;
+      last_comment.clear();
+    }
+  }
+  // HELP names the original registry name, so a scrape can be traced
+  // back to the instrumentation site.
+  EXPECT_NE(text.find("Registry counter 'obs_test.conform_c'."),
+            std::string::npos);
+  EXPECT_NE(text.find("Registry histogram 'obs_test.conform_h'."),
+            std::string::npos);
+}
+
+TEST_F(ObsMetricsTest, SanitizationCollisionsExposeDistinctNames) {
+  // Both sanitize to cal_obs_test_collide_x; the dash variant sorts
+  // first and keeps the base name, the underscore variant gets _2.
+  counter("obs_test.collide-x").add(1);
+  counter("obs_test.collide_x").add(2);
+  // Cross-section collision: counters render before gauges.
+  counter("obs_test.cross").add(7);
+  gauge("obs_test.cross").set(9);
+  const std::string text = render_text();
+  EXPECT_NE(text.find("cal_obs_test_collide_x 1"), std::string::npos);
+  EXPECT_NE(text.find("cal_obs_test_collide_x_2 2"), std::string::npos);
+  EXPECT_NE(text.find("cal_obs_test_cross 7"), std::string::npos);
+  EXPECT_NE(text.find("cal_obs_test_cross_2 9"), std::string::npos);
+  // The HELP lines disambiguate which registry name each family is.
+  EXPECT_NE(
+      text.find("# HELP cal_obs_test_collide_x Registry counter "
+                "'obs_test.collide-x'."),
+      std::string::npos);
+  EXPECT_NE(
+      text.find("# HELP cal_obs_test_collide_x_2 Registry counter "
+                "'obs_test.collide_x'."),
+      std::string::npos);
 }
 
 TEST_F(ObsMetricsTest, HistogramBucketsArePowerOfTwoMicroseconds) {
